@@ -1,0 +1,32 @@
+//! Baseline benchmark: C4.5 induction and C4.5rules conversion.
+//!
+//! The paper concedes that C4.5 trains much faster than the network
+//! pipeline (§5); this bench quantifies that gap next to `training`/
+//! `pruning`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nr_datagen::{Function, Generator};
+use nr_tree::{to_rules, DecisionTree, TreeConfig};
+
+fn baselines(c: &mut Criterion) {
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let mut group = c.benchmark_group("c45");
+    for f in [Function::F2, Function::F4] {
+        let train = gen.dataset(f, 1000);
+        group.bench_with_input(BenchmarkId::new("fit-1000", f.to_string()), &train, |b, ds| {
+            b.iter(|| DecisionTree::fit(ds, &TreeConfig::default()));
+        });
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("to-rules-1000", f.to_string()),
+            &(tree, train),
+            |b, (tree, ds)| {
+                b.iter(|| to_rules(tree, ds));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Data generation and encoding throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nr_bench::bench_dataset;
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    let gen = Generator::new(42).with_perturbation(0.05);
+    for f in [Function::F2, Function::F7, Function::F10] {
+        group.bench_with_input(BenchmarkId::new("generate-1000", f.to_string()), &f, |b, &f| {
+            b.iter(|| gen.dataset(f, 1000));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("encoding");
+    let ds = bench_dataset(1000);
+    let enc = Encoder::agrawal();
+    group.bench_function("encode-1000x87", |b| {
+        b.iter(|| enc.encode_dataset(&ds));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generation);
+criterion_main!(benches);

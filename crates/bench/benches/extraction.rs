@@ -1,0 +1,29 @@
+//! Phase-3 benchmark: rule extraction (RX) from a pruned network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nr_bench::pruned_network;
+use nr_rulex::{cluster_activations, extract, RxConfig};
+
+fn extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(10);
+    let (enc, data, net) = pruned_network(500);
+    let class_names = vec!["A".to_string(), "B".to_string()];
+    group.bench_function("rx-f2-500", |b| {
+        b.iter(|| extract(&net, &enc, &data, &class_names, &RxConfig::default()));
+    });
+    group.finish();
+
+    // The clustering step alone (Figure 4 step 1) on synthetic activations.
+    let mut group = c.benchmark_group("clustering");
+    let values: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 2654435761usize) % 2000) as f64 / 1000.0 - 1.0)
+        .collect();
+    group.bench_function("online-10k", |b| {
+        b.iter(|| cluster_activations(&values, 0.6));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, extraction);
+criterion_main!(benches);

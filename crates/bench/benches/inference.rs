@@ -1,0 +1,42 @@
+//! Inference-throughput benchmark: rules vs network vs decision tree.
+//!
+//! Backs the paper's §1 argument that explicit rules are cheap to apply to
+//! large databases (they test a handful of attributes, no arithmetic),
+//! while the network must encode every tuple and run a forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nr_bench::{bench_dataset, pruned_network};
+use nr_rulex::{extract, RxConfig};
+use nr_tree::{to_rules, DecisionTree, TreeConfig};
+
+fn inference(c: &mut Criterion) {
+    let train = bench_dataset(500);
+    let test = bench_dataset(1000);
+    let (enc, data, net) = pruned_network(500);
+    let rx = extract(&net, &enc, &data, train.class_names(), &RxConfig::default())
+        .expect("extraction succeeds on the bench fixture");
+    let tree = DecisionTree::fit(&train, &TreeConfig::default());
+    let tree_rules = to_rules(&tree, &train);
+
+    let mut group = c.benchmark_group("inference-1000-rows");
+    group.bench_function("neurorule-rules", |b| {
+        b.iter(|| test.iter().map(|(row, _)| rx.ruleset.predict(row)).sum::<usize>());
+    });
+    group.bench_function("pruned-network", |b| {
+        b.iter(|| {
+            test.iter()
+                .map(|(row, _)| net.classify(&enc.encode_row(row)))
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("c45-tree", |b| {
+        b.iter(|| test.iter().map(|(row, _)| tree.predict(row)).sum::<usize>());
+    });
+    group.bench_function("c45-rules", |b| {
+        b.iter(|| test.iter().map(|(row, _)| tree_rules.predict(row)).sum::<usize>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference);
+criterion_main!(benches);

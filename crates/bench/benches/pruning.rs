@@ -1,0 +1,30 @@
+//! Phase-2 benchmark: the NP pruning loop on a trained network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nr_bench::trained_network;
+use nr_nn::{Trainer, TrainingAlgorithm};
+use nr_opt::Bfgs;
+use nr_prune::{prune, PruneConfig};
+
+fn pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10);
+    let (_, data, net) = trained_network(300);
+    // Short retraining budget keeps a single bench iteration tractable.
+    let config = PruneConfig {
+        retrain: Trainer::new(TrainingAlgorithm::Bfgs(
+            Bfgs::default().with_max_iters(30).with_grad_tol(1e-3),
+        )),
+        ..PruneConfig::default()
+    };
+    group.bench_function("np-f2-300", |b| {
+        b.iter(|| {
+            let mut candidate = net.clone();
+            prune(&mut candidate, &data, &config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pruning);
+criterion_main!(benches);

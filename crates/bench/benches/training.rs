@@ -1,0 +1,40 @@
+//! Phase-1 benchmark: network training, BFGS vs gradient descent.
+//!
+//! Backs the paper's claim that quasi-Newton training converges in far
+//! fewer iterations than backpropagation (§2.1); the ablation table in
+//! EXPERIMENTS.md is generated from these numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nr_bench::{bench_encoded, fresh_network};
+use nr_nn::{Trainer, TrainingAlgorithm};
+use nr_opt::{Bfgs, GradientDescent};
+
+fn training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        let (_, data) = bench_encoded(n);
+        group.bench_with_input(BenchmarkId::new("bfgs-60", n), &n, |b, _| {
+            let trainer = Trainer::new(TrainingAlgorithm::Bfgs(
+                Bfgs::default().with_max_iters(60),
+            ));
+            b.iter(|| {
+                let mut net = fresh_network(7);
+                trainer.train(&mut net, &data)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gd-600", n), &n, |b, _| {
+            let trainer = Trainer::new(TrainingAlgorithm::GradientDescent(
+                GradientDescent::default().with_learning_rate(0.05).with_max_iters(600),
+            ));
+            b.iter(|| {
+                let mut net = fresh_network(7);
+                trainer.train(&mut net, &data)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, training);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Internal smoke harness used during development (kept as a crate example
+//! so it never ships in the library API but stays compiled).
+
+use neurorule::NeuroRule;
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+
+fn main() {
+    let f: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let function = Function::from_number(f).expect("function number 1-10");
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let (train, test) = gen.train_test(function, n, 1000);
+    let t0 = std::time::Instant::now();
+    let model = NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .fit(&train)
+        .expect("pipeline");
+    let dt = t0.elapsed();
+    println!("=== {function} (n={n}) in {dt:.2?} ===");
+    println!(
+        "train: net {:.3} rules {:.3} | links {} -> {} | hidden left {:?} | eps {:.3}",
+        model.report.train_network_accuracy,
+        model.report.train_rule_accuracy,
+        model.report.prune_outcome.initial_links,
+        model.report.prune_outcome.remaining_links,
+        model.network.live_hidden(),
+        model.report.rx_trace.epsilon,
+    );
+    println!(
+        "test : net {:.3} rules {:.3} | fidelity {:.3}",
+        model.network_accuracy(&test),
+        model.rules_accuracy(&test),
+        model.fidelity(&test),
+    );
+    println!("clusters per node: {:?}", model.report.rx_trace.cluster_counts);
+    println!("{} rules:", model.ruleset.len());
+    print!("{}", model.ruleset.display(train.schema()));
+    println!("--- bit rules ---");
+    for r in &model.report.bit_rules {
+        println!("{}", r.display());
+    }
+}

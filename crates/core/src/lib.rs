@@ -1,0 +1,35 @@
+//! NeuroRule — mining classification rules with neural networks.
+//!
+//! This crate is the end-to-end pipeline of the paper (Lu, Setiono & Liu,
+//! *NeuroRule: A Connectionist Approach to Data Mining*, VLDB 1995):
+//!
+//! 1. **Network training** (§2.1): encode tuples to binary inputs
+//!    (`nr-encode`), train a three-layer network (`nr-nn`) with BFGS
+//!    (`nr-opt`) minimizing cross entropy + weight-decay penalty;
+//! 2. **Network pruning** (§2.2): remove low-saliency links while the
+//!    accuracy stays above a floor (`nr-prune`);
+//! 3. **Rule extraction** (§3): discretize hidden activations, tabulate,
+//!    generate perfect rule covers, substitute, and rewrite into rules over
+//!    the original attributes (`nr-rulex`).
+//!
+//! ```no_run
+//! use neurorule::NeuroRule;
+//! use nr_datagen::{Function, Generator};
+//! use nr_encode::Encoder;
+//!
+//! let train = Generator::new(42).with_perturbation(0.05).dataset(Function::F2, 1000);
+//! let model = NeuroRule::default()
+//!     .with_encoder(Encoder::agrawal())
+//!     .fit(&train)
+//!     .expect("pipeline succeeds");
+//! println!("{}", model.ruleset.display(train.schema()));
+//! println!("rule accuracy: {:.1}%", 100.0 * model.ruleset.accuracy(&train));
+//! ```
+
+#![deny(missing_docs)]
+
+mod model;
+mod pipeline;
+
+pub use model::{Model, PipelineReport};
+pub use pipeline::{NeuroRule, PipelineError};

@@ -1,0 +1,80 @@
+//! The fitted model: pruned network + extracted rules + full trace.
+
+use nr_encode::Encoder;
+use nr_nn::{Mlp, TrainReport};
+use nr_prune::PruneOutcome;
+use nr_rules::RuleSet;
+use nr_rulex::{BitRule, RxTrace};
+use nr_tabular::{ClassId, Dataset, Value};
+use serde::{Deserialize, Serialize};
+
+/// Everything the pipeline produced, phase by phase. The experiment drivers
+/// read this to regenerate the paper's figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Phase 1: training report.
+    pub train_report: TrainReport,
+    /// Phase 2: pruning outcome (link counts, trace, de-selected inputs).
+    pub prune_outcome: PruneOutcome,
+    /// Phase 3: extraction trace (clusters, activation table, …).
+    pub rx_trace: RxTrace,
+    /// Phase 3: rules in input-bit space, pre-rewrite.
+    pub bit_rules: Vec<BitRule>,
+    /// Accuracy of the final rules on the training set.
+    pub train_rule_accuracy: f64,
+    /// Accuracy of the pruned network on the training set.
+    pub train_network_accuracy: f64,
+}
+
+/// A fitted NeuroRule model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// The input encoder (needed to run the network on new tuples).
+    pub encoder: Encoder,
+    /// The pruned network.
+    pub network: Mlp,
+    /// The extracted rules (the paper's deliverable).
+    pub ruleset: RuleSet,
+    /// Per-phase diagnostics.
+    pub report: PipelineReport,
+}
+
+impl Model {
+    /// Predicts with the extracted rules (first match, else default).
+    pub fn predict(&self, row: &[Value]) -> ClassId {
+        self.ruleset.predict(row)
+    }
+
+    /// Predicts with the pruned network (argmax output).
+    pub fn predict_network(&self, row: &[Value]) -> ClassId {
+        let x = self.encoder.encode_row(row);
+        self.network.classify(&x)
+    }
+
+    /// Rule-set accuracy on a dataset.
+    pub fn rules_accuracy(&self, ds: &Dataset) -> f64 {
+        self.ruleset.accuracy(ds)
+    }
+
+    /// Pruned-network accuracy on a dataset.
+    pub fn network_accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let encoded = self.encoder.encode_dataset(ds);
+        self.network.accuracy(&encoded)
+    }
+
+    /// Fraction of rows where rules and network agree (fidelity of the
+    /// extraction).
+    pub fn fidelity(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let agree = ds
+            .iter()
+            .filter(|(row, _)| self.predict(row) == self.predict_network(row))
+            .count();
+        agree as f64 / ds.len() as f64
+    }
+}

@@ -1,0 +1,450 @@
+//! The ten classification functions of Agrawal et al.
+//!
+//! Each function maps a [`Person`] to `Group A` or `Group B`. F1–F3 test one
+//! or two attributes, F4–F6 add nested predicates, and F7–F10 are linear
+//! functions of several attributes ("disposable income" style). The NeuroRule
+//! paper evaluates F1–F7 and F9; F8 and F10 are implemented but documented as
+//! highly skewed (they label almost every tuple `A`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Person;
+
+/// The two target groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Group {
+    /// Group A (class id 0).
+    A,
+    /// Group B (class id 1).
+    B,
+}
+
+impl Group {
+    /// Class id used in datasets: `A` ↦ 0, `B` ↦ 1.
+    #[inline]
+    pub fn class_id(self) -> usize {
+        match self {
+            Group::A => 0,
+            Group::B => 1,
+        }
+    }
+
+    /// Inverse of [`Group::class_id`].
+    #[inline]
+    pub fn from_class_id(id: usize) -> Group {
+        match id {
+            0 => Group::A,
+            1 => Group::B,
+            _ => panic!("class id {id} out of range for two-group problems"),
+        }
+    }
+}
+
+/// Identifier for one of the ten classification functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Function {
+    /// Age-band test.
+    F1,
+    /// Age bands × salary intervals (the paper's worked example).
+    F2,
+    /// Age bands × education level.
+    F3,
+    /// Age bands × (elevel ? salary-interval-1 : salary-interval-2).
+    F4,
+    /// Age bands × (salary interval ? loan-interval-1 : loan-interval-2).
+    F5,
+    /// Age bands × total-income (salary + commission) intervals.
+    F6,
+    /// Linear disposable income with loan.
+    F7,
+    /// Linear disposable income with education (highly skewed).
+    F8,
+    /// Linear disposable income with education and loan.
+    F9,
+    /// Linear disposable income with home equity (highly skewed).
+    F10,
+}
+
+impl Function {
+    /// All ten functions in order.
+    pub fn all() -> [Function; 10] {
+        use Function::*;
+        [F1, F2, F3, F4, F5, F6, F7, F8, F9, F10]
+    }
+
+    /// The eight functions the paper evaluates (excludes skewed F8 and F10).
+    pub fn evaluated() -> [Function; 8] {
+        use Function::*;
+        [F1, F2, F3, F4, F5, F6, F7, F9]
+    }
+
+    /// Function number (1–10).
+    pub fn number(self) -> usize {
+        use Function::*;
+        match self {
+            F1 => 1,
+            F2 => 2,
+            F3 => 3,
+            F4 => 4,
+            F5 => 5,
+            F6 => 6,
+            F7 => 7,
+            F8 => 8,
+            F9 => 9,
+            F10 => 10,
+        }
+    }
+
+    /// Parses a function number.
+    pub fn from_number(n: usize) -> Option<Function> {
+        Function::all().into_iter().find(|f| f.number() == n)
+    }
+
+    /// True for the functions the paper reports as highly skewed.
+    pub fn is_skewed(self) -> bool {
+        matches!(self, Function::F8 | Function::F10)
+    }
+
+    /// Applies the function to a tuple.
+    pub fn classify(self, p: &Person) -> Group {
+        let a = match self {
+            Function::F1 => f1(p),
+            Function::F2 => f2(p),
+            Function::F3 => f3(p),
+            Function::F4 => f4(p),
+            Function::F5 => f5(p),
+            Function::F6 => f6(p),
+            Function::F7 => f7(p),
+            Function::F8 => f8(p),
+            Function::F9 => f9(p),
+            Function::F10 => f10(p),
+        };
+        if a {
+            Group::A
+        } else {
+            Group::B
+        }
+    }
+}
+
+impl std::fmt::Display for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.number())
+    }
+}
+
+#[inline]
+fn between(x: f64, lo: f64, hi: f64) -> bool {
+    lo <= x && x <= hi
+}
+
+/// F1: `A ⇔ age < 40 ∨ age ≥ 60`.
+fn f1(p: &Person) -> bool {
+    p.age < 40.0 || p.age >= 60.0
+}
+
+/// F2 (§2.3 of the NeuroRule paper):
+/// `A ⇔ (age<40 ∧ 50K≤salary≤100K) ∨ (40≤age<60 ∧ 75K≤salary≤125K) ∨ (age≥60 ∧ 25K≤salary≤75K)`.
+fn f2(p: &Person) -> bool {
+    if p.age < 40.0 {
+        between(p.salary, 50_000.0, 100_000.0)
+    } else if p.age < 60.0 {
+        between(p.salary, 75_000.0, 125_000.0)
+    } else {
+        between(p.salary, 25_000.0, 75_000.0)
+    }
+}
+
+/// F3: age bands × education level bands.
+fn f3(p: &Person) -> bool {
+    if p.age < 40.0 {
+        p.elevel <= 1
+    } else if p.age < 60.0 {
+        (1..=3).contains(&p.elevel)
+    } else {
+        (2..=4).contains(&p.elevel)
+    }
+}
+
+/// F4 (Figure 7(a) of the NeuroRule paper): age bands where the salary
+/// interval that qualifies depends on the education level.
+fn f4(p: &Person) -> bool {
+    if p.age < 40.0 {
+        if p.elevel <= 1 {
+            between(p.salary, 25_000.0, 75_000.0)
+        } else {
+            between(p.salary, 50_000.0, 100_000.0)
+        }
+    } else if p.age < 60.0 {
+        if (1..=3).contains(&p.elevel) {
+            between(p.salary, 50_000.0, 100_000.0)
+        } else {
+            between(p.salary, 75_000.0, 125_000.0)
+        }
+    } else if (2..=4).contains(&p.elevel) {
+        between(p.salary, 50_000.0, 100_000.0)
+    } else {
+        between(p.salary, 25_000.0, 75_000.0)
+    }
+}
+
+/// F5: age bands where the loan interval that qualifies depends on salary.
+fn f5(p: &Person) -> bool {
+    if p.age < 40.0 {
+        if between(p.salary, 50_000.0, 100_000.0) {
+            between(p.loan, 100_000.0, 300_000.0)
+        } else {
+            between(p.loan, 200_000.0, 400_000.0)
+        }
+    } else if p.age < 60.0 {
+        if between(p.salary, 75_000.0, 125_000.0) {
+            between(p.loan, 200_000.0, 400_000.0)
+        } else {
+            between(p.loan, 300_000.0, 500_000.0)
+        }
+    } else if between(p.salary, 25_000.0, 75_000.0) {
+        between(p.loan, 300_000.0, 500_000.0)
+    } else {
+        between(p.loan, 100_000.0, 300_000.0)
+    }
+}
+
+/// F6: like F2 but on total income (salary + commission).
+fn f6(p: &Person) -> bool {
+    let total = p.salary + p.commission;
+    if p.age < 40.0 {
+        between(total, 50_000.0, 100_000.0)
+    } else if p.age < 60.0 {
+        between(total, 75_000.0, 125_000.0)
+    } else {
+        between(total, 25_000.0, 75_000.0)
+    }
+}
+
+/// F7: `A ⇔ ⅔·(salary+commission) − loan/5 − 20 000 > 0`.
+fn f7(p: &Person) -> bool {
+    2.0 * (p.salary + p.commission) / 3.0 - p.loan / 5.0 - 20_000.0 > 0.0
+}
+
+/// F8: `A ⇔ ⅔·(salary+commission) − 5000·elevel − 20 000 > 0` (highly skewed).
+fn f8(p: &Person) -> bool {
+    2.0 * (p.salary + p.commission) / 3.0 - 5_000.0 * p.elevel as f64 - 20_000.0 > 0.0
+}
+
+/// F9: `A ⇔ ⅔·(salary+commission) − 5000·elevel − loan/5 − 10 000 > 0`.
+fn f9(p: &Person) -> bool {
+    2.0 * (p.salary + p.commission) / 3.0 - 5_000.0 * p.elevel as f64 - p.loan / 5.0 - 10_000.0
+        > 0.0
+}
+
+/// F10: like F9 but credits home equity instead of debiting the loan
+/// (highly skewed).
+fn f10(p: &Person) -> bool {
+    let equity = if p.hyears >= 20.0 { p.hvalue * (p.hyears - 20.0) / 10.0 } else { 0.0 };
+    2.0 * (p.salary + p.commission) / 3.0 - 5_000.0 * p.elevel as f64 + equity / 5.0 - 10_000.0
+        > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Person {
+        Person {
+            salary: 60_000.0,
+            commission: 20_000.0,
+            age: 35.0,
+            elevel: 0,
+            car: 1,
+            zipcode: 1,
+            hvalue: 100_000.0,
+            hyears: 10.0,
+            loan: 50_000.0,
+        }
+    }
+
+    #[test]
+    fn group_class_ids() {
+        assert_eq!(Group::A.class_id(), 0);
+        assert_eq!(Group::B.class_id(), 1);
+        assert_eq!(Group::from_class_id(0), Group::A);
+        assert_eq!(Group::from_class_id(1), Group::B);
+    }
+
+    #[test]
+    fn f1_age_bands() {
+        let mut p = base();
+        p.age = 30.0;
+        assert_eq!(Function::F1.classify(&p), Group::A);
+        p.age = 50.0;
+        assert_eq!(Function::F1.classify(&p), Group::B);
+        p.age = 65.0;
+        assert_eq!(Function::F1.classify(&p), Group::A);
+    }
+
+    #[test]
+    fn f2_matches_paper_definition() {
+        let mut p = base();
+        // age<40 & salary in [50K,100K] -> A
+        p.age = 30.0;
+        p.salary = 60_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::A);
+        p.salary = 110_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::B);
+        // 40<=age<60 needs [75K,125K]
+        p.age = 50.0;
+        p.salary = 110_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::A);
+        p.salary = 60_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::B);
+        // age>=60 needs [25K,75K]
+        p.age = 70.0;
+        p.salary = 60_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::A);
+        p.salary = 110_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::B);
+    }
+
+    #[test]
+    fn f2_boundaries_inclusive() {
+        let mut p = base();
+        p.age = 30.0;
+        p.salary = 50_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::A);
+        p.salary = 100_000.0;
+        assert_eq!(Function::F2.classify(&p), Group::A);
+        p.salary = 100_000.01;
+        assert_eq!(Function::F2.classify(&p), Group::B);
+    }
+
+    #[test]
+    fn f3_elevel_bands() {
+        let mut p = base();
+        p.age = 30.0;
+        p.elevel = 1;
+        assert_eq!(Function::F3.classify(&p), Group::A);
+        p.elevel = 2;
+        assert_eq!(Function::F3.classify(&p), Group::B);
+        p.age = 50.0;
+        p.elevel = 3;
+        assert_eq!(Function::F3.classify(&p), Group::A);
+        p.elevel = 0;
+        assert_eq!(Function::F3.classify(&p), Group::B);
+        p.age = 65.0;
+        p.elevel = 4;
+        assert_eq!(Function::F3.classify(&p), Group::A);
+        p.elevel = 1;
+        assert_eq!(Function::F3.classify(&p), Group::B);
+    }
+
+    #[test]
+    fn f4_nested_elevel_salary() {
+        let mut p = base();
+        // age<40, elevel 0 -> salary in [25K,75K]
+        p.age = 30.0;
+        p.elevel = 0;
+        p.salary = 30_000.0;
+        assert_eq!(Function::F4.classify(&p), Group::A);
+        p.salary = 90_000.0;
+        assert_eq!(Function::F4.classify(&p), Group::B);
+        // age<40, elevel 3 -> salary in [50K,100K]
+        p.elevel = 3;
+        p.salary = 90_000.0;
+        assert_eq!(Function::F4.classify(&p), Group::A);
+        p.salary = 30_000.0;
+        assert_eq!(Function::F4.classify(&p), Group::B);
+        // age>=60, elevel 2..4 -> [50K,100K]
+        p.age = 70.0;
+        p.elevel = 2;
+        p.salary = 60_000.0;
+        assert_eq!(Function::F4.classify(&p), Group::A);
+        p.elevel = 0;
+        assert_eq!(Function::F4.classify(&p), Group::A); // 60K also in [25K,75K]
+        p.salary = 90_000.0;
+        assert_eq!(Function::F4.classify(&p), Group::B);
+    }
+
+    #[test]
+    fn f5_nested_salary_loan() {
+        let mut p = base();
+        p.age = 30.0;
+        p.salary = 60_000.0; // in [50K,100K] -> loan must be [100K,300K]
+        p.loan = 200_000.0;
+        assert_eq!(Function::F5.classify(&p), Group::A);
+        p.loan = 350_000.0;
+        assert_eq!(Function::F5.classify(&p), Group::B);
+        p.salary = 120_000.0; // else branch -> loan must be [200K,400K]
+        assert_eq!(Function::F5.classify(&p), Group::A);
+    }
+
+    #[test]
+    fn f6_total_income() {
+        let mut p = base();
+        p.age = 30.0;
+        p.salary = 40_000.0;
+        p.commission = 20_000.0; // total 60K in [50K,100K]
+        assert_eq!(Function::F6.classify(&p), Group::A);
+        p.commission = 70_000.0; // total 110K
+        assert_eq!(Function::F6.classify(&p), Group::B);
+    }
+
+    #[test]
+    fn f7_linear() {
+        let mut p = base();
+        p.salary = 90_000.0;
+        p.commission = 0.0;
+        p.loan = 100_000.0;
+        // 60000 - 20000 - 20000 = 20000 > 0
+        assert_eq!(Function::F7.classify(&p), Group::A);
+        p.loan = 400_000.0; // 60000 - 80000 - 20000 < 0
+        assert_eq!(Function::F7.classify(&p), Group::B);
+    }
+
+    #[test]
+    fn f9_linear_with_elevel() {
+        let mut p = base();
+        p.salary = 60_000.0;
+        p.commission = 0.0;
+        p.elevel = 4;
+        p.loan = 100_000.0;
+        // 40000 - 20000 - 20000 - 10000 = -10000 <= 0
+        assert_eq!(Function::F9.classify(&p), Group::B);
+        p.loan = 0.0;
+        assert_eq!(Function::F9.classify(&p), Group::A);
+    }
+
+    #[test]
+    fn f10_equity_kicks_in_after_20_years() {
+        let mut p = base();
+        p.salary = 20_000.0;
+        p.commission = 0.0;
+        p.elevel = 4;
+        // 13333 - 20000 - 10000 < 0 without equity
+        p.hyears = 10.0;
+        assert_eq!(Function::F10.classify(&p), Group::B);
+        p.hyears = 30.0;
+        p.hvalue = 1_000_000.0; // equity = 1e6 * 10/10 = 1e6; +200000
+        assert_eq!(Function::F10.classify(&p), Group::A);
+    }
+
+    #[test]
+    fn numbering_roundtrip() {
+        for f in Function::all() {
+            assert_eq!(Function::from_number(f.number()), Some(f));
+        }
+        assert_eq!(Function::from_number(0), None);
+        assert_eq!(Function::from_number(11), None);
+        assert_eq!(Function::F2.to_string(), "F2");
+    }
+
+    #[test]
+    fn evaluated_excludes_skewed() {
+        let eval = Function::evaluated();
+        assert_eq!(eval.len(), 8);
+        assert!(!eval.contains(&Function::F8));
+        assert!(!eval.contains(&Function::F10));
+        assert!(Function::F8.is_skewed());
+        assert!(Function::F10.is_skewed());
+        assert!(!Function::F2.is_skewed());
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic database generator of Agrawal, Imielinski & Swami.
+//!
+//! NeuroRule's evaluation (§2.3, §4) uses the synthetic classification
+//! benchmark of Agrawal et al., *Database mining: a performance perspective*
+//! (IEEE TKDE 5(6), 1993): nine person/credit attributes (Table 1 of the
+//! NeuroRule paper) and ten classification functions F1–F10 of increasing
+//! complexity that assign each tuple to `Group A` or `Group B`. A
+//! *perturbation factor* adds noise to the numeric attributes after the
+//! label is assigned (the paper sets it to 5%).
+//!
+//! This crate reproduces that generator deterministically:
+//!
+//! ```
+//! use nr_datagen::{Generator, Function};
+//!
+//! let gen = Generator::new(42).with_perturbation(0.05);
+//! let train = gen.dataset(Function::F2, 1000);
+//! assert_eq!(train.len(), 1000);
+//! assert_eq!(train.schema().arity(), 9);
+//! ```
+//!
+//! Functions F8 and F10 produce highly skewed labels (the NeuroRule paper
+//! excludes them for that reason); they are implemented for completeness and
+//! their skew is observable via [`nr_tabular::Dataset::skew`].
+
+#![deny(missing_docs)]
+
+mod functions;
+mod generator;
+mod person;
+mod schema;
+
+pub use functions::{Function, Group};
+pub use generator::Generator;
+pub use person::Person;
+pub use schema::{agrawal_schema, class_names, AttrId, ATTRIBUTE_COUNT};

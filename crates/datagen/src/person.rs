@@ -1,0 +1,103 @@
+//! The raw tuple type produced by the generator.
+
+use nr_tabular::Value;
+use serde::{Deserialize, Serialize};
+
+/// One synthetic tuple with the nine attributes of Table 1, in natural units.
+///
+/// `car` is in 1..=20 and `zipcode` in 1..=9, matching the paper's wording;
+/// they are shifted to 0-based nominal codes when converted to a
+/// [`nr_tabular::Dataset`] row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Person {
+    /// Salary in [20 000, 150 000].
+    pub salary: f64,
+    /// Commission: 0 when salary ≥ 75 000, else in [10 000, 75 000].
+    pub commission: f64,
+    /// Age in [20, 80].
+    pub age: f64,
+    /// Education level in {0, …, 4}.
+    pub elevel: u32,
+    /// Make of car in {1, …, 20}.
+    pub car: u32,
+    /// Zip code in {1, …, 9}.
+    pub zipcode: u32,
+    /// House value; depends on zipcode.
+    pub hvalue: f64,
+    /// Years the house has been owned, in {1, …, 30}.
+    pub hyears: f64,
+    /// Total loan amount in [0, 500 000].
+    pub loan: f64,
+}
+
+impl Person {
+    /// Converts to a row matching [`crate::agrawal_schema`].
+    pub fn to_row(&self) -> Vec<Value> {
+        vec![
+            Value::Num(self.salary),
+            Value::Num(self.commission),
+            Value::Num(self.age),
+            Value::Num(self.elevel as f64),
+            Value::Nominal(self.car - 1),
+            Value::Nominal(self.zipcode - 1),
+            Value::Num(self.hvalue),
+            Value::Num(self.hyears),
+            Value::Num(self.loan),
+        ]
+    }
+
+    /// Reconstructs a `Person` from a schema row (inverse of [`Self::to_row`]).
+    pub fn from_row(row: &[Value]) -> Person {
+        Person {
+            salary: row[0].expect_num(),
+            commission: row[1].expect_num(),
+            age: row[2].expect_num(),
+            elevel: row[3].expect_num() as u32,
+            car: row[4].expect_nominal() + 1,
+            zipcode: row[5].expect_nominal() + 1,
+            hvalue: row[6].expect_num(),
+            hyears: row[7].expect_num(),
+            loan: row[8].expect_num(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Person {
+        Person {
+            salary: 50_000.0,
+            commission: 20_000.0,
+            age: 35.0,
+            elevel: 2,
+            car: 7,
+            zipcode: 3,
+            hvalue: 250_000.0,
+            hyears: 12.0,
+            loan: 100_000.0,
+        }
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let p = sample();
+        let row = p.to_row();
+        assert_eq!(row.len(), 9);
+        assert_eq!(Person::from_row(&row), p);
+    }
+
+    #[test]
+    fn nominal_codes_are_zero_based() {
+        let row = sample().to_row();
+        assert_eq!(row[4], Value::Nominal(6)); // car 7 -> code 6
+        assert_eq!(row[5], Value::Nominal(2)); // zip 3 -> code 2
+    }
+
+    #[test]
+    fn row_validates_against_schema() {
+        let schema = crate::agrawal_schema();
+        assert!(schema.validate_row(&sample().to_row()).is_ok());
+    }
+}

@@ -1,0 +1,100 @@
+//! The nine-attribute schema of Table 1.
+
+use nr_tabular::{Attribute, Schema};
+
+/// Number of attributes in the Agrawal schema.
+pub const ATTRIBUTE_COUNT: usize = 9;
+
+/// Symbolic indices of the nine attributes, in Table 1 order.
+///
+/// Using an enum instead of bare `usize` keeps the classification functions
+/// readable and makes it impossible to mix up column positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum AttrId {
+    /// Salary, uniform in [20 000, 150 000].
+    Salary = 0,
+    /// Commission: 0 if salary ≥ 75 000, else uniform in [10 000, 75 000].
+    Commission = 1,
+    /// Age, uniform in [20, 80].
+    Age = 2,
+    /// Education level, uniform in {0, …, 4} (ordered).
+    Elevel = 3,
+    /// Make of car, uniform in {1, …, 20} (nominal).
+    Car = 4,
+    /// Zip code, uniform over 9 available codes (nominal).
+    Zipcode = 5,
+    /// House value, uniform in [0.5·k·100 000, 1.5·k·100 000] with k derived
+    /// from the zipcode.
+    Hvalue = 6,
+    /// Years the house has been owned, uniform in {1, …, 30}.
+    Hyears = 7,
+    /// Total loan amount, uniform in [0, 500 000].
+    Loan = 8,
+}
+
+impl AttrId {
+    /// Column index of this attribute.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All nine attributes in schema order.
+    pub fn all() -> [AttrId; ATTRIBUTE_COUNT] {
+        use AttrId::*;
+        [Salary, Commission, Age, Elevel, Car, Zipcode, Hvalue, Hyears, Loan]
+    }
+}
+
+/// Builds the Table 1 schema.
+///
+/// `elevel` is modeled as numeric because it is *ordered* (the paper
+/// thermometer-codes it); `car` and `zipcode` are nominal.
+pub fn agrawal_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::numeric("salary"),
+        Attribute::numeric("commission"),
+        Attribute::numeric("age"),
+        Attribute::numeric("elevel"),
+        Attribute::nominal("car", (1..=20).map(|i| format!("car{i}"))),
+        Attribute::nominal("zipcode", (1..=9).map(|i| format!("zip{i}"))),
+        Attribute::numeric("hvalue"),
+        Attribute::numeric("hyears"),
+        Attribute::numeric("loan"),
+    ])
+}
+
+/// The two class labels: `Group A` (id 0) and `Group B` (id 1).
+pub fn class_names() -> Vec<String> {
+    vec!["A".into(), "B".into()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table1() {
+        let s = agrawal_schema();
+        assert_eq!(s.arity(), ATTRIBUTE_COUNT);
+        assert_eq!(s.attribute(AttrId::Salary.index()).name, "salary");
+        assert_eq!(s.attribute(AttrId::Loan.index()).name, "loan");
+        assert_eq!(s.attribute(AttrId::Car.index()).cardinality(), Some(20));
+        assert_eq!(s.attribute(AttrId::Zipcode.index()).cardinality(), Some(9));
+        assert!(s.attribute(AttrId::Elevel.index()).is_numeric());
+    }
+
+    #[test]
+    fn attr_ids_cover_all_columns() {
+        let ids = AttrId::all();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn two_classes() {
+        assert_eq!(class_names(), vec!["A".to_string(), "B".to_string()]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-attribute binary codings and per-bit meanings.
+
+use nr_tabular::Value;
+use serde::{Deserialize, Serialize};
+
+/// How one attribute is mapped to bits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrCoding {
+    /// Thermometer coding of an ordered attribute.
+    ///
+    /// `thresholds` is ascending; the attribute occupies `thresholds.len()`
+    /// bits, and **bit `j` (left→right) is 1 iff `value ≥
+    /// thresholds[M−1−j]`** — i.e. the leftmost bit carries the highest
+    /// threshold and set bits form a suffix, exactly the paper's
+    /// `{000001}, {000011}, …` scheme. `thresholds[0]` may be `−∞`, making
+    /// the last bit constant 1 (salary/age/…); when it is finite, the
+    /// all-zero pattern is meaningful and `absent_value` (if set) names the
+    /// exact value it stands for (commission: all-zero ⇔ `commission = 0`).
+    Thermometer {
+        /// Ascending interval thresholds; one bit per entry.
+        /// (`thresholds[0]` may be `−∞`; JSON cannot hold infinities, so a
+        /// custom codec maps them to tagged strings.)
+        #[serde(with = "inf_vec")]
+        thresholds: Vec<f64>,
+        /// Exact value represented by the all-zero pattern, if any.
+        absent_value: Option<f64>,
+    },
+    /// One-hot coding of a nominal attribute: bit `j` ⇔ `value = category j`.
+    OneHot {
+        /// Number of categories (= number of bits).
+        cardinality: usize,
+    },
+}
+
+impl AttrCoding {
+    /// Thermometer coding with an always-one base bit (`−∞` threshold) and
+    /// the given finite cut points.
+    pub fn thermometer(cuts: Vec<f64>) -> AttrCoding {
+        let mut thresholds = Vec::with_capacity(cuts.len() + 1);
+        thresholds.push(f64::NEG_INFINITY);
+        thresholds.extend(cuts);
+        debug_assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "cuts must ascend");
+        AttrCoding::Thermometer { thresholds, absent_value: None }
+    }
+
+    /// Thermometer coding whose lowest threshold is finite, so the all-zero
+    /// pattern means `value = absent_value` (e.g. `commission = 0`).
+    pub fn thermometer_with_absent(thresholds: Vec<f64>, absent_value: f64) -> AttrCoding {
+        debug_assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "thresholds must ascend");
+        debug_assert!(thresholds[0].is_finite());
+        AttrCoding::Thermometer { thresholds, absent_value: Some(absent_value) }
+    }
+
+    /// Number of bits this coding occupies.
+    pub fn bits(&self) -> usize {
+        match self {
+            AttrCoding::Thermometer { thresholds, .. } => thresholds.len(),
+            AttrCoding::OneHot { cardinality } => *cardinality,
+        }
+    }
+
+    /// Encodes one value into `out` (must have length [`Self::bits`]).
+    pub fn encode(&self, value: &Value, out: &mut [f64]) {
+        match self {
+            AttrCoding::Thermometer { thresholds, .. } => {
+                let x = value.expect_num();
+                let m = thresholds.len();
+                for (j, slot) in out.iter_mut().enumerate() {
+                    *slot = if x >= thresholds[m - 1 - j] { 1.0 } else { 0.0 };
+                }
+            }
+            AttrCoding::OneHot { cardinality } => {
+                let c = value.expect_nominal() as usize;
+                debug_assert!(c < *cardinality);
+                for (j, slot) in out.iter_mut().enumerate() {
+                    *slot = if j == c { 1.0 } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    /// Meaning of local bit `j` of this coding.
+    pub fn bit_meaning(&self, attribute: usize, j: usize) -> BitMeaning {
+        match self {
+            AttrCoding::Thermometer { thresholds, absent_value } => {
+                let m = thresholds.len();
+                BitMeaning::Threshold {
+                    attribute,
+                    threshold: thresholds[m - 1 - j],
+                    lowest_threshold: thresholds[0],
+                    absent_value: *absent_value,
+                }
+            }
+            AttrCoding::OneHot { .. } => BitMeaning::Category { attribute, code: j as u32 },
+        }
+    }
+}
+
+/// Serde codec for threshold vectors that may contain `±∞` (JSON has no
+/// representation for infinities; `serde_json` would emit `null`).
+mod inf_vec {
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    #[serde(untagged)]
+    enum Cell {
+        Num(f64),
+        Tag(String),
+    }
+
+    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let cells: Vec<Cell> = v
+            .iter()
+            .map(|&x| {
+                if x == f64::NEG_INFINITY {
+                    Cell::Tag("-inf".into())
+                } else if x == f64::INFINITY {
+                    Cell::Tag("+inf".into())
+                } else {
+                    Cell::Num(x)
+                }
+            })
+            .collect();
+        cells.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let cells = Vec::<Cell>::deserialize(d)?;
+        cells
+            .into_iter()
+            .map(|c| match c {
+                Cell::Num(x) => Ok(x),
+                Cell::Tag(t) if t == "-inf" => Ok(f64::NEG_INFINITY),
+                Cell::Tag(t) if t == "+inf" => Ok(f64::INFINITY),
+                Cell::Tag(t) => Err(D::Error::custom(format!("bad threshold tag {t:?}"))),
+            })
+            .collect()
+    }
+}
+
+/// What a single input bit asserts when set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BitMeaning {
+    /// Bit = 1 ⟺ `attribute ≥ threshold` (thermometer bit).
+    Threshold {
+        /// Attribute index.
+        attribute: usize,
+        /// This bit's threshold (`−∞` for the always-one base bit).
+        threshold: f64,
+        /// The coding's lowest threshold (used to recognize the all-zero ⇒
+        /// `absent_value` rewrite).
+        lowest_threshold: f64,
+        /// Exact value represented by values below the lowest threshold.
+        absent_value: Option<f64>,
+    },
+    /// Bit = 1 ⟺ `attribute = code` (one-hot bit).
+    Category {
+        /// Attribute index.
+        attribute: usize,
+        /// Category code.
+        code: u32,
+    },
+    /// The always-one bias input.
+    Bias,
+}
+
+impl BitMeaning {
+    /// The attribute this bit describes, `None` for the bias.
+    pub fn attribute(&self) -> Option<usize> {
+        match self {
+            BitMeaning::Threshold { attribute, .. } | BitMeaning::Category { attribute, .. } => {
+                Some(*attribute)
+            }
+            BitMeaning::Bias => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermometer_suffix_pattern() {
+        // Salary-style: cuts at 25K..125K -> 6 bits.
+        let c = AttrCoding::thermometer(vec![25e3, 50e3, 75e3, 100e3, 125e3]);
+        assert_eq!(c.bits(), 6);
+        let mut out = vec![0.0; 6];
+        c.encode(&Value::Num(20_000.0), &mut out);
+        assert_eq!(out, [0.0, 0.0, 0.0, 0.0, 0.0, 1.0]); // {000001}
+        c.encode(&Value::Num(30_000.0), &mut out);
+        assert_eq!(out, [0.0, 0.0, 0.0, 0.0, 1.0, 1.0]); // {000011}
+        c.encode(&Value::Num(149_000.0), &mut out);
+        assert_eq!(out, [1.0; 6]);
+    }
+
+    #[test]
+    fn thermometer_boundary_is_ge() {
+        let c = AttrCoding::thermometer(vec![25e3]);
+        let mut out = vec![0.0; 2];
+        c.encode(&Value::Num(25_000.0), &mut out);
+        assert_eq!(out, [1.0, 1.0]);
+        c.encode(&Value::Num(24_999.9), &mut out);
+        assert_eq!(out, [0.0, 1.0]);
+    }
+
+    #[test]
+    fn absent_thermometer_all_zero() {
+        // Commission-style: 7 bits, all-zero means commission = 0.
+        let c = AttrCoding::thermometer_with_absent(
+            vec![10e3, 20e3, 30e3, 40e3, 50e3, 60e3, 70e3],
+            0.0,
+        );
+        assert_eq!(c.bits(), 7);
+        let mut out = vec![9.0; 7];
+        c.encode(&Value::Num(0.0), &mut out);
+        assert_eq!(out, [0.0; 7]);
+        c.encode(&Value::Num(15_000.0), &mut out);
+        assert_eq!(out, [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        c.encode(&Value::Num(72_000.0), &mut out);
+        assert_eq!(out, [1.0; 7]);
+    }
+
+    #[test]
+    fn one_hot() {
+        let c = AttrCoding::OneHot { cardinality: 4 };
+        let mut out = vec![0.0; 4];
+        c.encode(&Value::Nominal(2), &mut out);
+        assert_eq!(out, [0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bit_meanings_descend_in_threshold() {
+        let c = AttrCoding::thermometer(vec![30.0, 40.0]);
+        let m0 = c.bit_meaning(5, 0);
+        let m2 = c.bit_meaning(5, 2);
+        match (m0, m2) {
+            (
+                BitMeaning::Threshold { threshold: t0, attribute: 5, .. },
+                BitMeaning::Threshold { threshold: t2, attribute: 5, .. },
+            ) => {
+                assert_eq!(t0, 40.0);
+                assert_eq!(t2, f64::NEG_INFINITY);
+            }
+            other => panic!("unexpected meanings {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_with_infinity() {
+        let c = AttrCoding::thermometer(vec![25e3, 50e3]);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("-inf"));
+        let back: AttrCoding = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        let one_hot = AttrCoding::OneHot { cardinality: 9 };
+        let json = serde_json::to_string(&one_hot).unwrap();
+        let back: AttrCoding = serde_json::from_str(&json).unwrap();
+        assert_eq!(one_hot, back);
+    }
+
+    #[test]
+    fn one_hot_bit_meaning() {
+        let c = AttrCoding::OneHot { cardinality: 3 };
+        assert_eq!(c.bit_meaning(1, 2), BitMeaning::Category { attribute: 1, code: 2 });
+        assert_eq!(c.bit_meaning(1, 2).attribute(), Some(1));
+        assert_eq!(BitMeaning::Bias.attribute(), None);
+    }
+}

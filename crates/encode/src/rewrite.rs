@@ -1,0 +1,320 @@
+//! Rewriting literal conjunctions into attribute-space rules.
+//!
+//! RX produces rules over input bits (`I13 = 1 ∧ I17 = 0 ⇒ Group A`); this
+//! module turns them into the paper's final form over original attributes
+//! (`commission > 0 ∧ age < 40 ⇒ Group A`), returning `None` for
+//! conjunctions that no tuple can satisfy (the paper's redundant R′₁).
+
+use std::collections::BTreeMap;
+
+use nr_rules::{Condition, Rule};
+use nr_tabular::ClassId;
+use serde::{Deserialize, Serialize};
+
+use crate::{BitMeaning, Encoder};
+
+/// One literal over an input bit: `I<bit+1> = value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Literal {
+    /// Global bit index (0-based; the paper's `I_k` is `bit = k−1`).
+    pub bit: usize,
+    /// Required bit value.
+    pub value: bool,
+}
+
+impl Literal {
+    /// Convenience constructor.
+    pub fn new(bit: usize, value: bool) -> Self {
+        Literal { bit, value }
+    }
+
+    /// Paper-style rendering, e.g. `I13=1`.
+    pub fn display(&self) -> String {
+        format!("I{}={}", self.bit + 1, if self.value { 1 } else { 0 })
+    }
+}
+
+/// Per-attribute accumulator used while folding literals.
+#[derive(Debug, Default, Clone)]
+struct ThermoBounds {
+    /// Max threshold among 1-literals (None = unconstrained).
+    lo: Option<f64>,
+    /// Min threshold among 0-literals (None = unconstrained).
+    hi: Option<f64>,
+    lowest_threshold: f64,
+    absent_value: Option<f64>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct OneHotBounds {
+    eq: Vec<u32>,
+    ne: Vec<u32>,
+}
+
+/// Converts a conjunction of literals into attribute conditions.
+///
+/// Returns `None` when the conjunction is infeasible: contradictory interval
+/// bounds (thermometer monotonicity violated), a zero literal on the
+/// always-one base bit or the bias, two distinct one-hot equalities, or an
+/// exhaustive one-hot exclusion.
+pub fn literals_to_conditions(enc: &Encoder, literals: &[Literal]) -> Option<Vec<Condition>> {
+    let mut thermo: BTreeMap<usize, ThermoBounds> = BTreeMap::new();
+    let mut onehot: BTreeMap<usize, OneHotBounds> = BTreeMap::new();
+
+    for lit in literals {
+        match enc.bit_meaning(lit.bit) {
+            BitMeaning::Bias => {
+                if !lit.value {
+                    return None; // bias is constant 1
+                }
+            }
+            BitMeaning::Threshold { attribute, threshold, lowest_threshold, absent_value } => {
+                let b = thermo.entry(attribute).or_default();
+                b.lowest_threshold = lowest_threshold;
+                b.absent_value = absent_value;
+                if lit.value {
+                    if threshold.is_finite() {
+                        b.lo = Some(b.lo.map_or(threshold, |l| l.max(threshold)));
+                    }
+                    // A 1-literal on the −∞ base bit is vacuous.
+                } else {
+                    if threshold == f64::NEG_INFINITY {
+                        return None; // base bit is constant 1
+                    }
+                    b.hi = Some(b.hi.map_or(threshold, |h| h.min(threshold)));
+                }
+            }
+            BitMeaning::Category { attribute, code } => {
+                let b = onehot.entry(attribute).or_default();
+                if lit.value {
+                    if !b.eq.contains(&code) {
+                        b.eq.push(code);
+                    }
+                } else if !b.ne.contains(&code) {
+                    b.ne.push(code);
+                }
+            }
+        }
+    }
+
+    let mut conditions = Vec::new();
+    for (attribute, b) in &thermo {
+        if let (Some(l), Some(h)) = (b.lo, b.hi) {
+            if l >= h {
+                return None;
+            }
+        }
+        match (b.lo, b.hi) {
+            (None, Some(h)) if h <= b.lowest_threshold && b.absent_value.is_some() => {
+                // Below every interval: the all-zero pattern's exact value.
+                conditions.push(Condition::NumEq {
+                    attribute: *attribute,
+                    value: b.absent_value.expect("checked"),
+                });
+            }
+            (lo, hi) => {
+                if lo.is_some() || hi.is_some() {
+                    conditions.push(Condition::Num { attribute: *attribute, lo, hi });
+                }
+            }
+        }
+    }
+    for (attribute, b) in &onehot {
+        if b.eq.len() > 1 {
+            return None;
+        }
+        if let Some(&code) = b.eq.first() {
+            if b.ne.contains(&code) {
+                return None;
+            }
+            conditions.push(Condition::CatEq { attribute: *attribute, code });
+        } else if !b.ne.is_empty() {
+            let cardinality = enc.codings()[*attribute].bits();
+            if b.ne.len() >= cardinality {
+                return None; // every category excluded
+            }
+            conditions.push(Condition::CatNotIn {
+                attribute: *attribute,
+                codes: b.ne.iter().copied().collect(),
+            });
+        }
+    }
+    Some(conditions)
+}
+
+/// Converts literals to a full [`Rule`], `None` when infeasible.
+pub fn literals_to_rule(enc: &Encoder, literals: &[Literal], class: ClassId) -> Option<Rule> {
+    literals_to_conditions(enc, literals).map(|conds| Rule::new(conds, class))
+}
+
+/// True when the literal holds for every feasible input (e.g. a 1-literal
+/// on an always-one base bit or on the bias).
+pub fn literal_is_tautology(enc: &Encoder, lit: Literal) -> bool {
+    match enc.bit_meaning(lit.bit) {
+        BitMeaning::Bias => lit.value,
+        BitMeaning::Threshold { threshold, .. } => lit.value && threshold == f64::NEG_INFINITY,
+        BitMeaning::Category { .. } => false,
+    }
+}
+
+/// True when literal `a` semantically implies literal `b` under the coding
+/// constraints (same-attribute thermometer monotonicity, one-hot
+/// exclusivity). Reflexive; `false` across attributes.
+pub fn literal_implies(enc: &Encoder, a: Literal, b: Literal) -> bool {
+    if a == b || literal_is_tautology(enc, b) {
+        return true;
+    }
+    let (ma, mb) = (enc.bit_meaning(a.bit), enc.bit_meaning(b.bit));
+    match (ma, mb) {
+        (
+            BitMeaning::Threshold { attribute: aa, threshold: ta, .. },
+            BitMeaning::Threshold { attribute: ab, threshold: tb, .. },
+        ) if aa == ab => {
+            if a.value && b.value {
+                // value >= ta  =>  value >= tb  when ta >= tb.
+                ta >= tb
+            } else if !a.value && !b.value {
+                // value < ta  =>  value < tb  when ta <= tb.
+                ta <= tb
+            } else {
+                false
+            }
+        }
+        (
+            BitMeaning::Category { attribute: aa, code: ca },
+            BitMeaning::Category { attribute: ab, code: cb },
+        ) if aa == ab => {
+            // attr = ca  =>  attr != cb  for any other code.
+            a.value && !b.value && ca != cb
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc() -> Encoder {
+        Encoder::agrawal()
+    }
+
+    // Paper bit indices (0-based): I2 -> 1, I5 -> 4, I13 -> 12, I15 -> 14, I17 -> 16.
+
+    #[test]
+    fn paper_rule_r1() {
+        // R1: I2=0, I17=0, I13=0  =>  salary<100000, commission=0, age<40.
+        let lits = [Literal::new(1, false), Literal::new(16, false), Literal::new(12, false)];
+        let conds = literals_to_conditions(&enc(), &lits).unwrap();
+        assert!(conds.contains(&Condition::num_lt(0, 100_000.0)));
+        assert!(conds.contains(&Condition::NumEq { attribute: 1, value: 0.0 }));
+        assert!(conds.contains(&Condition::num_lt(2, 40.0)));
+        assert_eq!(conds.len(), 3);
+    }
+
+    #[test]
+    fn paper_rule_r2() {
+        // R2: I5=1, I13=1, I15=1 => salary>=25000, commission>=10000, age>=60.
+        let lits = [Literal::new(4, true), Literal::new(12, true), Literal::new(14, true)];
+        let conds = literals_to_conditions(&enc(), &lits).unwrap();
+        assert!(conds.contains(&Condition::num_ge(0, 25_000.0)));
+        assert!(conds.contains(&Condition::num_ge(1, 10_000.0)));
+        assert!(conds.contains(&Condition::num_ge(2, 60.0)));
+    }
+
+    #[test]
+    fn paper_rule_r1_prime_is_infeasible() {
+        // R'1: I2=0, I17=0, I5=1, I15=1 => age>=60 and age<40: contradiction.
+        let lits = [
+            Literal::new(1, false),
+            Literal::new(16, false),
+            Literal::new(4, true),
+            Literal::new(14, true),
+        ];
+        assert_eq!(literals_to_conditions(&enc(), &lits), None);
+    }
+
+    #[test]
+    fn zero_on_base_bit_is_infeasible() {
+        // I6 (index 5) is the always-one salary base bit.
+        assert_eq!(literals_to_conditions(&enc(), &[Literal::new(5, false)]), None);
+        // A 1-literal on it is vacuous.
+        assert_eq!(literals_to_conditions(&enc(), &[Literal::new(5, true)]), Some(vec![]));
+    }
+
+    #[test]
+    fn bias_literals() {
+        let e = enc();
+        let bias = e.bias_bit();
+        assert_eq!(literals_to_conditions(&e, &[Literal::new(bias, true)]), Some(vec![]));
+        assert_eq!(literals_to_conditions(&e, &[Literal::new(bias, false)]), None);
+    }
+
+    #[test]
+    fn one_hot_equality_and_exclusion() {
+        let e = enc();
+        // car bits start at 23; car code 3 -> bit 26.
+        let conds = literals_to_conditions(&e, &[Literal::new(26, true)]).unwrap();
+        assert_eq!(conds, vec![Condition::CatEq { attribute: 4, code: 3 }]);
+        // Two distinct car equalities conflict.
+        assert_eq!(
+            literals_to_conditions(&e, &[Literal::new(26, true), Literal::new(27, true)]),
+            None
+        );
+        // Equality plus exclusion of the same code conflicts.
+        assert_eq!(
+            literals_to_conditions(&e, &[Literal::new(26, true), Literal::new(26, false)]),
+            None
+        );
+        // Pure exclusions collect.
+        let conds =
+            literals_to_conditions(&e, &[Literal::new(26, false), Literal::new(27, false)])
+                .unwrap();
+        assert_eq!(
+            conds,
+            vec![Condition::CatNotIn { attribute: 4, codes: [3, 4].into_iter().collect() }]
+        );
+    }
+
+    #[test]
+    fn exhaustive_exclusion_is_infeasible() {
+        let e = enc();
+        // zipcode has 9 categories at bits 43..52; exclude all of them.
+        let lits: Vec<Literal> = (43..52).map(|b| Literal::new(b, false)).collect();
+        assert_eq!(literals_to_conditions(&e, &lits), None);
+    }
+
+    #[test]
+    fn interval_from_both_sides() {
+        // I4=1 (salary>=50000) and I2=0 (salary<100000).
+        let conds =
+            literals_to_conditions(&enc(), &[Literal::new(3, true), Literal::new(1, false)])
+                .unwrap();
+        assert_eq!(
+            conds,
+            vec![Condition::Num { attribute: 0, lo: Some(50_000.0), hi: Some(100_000.0) }]
+        );
+    }
+
+    #[test]
+    fn empty_interval_is_infeasible() {
+        // salary >= 100000 and salary < 50000.
+        assert_eq!(
+            literals_to_conditions(&enc(), &[Literal::new(1, true), Literal::new(3, false)]),
+            None
+        );
+    }
+
+    #[test]
+    fn rule_construction() {
+        let rule = literals_to_rule(&enc(), &[Literal::new(16, false)], 0).unwrap();
+        assert_eq!(rule.class, 0);
+        assert_eq!(rule.conditions, vec![Condition::num_lt(2, 40.0)]);
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::new(12, true).display(), "I13=1");
+        assert_eq!(Literal::new(16, false).display(), "I17=0");
+    }
+}

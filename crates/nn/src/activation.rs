@@ -1,0 +1,69 @@
+//! Activation functions (§2.1: tanh for hidden nodes, sigmoid for outputs).
+
+use serde::{Deserialize, Serialize};
+
+/// A node activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent, `δ(x) = (eˣ − e⁻ˣ)/(eˣ + e⁻ˣ)`, range [−1, 1].
+    /// The paper uses this for hidden nodes.
+    Tanh,
+    /// Logistic sigmoid, `σ(x) = 1/(1 + e⁻ˣ)`, range [0, 1].
+    /// The paper uses this for output nodes.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the function.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `a = f(x)`:
+    /// `tanh′ = 1 − a²`, `σ′ = a (1 − a)`.
+    #[inline]
+    pub fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_range_and_symmetry() {
+        let f = Activation::Tanh;
+        assert_eq!(f.apply(0.0), 0.0);
+        assert!((f.apply(100.0) - 1.0).abs() < 1e-12);
+        assert!((f.apply(-100.0) + 1.0).abs() < 1e-12);
+        assert!((f.apply(0.5) + f.apply(-0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let f = Activation::Sigmoid;
+        assert_eq!(f.apply(0.0), 0.5);
+        assert!(f.apply(50.0) > 0.999_999);
+        assert!(f.apply(-50.0) < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for f in [Activation::Tanh, Activation::Sigmoid] {
+            for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+                let h = 1e-6;
+                let numeric = (f.apply(x + h) - f.apply(x - h)) / (2.0 * h);
+                let analytic = f.derivative_from_output(f.apply(x));
+                assert!((numeric - analytic).abs() < 1e-8, "{f:?} at {x}: {numeric} vs {analytic}");
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! A minimal dense row-major matrix for weight storage.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `f64` matrix.
+///
+/// Deliberately tiny: the networks here have at most a few hundred weights,
+/// so this is about clear indexing (`m[(row, col)]`), not BLAS performance.
+/// Hot loops borrow whole rows via [`Matrix::row`] to keep bounds checks out
+/// of inner loops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat view of all entries (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of all entries (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn from_fn_order() {
+        let m = Matrix::from_fn(3, 1, |r, _| r as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,327 @@
+//! The training objective: cross entropy (eq. 2) + penalty (eq. 3).
+
+use nr_encode::EncodedDataset;
+use nr_opt::Objective;
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, Matrix, Mlp};
+
+/// Output clamp keeping `log` finite; the gradient is exact regardless
+/// because `dE/du = S − t` does not go through the clamp.
+const EPS: f64 = 1e-12;
+
+/// The two-term weight-decay penalty of eq. 3:
+///
+/// `P(w,v) = ε₁ Σ βθ²/(1+βθ²) + ε₂ Σ θ²` over all active weights θ.
+///
+/// The first term saturates — it pushes *small* weights to zero without
+/// penalizing large ones much (so pruning finds many removable links); the
+/// second keeps all weights bounded. The defaults are Setiono's published
+/// settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Penalty {
+    /// Weight of the saturating term.
+    pub eps1: f64,
+    /// Weight of the quadratic term.
+    pub eps2: f64,
+    /// Steepness of the saturating term.
+    pub beta: f64,
+}
+
+impl Default for Penalty {
+    fn default() -> Self {
+        Penalty { eps1: 0.1, eps2: 1e-4, beta: 10.0 }
+    }
+}
+
+impl Penalty {
+    /// A zero penalty (pure cross-entropy training; ablation baseline).
+    pub fn none() -> Self {
+        Penalty { eps1: 0.0, eps2: 0.0, beta: 10.0 }
+    }
+
+    /// Penalty value for one weight.
+    #[inline]
+    pub fn value(&self, theta: f64) -> f64 {
+        let t2 = theta * theta;
+        self.eps1 * self.beta * t2 / (1.0 + self.beta * t2) + self.eps2 * t2
+    }
+
+    /// Derivative of [`Penalty::value`] w.r.t. the weight.
+    #[inline]
+    pub fn derivative(&self, theta: f64) -> f64 {
+        let denom = 1.0 + self.beta * theta * theta;
+        self.eps1 * 2.0 * self.beta * theta / (denom * denom) + 2.0 * self.eps2 * theta
+    }
+}
+
+/// Eq. 2 + eq. 3 over the network's *active* weights, as an
+/// [`nr_opt::Objective`].
+///
+/// The parameter vector is the canonical active-link flattening of the
+/// template network ([`Mlp::flatten_active`]); masked links are simply not
+/// part of the optimization problem, which keeps BFGS's dense inverse
+/// Hessian small as pruning progresses.
+pub struct CrossEntropyObjective<'a> {
+    template: &'a Mlp,
+    data: &'a EncodedDataset,
+    penalty: Penalty,
+    /// Canonical order of the active links, cached.
+    links: Vec<crate::LinkId>,
+}
+
+impl<'a> CrossEntropyObjective<'a> {
+    /// Builds the objective for a network structure and dataset.
+    pub fn new(template: &'a Mlp, data: &'a EncodedDataset, penalty: Penalty) -> Self {
+        assert_eq!(
+            template.n_inputs(),
+            data.cols(),
+            "network inputs must match encoded data columns"
+        );
+        assert!(
+            template.n_outputs() >= data.n_classes(),
+            "need one output node per class"
+        );
+        let links = template.active_links();
+        CrossEntropyObjective { template, data, penalty, links }
+    }
+
+    /// Expands the flat parameter vector into dense `w`/`v` matrices
+    /// (masked entries zero).
+    fn assemble(&self, x: &[f64]) -> (Matrix, Matrix) {
+        let t = self.template;
+        let mut w = Matrix::zeros(t.n_hidden(), t.n_inputs());
+        let mut v = Matrix::zeros(t.n_outputs(), t.n_hidden());
+        for (link, &p) in self.links.iter().zip(x) {
+            match *link {
+                crate::LinkId::InputHidden { hidden, input } => w[(hidden, input)] = p,
+                crate::LinkId::HiddenOutput { output, hidden } => v[(output, hidden)] = p,
+            }
+        }
+        (w, v)
+    }
+
+    /// Shared forward/backward pass. When `grad` is `Some`, accumulates the
+    /// gradient (in link order) as well.
+    fn evaluate(&self, x: &[f64], mut grad: Option<&mut [f64]>) -> f64 {
+        let t = self.template;
+        let (w, v) = self.assemble(x);
+        let (h, o) = (t.n_hidden(), t.n_outputs());
+
+        let mut dw = Matrix::zeros(h, t.n_inputs());
+        let mut dv = Matrix::zeros(o, h);
+        let mut hidden = vec![0.0; h];
+        let mut out = vec![0.0; o];
+        let mut delta_out = vec![0.0; o];
+        let mut loss = 0.0;
+
+        for i in 0..self.data.rows() {
+            let xrow = self.data.input(i);
+            // Forward.
+            for (m, hm) in hidden.iter_mut().enumerate() {
+                let row = w.row(m);
+                let mut z = 0.0;
+                for (wi, xi) in row.iter().zip(xrow) {
+                    z += wi * xi;
+                }
+                *hm = Activation::Tanh.apply(z);
+            }
+            for (p, op) in out.iter_mut().enumerate() {
+                let row = v.row(p);
+                let mut u = 0.0;
+                for (vi, ai) in row.iter().zip(&hidden) {
+                    u += vi * ai;
+                }
+                *op = Activation::Sigmoid.apply(u);
+            }
+            // Cross entropy against the one-hot target.
+            let target = self.data.target(i);
+            for (p, (&s, d)) in out.iter().zip(delta_out.iter_mut()).enumerate() {
+                let tph = if p == target { 1.0 } else { 0.0 };
+                let sc = s.clamp(EPS, 1.0 - EPS);
+                loss -= tph * sc.ln() + (1.0 - tph) * (1.0 - sc).ln();
+                *d = s - tph; // dE/du_p for sigmoid + CE
+            }
+            if grad.is_some() {
+                // Backward: dE/dv[p][m] += δp·αm ; δm = (1−α²)·Σp δp v[p][m].
+                for (p, &d) in delta_out.iter().enumerate() {
+                    let row = dv.row_mut(p);
+                    for (slot, ai) in row.iter_mut().zip(&hidden) {
+                        *slot += d * ai;
+                    }
+                }
+                for m in 0..h {
+                    let mut back = 0.0;
+                    for p in 0..o {
+                        back += delta_out[p] * v[(p, m)];
+                    }
+                    let dz = Activation::Tanh.derivative_from_output(hidden[m]) * back;
+                    if dz != 0.0 {
+                        let row = dw.row_mut(m);
+                        for (slot, xi) in row.iter_mut().zip(xrow) {
+                            // Inputs are mostly 0/1; skip the zeros.
+                            if *xi != 0.0 {
+                                *slot += dz * xi;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Penalty over active weights (+ gradient).
+        for (k, (&p, link)) in x.iter().zip(&self.links).enumerate() {
+            loss += self.penalty.value(p);
+            if let Some(g) = grad.as_deref_mut() {
+                let data_grad = match *link {
+                    crate::LinkId::InputHidden { hidden, input } => dw[(hidden, input)],
+                    crate::LinkId::HiddenOutput { output, hidden } => dv[(output, hidden)],
+                };
+                g[k] = data_grad + self.penalty.derivative(p);
+            }
+        }
+        loss
+    }
+}
+
+impl Objective for CrossEntropyObjective<'_> {
+    fn dim(&self) -> usize {
+        self.links.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.evaluate(x, None)
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        self.evaluate(x, Some(grad));
+    }
+
+    fn value_and_gradient(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        self.evaluate(x, Some(grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkId;
+    use nr_opt::numeric_gradient;
+
+    fn toy_data() -> EncodedDataset {
+        // 3 inputs (last = bias), 4 rows, 2 classes.
+        EncodedDataset::from_parts(
+            vec![
+                1.0, 0.0, 1.0, //
+                0.0, 1.0, 1.0, //
+                1.0, 1.0, 1.0, //
+                0.0, 0.0, 1.0,
+            ],
+            3,
+            vec![0, 1, 0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn penalty_value_and_derivative() {
+        let p = Penalty::default();
+        assert_eq!(p.value(0.0), 0.0);
+        assert_eq!(p.derivative(0.0), 0.0);
+        // Saturating term tends to eps1 for large weights.
+        assert!((p.value(100.0) - (0.1 + 1e-4 * 10_000.0)).abs() < 1e-3);
+        // Finite difference check.
+        for &t in &[-2.0, -0.3, 0.1, 1.5] {
+            let h = 1e-7;
+            let numeric = (p.value(t + h) - p.value(t - h)) / (2.0 * h);
+            assert!((numeric - p.derivative(t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn penalty_none_is_zero() {
+        let p = Penalty::none();
+        assert_eq!(p.value(3.0), 0.0);
+        assert_eq!(p.derivative(3.0), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let net = Mlp::random(3, 3, 2, 11);
+        let data = toy_data();
+        let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
+        let x = net.flatten_active();
+        let mut analytic = vec![0.0; obj.dim()];
+        obj.gradient(&x, &mut analytic);
+        let numeric = numeric_gradient(&obj, &x, 1e-6);
+        for (k, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
+            assert!(
+                (a - n).abs() < 1e-5 * (1.0 + a.abs()),
+                "coordinate {k}: analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_matches_with_pruned_links() {
+        let mut net = Mlp::random(3, 3, 2, 13);
+        net.prune(LinkId::InputHidden { hidden: 0, input: 1 });
+        net.prune(LinkId::HiddenOutput { output: 1, hidden: 2 });
+        let data = toy_data();
+        let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
+        assert_eq!(obj.dim(), net.n_active());
+        let x = net.flatten_active();
+        let mut analytic = vec![0.0; obj.dim()];
+        obj.gradient(&x, &mut analytic);
+        let numeric = numeric_gradient(&obj, &x, 1e-6);
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-5 * (1.0 + a.abs()), "{a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn value_and_gradient_consistent() {
+        let net = Mlp::random(3, 2, 2, 17);
+        let data = toy_data();
+        let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
+        let x = net.flatten_active();
+        let mut g = vec![0.0; obj.dim()];
+        let v1 = obj.value(&x);
+        let v2 = obj.value_and_gradient(&x, &mut g);
+        assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_decreases_along_negative_gradient() {
+        let net = Mlp::random(3, 2, 2, 19);
+        let data = toy_data();
+        let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
+        let x = net.flatten_active();
+        let mut g = vec![0.0; obj.dim()];
+        let f0 = obj.value_and_gradient(&x, &mut g);
+        let step: Vec<f64> = x.iter().zip(&g).map(|(xi, gi)| xi - 1e-3 * gi).collect();
+        assert!(obj.value(&step) < f0);
+    }
+
+    #[test]
+    fn perfect_outputs_give_near_zero_loss() {
+        // One input+bias, strong weights: class 0 for x=1 after training by hand.
+        let mut net = Mlp::random(2, 1, 2, 23);
+        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 50.0);
+        net.set_weight(LinkId::InputHidden { hidden: 0, input: 1 }, -25.0);
+        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 50.0);
+        net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, -50.0);
+        let data = EncodedDataset::from_parts(vec![1.0, 1.0, 0.0, 1.0], 2, vec![0, 1], 2);
+        let obj = CrossEntropyObjective::new(&net, &data, Penalty::none());
+        let loss = obj.value(&net.flatten_active());
+        assert!(loss < 1e-8, "loss {loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn rejects_mismatched_data() {
+        let net = Mlp::random(3, 2, 2, 1);
+        let data = EncodedDataset::from_parts(vec![1.0, 1.0], 2, vec![0], 2);
+        let _ = CrossEntropyObjective::new(&net, &data, Penalty::default());
+    }
+}

@@ -1,0 +1,257 @@
+//! Dense BFGS quasi-Newton minimization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::line_search::wolfe_line_search;
+use crate::{dot, inf_norm, Objective, OptResult, Optimizer, WolfeParams};
+
+/// BFGS with a strong-Wolfe line search.
+///
+/// Maintains a dense approximation `H ≈ ∇²f⁻¹`, so memory is `O(dim²)`;
+/// the paper's networks have a few hundred weights, for which dense BFGS is
+/// the right tool (it is the method class the paper uses, with superlinear
+/// convergence against gradient descent's linear rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bfgs {
+    /// Stop when the gradient infinity norm falls below this.
+    pub grad_tol: f64,
+    /// Outer iteration budget.
+    pub max_iters: usize,
+    /// Also stop when the objective improves by less than this between
+    /// iterations (relative to `1 + |f|`). Guards against line-search stalls.
+    pub f_tol: f64,
+    /// Line search parameters.
+    #[serde(skip, default)]
+    pub wolfe: WolfeParams,
+}
+
+impl Default for Bfgs {
+    fn default() -> Self {
+        Bfgs { grad_tol: 1e-5, max_iters: 500, f_tol: 1e-12, wolfe: WolfeParams::default() }
+    }
+}
+
+impl Bfgs {
+    /// Sets the gradient tolerance.
+    pub fn with_grad_tol(mut self, tol: f64) -> Self {
+        self.grad_tol = tol;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+}
+
+impl Optimizer for Bfgs {
+    fn minimize<O: Objective + ?Sized>(&self, objective: &O, x0: Vec<f64>) -> OptResult {
+        let n = objective.dim();
+        assert_eq!(x0.len(), n, "x0 has wrong dimension");
+        let mut x = x0;
+        let mut g = vec![0.0; n];
+        let mut f = objective.value_and_gradient(&x, &mut g);
+        let mut evals = 1usize;
+
+        // Inverse Hessian approximation, row-major, starts as identity.
+        let mut h = vec![0.0; n * n];
+        reset_identity(&mut h, n);
+        let mut first_update = true;
+
+        let mut d = vec![0.0; n];
+        let mut hy = vec![0.0; n];
+
+        for iter in 0..self.max_iters {
+            let gnorm = inf_norm(&g);
+            if gnorm <= self.grad_tol {
+                return OptResult { x, value: f, grad_norm: gnorm, iterations: iter, evaluations: evals, converged: true };
+            }
+
+            // d = -H g
+            for i in 0..n {
+                let row = &h[i * n..(i + 1) * n];
+                d[i] = -dot(row, &g);
+            }
+            if dot(&d, &g) >= 0.0 {
+                // Not a descent direction (numerical breakdown): reset.
+                reset_identity(&mut h, n);
+                first_update = true;
+                for (di, gi) in d.iter_mut().zip(&g) {
+                    *di = -gi;
+                }
+            }
+
+            let ls = match wolfe_line_search(objective, &x, f, &g, &d, &self.wolfe) {
+                Some(ls) => ls,
+                None => {
+                    // Retry once from steepest descent before giving up.
+                    reset_identity(&mut h, n);
+                    first_update = true;
+                    for (di, gi) in d.iter_mut().zip(&g) {
+                        *di = -gi;
+                    }
+                    match wolfe_line_search(objective, &x, f, &g, &d, &self.wolfe) {
+                        Some(ls) => ls,
+                        None => {
+                            return OptResult {
+                                x,
+                                value: f,
+                                grad_norm: gnorm,
+                                iterations: iter,
+                                evaluations: evals,
+                                converged: gnorm <= self.grad_tol,
+                            }
+                        }
+                    }
+                }
+            };
+            evals += ls.evaluations;
+
+            // s = alpha d ; y = g_new - g.
+            let mut sy = 0.0;
+            let mut yy = 0.0;
+            for i in 0..n {
+                let s_i = ls.alpha * d[i];
+                let y_i = ls.gradient[i] - g[i];
+                sy += s_i * y_i;
+                yy += y_i * y_i;
+                x[i] += s_i;
+            }
+            let f_prev = f;
+            f = ls.value;
+
+            if sy > 1e-12 * yy.sqrt().max(1.0) {
+                if first_update {
+                    // Nocedal's scaling: H0 = (sᵀy / yᵀy) I before the first
+                    // update, which makes the initial step sizes sane.
+                    let scale = sy / yy.max(1e-300);
+                    for (i, v) in h.iter_mut().enumerate() {
+                        *v = if i % (n + 1) == 0 { scale } else { 0.0 };
+                    }
+                    first_update = false;
+                }
+                // H ← (I − ρ s yᵀ) H (I − ρ y sᵀ) + ρ s sᵀ, expanded as
+                // H − ρ(s·Hyᵀ + Hy·sᵀ) + (ρ² yᵀHy + ρ) s sᵀ.
+                let rho = 1.0 / sy;
+                let mut yhy = 0.0;
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    let row = &h[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        acc += row[j] * (ls.gradient[j] - g[j]);
+                    }
+                    hy[i] = acc;
+                    yhy += acc * (ls.gradient[i] - g[i]);
+                }
+                let c = rho * rho * yhy + rho;
+                for i in 0..n {
+                    let s_i = ls.alpha * d[i];
+                    let row = &mut h[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        let s_j = ls.alpha * d[j];
+                        row[j] += -rho * (s_i * hy[j] + hy[i] * s_j) + c * s_i * s_j;
+                    }
+                }
+            }
+
+            g.copy_from_slice(&ls.gradient);
+
+            if (f_prev - f).abs() <= self.f_tol * (1.0 + f.abs()) {
+                let gnorm = inf_norm(&g);
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter + 1,
+                    evaluations: evals,
+                    converged: gnorm <= self.grad_tol,
+                };
+            }
+        }
+
+        let gnorm = inf_norm(&g);
+        OptResult { x, value: f, grad_norm: gnorm, iterations: self.max_iters, evaluations: evals, converged: gnorm <= self.grad_tol }
+    }
+}
+
+fn reset_identity(h: &mut [f64], n: usize) {
+    h.fill(0.0);
+    for i in 0..n {
+        h[i * n + i] = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::test_functions::{Quadratic, Rosenbrock};
+
+    #[test]
+    fn converges_on_quadratic() {
+        let q = Quadratic::new(vec![1.0, -2.0, 5.0, 0.0]);
+        let res = Bfgs::default().minimize(&q, vec![10.0; 4]);
+        assert!(res.converged, "{res:?}");
+        for (xi, ti) in res.x.iter().zip(&q.target) {
+            assert!((xi - ti).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn converges_on_ill_conditioned_quadratic() {
+        let mut q = Quadratic::new(vec![1.0, 1.0, 1.0]);
+        q.scale = vec![1.0, 100.0, 10_000.0];
+        let res = Bfgs::default().minimize(&q, vec![-3.0, 7.0, 2.0]);
+        assert!(res.converged, "{res:?}");
+        for xi in &res.x {
+            assert!((xi - 1.0).abs() < 1e-3, "{res:?}");
+        }
+    }
+
+    #[test]
+    fn converges_on_rosenbrock() {
+        let res = Bfgs::default().with_max_iters(2000).minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert!(res.converged, "{res:?}");
+        assert!((res.x[0] - 1.0).abs() < 1e-4, "{res:?}");
+        assert!((res.x[1] - 1.0).abs() < 1e-4, "{res:?}");
+    }
+
+    #[test]
+    fn superlinear_vs_gradient_descent() {
+        // BFGS should need far fewer iterations than GD on Rosenbrock.
+        use crate::GradientDescent;
+        let bfgs = Bfgs::default().with_max_iters(500).minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        let gd = GradientDescent::default()
+            .with_learning_rate(1e-3)
+            .with_max_iters(500)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert!(bfgs.value < gd.value, "bfgs {} vs gd {}", bfgs.value, gd.value);
+        assert!(bfgs.converged);
+    }
+
+    #[test]
+    fn already_at_minimum() {
+        let q = Quadratic::new(vec![2.0]);
+        let res = Bfgs::default().minimize(&q, vec![2.0]);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let res = Bfgs::default()
+            .with_max_iters(1)
+            .with_grad_tol(1e-14)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert!(res.iterations <= 1);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Bfgs::default().minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        let b = Bfgs::default().minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

@@ -1,0 +1,171 @@
+//! Nonlinear conjugate gradient (Polak–Ribière+ with restarts).
+//!
+//! The training-method literature the paper leans on (Battiti's survey of
+//! first- and second-order methods, its reference [4]) positions conjugate
+//! gradient between plain gradient descent and quasi-Newton: no matrix
+//! storage at all, yet far better directions than steepest descent. This
+//! implementation uses the PR+ β (clipped at zero, which implicitly
+//! restarts on loss of conjugacy) and the same strong-Wolfe line search as
+//! the BFGS family.
+
+use serde::{Deserialize, Serialize};
+
+use crate::line_search::wolfe_line_search;
+use crate::{dot, inf_norm, Objective, OptResult, Optimizer, WolfeParams};
+
+/// Polak–Ribière+ conjugate gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConjugateGradient {
+    /// Stop when the gradient infinity norm falls below this.
+    pub grad_tol: f64,
+    /// Outer iteration budget.
+    pub max_iters: usize,
+    /// Relative objective-improvement stopping threshold.
+    pub f_tol: f64,
+    /// Hard restart (steepest descent) every this many iterations.
+    pub restart_every: usize,
+    /// Line search parameters (c₂ = 0.45: CG needs a tighter curvature
+    /// condition than quasi-Newton to keep directions descent).
+    #[serde(skip, default = "cg_wolfe")]
+    pub wolfe: WolfeParams,
+}
+
+fn cg_wolfe() -> WolfeParams {
+    WolfeParams { c2: 0.45, ..WolfeParams::default() }
+}
+
+impl Default for ConjugateGradient {
+    fn default() -> Self {
+        ConjugateGradient {
+            grad_tol: 1e-5,
+            max_iters: 1000,
+            f_tol: 1e-12,
+            restart_every: 100,
+            wolfe: cg_wolfe(),
+        }
+    }
+}
+
+impl ConjugateGradient {
+    /// Sets the iteration budget.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the gradient tolerance.
+    pub fn with_grad_tol(mut self, tol: f64) -> Self {
+        self.grad_tol = tol;
+        self
+    }
+}
+
+impl Optimizer for ConjugateGradient {
+    fn minimize<O: Objective + ?Sized>(&self, objective: &O, x0: Vec<f64>) -> OptResult {
+        let n = objective.dim();
+        assert_eq!(x0.len(), n, "x0 has wrong dimension");
+        let mut x = x0;
+        let mut g = vec![0.0; n];
+        let mut f = objective.value_and_gradient(&x, &mut g);
+        let mut evals = 1usize;
+        let mut d: Vec<f64> = g.iter().map(|v| -v).collect();
+
+        for iter in 0..self.max_iters {
+            let gnorm = inf_norm(&g);
+            if gnorm <= self.grad_tol {
+                return OptResult { x, value: f, grad_norm: gnorm, iterations: iter, evaluations: evals, converged: true };
+            }
+            if dot(&d, &g) >= 0.0 || (iter > 0 && iter % self.restart_every == 0) {
+                for (di, gi) in d.iter_mut().zip(&g) {
+                    *di = -gi;
+                }
+            }
+            let Some(ls) = wolfe_line_search(objective, &x, f, &g, &d, &self.wolfe) else {
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter,
+                    evaluations: evals,
+                    converged: gnorm <= self.grad_tol,
+                };
+            };
+            evals += ls.evaluations;
+
+            for (xi, di) in x.iter_mut().zip(&d) {
+                *xi += ls.alpha * di;
+            }
+            let f_prev = f;
+            f = ls.value;
+
+            // PR+ beta from g (old) and ls.gradient (new).
+            let gg = dot(&g, &g);
+            let mut num = 0.0;
+            for (gn, go) in ls.gradient.iter().zip(&g) {
+                num += gn * (gn - go);
+            }
+            let beta = if gg > 0.0 { (num / gg).max(0.0) } else { 0.0 };
+            for ((di, gn), _) in d.iter_mut().zip(&ls.gradient).zip(&g) {
+                *di = -gn + beta * *di;
+            }
+            g.copy_from_slice(&ls.gradient);
+
+            if (f_prev - f).abs() <= self.f_tol * (1.0 + f.abs()) {
+                let gnorm = inf_norm(&g);
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter + 1,
+                    evaluations: evals,
+                    converged: gnorm <= self.grad_tol,
+                };
+            }
+        }
+        let gnorm = inf_norm(&g);
+        OptResult { x, value: f, grad_norm: gnorm, iterations: self.max_iters, evaluations: evals, converged: gnorm <= self.grad_tol }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::test_functions::{Quadratic, Rosenbrock};
+
+    #[test]
+    fn converges_on_quadratic() {
+        let q = Quadratic::new(vec![4.0, -1.0, 0.5]);
+        let res = ConjugateGradient::default().minimize(&q, vec![0.0; 3]);
+        assert!(res.converged, "{res:?}");
+        for (xi, ti) in res.x.iter().zip(&q.target) {
+            assert!((xi - ti).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn exact_for_quadratics_in_n_steps_ish() {
+        // On an n-dimensional convex quadratic, CG should need only a few
+        // iterations (exact in n steps with exact line searches).
+        let mut q = Quadratic::new(vec![1.0; 6]);
+        q.scale = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let res = ConjugateGradient::default().minimize(&q, vec![-3.0; 6]);
+        assert!(res.converged);
+        assert!(res.iterations <= 30, "{res:?}");
+    }
+
+    #[test]
+    fn converges_on_rosenbrock() {
+        let res = ConjugateGradient::default()
+            .with_max_iters(5000)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert!(res.converged, "{res:?}");
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "{res:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ConjugateGradient::default().minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        let b = ConjugateGradient::default().minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert_eq!(a.x, b.x);
+    }
+}

@@ -1,0 +1,135 @@
+//! The objective abstraction and a finite-difference checker.
+
+/// A differentiable scalar function of a parameter vector.
+///
+/// Network training implements this for "cross entropy + penalty over the
+/// masked weights"; the optimizers only ever see this trait.
+pub trait Objective {
+    /// Dimensionality of the parameter vector.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `x`.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Writes the gradient at `x` into `grad` (length [`Self::dim`]).
+    fn gradient(&self, x: &[f64], grad: &mut [f64]);
+
+    /// Value and gradient together; override when they share work.
+    fn value_and_gradient(&self, x: &[f64], grad: &mut [f64]) -> f64 {
+        self.gradient(x, grad);
+        self.value(x)
+    }
+}
+
+/// Central-difference numeric gradient, for testing analytic gradients.
+///
+/// Cost is `2·dim` evaluations; use only in tests and diagnostics.
+pub fn numeric_gradient<O: Objective + ?Sized>(obj: &O, x: &[f64], eps: f64) -> Vec<f64> {
+    let mut xp = x.to_vec();
+    let mut g = vec![0.0; x.len()];
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + eps;
+        let fp = obj.value(&xp);
+        xp[i] = orig - eps;
+        let fm = obj.value(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * eps);
+    }
+    g
+}
+
+#[cfg(test)]
+pub(crate) mod test_functions {
+    use super::Objective;
+
+    /// Convex quadratic `Σ c_i (x_i − t_i)²`.
+    pub struct Quadratic {
+        pub target: Vec<f64>,
+        pub scale: Vec<f64>,
+    }
+
+    impl Quadratic {
+        pub fn new(target: Vec<f64>) -> Self {
+            let scale = vec![1.0; target.len()];
+            Quadratic { target, scale }
+        }
+    }
+
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            self.target.len()
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            x.iter()
+                .zip(&self.target)
+                .zip(&self.scale)
+                .map(|((xi, ti), ci)| ci * (xi - ti) * (xi - ti))
+                .sum()
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            for ((gi, (xi, ti)), ci) in
+                g.iter_mut().zip(x.iter().zip(&self.target)).zip(&self.scale)
+            {
+                *gi = 2.0 * ci * (xi - ti);
+            }
+        }
+    }
+
+    /// The 2-D Rosenbrock banana function, minimum at (1, 1).
+    pub struct Rosenbrock;
+
+    impl Objective for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        }
+        fn gradient(&self, x: &[f64], g: &mut [f64]) {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -2.0 * (1.0 - a) - 400.0 * a * (b - a * a);
+            g[1] = 200.0 * (b - a * a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_functions::{Quadratic, Rosenbrock};
+    use super::*;
+
+    #[test]
+    fn numeric_gradient_matches_quadratic() {
+        let q = Quadratic::new(vec![1.0, -2.0, 0.5]);
+        let x = vec![0.3, 0.7, -1.1];
+        let mut analytic = vec![0.0; 3];
+        q.gradient(&x, &mut analytic);
+        let numeric = numeric_gradient(&q, &x, 1e-6);
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-6, "{a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn numeric_gradient_matches_rosenbrock() {
+        let r = Rosenbrock;
+        let x = vec![-1.2, 1.0];
+        let mut analytic = vec![0.0; 2];
+        r.gradient(&x, &mut analytic);
+        let numeric = numeric_gradient(&r, &x, 1e-6);
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-3 * (1.0 + a.abs()), "{a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn default_value_and_gradient_agrees() {
+        let q = Quadratic::new(vec![2.0]);
+        let mut g = vec![0.0];
+        let v = q.value_and_gradient(&[5.0], &mut g);
+        assert_eq!(v, 9.0);
+        assert_eq!(g, vec![6.0]);
+    }
+}

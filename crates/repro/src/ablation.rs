@@ -1,0 +1,132 @@
+//! Ablations beyond the paper: trainer choice, penalty, clustering ε.
+
+use neurorule::NeuroRule;
+use nr_datagen::Function;
+use nr_encode::Encoder;
+use nr_nn::{Penalty, Trainer, TrainingAlgorithm};
+use nr_opt::{Bfgs, ConjugateGradient, GradientDescent, Lbfgs};
+
+use crate::common::{header, paper_datasets, pct};
+
+/// Runs all ablations on Function 2.
+pub fn run() {
+    header("Ablations (not in the paper): trainer, penalty, epsilon, width");
+    trainer_ablation();
+    penalty_ablation();
+    epsilon_ablation();
+    hidden_width_ablation();
+}
+
+/// Initial hidden-layer width: the paper starts oversized and prunes
+/// (§2.1); how much does the starting width matter?
+fn hidden_width_ablation() {
+    println!("\n-- initial hidden nodes (Function 2) --");
+    let (train, _) = paper_datasets(Function::F2);
+    for h in [2usize, 4, 6, 8] {
+        match NeuroRule::default()
+            .with_encoder(Encoder::agrawal())
+            .with_hidden_nodes(h)
+            .fit(&train)
+        {
+            Ok(m) => println!(
+                "h = {h}: links {} -> {}, live hidden {}, rules {}, rule-acc {}%",
+                m.report.prune_outcome.initial_links,
+                m.report.prune_outcome.remaining_links,
+                m.network.live_hidden().len(),
+                m.ruleset.len(),
+                pct(m.report.train_rule_accuracy),
+            ),
+            Err(e) => println!("h = {h}: failed: {e}"),
+        }
+    }
+}
+
+/// BFGS vs gradient descent at equal wall-clock-ish budgets.
+fn trainer_ablation() {
+    println!("\n-- training algorithm (Function 2, 1000 tuples) --");
+    let (train, test) = paper_datasets(Function::F2);
+    for (name, trainer) in [
+        (
+            "BFGS-300 (paper)",
+            Trainer::new(TrainingAlgorithm::Bfgs(Bfgs::default().with_max_iters(300))),
+        ),
+        (
+            "L-BFGS-300 (m=10)",
+            Trainer::new(TrainingAlgorithm::Lbfgs(Lbfgs::default().with_max_iters(300))),
+        ),
+        (
+            "CG-600 (PR+)",
+            Trainer::new(TrainingAlgorithm::ConjugateGradient(
+                ConjugateGradient::default().with_max_iters(600),
+            )),
+        ),
+        (
+            "GD-3000 (lr 0.05, momentum 0.9)",
+            Trainer::new(TrainingAlgorithm::GradientDescent(
+                GradientDescent::default().with_learning_rate(0.05).with_max_iters(3000),
+            )),
+        ),
+    ] {
+        let t0 = std::time::Instant::now();
+        let result = NeuroRule::default()
+            .with_encoder(Encoder::agrawal())
+            .with_trainer(trainer)
+            .fit(&train);
+        let dt = t0.elapsed();
+        match result {
+            Ok(m) => println!(
+                "{name:<34} train {}%  test {}%  rules {}  links {}  in {dt:.1?}",
+                pct(m.report.train_network_accuracy),
+                pct(m.network_accuracy(&test)),
+                m.ruleset.len(),
+                m.report.prune_outcome.remaining_links,
+            ),
+            Err(e) => println!("{name:<34} failed: {e}"),
+        }
+    }
+}
+
+/// Penalty on/off: the eq.-3 penalty is what makes pruning effective.
+fn penalty_ablation() {
+    println!("\n-- weight-decay penalty (Function 2) --");
+    let (train, _) = paper_datasets(Function::F2);
+    for (name, penalty) in [
+        ("penalty eq.3 (eps1=0.1, eps2=1e-4)", Penalty::default()),
+        ("no penalty", Penalty::none()),
+    ] {
+        let trainer = Trainer::default().with_penalty(penalty);
+        match NeuroRule::default()
+            .with_encoder(Encoder::agrawal())
+            .with_trainer(trainer)
+            .fit(&train)
+        {
+            Ok(m) => println!(
+                "{name:<36} links after pruning {}  rules {}  train-acc {}%",
+                m.report.prune_outcome.remaining_links,
+                m.ruleset.len(),
+                pct(m.report.train_network_accuracy),
+            ),
+            Err(e) => println!("{name:<36} failed: {e}"),
+        }
+    }
+}
+
+/// Clustering ε sensitivity (Figure 4 step 1).
+fn epsilon_ablation() {
+    println!("\n-- clustering epsilon (Function 2) --");
+    let (train, _) = paper_datasets(Function::F2);
+    for eps in [0.9, 0.6, 0.3, 0.1] {
+        let mut config = NeuroRule::default().with_encoder(Encoder::agrawal());
+        config.rx.epsilon = eps;
+        match config.fit(&train) {
+            Ok(m) => println!(
+                "eps {eps:<4} -> final eps {:.3}  clusters {:?}  rules {}  rule-acc {}%",
+                m.report.rx_trace.epsilon,
+                m.report.rx_trace.cluster_counts,
+                m.ruleset.len(),
+                pct(m.report.train_rule_accuracy),
+            ),
+            Err(e) => println!("eps {eps:<4} -> failed: {e}"),
+        }
+    }
+}

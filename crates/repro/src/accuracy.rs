@@ -1,0 +1,60 @@
+//! The §4.1 accuracy table: pruned networks vs C4.5 on functions 1–7 and 9.
+
+use nr_datagen::Function;
+use nr_tree::{DecisionTree, TreeConfig};
+
+use crate::common::{header, paper_datasets, paper_pipeline, pct};
+
+/// Paper's reported accuracies: (function, nn_train, nn_test, c45_train, c45_test).
+pub const PAPER: [(usize, f64, f64, f64, f64); 8] = [
+    (1, 98.1, 100.0, 98.3, 100.0),
+    (2, 96.3, 100.0, 98.7, 96.0),
+    (3, 98.5, 100.0, 99.5, 99.1),
+    (4, 90.6, 92.9, 94.0, 89.7),
+    (5, 90.4, 93.1, 96.8, 94.4),
+    (6, 90.1, 90.9, 94.0, 91.7),
+    (7, 91.9, 91.4, 98.1, 93.6),
+    (9, 90.1, 90.9, 94.4, 91.8),
+];
+
+/// Runs the accuracy comparison and prints measured vs paper numbers.
+pub fn run() {
+    header("Section 4.1 — classification accuracy (pruned network vs C4.5)");
+    println!(
+        "{:<5} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | paper (nn tr/te, c45 tr/te)",
+        "func", "nn-train", "nn-test", "rl-train", "rl-test", "c45-train", "c45-test"
+    );
+    for f in Function::evaluated() {
+        let (train, test) = paper_datasets(f);
+        let (nn_tr, nn_te, rl_tr, rl_te) = match paper_pipeline(12345).fit(&train) {
+            Ok(model) => (
+                model.report.train_network_accuracy,
+                model.network_accuracy(&test),
+                model.rules_accuracy(&train),
+                model.rules_accuracy(&test),
+            ),
+            Err(e) => {
+                println!("F{:<4}: pipeline failed: {e}", f.number());
+                continue;
+            }
+        };
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        let (c_tr, c_te) = (tree.accuracy(&train), tree.accuracy(&test));
+        let paper = PAPER.iter().find(|p| p.0 == f.number());
+        let paper_txt = paper
+            .map(|&(_, a, b, c, d)| format!("{a:>5.1} {b:>5.1}, {c:>5.1} {d:>5.1}"))
+            .unwrap_or_default();
+        println!(
+            "{:<5} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {paper_txt}",
+            format!("F{}", f.number()),
+            pct(nn_tr),
+            pct(nn_te),
+            pct(rl_tr),
+            pct(rl_te),
+            pct(c_tr),
+            pct(c_te),
+        );
+    }
+    println!("\nnn = pruned network (argmax), rl = extracted rules, c45 = decision tree.");
+    println!("Functions 8 and 10 are excluded as in the paper (highly skewed labels).");
+}

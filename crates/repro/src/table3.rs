@@ -1,0 +1,52 @@
+//! Table 3: per-rule accuracy of the Function 4 rules on growing test sets.
+
+use nr_datagen::Function;
+use nr_rules::evaluate_rules;
+
+use crate::common::{fit_best_of, generator, header, paper_datasets, NET_SEEDS};
+
+/// Test-set sizes of Table 3.
+const SIZES: [usize; 3] = [1000, 5000, 10_000];
+
+/// Runs the Table 3 experiment.
+pub fn run() {
+    header("Table 3 — accuracy rates of the rules extracted for Function 4");
+    let (train, _) = paper_datasets(Function::F4);
+    let model = fit_best_of(&train, &NET_SEEDS);
+    println!("rules under test:");
+    print!("{}", model.ruleset.display(train.schema()));
+
+    println!(
+        "\n{:<6} {}",
+        "rule",
+        SIZES
+            .iter()
+            .map(|n| format!("{:>8} {:>9}", format!("tot@{n}"), "correct%"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let stats_per_size: Vec<Vec<nr_rules::RuleStats>> = SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            // Fresh, independent test sets (distinct seeds per size).
+            let test = generator().train_test(Function::F4, 1, n).1;
+            let _ = i;
+            evaluate_rules(&model.ruleset, &test)
+        })
+        .collect();
+    for rule_idx in 0..model.ruleset.len() {
+        let cells: Vec<String> = stats_per_size
+            .iter()
+            .map(|stats| {
+                let s = stats[rule_idx];
+                format!("{:>8} {:>8.1}%", s.total, s.correct_pct())
+            })
+            .collect();
+        println!("R{:<5} {}", rule_idx + 1, cells.join(" "));
+    }
+    println!(
+        "\nPaper's Table 3 (5 rules): totals grow ~linearly with test size;\n\
+         two rules stay at 100% correct, the others in the 78–94% band."
+    );
+}

@@ -1,0 +1,78 @@
+//! Table 1 (attribute schema) and Table 2 (input coding).
+
+use nr_datagen::agrawal_schema;
+use nr_encode::{AttrCoding, Encoder};
+
+use crate::common::header;
+
+/// Table 1: the nine attributes and their distributions.
+pub fn table1() {
+    header("Table 1 — attributes of the synthetic database (Agrawal et al.)");
+    let schema = agrawal_schema();
+    println!("{:<12} {:<10} description", "attribute", "kind");
+    let descriptions = [
+        "uniform in [20000, 150000]",
+        "0 if salary >= 75000, else uniform in [10000, 75000]",
+        "uniform in [20, 80]",
+        "uniform in {0..4} (ordered)",
+        "uniform in {1..20}",
+        "uniform over 9 zipcodes",
+        "uniform in [0.5k*100000, 1.5k*100000], k from zipcode",
+        "uniform in {1..30}",
+        "uniform in [0, 500000]",
+    ];
+    for (attr, desc) in schema.attributes().iter().zip(descriptions) {
+        let kind = if attr.is_numeric() {
+            "numeric".to_string()
+        } else {
+            format!("nominal/{}", attr.cardinality().unwrap_or(0))
+        };
+        println!("{:<12} {:<10} {desc}", attr.name, kind);
+    }
+}
+
+/// Table 2: the binarization (paper: salary I1–I6 … loan I77–I86, bias I87).
+pub fn table2() {
+    header("Table 2 — binarization of the attribute values");
+    let enc = Encoder::agrawal();
+    println!(
+        "{:<12} {:<12} {:<8} coding",
+        "attribute", "inputs", "bits"
+    );
+    for (a, attr) in enc.schema().attributes().iter().enumerate() {
+        let (start, len) = enc.span(a);
+        let coding = match &enc.codings()[a] {
+            AttrCoding::Thermometer { thresholds, absent_value } => {
+                let finite: Vec<String> = thresholds
+                    .iter()
+                    .filter(|t| t.is_finite())
+                    .map(|t| format!("{t}"))
+                    .collect();
+                let absent = match absent_value {
+                    Some(v) => format!(" (all-zero => ={v})"),
+                    None => String::new(),
+                };
+                format!("thermometer, cuts [{}]{}", finite.join(", "), absent)
+            }
+            AttrCoding::OneHot { cardinality } => format!("one-hot over {cardinality}"),
+        };
+        println!(
+            "{:<12} I{:<3}- I{:<4} {:<8} {coding}",
+            attr.name,
+            start + 1,
+            start + len,
+            len
+        );
+    }
+    println!(
+        "{:<12} I{:<10} {:<8} constant 1 (hidden-node thresholds)",
+        "bias",
+        enc.bias_bit() + 1,
+        1
+    );
+    println!(
+        "\ntotal inputs: {} ({} data bits + bias) — paper: 87 (86 + bias)",
+        enc.n_inputs(),
+        enc.n_data_bits()
+    );
+}

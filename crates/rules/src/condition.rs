@@ -1,0 +1,315 @@
+//! Atomic conditions on a single attribute.
+
+use std::collections::BTreeSet;
+
+use nr_tabular::{Schema, Value};
+use serde::{Deserialize, Serialize};
+
+/// An atomic predicate over one attribute of a tuple.
+///
+/// The relational operators of the paper (`=, ≤, ≥, <>`) map onto three
+/// shapes: half-open numeric intervals, numeric equality, and nominal
+/// equality / exclusion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `lo ≤ attr` and/or `attr < hi` — either bound may be absent.
+    Num {
+        /// Attribute index in the schema.
+        attribute: usize,
+        /// Inclusive lower bound.
+        lo: Option<f64>,
+        /// Exclusive upper bound.
+        hi: Option<f64>,
+    },
+    /// `attr = value` for numeric attributes (used e.g. for `commission = 0`).
+    NumEq {
+        /// Attribute index in the schema.
+        attribute: usize,
+        /// The exact value.
+        value: f64,
+    },
+    /// `attr = category` for nominal attributes.
+    CatEq {
+        /// Attribute index in the schema.
+        attribute: usize,
+        /// Category code that must match.
+        code: u32,
+    },
+    /// `attr ∉ categories` for nominal attributes.
+    CatNotIn {
+        /// Attribute index in the schema.
+        attribute: usize,
+        /// Category codes that must not match.
+        codes: BTreeSet<u32>,
+    },
+}
+
+impl Condition {
+    /// `attr ≥ lo`.
+    pub fn num_ge(attribute: usize, lo: f64) -> Condition {
+        Condition::Num { attribute, lo: Some(lo), hi: None }
+    }
+
+    /// `attr < hi`.
+    pub fn num_lt(attribute: usize, hi: f64) -> Condition {
+        Condition::Num { attribute, lo: None, hi: Some(hi) }
+    }
+
+    /// `lo ≤ attr < hi`.
+    pub fn num_range(attribute: usize, lo: f64, hi: f64) -> Condition {
+        Condition::Num { attribute, lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// The attribute this condition constrains.
+    pub fn attribute(&self) -> usize {
+        match self {
+            Condition::Num { attribute, .. }
+            | Condition::NumEq { attribute, .. }
+            | Condition::CatEq { attribute, .. }
+            | Condition::CatNotIn { attribute, .. } => *attribute,
+        }
+    }
+
+    /// Evaluates the condition on a row.
+    pub fn matches(&self, row: &[Value]) -> bool {
+        match self {
+            Condition::Num { attribute, lo, hi } => {
+                let x = row[*attribute].expect_num();
+                lo.is_none_or(|l| x >= l) && hi.is_none_or(|h| x < h)
+            }
+            Condition::NumEq { attribute, value } => row[*attribute].expect_num() == *value,
+            Condition::CatEq { attribute, code } => row[*attribute].expect_nominal() == *code,
+            Condition::CatNotIn { attribute, codes } => {
+                !codes.contains(&row[*attribute].expect_nominal())
+            }
+        }
+    }
+
+    /// True when no value can satisfy the condition (empty interval or
+    /// exhaustive nominal exclusion — the latter needs the cardinality, so
+    /// only the interval case is decidable here).
+    pub fn is_contradiction(&self) -> bool {
+        match self {
+            Condition::Num { lo: Some(l), hi: Some(h), .. } => l >= h,
+            _ => false,
+        }
+    }
+
+    /// Intersects `self` with `other` (same attribute, both interval-like).
+    ///
+    /// Returns `None` when the conditions cannot be merged into a single
+    /// condition of this representation (e.g. mixing numeric and nominal).
+    pub fn intersect(&self, other: &Condition) -> Option<Condition> {
+        if self.attribute() != other.attribute() {
+            return None;
+        }
+        match (self, other) {
+            (
+                Condition::Num { attribute, lo: l1, hi: h1 },
+                Condition::Num { lo: l2, hi: h2, .. },
+            ) => {
+                let lo = match (l1, l2) {
+                    (Some(a), Some(b)) => Some(a.max(*b)),
+                    (a, b) => a.or(*b),
+                };
+                let hi = match (h1, h2) {
+                    (Some(a), Some(b)) => Some(a.min(*b)),
+                    (a, b) => a.or(*b),
+                };
+                Some(Condition::Num { attribute: *attribute, lo, hi })
+            }
+            (Condition::CatEq { attribute, code: a }, Condition::CatEq { code: b, .. }) => {
+                if a == b {
+                    Some(Condition::CatEq { attribute: *attribute, code: *a })
+                } else {
+                    // Mutually exclusive equalities: represent as an empty interval
+                    // is impossible for nominals; callers treat None as conflict.
+                    None
+                }
+            }
+            (
+                Condition::CatNotIn { attribute, codes: a },
+                Condition::CatNotIn { codes: b, .. },
+            ) => {
+                let codes: BTreeSet<u32> = a.union(b).copied().collect();
+                Some(Condition::CatNotIn { attribute: *attribute, codes })
+            }
+            (Condition::CatEq { attribute, code }, Condition::CatNotIn { codes, .. })
+            | (Condition::CatNotIn { codes, .. }, Condition::CatEq { attribute, code }) => {
+                if codes.contains(code) {
+                    None
+                } else {
+                    Some(Condition::CatEq { attribute: *attribute, code: *code })
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True when `self` is implied by `other` (other ⇒ self).
+    pub fn implied_by(&self, other: &Condition) -> bool {
+        if self.attribute() != other.attribute() {
+            return false;
+        }
+        match (self, other) {
+            (Condition::Num { lo: l1, hi: h1, .. }, Condition::Num { lo: l2, hi: h2, .. }) => {
+                let lo_ok = match (l1, l2) {
+                    (None, _) => true,
+                    (Some(a), Some(b)) => b >= a,
+                    (Some(_), None) => false,
+                };
+                let hi_ok = match (h1, h2) {
+                    (None, _) => true,
+                    (Some(a), Some(b)) => b <= a,
+                    (Some(_), None) => false,
+                };
+                lo_ok && hi_ok
+            }
+            (Condition::CatEq { code: a, .. }, Condition::CatEq { code: b, .. }) => a == b,
+            (Condition::CatNotIn { codes: a, .. }, Condition::CatNotIn { codes: b, .. }) => {
+                a.is_subset(b)
+            }
+            (Condition::CatNotIn { codes, .. }, Condition::CatEq { code, .. }) => {
+                !codes.contains(code)
+            }
+            _ => false,
+        }
+    }
+
+    /// Renders the condition with attribute names from `schema`,
+    /// paper-style: `(50000 <= salary < 100000)`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let name = |a: usize| schema.attribute(a).name.clone();
+        match self {
+            Condition::Num { attribute, lo, hi } => match (lo, hi) {
+                (Some(l), Some(h)) => format!("({} <= {} < {})", fmt_num(*l), name(*attribute), fmt_num(*h)),
+                (Some(l), None) => format!("({} >= {})", name(*attribute), fmt_num(*l)),
+                (None, Some(h)) => format!("({} < {})", name(*attribute), fmt_num(*h)),
+                (None, None) => format!("({} : any)", name(*attribute)),
+            },
+            Condition::NumEq { attribute, value } => {
+                format!("({} = {})", name(*attribute), fmt_num(*value))
+            }
+            Condition::CatEq { attribute, code } => {
+                format!("({} = {})", name(*attribute), schema.display_value(*attribute, &Value::Nominal(*code)))
+            }
+            Condition::CatNotIn { attribute, codes } => {
+                let parts: Vec<String> = codes
+                    .iter()
+                    .map(|c| schema.display_value(*attribute, &Value::Nominal(*c)))
+                    .collect();
+                format!("({} not in {{{}}})", name(*attribute), parts.join(", "))
+            }
+        }
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numeric("salary"),
+            Attribute::nominal("zip", ["z1", "z2", "z3"]),
+        ])
+    }
+
+    #[test]
+    fn num_matching() {
+        let c = Condition::num_range(0, 50_000.0, 100_000.0);
+        assert!(c.matches(&[Value::Num(50_000.0), Value::Nominal(0)]));
+        assert!(c.matches(&[Value::Num(99_999.0), Value::Nominal(0)]));
+        assert!(!c.matches(&[Value::Num(100_000.0), Value::Nominal(0)]));
+        assert!(!c.matches(&[Value::Num(49_999.0), Value::Nominal(0)]));
+    }
+
+    #[test]
+    fn num_eq_matching() {
+        let c = Condition::NumEq { attribute: 0, value: 0.0 };
+        assert!(c.matches(&[Value::Num(0.0), Value::Nominal(0)]));
+        assert!(!c.matches(&[Value::Num(0.1), Value::Nominal(0)]));
+    }
+
+    #[test]
+    fn cat_matching() {
+        let eq = Condition::CatEq { attribute: 1, code: 2 };
+        assert!(eq.matches(&[Value::Num(0.0), Value::Nominal(2)]));
+        assert!(!eq.matches(&[Value::Num(0.0), Value::Nominal(1)]));
+        let ne = Condition::CatNotIn { attribute: 1, codes: [0, 1].into_iter().collect() };
+        assert!(ne.matches(&[Value::Num(0.0), Value::Nominal(2)]));
+        assert!(!ne.matches(&[Value::Num(0.0), Value::Nominal(0)]));
+    }
+
+    #[test]
+    fn intersect_intervals() {
+        let a = Condition::num_ge(0, 10.0);
+        let b = Condition::num_lt(0, 20.0);
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, Condition::num_range(0, 10.0, 20.0));
+        let d = Condition::num_ge(0, 30.0).intersect(&b).unwrap();
+        assert!(d.is_contradiction());
+    }
+
+    #[test]
+    fn intersect_conflicting_categories_is_none() {
+        let a = Condition::CatEq { attribute: 1, code: 0 };
+        let b = Condition::CatEq { attribute: 1, code: 1 };
+        assert_eq!(a.intersect(&b), None);
+        let ne = Condition::CatNotIn { attribute: 1, codes: [0].into_iter().collect() };
+        assert_eq!(a.intersect(&ne), None);
+        assert_eq!(ne.intersect(&b), Some(Condition::CatEq { attribute: 1, code: 1 }));
+    }
+
+    #[test]
+    fn implication() {
+        let wide = Condition::num_range(0, 10.0, 100.0);
+        let narrow = Condition::num_range(0, 20.0, 50.0);
+        assert!(wide.implied_by(&narrow));
+        assert!(!narrow.implied_by(&wide));
+        let ge = Condition::num_ge(0, 10.0);
+        assert!(ge.implied_by(&narrow));
+        assert!(!narrow.implied_by(&ge));
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        assert!(Condition::num_range(0, 5.0, 5.0).is_contradiction());
+        assert!(Condition::num_range(0, 6.0, 5.0).is_contradiction());
+        assert!(!Condition::num_range(0, 4.0, 5.0).is_contradiction());
+        assert!(!Condition::num_ge(0, 4.0).is_contradiction());
+    }
+
+    #[test]
+    fn display_paper_style() {
+        let s = schema();
+        assert_eq!(
+            Condition::num_range(0, 50_000.0, 100_000.0).display(&s),
+            "(50000 <= salary < 100000)"
+        );
+        assert_eq!(Condition::num_ge(0, 25_000.0).display(&s), "(salary >= 25000)");
+        assert_eq!(Condition::num_lt(0, 125_000.0).display(&s), "(salary < 125000)");
+        assert_eq!(
+            Condition::NumEq { attribute: 0, value: 0.0 }.display(&s),
+            "(salary = 0)"
+        );
+        assert_eq!(Condition::CatEq { attribute: 1, code: 1 }.display(&s), "(zip = z2)");
+    }
+
+    #[test]
+    fn intersect_different_attributes_is_none() {
+        let a = Condition::num_ge(0, 1.0);
+        let b = Condition::CatEq { attribute: 1, code: 0 };
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.implied_by(&b));
+    }
+}

@@ -1,0 +1,34 @@
+//! Classification rules over tabular data.
+//!
+//! The deliverable of NeuroRule — and of the C4.5rules baseline it is
+//! compared against — is a set of rules of the form
+//! `if (a₁ θ v₁) ∧ … ∧ (aₙ θ vₙ) then Cⱼ` (§2 of the paper). This crate is
+//! the shared representation: [`Condition`]s over attributes, [`Rule`]s
+//! (conjunctions with a class), and [`RuleSet`]s (ordered rules plus a
+//! default class), together with evaluation (accuracy, the per-rule
+//! `Total / Correct%` statistics of Table 3) and paper-style pretty printing.
+//!
+//! ```
+//! use nr_tabular::{Attribute, Schema, Value};
+//! use nr_rules::{Condition, Rule, RuleSet};
+//!
+//! let schema = Schema::new(vec![Attribute::numeric("age")]);
+//! let rule = Rule::new(vec![Condition::num_lt(0, 40.0)], 0);
+//! let rs = RuleSet::new(vec![rule], 1, vec!["A".into(), "B".into()]);
+//! assert_eq!(rs.predict(&[Value::Num(30.0)]), 0);
+//! assert_eq!(rs.predict(&[Value::Num(50.0)]), 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod condition;
+mod metrics;
+mod rule;
+mod ruleset;
+mod stats;
+
+pub use condition::Condition;
+pub use metrics::ConfusionMatrix;
+pub use rule::Rule;
+pub use ruleset::RuleSet;
+pub use stats::{evaluate_rules, RuleStats};

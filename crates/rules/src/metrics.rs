@@ -1,0 +1,169 @@
+//! Classifier evaluation metrics beyond plain accuracy.
+//!
+//! The paper reports accuracy only (eq. 6), but judging extracted rules in
+//! practice needs per-class detail: a rule set that never fires on a rare
+//! class still scores high accuracy. This module provides the confusion
+//! matrix and the derived per-class precision/recall for *any* classifier
+//! expressible as a prediction closure — the network, the rules, and the
+//! decision tree all evaluate through the same code path.
+
+use nr_tabular::{ClassId, Dataset, Value};
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `predict` over `ds`.
+    pub fn compute(ds: &Dataset, mut predict: impl FnMut(&[Value]) -> ClassId) -> Self {
+        let k = ds.n_classes();
+        let mut counts = vec![vec![0usize; k]; k];
+        for (row, label) in ds.iter() {
+            let pred = predict(row);
+            assert!(pred < k, "prediction {pred} out of range for {k} classes");
+            counts[label][pred] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of rows with `actual` label predicted as `predicted`.
+    pub fn count(&self, actual: ClassId, predicted: ClassId) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total rows evaluated.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of `class`: TP / (TP + FP); 1.0 when the class is never
+    /// predicted (no opportunity for false positives).
+    pub fn precision(&self, class: ClassId) -> f64 {
+        let tp = self.counts[class][class];
+        let predicted: usize = (0..self.n_classes()).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of `class`: TP / (TP + FN); 1.0 when the class has no rows.
+    pub fn recall(&self, class: ClassId) -> f64 {
+        let tp = self.counts[class][class];
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            1.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of `class` (harmonic mean of precision and recall).
+    pub fn f1(&self, class: ClassId) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Renders the matrix with class names.
+    pub fn display(&self, class_names: &[String]) -> String {
+        let mut out = String::from("actual \\ predicted");
+        for name in class_names {
+            out.push_str(&format!(" {name:>8}"));
+        }
+        out.push('\n');
+        for (a, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{:>18}", class_names[a]));
+            for &c in row {
+                out.push_str(&format!(" {c:>8}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::{Attribute, Schema};
+
+    fn ds() -> Dataset {
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut d = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        // 4 A rows, 6 B rows.
+        for i in 0..10 {
+            d.push(vec![Value::Num(i as f64)], usize::from(i >= 4)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let data = ds();
+        let m = ConfusionMatrix::compute(&data, |row| usize::from(row[0].expect_num() >= 4.0));
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.count(0, 0), 4);
+        assert_eq!(m.count(1, 1), 6);
+        assert_eq!(m.count(0, 1), 0);
+        assert_eq!(m.precision(0), 1.0);
+        assert_eq!(m.recall(1), 1.0);
+        assert_eq!(m.f1(0), 1.0);
+        assert_eq!(m.total(), 10);
+    }
+
+    #[test]
+    fn skewed_classifier() {
+        let data = ds();
+        // Always predicts B.
+        let m = ConfusionMatrix::compute(&data, |_| 1);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert_eq!(m.recall(0), 0.0);
+        assert_eq!(m.precision(0), 1.0, "never predicted => vacuous precision");
+        assert!((m.precision(1) - 0.6).abs() < 1e-12);
+        assert_eq!(m.recall(1), 1.0);
+        assert_eq!(m.f1(0), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let data = ds();
+        let m = ConfusionMatrix::compute(&data, |_| 0);
+        let text = m.display(&["A".into(), "B".into()]);
+        assert!(text.contains('4'));
+        assert!(text.contains('6'));
+        assert!(text.contains("A"));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let d = Dataset::new(schema, vec!["A".into()]);
+        let m = ConfusionMatrix::compute(&d, |_| 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+}

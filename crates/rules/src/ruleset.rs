@@ -1,0 +1,209 @@
+//! Ordered rule sets with a default class.
+
+use nr_tabular::{ClassId, Dataset, Schema, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::Rule;
+
+/// An ordered list of rules plus a default class.
+///
+/// Prediction is first-match: the earliest rule whose antecedent holds
+/// determines the class; tuples matched by no rule get the default class
+/// (the paper's "Default Rule. Group B" in Figure 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// The rules in priority order.
+    pub rules: Vec<Rule>,
+    /// Class assigned when no rule matches.
+    pub default_class: ClassId,
+    /// Class display names.
+    pub class_names: Vec<String>,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(rules: Vec<Rule>, default_class: ClassId, class_names: Vec<String>) -> Self {
+        RuleSet { rules, default_class, class_names }
+    }
+
+    /// Number of rules (excluding the default).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set holds no explicit rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total number of atomic conditions across all rules — the compactness
+    /// measure behind the paper's Figure 5 vs Figure 6 comparison.
+    pub fn total_conditions(&self) -> usize {
+        self.rules.iter().map(Rule::n_conditions).sum()
+    }
+
+    /// Predicts the class of `row` (first matching rule, else default).
+    pub fn predict(&self, row: &[Value]) -> ClassId {
+        self.rules
+            .iter()
+            .find(|r| r.matches(row))
+            .map(|r| r.class)
+            .unwrap_or(self.default_class)
+    }
+
+    /// Index of the first matching rule, `None` if only the default applies.
+    pub fn first_match(&self, row: &[Value]) -> Option<usize> {
+        self.rules.iter().position(|r| r.matches(row))
+    }
+
+    /// Fraction of `ds` rows classified correctly.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let correct = ds.iter().filter(|(row, label)| self.predict(row) == *label).count();
+        correct as f64 / ds.len() as f64
+    }
+
+    /// Rules predicting `class`, in order.
+    pub fn rules_for_class(&self, class: ClassId) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| r.class == class).collect()
+    }
+
+    /// Removes duplicate rules, contradictory rules, and rules subsumed by an
+    /// earlier rule of the same class.
+    pub fn simplified(&self) -> RuleSet {
+        let mut kept: Vec<Rule> = Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            let Some(norm) = rule.normalized() else { continue };
+            if kept.iter().any(|k| k == &norm || k.subsumes(&norm)) {
+                continue;
+            }
+            kept.push(norm);
+        }
+        // A later rule may subsume an earlier one of the same class too;
+        // sweep backwards so the most general form survives.
+        let mut result: Vec<Rule> = Vec::with_capacity(kept.len());
+        for (i, rule) in kept.iter().enumerate() {
+            let subsumed_later = kept[i + 1..]
+                .iter()
+                .any(|later| later.subsumes(rule) && later != rule);
+            if !subsumed_later {
+                result.push(rule.clone());
+            }
+        }
+        RuleSet::new(result, self.default_class, self.class_names.clone())
+    }
+
+    /// Renders the whole rule set paper-style (Figure 5 layout).
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            out.push_str(&format!(
+                "Rule {}. {}.\n",
+                i + 1,
+                rule.display(schema, &self.class_names)
+            ));
+        }
+        out.push_str(&format!(
+            "Default Rule. {}.\n",
+            self.class_names[self.default_class]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Condition;
+    use nr_tabular::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::numeric("x")])
+    }
+
+    fn ds(points: &[(f64, usize)]) -> Dataset {
+        let mut d = Dataset::new(schema(), vec!["A".into(), "B".into()]);
+        for &(x, c) in points {
+            d.push(vec![Value::Num(x)], c).unwrap();
+        }
+        d
+    }
+
+    fn two_rules() -> RuleSet {
+        RuleSet::new(
+            vec![
+                Rule::new(vec![Condition::num_lt(0, 10.0)], 0),
+                Rule::new(vec![Condition::num_lt(0, 20.0)], 1),
+            ],
+            0,
+            vec!["A".into(), "B".into()],
+        )
+    }
+
+    #[test]
+    fn first_match_semantics() {
+        let rs = two_rules();
+        assert_eq!(rs.predict(&[Value::Num(5.0)]), 0); // both match, first wins
+        assert_eq!(rs.predict(&[Value::Num(15.0)]), 1);
+        assert_eq!(rs.predict(&[Value::Num(25.0)]), 0); // default
+        assert_eq!(rs.first_match(&[Value::Num(25.0)]), None);
+        assert_eq!(rs.first_match(&[Value::Num(15.0)]), Some(1));
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let rs = two_rules();
+        let data = ds(&[(5.0, 0), (15.0, 1), (25.0, 0), (15.0, 0)]);
+        assert!((rs.accuracy(&data) - 0.75).abs() < 1e-12);
+        assert_eq!(rs.accuracy(&ds(&[])), 0.0);
+    }
+
+    #[test]
+    fn simplify_drops_duplicates_and_subsumed() {
+        let dup = Rule::new(vec![Condition::num_lt(0, 10.0)], 0);
+        let narrow = Rule::new(vec![Condition::num_range(0, 2.0, 8.0)], 0);
+        let rs = RuleSet::new(
+            vec![dup.clone(), dup.clone(), narrow],
+            1,
+            vec!["A".into(), "B".into()],
+        );
+        let s = rs.simplified();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rules[0], dup);
+    }
+
+    #[test]
+    fn simplify_drops_contradictions() {
+        let bad = Rule::new(
+            vec![Condition::num_ge(0, 60.0), Condition::num_lt(0, 40.0)],
+            0,
+        );
+        let good = Rule::new(vec![Condition::num_lt(0, 10.0)], 0);
+        let rs = RuleSet::new(vec![bad, good.clone()], 1, vec!["A".into(), "B".into()]);
+        let s = rs.simplified();
+        assert_eq!(s.rules, vec![good]);
+    }
+
+    #[test]
+    fn total_conditions_sum() {
+        let rs = two_rules();
+        assert_eq!(rs.total_conditions(), 2);
+    }
+
+    #[test]
+    fn display_has_default_rule() {
+        let rs = two_rules();
+        let text = rs.display(&schema());
+        assert!(text.contains("Rule 1."));
+        assert!(text.contains("Default Rule. A."));
+    }
+
+    #[test]
+    fn rules_for_class_filters() {
+        let rs = two_rules();
+        assert_eq!(rs.rules_for_class(0).len(), 1);
+        assert_eq!(rs.rules_for_class(1).len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Per-rule evaluation statistics (Table 3 of the paper).
+
+use nr_tabular::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::RuleSet;
+
+/// Statistics for one rule on one dataset.
+///
+/// Table 3 of the paper reports, for each extracted rule, the `Total` number
+/// of tuples the rule matches and the percentage of those that are
+/// `Correct` (carry the rule's class). Rules are evaluated *independently*
+/// (not first-match), matching the paper's presentation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuleStats {
+    /// Index of the rule in the rule set.
+    pub rule: usize,
+    /// Number of tuples matched by the rule.
+    pub total: usize,
+    /// Number of matched tuples whose label equals the rule's class.
+    pub correct: usize,
+}
+
+impl RuleStats {
+    /// Correct percentage in `[0, 100]`; 100 when the rule matches nothing.
+    pub fn correct_pct(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Evaluates every rule of `rs` independently on `ds`.
+pub fn evaluate_rules(rs: &RuleSet, ds: &Dataset) -> Vec<RuleStats> {
+    let mut stats: Vec<RuleStats> = (0..rs.len())
+        .map(|rule| RuleStats { rule, total: 0, correct: 0 })
+        .collect();
+    for (row, label) in ds.iter() {
+        for (i, rule) in rs.rules.iter().enumerate() {
+            if rule.matches(row) {
+                stats[i].total += 1;
+                if rule.class == label {
+                    stats[i].correct += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Condition, Rule};
+    use nr_tabular::{Attribute, Schema, Value};
+
+    #[test]
+    fn independent_evaluation() {
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for &(x, c) in &[(5.0, 0), (15.0, 0), (15.0, 1), (25.0, 1)] {
+            ds.push(vec![Value::Num(x)], c).unwrap();
+        }
+        let rs = RuleSet::new(
+            vec![
+                Rule::new(vec![Condition::num_lt(0, 20.0)], 0), // matches 3, correct 2
+                Rule::new(vec![Condition::num_ge(0, 10.0)], 1), // matches 3, correct 2
+            ],
+            1,
+            vec!["A".into(), "B".into()],
+        );
+        let stats = evaluate_rules(&rs, &ds);
+        assert_eq!(stats[0].total, 3);
+        assert_eq!(stats[0].correct, 2);
+        assert_eq!(stats[1].total, 3);
+        assert_eq!(stats[1].correct, 2);
+        assert!((stats[0].correct_pct() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_match_is_hundred_pct() {
+        let s = RuleStats { rule: 0, total: 0, correct: 0 };
+        assert_eq!(s.correct_pct(), 100.0);
+    }
+}

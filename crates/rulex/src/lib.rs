@@ -1,0 +1,86 @@
+//! Rule extraction — algorithm RX (NeuroRule §3, Figure 4).
+//!
+//! Given a *pruned* network, RX articulates it as symbolic rules in four
+//! steps:
+//!
+//! 1. **Discretize** the continuous hidden-node activations by ε-clustering
+//!    ([`cluster`]), shrinking ε until the discretized network still meets
+//!    the accuracy requirement;
+//! 2. **Enumerate** the discrete activation combinations, compute the
+//!    network outputs for each, and generate *perfect rules* describing the
+//!    outputs in terms of discretized activations ([`table`], [`cover`]);
+//! 3. For each hidden node, enumerate the (feasible) input patterns and
+//!    generate perfect rules describing each discrete activation value in
+//!    terms of input bits — falling back to a trained **subnetwork**
+//!    (§3.2, [`subnet`]) when a node keeps too many input links;
+//! 4. **Substitute** step-3 rules into step-2 rules, drop conjunctions the
+//!    coding can never produce (the paper's R′₁), simplify, and rewrite the
+//!    result into conditions over the original attributes.
+//!
+//! The entry point is [`extract`]; [`RxOutcome`] carries the final
+//! [`nr_rules::RuleSet`] plus a full trace (cluster counts, the
+//! activation→output table of §3.1, intermediate rules) so the experiment
+//! drivers can reproduce the paper's worked example.
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod cover;
+mod extract;
+pub mod subnet;
+pub mod table;
+
+pub use cluster::{
+    cluster_activations, discretize_hidden, discretized_accuracy, ClusterModel,
+    HiddenDiscretization,
+};
+pub use cover::{perfect_rules, CoverLimits, TableRule};
+pub use extract::{extract, BitRule, RxConfig, RxOutcome, RxTrace};
+pub use table::{DecisionTable, TableRow};
+
+/// Errors from rule extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RxError {
+    /// The activation-combination table would exceed its cap.
+    ActivationSpaceTooLarge {
+        /// Number of combinations required.
+        needed: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// Clustering could not reach the accuracy floor even at minimum ε.
+    ClusteringFailed {
+        /// Best accuracy achieved.
+        best_accuracy: f64,
+        /// The accuracy floor requested.
+        floor: f64,
+    },
+    /// Substitution produced more conjunctions than the configured cap.
+    DnfTooLarge {
+        /// Configured cap.
+        cap: usize,
+    },
+    /// The network has no live hidden nodes and no default-only ruleset was
+    /// permitted.
+    DegenerateNetwork,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::ActivationSpaceTooLarge { needed, cap } => {
+                write!(f, "activation table needs {needed} rows, cap is {cap}")
+            }
+            RxError::ClusteringFailed { best_accuracy, floor } => write!(
+                f,
+                "activation clustering reached accuracy {best_accuracy:.3}, below floor {floor:.3}"
+            ),
+            RxError::DnfTooLarge { cap } => {
+                write!(f, "rule substitution exceeded {cap} conjunctions")
+            }
+            RxError::DegenerateNetwork => write!(f, "pruned network has no live hidden nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}

@@ -1,0 +1,208 @@
+//! End-to-end RX tests on hand-built networks with *known* semantics —
+//! no training involved, so the expected rules are exact.
+
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+use nr_nn::{LinkId, Mlp};
+use nr_rules::Condition;
+use nr_rulex::{extract, RxConfig};
+
+/// Prunes every link of `net`.
+fn clear(net: &mut Mlp) {
+    for link in net.active_links() {
+        net.prune(link);
+    }
+}
+
+/// A network that classifies `age ≥ 60` as class 0 via one hidden node:
+/// `α = tanh(5·I15 − 2.5)`, `S₀ = σ(4α)`, `S₁ = σ(−4α)`.
+fn age_network() -> Mlp {
+    // Start fresh and prune the complement of the links we want.
+    let mut net = Mlp::random(87, 2, 2, 0);
+    for link in net.active_links() {
+        let keep = matches!(
+            link,
+            LinkId::InputHidden { hidden: 0, input: 14 }
+                | LinkId::InputHidden { hidden: 0, input: 86 }
+                | LinkId::HiddenOutput { output: 0, hidden: 0 }
+                | LinkId::HiddenOutput { output: 1, hidden: 0 }
+        );
+        if !keep {
+            net.prune(link);
+        }
+    }
+    net.set_weight(LinkId::InputHidden { hidden: 0, input: 14 }, 5.0); // I15: age >= 60
+    net.set_weight(LinkId::InputHidden { hidden: 0, input: 86 }, -2.5); // bias
+    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 4.0);
+    net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, -4.0);
+    net
+}
+
+/// Encoded dataset labeled by the network itself (accuracy is 1 by
+/// construction, so the RX accuracy checks cannot interfere).
+fn self_labeled(net: &Mlp, encoder: &Encoder, n: usize) -> nr_encode::EncodedDataset {
+    let ds = Generator::new(3).with_perturbation(0.05).dataset(Function::F1, n);
+    let raw = encoder.encode_dataset(&ds);
+    let mut matrix = Vec::with_capacity(raw.rows() * raw.cols());
+    let mut targets = Vec::with_capacity(raw.rows());
+    for i in 0..raw.rows() {
+        matrix.extend_from_slice(raw.input(i));
+        targets.push(net.classify(raw.input(i)));
+    }
+    nr_encode::EncodedDataset::from_parts(matrix, raw.cols(), targets, 2)
+}
+
+#[test]
+fn recovers_exact_rule_from_hand_built_network() {
+    let encoder = Encoder::agrawal();
+    let net = age_network();
+    let data = self_labeled(&net, &encoder, 400);
+    let outcome = extract(
+        &net,
+        &encoder,
+        &data,
+        &["A".into(), "B".into()],
+        &RxConfig::default(),
+    )
+    .expect("extraction succeeds");
+
+    // age >= 60 is the minority in uniformly drawn ages? [60,80] is a third
+    // of [20,80] — so class 1 (age < 60) is the default and class 0 gets
+    // the explicit rule.
+    assert_eq!(outcome.ruleset.default_class, 1);
+    assert_eq!(outcome.ruleset.len(), 1, "{:?}", outcome.ruleset.rules);
+    assert_eq!(
+        outcome.ruleset.rules[0].conditions,
+        vec![Condition::num_ge(2, 60.0)],
+        "expected the exact age >= 60 rule"
+    );
+    assert_eq!(outcome.ruleset.rules[0].class, 0);
+
+    // Perfect fidelity: the rule reproduces every network prediction.
+    assert_eq!(outcome.trace.live_hidden, vec![0]);
+    assert_eq!(outcome.trace.cluster_counts, vec![2]);
+}
+
+#[test]
+fn two_node_conjunction_network() {
+    // Node 0 detects age >= 60 (I15), node 1 detects salary >= 50000 (I4);
+    // class 0 iff both fire: S0 = sigma(3a0 + 3a1 - 4).
+    // With alpha in {-0.99, +0.99}: both high -> u ~ +1.9 -> class 0;
+    // otherwise u <= -4 -> class 1. (No output bias exists in this
+    // architecture, so we emulate the "-4" by a third always-on hidden
+    // node wired from the bias input.)
+    let encoder = Encoder::agrawal();
+    let mut net = Mlp::random(87, 3, 2, 1);
+    for link in net.active_links() {
+        let keep = matches!(
+            link,
+            LinkId::InputHidden { hidden: 0, input: 14 }
+                | LinkId::InputHidden { hidden: 0, input: 86 }
+                | LinkId::InputHidden { hidden: 1, input: 3 }
+                | LinkId::InputHidden { hidden: 1, input: 86 }
+                | LinkId::InputHidden { hidden: 2, input: 86 }
+                | LinkId::HiddenOutput { output: 0, hidden: 0 }
+                | LinkId::HiddenOutput { output: 0, hidden: 1 }
+                | LinkId::HiddenOutput { output: 0, hidden: 2 }
+                | LinkId::HiddenOutput { output: 1, hidden: 0 }
+        );
+        if !keep {
+            net.prune(link);
+        }
+    }
+    net.set_weight(LinkId::InputHidden { hidden: 0, input: 14 }, 6.0);
+    net.set_weight(LinkId::InputHidden { hidden: 0, input: 86 }, -3.0);
+    net.set_weight(LinkId::InputHidden { hidden: 1, input: 3 }, 6.0);
+    net.set_weight(LinkId::InputHidden { hidden: 1, input: 86 }, -3.0);
+    net.set_weight(LinkId::InputHidden { hidden: 2, input: 86 }, 5.0); // constant +1
+    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 3.0);
+    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 1 }, 3.0);
+    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 2 }, -4.0);
+    net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, 0.5);
+
+    let data = self_labeled(&net, &encoder, 500);
+    let outcome = extract(
+        &net,
+        &encoder,
+        &data,
+        &["A".into(), "B".into()],
+        &RxConfig::default(),
+    )
+    .expect("extraction succeeds");
+
+    // The conjunction (age >= 60) AND (salary >= 50000) must be the class-0
+    // rule, however RX orders the conditions.
+    let class0: Vec<_> = outcome.ruleset.rules_for_class(0);
+    assert_eq!(class0.len(), 1, "{:?}", outcome.ruleset.rules);
+    let conds = &class0[0].conditions;
+    assert!(conds.contains(&Condition::num_ge(2, 60.0)), "{conds:?}");
+    assert!(conds.contains(&Condition::num_ge(0, 50_000.0)), "{conds:?}");
+
+    // And it must reproduce the network exactly on the training data.
+    let mut agreement = 0usize;
+    for i in 0..data.rows() {
+        let net_class = net.classify(data.input(i));
+        // Rebuild the raw row to evaluate the rule (decode from the known
+        // generator — simpler: rules fire iff bits I15 and I4 are set).
+        let x = data.input(i);
+        let rule_class = if x[14] == 1.0 && x[3] == 1.0 { 0 } else { 1 };
+        if net_class == rule_class {
+            agreement += 1;
+        }
+    }
+    assert_eq!(agreement, data.rows(), "network must equal the known function");
+}
+
+#[test]
+fn subnet_path_produces_correct_rules() {
+    // Same age network, but a pattern-space cap of 1 forces the §3.2
+    // subnetwork path for its hidden node.
+    let encoder = Encoder::agrawal();
+    let net = age_network();
+    let data = self_labeled(&net, &encoder, 400);
+    let mut config = RxConfig::default();
+    config.max_input_patterns = 1;
+    config.subnet.min_inputs = 1;
+    let outcome = extract(&net, &encoder, &data, &["A".into(), "B".into()], &config)
+        .expect("subnet extraction succeeds");
+    assert!(
+        !outcome.trace.used_subnet.is_empty() || !outcome.trace.observed_fallback.is_empty(),
+        "the capped pattern space must trigger subnet or fallback"
+    );
+    // The rules must still capture age >= 60 => A semantics.
+    let class0 = outcome.ruleset.rules_for_class(0);
+    assert!(
+        class0.iter().any(|r| r
+            .conditions
+            .iter()
+            .any(|c| c.attribute() == 2)),
+        "expected an age condition, got {:?}",
+        outcome.ruleset.rules
+    );
+}
+
+#[test]
+fn degenerate_fully_pruned_network() {
+    let encoder = Encoder::agrawal();
+    let mut net = Mlp::random(87, 2, 2, 5);
+    clear(&mut net);
+    // Label everything class 1 so the constant network is "accurate".
+    let ds = Generator::new(9).dataset(Function::F1, 100);
+    let raw = encoder.encode_dataset(&ds);
+    let mut matrix = Vec::new();
+    for i in 0..raw.rows() {
+        matrix.extend_from_slice(raw.input(i));
+    }
+    let data =
+        nr_encode::EncodedDataset::from_parts(matrix, raw.cols(), vec![0; raw.rows()], 2);
+    let outcome = extract(
+        &net,
+        &encoder,
+        &data,
+        &["A".into(), "B".into()],
+        &RxConfig::default(),
+    )
+    .expect("degenerate network extracts to default-only rules");
+    assert_eq!(outcome.ruleset.len(), 0);
+    assert_eq!(outcome.ruleset.default_class, 0);
+}

@@ -1,0 +1,158 @@
+//! Minimal CSV round-trip for datasets.
+//!
+//! Format: header row of attribute names plus a final `class` column; nominal
+//! values are written as category names, numerics with full precision. This
+//! is a deliberately small hand-rolled reader/writer (the pre-approved crate
+//! set has no CSV crate and the format we need is a strict subset: no quoting
+//! or embedded commas — generated identifiers never contain either).
+
+use std::io::{BufRead, Write};
+
+use crate::{AttrKind, Dataset, Schema, TabularError, Value};
+
+/// Writes `ds` as CSV to `out`.
+pub fn write_csv<W: Write>(ds: &Dataset, out: &mut W) -> std::io::Result<()> {
+    let names: Vec<&str> = ds
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .chain(std::iter::once("class"))
+        .collect();
+    writeln!(out, "{}", names.join(","))?;
+    for (row, label) in ds.iter() {
+        for (i, v) in row.iter().enumerate() {
+            let cell = match (&ds.schema().attribute(i).kind, v) {
+                (AttrKind::Nominal { categories }, Value::Nominal(c)) => {
+                    categories[*c as usize].clone()
+                }
+                _ => format!("{v}"),
+            };
+            write!(out, "{cell},")?;
+        }
+        writeln!(out, "{}", ds.class_names()[label])?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_csv`], given its schema and class names.
+pub fn read_csv<R: BufRead>(
+    schema: Schema,
+    class_names: Vec<String>,
+    input: R,
+) -> crate::Result<Dataset> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TabularError::Csv("missing header".into()))?
+        .map_err(|e| TabularError::Csv(e.to_string()))?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() != schema.arity() + 1 {
+        return Err(TabularError::Csv(format!(
+            "header has {} columns, expected {}",
+            cols.len(),
+            schema.arity() + 1
+        )));
+    }
+    let mut ds = Dataset::new(schema, class_names);
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| TabularError::Csv(e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != ds.schema().arity() + 1 {
+            return Err(TabularError::Csv(format!(
+                "row {}: {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                ds.schema().arity() + 1
+            )));
+        }
+        let mut row = Vec::with_capacity(ds.schema().arity());
+        for (i, cell) in cells[..cells.len() - 1].iter().enumerate() {
+            let v = match &ds.schema().attribute(i).kind {
+                AttrKind::Numeric => Value::Num(cell.parse::<f64>().map_err(|e| {
+                    TabularError::Csv(format!("row {}: bad number {cell:?}: {e}", lineno + 2))
+                })?),
+                AttrKind::Nominal { categories } => {
+                    let code = categories.iter().position(|c| c == cell).ok_or_else(|| {
+                        TabularError::Csv(format!("row {}: unknown category {cell:?}", lineno + 2))
+                    })?;
+                    Value::Nominal(code as u32)
+                }
+            };
+            row.push(v);
+        }
+        let class_cell = cells[cells.len() - 1];
+        let label = ds
+            .class_names()
+            .iter()
+            .position(|c| c == class_cell)
+            .ok_or_else(|| {
+                TabularError::Csv(format!("row {}: unknown class {class_cell:?}", lineno + 2))
+            })?;
+        ds.push(row, label)?;
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attribute;
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal("color", ["red", "green"]),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        ds.push(vec![Value::Num(1.5), Value::Nominal(0)], 0).unwrap();
+        ds.push(vec![Value::Num(-2.0), Value::Nominal(1)], 1).unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = toy();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("x,color,class\n"));
+        assert!(text.contains("1.5,red,A"));
+        let back = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &buf[..]).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let ds = toy();
+        let input = b"x,class\n1.0,A\n";
+        let err = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let ds = toy();
+        let input = b"x,color,class\n1.0,red,C\n";
+        let err = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]);
+        assert!(matches!(err, Err(TabularError::Csv(_))));
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let ds = toy();
+        let input = b"x,color,class\nfoo,red,A\n";
+        assert!(read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]).is_err());
+    }
+
+    #[test]
+    fn skips_empty_lines() {
+        let ds = toy();
+        let input = b"x,color,class\n1.0,red,A\n\n2.0,green,B\n";
+        let back = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Stratified splitting and cross-validation folds.
+//!
+//! The paper evaluates on one train/test pair; a production library also
+//! needs stratified splits (class ratios preserved — important with skewed
+//! functions like F8/F10) and k-fold cross-validation for model selection.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Dataset;
+
+/// Splits `ds` into `(head, tail)` with `head_fraction` of every class in
+/// the head split (stratified). Deterministic for a given seed.
+pub fn stratified_split(ds: &Dataset, head_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..=1.0).contains(&head_fraction),
+        "fraction must be within [0,1], got {head_fraction}"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut head_idx = Vec::new();
+    let mut tail_idx = Vec::new();
+    for class in 0..ds.n_classes() {
+        let mut members: Vec<usize> =
+            (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
+        members.shuffle(&mut rng);
+        let cut = (members.len() as f64 * head_fraction).round() as usize;
+        head_idx.extend_from_slice(&members[..cut]);
+        tail_idx.extend_from_slice(&members[cut..]);
+    }
+    head_idx.sort_unstable();
+    tail_idx.sort_unstable();
+    (ds.subset(&head_idx), ds.subset(&tail_idx))
+}
+
+/// K-fold cross-validation: yields `(train, validation)` pairs covering the
+/// dataset, stratified per class. Deterministic for a given seed.
+pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(ds.len() >= k, "need at least one row per fold");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Assign each row to a fold, round-robin within each class after a
+    // shuffle — this keeps the folds' class ratios close to the dataset's.
+    let mut fold_of = vec![0usize; ds.len()];
+    for class in 0..ds.n_classes() {
+        let mut members: Vec<usize> =
+            (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
+        members.shuffle(&mut rng);
+        for (j, &row) in members.iter().enumerate() {
+            fold_of[row] = j % k;
+        }
+    }
+
+    (0..k)
+        .map(|fold| {
+            let train: Vec<usize> = (0..ds.len()).filter(|&i| fold_of[i] != fold).collect();
+            let val: Vec<usize> = (0..ds.len()).filter(|&i| fold_of[i] == fold).collect();
+            (ds.subset(&train), ds.subset(&val))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Schema, Value};
+
+    fn skewed(n: usize) -> Dataset {
+        // 80% class 0, 20% class 1.
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            ds.push(vec![Value::Num(i as f64)], usize::from(i % 5 == 0)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn stratified_split_preserves_ratios() {
+        let ds = skewed(100);
+        let (head, tail) = stratified_split(&ds, 0.7, 42);
+        assert_eq!(head.len() + tail.len(), 100);
+        // 80/20 in both splits (rounded).
+        let head_dist = head.class_distribution();
+        assert_eq!(head_dist[0], 56);
+        assert_eq!(head_dist[1], 14);
+        let tail_dist = tail.class_distribution();
+        assert_eq!(tail_dist[0], 24);
+        assert_eq!(tail_dist[1], 6);
+    }
+
+    #[test]
+    fn stratified_split_deterministic() {
+        let ds = skewed(60);
+        let a = stratified_split(&ds, 0.5, 7);
+        let b = stratified_split(&ds, 0.5, 7);
+        assert_eq!(a, b);
+        let c = stratified_split(&ds, 0.5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let ds = skewed(50);
+        let folds = stratified_kfold(&ds, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut total_val = 0usize;
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 50);
+            total_val += val.len();
+            // Folds keep the skew roughly: 80/20 ± rounding.
+            let dist = val.class_distribution();
+            assert!(dist[1] >= 1, "every fold should see the minority class");
+        }
+        assert_eq!(total_val, 50, "validation folds must cover the dataset once");
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        let ds = skewed(30);
+        assert_eq!(stratified_kfold(&ds, 3, 1), stratified_kfold(&ds, 3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn kfold_rejects_k1() {
+        stratified_kfold(&skewed(10), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn split_rejects_bad_fraction() {
+        stratified_split(&skewed(10), 1.5, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Labeled datasets: collections of tuples plus class labels.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Schema, TabularError, Value};
+
+/// Index into a dataset's class list.
+pub type ClassId = usize;
+
+/// How [`Dataset::split`] partitions the rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMethod {
+    /// First `n` rows go to the head split, the rest to the tail split.
+    Sequential,
+    /// Rows are shuffled with the given seed before splitting.
+    Shuffled(u64),
+}
+
+/// A labeled dataset: a schema, rows of values, and one class label per row.
+///
+/// This corresponds directly to the paper's training/testing sets of
+/// `(a_1, …, a_n, c_k)` tuples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    class_names: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    labels: Vec<ClassId>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema` with the given class labels.
+    pub fn new(schema: Schema, class_names: Vec<String>) -> Self {
+        Dataset { schema, class_names, rows: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Creates a dataset with rows, validating each against the schema.
+    pub fn from_rows(
+        schema: Schema,
+        class_names: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        labels: Vec<ClassId>,
+    ) -> crate::Result<Self> {
+        let mut ds = Dataset::new(schema, class_names);
+        ds.rows.reserve(rows.len());
+        ds.labels.reserve(labels.len());
+        if rows.len() != labels.len() {
+            return Err(TabularError::ArityMismatch { expected: rows.len(), got: labels.len() });
+        }
+        for (row, label) in rows.into_iter().zip(labels) {
+            ds.push(row, label)?;
+        }
+        Ok(ds)
+    }
+
+    /// Appends a validated row.
+    pub fn push(&mut self, row: Vec<Value>, label: ClassId) -> crate::Result<()> {
+        self.schema.validate_row(&row)?;
+        if label >= self.class_names.len() {
+            return Err(TabularError::UnknownClass(label));
+        }
+        self.rows.push(row);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The schema shared by all rows.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The class label names (indexed by [`ClassId`]).
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Number of distinct classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Row at `index`.
+    pub fn row(&self, index: usize) -> &[Value] {
+        &self.rows[index]
+    }
+
+    /// Label of row `index`.
+    pub fn label(&self, index: usize) -> ClassId {
+        self.labels[index]
+    }
+
+    /// All labels in row order.
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Iterator over `(row, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], ClassId)> + '_ {
+        self.rows.iter().map(|r| r.as_slice()).zip(self.labels.iter().copied())
+    }
+
+    /// Count of rows per class.
+    pub fn class_distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.class_names.len()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent class (ties broken by lowest id). Panics on empty datasets.
+    pub fn majority_class(&self) -> ClassId {
+        assert!(!self.is_empty(), "majority_class on empty dataset");
+        let counts = self.class_distribution();
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(id, &c)| (c, usize::MAX - id))
+            .map(|(id, _)| id)
+            .expect("non-empty class list")
+    }
+
+    /// Fraction of rows belonging to the majority class, in `[0, 1]`.
+    ///
+    /// The paper drops functions 8 and 10 because they produce "highly skewed
+    /// data"; this is the statistic used to detect that.
+    pub fn skew(&self) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let counts = self.class_distribution();
+        let max = counts.into_iter().max().unwrap_or(0);
+        max as f64 / self.len() as f64
+    }
+
+    /// Splits into `(head, tail)` where `head` has `n` rows.
+    ///
+    /// Panics if `n > len()`.
+    pub fn split(&self, n: usize, method: SplitMethod) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point {n} beyond dataset of {}", self.len());
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        if let SplitMethod::Shuffled(seed) = method {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        let mut head = Dataset::new(self.schema.clone(), self.class_names.clone());
+        let mut tail = Dataset::new(self.schema.clone(), self.class_names.clone());
+        for (k, &i) in order.iter().enumerate() {
+            let target = if k < n { &mut head } else { &mut tail };
+            target.rows.push(self.rows[i].clone());
+            target.labels.push(self.labels[i]);
+        }
+        (head, tail)
+    }
+
+    /// Returns the subset of rows whose indices are in `indices`.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.schema.clone(), self.class_names.clone());
+        out.rows.reserve(indices.len());
+        out.labels.reserve(indices.len());
+        for &i in indices {
+            out.rows.push(self.rows[i].clone());
+            out.labels.push(self.labels[i]);
+        }
+        out
+    }
+
+    /// Min and max of a numeric attribute over all rows, `None` when empty or nominal.
+    pub fn numeric_range(&self, attribute: usize) -> Option<(f64, f64)> {
+        if !self.schema.attribute(attribute).is_numeric() {
+            return None;
+        }
+        let mut it = self.rows.iter().map(|r| r[attribute].expect_num());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for x in it {
+            if x < lo {
+                lo = x;
+            }
+            if x > hi {
+                hi = x;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attribute;
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(vec![Attribute::numeric("x"), Attribute::nominal_anon("c", 3)]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            ds.push(vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)], i % 2)
+                .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_access() {
+        let ds = toy(5);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.row(2)[0], Value::Num(2.0));
+        assert_eq!(ds.label(3), 1);
+        assert_eq!(ds.n_classes(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_rows() {
+        let mut ds = toy(0);
+        assert!(ds.push(vec![Value::Num(0.0)], 0).is_err());
+        assert!(ds.push(vec![Value::Num(0.0), Value::Nominal(0)], 7).is_err());
+        assert!(ds.push(vec![Value::Nominal(0), Value::Nominal(0)], 0).is_err());
+    }
+
+    #[test]
+    fn distribution_and_majority() {
+        let ds = toy(7); // labels 0,1,0,1,0,1,0 -> 4 zeros, 3 ones
+        assert_eq!(ds.class_distribution(), vec![4, 3]);
+        assert_eq!(ds.majority_class(), 0);
+        assert!((ds.skew() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_split_preserves_order() {
+        let ds = toy(10);
+        let (head, tail) = ds.split(4, SplitMethod::Sequential);
+        assert_eq!(head.len(), 4);
+        assert_eq!(tail.len(), 6);
+        assert_eq!(head.row(0)[0], Value::Num(0.0));
+        assert_eq!(tail.row(0)[0], Value::Num(4.0));
+    }
+
+    #[test]
+    fn shuffled_split_is_deterministic_and_partitioning() {
+        let ds = toy(20);
+        let (h1, t1) = ds.split(10, SplitMethod::Shuffled(42));
+        let (h2, _) = ds.split(10, SplitMethod::Shuffled(42));
+        assert_eq!(h1, h2);
+        let mut seen: Vec<f64> = h1
+            .iter()
+            .chain(t1.iter())
+            .map(|(r, _)| r[0].expect_num())
+            .collect();
+        seen.sort_by(f64::total_cmp);
+        assert_eq!(seen, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = toy(6);
+        let sub = ds.subset(&[5, 0, 3]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.row(0)[0], Value::Num(5.0));
+        assert_eq!(sub.row(2)[0], Value::Num(3.0));
+    }
+
+    #[test]
+    fn numeric_range_works() {
+        let ds = toy(6);
+        assert_eq!(ds.numeric_range(0), Some((0.0, 5.0)));
+        assert_eq!(ds.numeric_range(1), None);
+        assert_eq!(toy(0).numeric_range(0), None);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let ok = Dataset::from_rows(
+            schema.clone(),
+            vec!["A".into()],
+            vec![vec![Value::Num(1.0)]],
+            vec![0],
+        );
+        assert!(ok.is_ok());
+        let bad = Dataset::from_rows(schema, vec!["A".into()], vec![vec![Value::Num(1.0)]], vec![1]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn iter_pairs_rows_with_labels() {
+        let ds = toy(3);
+        let pairs: Vec<(f64, ClassId)> =
+            ds.iter().map(|(r, l)| (r[0].expect_num(), l)).collect();
+        assert_eq!(pairs, vec![(0.0, 0), (1.0, 1), (2.0, 0)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = toy(4);
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

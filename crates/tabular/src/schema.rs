@@ -1,0 +1,220 @@
+//! Attribute and schema definitions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{TabularError, Value};
+
+/// The kind of an attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Continuous or ordered numeric attribute.
+    Numeric,
+    /// Nominal attribute with a fixed category list (code `i` ↦ `categories[i]`).
+    Nominal {
+        /// Display names of the categories, indexed by code.
+        categories: Vec<String>,
+    },
+}
+
+/// One attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Column name.
+    pub name: String,
+    /// Column kind.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// Creates a numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), kind: AttrKind::Numeric }
+    }
+
+    /// Creates a nominal attribute from category names.
+    pub fn nominal<I, S>(name: impl Into<String>, categories: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Nominal {
+                categories: categories.into_iter().map(Into::into).collect(),
+            },
+        }
+    }
+
+    /// Creates a nominal attribute with `n` anonymous categories `"0".."n-1"`.
+    pub fn nominal_anon(name: impl Into<String>, n: usize) -> Self {
+        Attribute::nominal(name, (0..n).map(|i| i.to_string()))
+    }
+
+    /// True for numeric attributes.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.kind, AttrKind::Numeric)
+    }
+
+    /// Number of categories for nominal attributes, `None` for numeric.
+    pub fn cardinality(&self) -> Option<usize> {
+        match &self.kind {
+            AttrKind::Numeric => None,
+            AttrKind::Nominal { categories } => Some(categories.len()),
+        }
+    }
+
+    /// Checks that `value` is admissible for this attribute.
+    pub fn validate(&self, index: usize, value: &Value) -> crate::Result<()> {
+        match (&self.kind, value) {
+            (AttrKind::Numeric, Value::Num(x)) => {
+                if x.is_finite() {
+                    Ok(())
+                } else {
+                    Err(TabularError::TypeMismatch {
+                        attribute: index,
+                        detail: format!("non-finite numeric value {x}"),
+                    })
+                }
+            }
+            (AttrKind::Nominal { categories }, Value::Nominal(c)) => {
+                if (*c as usize) < categories.len() {
+                    Ok(())
+                } else {
+                    Err(TabularError::UnknownCategory { attribute: index, code: *c })
+                }
+            }
+            (AttrKind::Numeric, Value::Nominal(_)) => Err(TabularError::TypeMismatch {
+                attribute: index,
+                detail: "nominal value for numeric attribute".into(),
+            }),
+            (AttrKind::Nominal { .. }, Value::Num(_)) => Err(TabularError::TypeMismatch {
+                attribute: index,
+                detail: "numeric value for nominal attribute".into(),
+            }),
+        }
+    }
+}
+
+/// An ordered list of attributes describing one relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from its attributes.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        Schema { attributes }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute at `index`.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Finds an attribute index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Validates a full row against the schema.
+    pub fn validate_row(&self, row: &[Value]) -> crate::Result<()> {
+        if row.len() != self.arity() {
+            return Err(TabularError::ArityMismatch { expected: self.arity(), got: row.len() });
+        }
+        for (i, (attr, value)) in self.attributes.iter().zip(row).enumerate() {
+            attr.validate(i, value)?;
+        }
+        Ok(())
+    }
+
+    /// Renders `value` for attribute `index` using category names when available.
+    pub fn display_value(&self, index: usize, value: &Value) -> String {
+        match (&self.attributes[index].kind, value) {
+            (AttrKind::Nominal { categories }, Value::Nominal(c)) => categories
+                .get(*c as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("#{c}")),
+            _ => value.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numeric("age"),
+            Attribute::nominal("color", ["red", "green"]),
+        ])
+    }
+
+    #[test]
+    fn arity_and_lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("color"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.attribute(0).name, "age");
+    }
+
+    #[test]
+    fn validates_good_row() {
+        let s = schema();
+        assert!(s.validate_row(&[Value::Num(1.0), Value::Nominal(1)]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let s = schema();
+        let err = s.validate_row(&[Value::Num(1.0)]).unwrap_err();
+        assert_eq!(err, TabularError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let s = schema();
+        assert!(s.validate_row(&[Value::Nominal(0), Value::Nominal(0)]).is_err());
+        assert!(s.validate_row(&[Value::Num(0.0), Value::Num(0.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_category() {
+        let s = schema();
+        let err = s.validate_row(&[Value::Num(0.0), Value::Nominal(9)]).unwrap_err();
+        assert_eq!(err, TabularError::UnknownCategory { attribute: 1, code: 9 });
+    }
+
+    #[test]
+    fn rejects_non_finite_numeric() {
+        let s = schema();
+        assert!(s.validate_row(&[Value::Num(f64::NAN), Value::Nominal(0)]).is_err());
+        assert!(s.validate_row(&[Value::Num(f64::INFINITY), Value::Nominal(0)]).is_err());
+    }
+
+    #[test]
+    fn display_uses_category_names() {
+        let s = schema();
+        assert_eq!(s.display_value(1, &Value::Nominal(0)), "red");
+        assert_eq!(s.display_value(0, &Value::Num(2.5)), "2.5");
+    }
+
+    #[test]
+    fn anon_nominal_cardinality() {
+        let a = Attribute::nominal_anon("car", 20);
+        assert_eq!(a.cardinality(), Some(20));
+        assert!(!a.is_numeric());
+    }
+}

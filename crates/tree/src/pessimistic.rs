@@ -1,0 +1,148 @@
+//! Pessimistic error estimation (Quinlan's C4.5, chapter 4).
+//!
+//! C4.5 estimates the "true" error of a leaf covering `n` cases with `e`
+//! observed errors as the upper limit of the binomial confidence interval
+//! at confidence `CF` (default 0.25). This module implements the standard
+//! normal-approximation used by C4.5 (and Weka's `Stats.addErrs`), plus the
+//! inverse normal CDF it needs.
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over (0, 1)).
+pub fn normal_inverse(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1), got {p}");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The additional errors C4.5 charges a leaf with `n` cases and `e`
+/// observed errors at confidence `cf` (Weka's `Stats.addErrs`). The
+/// pessimistic error estimate is `e + added_errors(n, e, cf)`.
+pub fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
+    assert!(n > 0.0, "leaf must cover at least one case");
+    if e < 1.0 {
+        // Base: upper limit when no error has been observed.
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e == 0.0 {
+            return base;
+        }
+        // Interpolate between the e=0 and e=1 cases.
+        return base + e * (added_errors(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_inverse(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n) - e
+}
+
+/// Pessimistic error estimate (`e` plus the CF-upper-bound surcharge).
+pub fn pessimistic_errors(n: f64, e: f64, cf: f64) -> f64 {
+    e + added_errors(n, e, cf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_inverse_known_values() {
+        assert!((normal_inverse(0.5)).abs() < 1e-9);
+        assert!((normal_inverse(0.75) - 0.674_489_750_196_081_7).abs() < 1e-7);
+        assert!((normal_inverse(0.975) - 1.959_963_984_540_054).abs() < 1e-7);
+        assert!((normal_inverse(0.025) + 1.959_963_984_540_054).abs() < 1e-7);
+        // Tail region.
+        assert!((normal_inverse(1e-6) + 4.753_424_308_822_899).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_inverse_is_odd_around_half() {
+        for &p in &[0.6, 0.9, 0.99, 0.999] {
+            assert!((normal_inverse(p) + normal_inverse(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn normal_inverse_rejects_bounds() {
+        normal_inverse(0.0);
+    }
+
+    #[test]
+    fn added_errors_zero_observed() {
+        // C4.5's textbook example: n=6, e=0, CF=0.25 -> U = 6(1-0.25^(1/6)) ≈ 1.238.
+        let add = added_errors(6.0, 0.0, 0.25);
+        assert!((add - 1.238).abs() < 0.01, "{add}");
+    }
+
+    #[test]
+    fn added_errors_monotone_in_e() {
+        let mut last = pessimistic_errors(100.0, 0.0, 0.25);
+        for e in 1..50 {
+            let cur = pessimistic_errors(100.0, e as f64, 0.25);
+            assert!(cur > last, "estimate must grow with observed errors");
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn added_errors_shrinks_with_n() {
+        // Same error *rate*, more data -> smaller surcharge per case.
+        let small = added_errors(10.0, 1.0, 0.25) / 10.0;
+        let large = added_errors(1000.0, 100.0, 0.25) / 1000.0;
+        assert!(large < small);
+    }
+
+    #[test]
+    fn saturates_at_n() {
+        // e close to n: the surcharge cannot push the estimate past n.
+        let add = added_errors(10.0, 9.8, 0.25);
+        assert!((0.0..=0.2001).contains(&add));
+    }
+}

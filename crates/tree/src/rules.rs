@@ -1,0 +1,221 @@
+//! Tree → rules conversion in the style of C4.5rules.
+//!
+//! C4.5rules turns every root-to-leaf path into a rule, *generalizes* each
+//! rule by greedily dropping conditions whose removal does not worsen its
+//! pessimistic error estimate, removes duplicates, orders rules by
+//! estimated accuracy, and picks as default the class most frequent among
+//! training tuples covered by no rule. (Quinlan's full system additionally
+//! runs an MDL-based subset selection per class; the greedy generalization
+//! below reproduces the part that matters for the paper's comparison —
+//! per-path rules with dropped conditions — and yields rule counts in the
+//! same range.)
+
+use nr_rules::{Condition, Rule, RuleSet};
+use nr_tabular::Dataset;
+
+use crate::pessimistic::pessimistic_errors;
+use crate::tree::{DecisionTree, Node};
+
+/// Converts a fitted tree into an ordered rule set (CF = 0.25 estimates).
+pub fn to_rules(tree: &DecisionTree, train: &Dataset) -> RuleSet {
+    let mut paths: Vec<Rule> = Vec::new();
+    collect_paths(tree.root(), &mut Vec::new(), &mut paths);
+
+    // Generalize each rule by dropping conditions.
+    let cf = 0.25;
+    let mut rules: Vec<Rule> = paths
+        .into_iter()
+        .map(|r| generalize(r, train, cf))
+        .collect();
+
+    // Deduplicate (generalization often collapses sibling paths).
+    let mut seen: Vec<Rule> = Vec::new();
+    rules.retain(|r| {
+        if seen.contains(r) {
+            false
+        } else {
+            seen.push(r.clone());
+            true
+        }
+    });
+
+    // Order by pessimistic error rate (best first), then by coverage.
+    let mut keyed: Vec<(f64, usize, Rule)> = rules
+        .into_iter()
+        .map(|r| {
+            let (covered, errors) = coverage(&r, train);
+            let est = if covered == 0 {
+                f64::INFINITY
+            } else {
+                pessimistic_errors(covered as f64, errors as f64, cf) / covered as f64
+            };
+            (est, usize::MAX - covered, r)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let rules: Vec<Rule> = keyed.into_iter().map(|(_, _, r)| r).collect();
+
+    // Default class: majority among uncovered training tuples.
+    let mut uncovered_counts = vec![0usize; train.n_classes()];
+    let mut any_uncovered = false;
+    for (row, label) in train.iter() {
+        if !rules.iter().any(|r| r.matches(row)) {
+            uncovered_counts[label] += 1;
+            any_uncovered = true;
+        }
+    }
+    let default_class = if any_uncovered {
+        uncovered_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    } else {
+        train.majority_class()
+    };
+
+    RuleSet::new(rules, default_class, train.class_names().to_vec()).simplified()
+}
+
+/// Root-to-leaf paths as rules (empty leaves from nominal splits skipped).
+fn collect_paths(node: &Node, conditions: &mut Vec<Condition>, out: &mut Vec<Rule>) {
+    match node {
+        Node::Leaf { n: 0, .. } => {}
+        Node::Leaf { class, .. } => out.push(Rule::new(conditions.clone(), *class)),
+        Node::Numeric { attribute, threshold, left, right } => {
+            // `x ≤ t` ≡ `x < t` here: thresholds are midpoints between
+            // observed values, so equality never occurs on real data.
+            conditions.push(Condition::num_lt(*attribute, *threshold));
+            collect_paths(left, conditions, out);
+            conditions.pop();
+            conditions.push(Condition::num_ge(*attribute, *threshold));
+            collect_paths(right, conditions, out);
+            conditions.pop();
+        }
+        Node::Nominal { attribute, children, .. } => {
+            for (code, child) in children.iter().enumerate() {
+                conditions.push(Condition::CatEq { attribute: *attribute, code: code as u32 });
+                collect_paths(child, conditions, out);
+                conditions.pop();
+            }
+        }
+    }
+}
+
+/// `(covered, errors)` of one rule on the training set.
+fn coverage(rule: &Rule, train: &Dataset) -> (usize, usize) {
+    let mut covered = 0;
+    let mut errors = 0;
+    for (row, label) in train.iter() {
+        if rule.matches(row) {
+            covered += 1;
+            if label != rule.class {
+                errors += 1;
+            }
+        }
+    }
+    (covered, errors)
+}
+
+/// Greedy condition dropping: while some condition can be removed without
+/// increasing the rule's pessimistic error estimate, remove the one whose
+/// removal helps most (Quinlan, C4.5 chapter 10).
+fn generalize(mut rule: Rule, train: &Dataset, cf: f64) -> Rule {
+    let estimate = |r: &Rule| -> f64 {
+        let (covered, errors) = coverage(r, train);
+        if covered == 0 {
+            return f64::INFINITY;
+        }
+        pessimistic_errors(covered as f64, errors as f64, cf) / covered as f64
+    };
+    let mut current = estimate(&rule);
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for k in 0..rule.conditions.len() {
+            let mut trial = rule.clone();
+            trial.conditions.remove(k);
+            let e = estimate(&trial);
+            if e <= current && best.is_none_or(|(be, _)| e < be) {
+                best = Some((e, k));
+            }
+        }
+        match best {
+            Some((e, k)) => {
+                rule.conditions.remove(k);
+                current = e;
+            }
+            None => break,
+        }
+    }
+    rule.normalized().unwrap_or(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+    use nr_datagen::{Function, Generator};
+    use nr_tabular::{Attribute, Schema, Value};
+
+    #[test]
+    fn rules_match_tree_on_clean_data() {
+        // class = x < 5 exactly; one split, two paths, one non-default rule
+        // after simplification.
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..40 {
+            ds.push(vec![Value::Num(i as f64)], usize::from(i >= 5)).unwrap();
+        }
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        let rules = to_rules(&tree, &ds);
+        assert_eq!(rules.accuracy(&ds), 1.0);
+        assert!(rules.len() <= 2);
+    }
+
+    #[test]
+    fn rules_accuracy_close_to_tree_on_f2() {
+        let gen = Generator::new(3).with_perturbation(0.05);
+        let (train, test) = gen.train_test(Function::F2, 700, 700);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        let rules = to_rules(&tree, &train);
+        let (ta, ra) = (tree.accuracy(&test), rules.accuracy(&test));
+        assert!(ra > ta - 0.1, "rules {ra} much worse than tree {ta}");
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
+    fn generalize_drops_redundant_conditions() {
+        // Rule with an irrelevant condition on a noise attribute.
+        let schema = Schema::new(vec![Attribute::numeric("x"), Attribute::numeric("noise")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..60 {
+            let x = i as f64;
+            ds.push(vec![Value::Num(x), Value::Num((i % 7) as f64)], usize::from(x >= 30.0))
+                .unwrap();
+        }
+        let rule = Rule::new(
+            vec![Condition::num_lt(0, 30.0), Condition::num_lt(1, 6.0)],
+            0,
+        );
+        let g = generalize(rule, &ds, 0.25);
+        assert_eq!(g.conditions, vec![Condition::num_lt(0, 30.0)]);
+    }
+
+    #[test]
+    fn default_class_from_uncovered() {
+        let gen = Generator::new(9).with_perturbation(0.05);
+        let train = gen.dataset(Function::F2, 500);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        let rules = to_rules(&tree, &train);
+        assert!(rules.default_class < train.n_classes());
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = Generator::new(5).with_perturbation(0.05);
+        let train = gen.dataset(Function::F3, 400);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        assert_eq!(to_rules(&tree, &train), to_rules(&tree, &train));
+    }
+}

@@ -1,0 +1,301 @@
+//! Split selection: entropy, information gain, gain ratio.
+
+use nr_tabular::Dataset;
+
+/// Shannon entropy of a class-count vector, in bits.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// One candidate split of a node's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitCandidate {
+    /// Binary split `attr ≤ threshold` / `attr > threshold`.
+    Numeric {
+        /// Attribute index.
+        attribute: usize,
+        /// Split threshold (midpoint between adjacent observed values).
+        threshold: f64,
+        /// Information gain.
+        gain: f64,
+        /// Gain ratio (gain / split info).
+        gain_ratio: f64,
+    },
+    /// Multiway split on a nominal attribute (one branch per category).
+    Nominal {
+        /// Attribute index.
+        attribute: usize,
+        /// Information gain.
+        gain: f64,
+        /// Gain ratio.
+        gain_ratio: f64,
+    },
+}
+
+impl SplitCandidate {
+    /// The split's information gain.
+    pub fn gain(&self) -> f64 {
+        match self {
+            SplitCandidate::Numeric { gain, .. } | SplitCandidate::Nominal { gain, .. } => *gain,
+        }
+    }
+
+    /// The split's gain ratio.
+    pub fn gain_ratio(&self) -> f64 {
+        match self {
+            SplitCandidate::Numeric { gain_ratio, .. }
+            | SplitCandidate::Nominal { gain_ratio, .. } => *gain_ratio,
+        }
+    }
+
+    /// The attribute being split.
+    pub fn attribute(&self) -> usize {
+        match self {
+            SplitCandidate::Numeric { attribute, .. }
+            | SplitCandidate::Nominal { attribute, .. } => *attribute,
+        }
+    }
+}
+
+/// Evaluates the best split of `rows` (indices into `ds`) on every
+/// attribute and applies C4.5's selection heuristic: among candidates with
+/// gain at least the average positive gain, pick the best gain ratio.
+/// Returns `None` when no split has positive gain.
+pub fn gain_ratio_split(ds: &Dataset, rows: &[usize], min_leaf: usize) -> Option<SplitCandidate> {
+    let n_classes = ds.n_classes();
+    let mut base_counts = vec![0usize; n_classes];
+    for &r in rows {
+        base_counts[ds.label(r)] += 1;
+    }
+    let base_entropy = entropy(&base_counts);
+    let n = rows.len() as f64;
+
+    let mut candidates: Vec<SplitCandidate> = Vec::new();
+    for a in 0..ds.schema().arity() {
+        let attr = ds.schema().attribute(a);
+        let candidate = if attr.is_numeric() {
+            best_numeric_split(ds, rows, a, &base_counts, base_entropy, min_leaf)
+        } else {
+            nominal_split(ds, rows, a, base_entropy, min_leaf)
+        };
+        if let Some(c) = candidate {
+            if c.gain() > 1e-12 {
+                candidates.push(c);
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let avg_gain: f64 = candidates.iter().map(SplitCandidate::gain).sum::<f64>()
+        / candidates.len() as f64;
+    let _ = n;
+    candidates
+        .into_iter()
+        .filter(|c| c.gain() >= avg_gain - 1e-12)
+        .max_by(|a, b| {
+            a.gain_ratio()
+                .total_cmp(&b.gain_ratio())
+                .then(a.gain().total_cmp(&b.gain()))
+                .then(b.attribute().cmp(&a.attribute())) // deterministic ties
+        })
+}
+
+/// Best `≤ t` split of a numeric attribute: sort the rows, scan class
+/// counts, and evaluate the gain at every boundary between distinct values.
+fn best_numeric_split(
+    ds: &Dataset,
+    rows: &[usize],
+    attribute: usize,
+    base_counts: &[usize],
+    base_entropy: f64,
+    min_leaf: usize,
+) -> Option<SplitCandidate> {
+    let n_classes = ds.n_classes();
+    let mut sorted: Vec<(f64, usize)> = rows
+        .iter()
+        .map(|&r| (ds.row(r)[attribute].expect_num(), ds.label(r)))
+        .collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = sorted.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+
+    let mut left = vec![0usize; n_classes];
+    let mut best: Option<(f64, f64)> = None; // (gain, threshold)
+    for i in 0..n - 1 {
+        left[sorted[i].1] += 1;
+        // Only cut between distinct values.
+        if sorted[i].0 == sorted[i + 1].0 {
+            continue;
+        }
+        let n_left = i + 1;
+        let n_right = n - n_left;
+        if n_left < min_leaf || n_right < min_leaf {
+            continue;
+        }
+        let right: Vec<usize> = base_counts.iter().zip(&left).map(|(b, l)| b - l).collect();
+        let cond = (n_left as f64 / n as f64) * entropy(&left)
+            + (n_right as f64 / n as f64) * entropy(&right);
+        let gain = base_entropy - cond;
+        let threshold = (sorted[i].0 + sorted[i + 1].0) / 2.0;
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, threshold));
+        }
+    }
+    let (gain, threshold) = best?;
+    // Split info of the chosen binary partition.
+    let n_left = sorted.iter().filter(|&&(v, _)| v <= threshold).count();
+    let split_info = entropy(&[n_left, n - n_left]);
+    let gain_ratio = if split_info > 1e-12 { gain / split_info } else { 0.0 };
+    Some(SplitCandidate::Numeric { attribute, threshold, gain, gain_ratio })
+}
+
+/// Multiway split on a nominal attribute.
+fn nominal_split(
+    ds: &Dataset,
+    rows: &[usize],
+    attribute: usize,
+    base_entropy: f64,
+    min_leaf: usize,
+) -> Option<SplitCandidate> {
+    let card = ds.schema().attribute(attribute).cardinality()?;
+    let n_classes = ds.n_classes();
+    let mut per_cat = vec![vec![0usize; n_classes]; card];
+    for &r in rows {
+        let c = ds.row(r)[attribute].expect_nominal() as usize;
+        per_cat[c][ds.label(r)] += 1;
+    }
+    let n = rows.len() as f64;
+    let nonempty: Vec<&Vec<usize>> =
+        per_cat.iter().filter(|c| c.iter().sum::<usize>() > 0).collect();
+    if nonempty.len() < 2 {
+        return None;
+    }
+    // C4.5 requires at least two branches with min_leaf cases.
+    let big_branches = nonempty
+        .iter()
+        .filter(|c| c.iter().sum::<usize>() >= min_leaf)
+        .count();
+    if big_branches < 2 {
+        return None;
+    }
+    let mut cond = 0.0;
+    let mut split_info_counts = Vec::with_capacity(nonempty.len());
+    for counts in &nonempty {
+        let size: usize = counts.iter().sum();
+        cond += (size as f64 / n) * entropy(counts);
+        split_info_counts.push(size);
+    }
+    let gain = base_entropy - cond;
+    let split_info = entropy(&split_info_counts);
+    let gain_ratio = if split_info > 1e-12 { gain / split_info } else { 0.0 };
+    Some(SplitCandidate::Nominal { attribute, gain, gain_ratio })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::{Attribute, Schema, Value};
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[0, 0]), 0.0);
+        assert_eq!(entropy(&[10, 0]), 0.0);
+        assert!((entropy(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        // Entropy is maximal for the uniform distribution.
+        assert!(entropy(&[7, 3]) < 1.0);
+    }
+
+    fn toy_ds() -> Dataset {
+        // class = x < 5; nominal attribute is pure noise.
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("junk", 3),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..20 {
+            let x = i as f64;
+            ds.push(
+                vec![Value::Num(x), Value::Nominal((i % 3) as u32)],
+                usize::from(x >= 5.0),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn numeric_split_finds_boundary() {
+        let ds = toy_ds();
+        let rows: Vec<usize> = (0..ds.len()).collect();
+        let split = gain_ratio_split(&ds, &rows, 2).unwrap();
+        match split {
+            SplitCandidate::Numeric { attribute, threshold, gain, .. } => {
+                assert_eq!(attribute, 0);
+                assert!((threshold - 4.5).abs() < 1e-12, "threshold {threshold}");
+                // A perfect split recovers the full base entropy,
+                // H(5/20, 15/20) ≈ 0.811.
+                assert!((gain - entropy(&[5, 15])).abs() < 1e-9, "gain {gain}");
+            }
+            other => panic!("expected numeric split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_split_on_pure_node() {
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..10 {
+            ds.push(vec![Value::Num(i as f64)], 0).unwrap();
+        }
+        let rows: Vec<usize> = (0..10).collect();
+        assert_eq!(gain_ratio_split(&ds, &rows, 2), None);
+    }
+
+    #[test]
+    fn nominal_split_when_informative() {
+        // class = category.
+        let schema = Schema::new(vec![Attribute::nominal_anon("c", 2)]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..12 {
+            ds.push(vec![Value::Nominal((i % 2) as u32)], i % 2).unwrap();
+        }
+        let rows: Vec<usize> = (0..12).collect();
+        let split = gain_ratio_split(&ds, &rows, 2).unwrap();
+        match split {
+            SplitCandidate::Nominal { attribute: 0, gain, .. } => {
+                assert!((gain - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected nominal split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let ds = toy_ds();
+        let rows: Vec<usize> = (0..3).collect(); // labels 0,0,0 -> pure anyway
+        assert_eq!(gain_ratio_split(&ds, &rows, 2), None);
+    }
+
+    #[test]
+    fn deterministic_choice() {
+        let ds = toy_ds();
+        let rows: Vec<usize> = (0..ds.len()).collect();
+        assert_eq!(gain_ratio_split(&ds, &rows, 2), gain_ratio_split(&ds, &rows, 2));
+    }
+}

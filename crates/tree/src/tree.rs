@@ -1,0 +1,467 @@
+//! Tree induction, pessimistic pruning, prediction.
+
+use nr_tabular::{ClassId, Dataset, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::pessimistic::pessimistic_errors;
+use crate::split::{gain_ratio_split, SplitCandidate};
+
+/// C4.5 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Minimum cases per branch (C4.5's `MINOBJS`).
+    pub min_leaf: usize,
+    /// Pruning confidence factor (C4.5's `CF`).
+    pub cf: f64,
+    /// Depth cap (safety valve; C4.5 has none).
+    pub max_depth: usize,
+    /// Apply pessimistic pruning after induction.
+    pub prune: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { min_leaf: 2, cf: 0.25, max_depth: 40, prune: true }
+    }
+}
+
+/// A decision-tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node.
+    Leaf {
+        /// Majority class of the covered training cases.
+        class: ClassId,
+        /// Training cases covered.
+        n: usize,
+        /// Covered cases not of `class`.
+        errors: usize,
+        /// Full class distribution of the covered cases.
+        counts: Vec<usize>,
+    },
+    /// `attr ≤ threshold` goes left, `> threshold` goes right.
+    Numeric {
+        /// Attribute index.
+        attribute: usize,
+        /// Threshold (midpoint between observed values).
+        threshold: f64,
+        /// The `≤` branch.
+        left: Box<Node>,
+        /// The `>` branch.
+        right: Box<Node>,
+    },
+    /// One branch per category; empty categories fall back to the majority
+    /// child.
+    Nominal {
+        /// Attribute index.
+        attribute: usize,
+        /// One child per category code.
+        children: Vec<Node>,
+        /// Child to use for categories unseen at this node.
+        majority_child: usize,
+    },
+}
+
+impl Node {
+    fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Numeric { left, right, .. } => left.n_leaves() + right.n_leaves(),
+            Node::Nominal { children, .. } => children.iter().map(Node::n_leaves).sum(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Numeric { left, right, .. } => 1 + left.depth().max(right.depth()),
+            Node::Nominal { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// `(covered, errors)` of the training cases under this node.
+    fn counts(&self) -> (usize, usize) {
+        match self {
+            Node::Leaf { n, errors, .. } => (*n, *errors),
+            Node::Numeric { left, right, .. } => {
+                let (nl, el) = left.counts();
+                let (nr, er) = right.counts();
+                (nl + nr, el + er)
+            }
+            Node::Nominal { children, .. } => children.iter().fold((0, 0), |(n, e), c| {
+                let (cn, ce) = c.counts();
+                (n + cn, e + ce)
+            }),
+        }
+    }
+}
+
+/// A fitted C4.5-style decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    config: TreeConfig,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Induces a tree on `ds` (all rows) with the given configuration.
+    pub fn fit(ds: &Dataset, config: &TreeConfig) -> Self {
+        assert!(!ds.is_empty(), "cannot fit a tree on an empty dataset");
+        let rows: Vec<usize> = (0..ds.len()).collect();
+        let mut root = build(ds, &rows, config, 0);
+        if config.prune {
+            prune_node(&mut root, config.cf);
+        }
+        DecisionTree { root, config: *config, n_classes: ds.n_classes() }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Predicts the class of one row.
+    pub fn predict(&self, row: &[Value]) -> ClassId {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return *class,
+                Node::Numeric { attribute, threshold, left, right } => {
+                    node = if row[*attribute].expect_num() <= *threshold { left } else { right };
+                }
+                Node::Nominal { attribute, children, majority_child } => {
+                    let c = row[*attribute].expect_nominal() as usize;
+                    node = children.get(c).unwrap_or(&children[*majority_child]);
+                    // An empty category branch is a leaf with n == 0; route
+                    // those through the majority child instead.
+                    if let Node::Leaf { n: 0, .. } = node {
+                        node = &children[*majority_child];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fraction of `ds` classified correctly.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let correct = ds.iter().filter(|(row, label)| self.predict(row) == *label).count();
+        correct as f64 / ds.len() as f64
+    }
+
+    /// Pretty-prints the tree structure.
+    pub fn display(&self, ds: &Dataset) -> String {
+        let mut out = String::new();
+        display_node(&self.root, ds, 0, &mut out);
+        out
+    }
+}
+
+fn display_node(node: &Node, ds: &Dataset, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node {
+        Node::Leaf { class, n, errors, .. } => {
+            out.push_str(&format!(
+                "{pad}-> {} ({n} cases, {errors} errors)\n",
+                ds.class_names()[*class]
+            ));
+        }
+        Node::Numeric { attribute, threshold, left, right } => {
+            let name = &ds.schema().attribute(*attribute).name;
+            out.push_str(&format!("{pad}{name} <= {threshold}:\n"));
+            display_node(left, ds, indent + 1, out);
+            out.push_str(&format!("{pad}{name} > {threshold}:\n"));
+            display_node(right, ds, indent + 1, out);
+        }
+        Node::Nominal { attribute, children, .. } => {
+            let name = &ds.schema().attribute(*attribute).name;
+            for (c, child) in children.iter().enumerate() {
+                if let Node::Leaf { n: 0, .. } = child {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{pad}{name} = {}:\n",
+                    ds.schema().display_value(*attribute, &Value::Nominal(c as u32))
+                ));
+                display_node(child, ds, indent + 1, out);
+            }
+        }
+    }
+}
+
+/// Recursive top-down induction.
+fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Node {
+    let (class, n, errors, counts) = majority_leaf(ds, rows);
+    if errors == 0 || n < 2 * config.min_leaf || depth >= config.max_depth {
+        return Node::Leaf { class, n, errors, counts };
+    }
+    let Some(split) = gain_ratio_split(ds, rows, config.min_leaf) else {
+        return Node::Leaf { class, n, errors, counts };
+    };
+    match split {
+        SplitCandidate::Numeric { attribute, threshold, .. } => {
+            let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
+            for &r in rows {
+                if ds.row(r)[attribute].expect_num() <= threshold {
+                    left_rows.push(r);
+                } else {
+                    right_rows.push(r);
+                }
+            }
+            debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+            Node::Numeric {
+                attribute,
+                threshold,
+                left: Box::new(build(ds, &left_rows, config, depth + 1)),
+                right: Box::new(build(ds, &right_rows, config, depth + 1)),
+            }
+        }
+        SplitCandidate::Nominal { attribute, .. } => {
+            let card = ds
+                .schema()
+                .attribute(attribute)
+                .cardinality()
+                .expect("nominal split on nominal attribute");
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); card];
+            for &r in rows {
+                buckets[ds.row(r)[attribute].expect_nominal() as usize].push(r);
+            }
+            let majority_child = buckets
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.len())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let children: Vec<Node> = buckets
+                .iter()
+                .map(|bucket| {
+                    if bucket.is_empty() {
+                        // Empty category: placeholder leaf, rerouted at
+                        // prediction time.
+                        Node::Leaf { class, n: 0, errors: 0, counts: Vec::new() }
+                    } else {
+                        build(ds, bucket, config, depth + 1)
+                    }
+                })
+                .collect();
+            Node::Nominal { attribute, children, majority_child }
+        }
+    }
+}
+
+fn majority_leaf(ds: &Dataset, rows: &[usize]) -> (ClassId, usize, usize, Vec<usize>) {
+    let mut counts = vec![0usize; ds.n_classes()];
+    for &r in rows {
+        counts[ds.label(r)] += 1;
+    }
+    let class = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let n = rows.len();
+    let errors = n - counts[class];
+    (class, n, errors, counts)
+}
+
+/// Bottom-up pessimistic pruning: replace a subtree by a leaf when the
+/// leaf's estimated errors do not exceed the subtree's.
+fn prune_node(node: &mut Node, cf: f64) -> f64 {
+    match node {
+        Node::Leaf { n, errors, .. } => {
+            if *n == 0 {
+                return 0.0;
+            }
+            pessimistic_errors(*n as f64, *errors as f64, cf)
+        }
+        _ => {
+            let subtree_est = match node {
+                Node::Numeric { left, right, .. } => prune_node(left, cf) + prune_node(right, cf),
+                Node::Nominal { children, .. } => {
+                    children.iter_mut().map(|c| prune_node(c, cf)).sum()
+                }
+                Node::Leaf { .. } => unreachable!(),
+            };
+            let (n, _) = node.counts();
+            // Errors if this subtree became a leaf: recompute the majority
+            // over all covered cases.
+            let leaf_errors = leaf_error_count(node);
+            let leaf_est = pessimistic_errors(n as f64, leaf_errors as f64, cf);
+            if leaf_est <= subtree_est + 0.1 {
+                let class = subtree_majority(node);
+                let mut acc = std::collections::BTreeMap::new();
+                class_counts(node, &mut acc);
+                let max_class = acc.keys().copied().max().unwrap_or(0);
+                let mut counts = vec![0usize; max_class + 1];
+                for (c, k) in acc {
+                    counts[c] = k;
+                }
+                *node = Node::Leaf { class, n, errors: leaf_errors, counts };
+                leaf_est
+            } else {
+                subtree_est
+            }
+        }
+    }
+}
+
+/// Class counts under a node, by summing the exact leaf distributions.
+fn class_counts(node: &Node, acc: &mut std::collections::BTreeMap<ClassId, usize>) {
+    match node {
+        Node::Leaf { counts, .. } => {
+            for (class, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    *acc.entry(class).or_insert(0) += c;
+                }
+            }
+        }
+        Node::Numeric { left, right, .. } => {
+            class_counts(left, acc);
+            class_counts(right, acc);
+        }
+        Node::Nominal { children, .. } => {
+            for c in children {
+                class_counts(c, acc);
+            }
+        }
+    }
+}
+
+fn subtree_majority(node: &Node) -> ClassId {
+    let mut acc = std::collections::BTreeMap::new();
+    class_counts(node, &mut acc);
+    acc.into_iter()
+        .max_by_key(|&(class, n)| (n, usize::MAX - class))
+        .map(|(class, _)| class)
+        .unwrap_or(0)
+}
+
+fn leaf_error_count(node: &Node) -> usize {
+    let (n, _) = node.counts();
+    let mut acc = std::collections::BTreeMap::new();
+    class_counts(node, &mut acc);
+    let majority = acc.values().copied().max().unwrap_or(0);
+    n - majority
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_datagen::{Function, Generator};
+    use nr_tabular::{Attribute, Schema};
+
+    fn stripes(n: usize) -> Dataset {
+        // class = floor(x) % 2 on [0, 4): needs several splits.
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            let x = 4.0 * (i as f64) / (n as f64);
+            ds.push(vec![Value::Num(x)], (x as usize) % 2).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn fits_pure_structure_perfectly() {
+        let ds = stripes(80);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        assert!(tree.n_leaves() >= 4);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn nominal_splits_work() {
+        let schema = Schema::new(vec![Attribute::nominal_anon("c", 3)]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..30 {
+            let c = (i % 3) as u32;
+            ds.push(vec![Value::Nominal(c)], usize::from(c == 1)).unwrap();
+        }
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert_eq!(tree.accuracy(&ds), 1.0);
+        assert_eq!(tree.predict(&[Value::Nominal(1)]), 1);
+        assert_eq!(tree.predict(&[Value::Nominal(2)]), 0);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        // Noisy labels: an unpruned tree overfits into many leaves.
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..200 {
+            let x = i as f64;
+            // Mostly class 0, with deterministic "noise" sprinkled in.
+            let label = usize::from(i % 17 == 3);
+            ds.push(vec![Value::Num(x)], label).unwrap();
+        }
+        let unpruned =
+            DecisionTree::fit(&ds, &TreeConfig { prune: false, ..TreeConfig::default() });
+        let pruned = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert!(
+            pruned.n_leaves() < unpruned.n_leaves(),
+            "pruned {} vs unpruned {}",
+            pruned.n_leaves(),
+            unpruned.n_leaves()
+        );
+    }
+
+    #[test]
+    fn learns_agrawal_f1_well() {
+        let gen = Generator::new(7).with_perturbation(0.05);
+        let (train, test) = gen.train_test(Function::F1, 600, 600);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        assert!(tree.accuracy(&train) > 0.93, "train {}", tree.accuracy(&train));
+        assert!(tree.accuracy(&test) > 0.9, "test {}", tree.accuracy(&test));
+    }
+
+    #[test]
+    fn learns_agrawal_f2_reasonably() {
+        let gen = Generator::new(7).with_perturbation(0.05);
+        let (train, test) = gen.train_test(Function::F2, 800, 800);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        assert!(tree.accuracy(&train) > 0.9, "train {}", tree.accuracy(&train));
+        assert!(tree.accuracy(&test) > 0.85, "test {}", tree.accuracy(&test));
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let ds = stripes(60);
+        let a = DecisionTree::fit(&ds, &TreeConfig::default());
+        let b = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_mentions_attributes() {
+        let ds = stripes(40);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        let text = tree.display(&ds);
+        assert!(text.contains("x <="));
+        assert!(text.contains("->"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let ds = Dataset::new(schema, vec!["A".into()]);
+        DecisionTree::fit(&ds, &TreeConfig::default());
+    }
+}

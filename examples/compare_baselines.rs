@@ -1,0 +1,57 @@
+//! NeuroRule vs C4.5: the paper's §4 comparison on several functions.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines [functions...]
+//! cargo run --release --example compare_baselines 1 2 3
+//! ```
+//!
+//! For each function: train both learners on 1000 tuples, compare test
+//! accuracy and rule-set size. Expected shape (the paper's claim): similar
+//! accuracy, but NeuroRule's rule sets are materially smaller on functions
+//! with strong attribute interactions (F2, F4).
+
+use neurorule::NeuroRule;
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+use nr_tree::{to_rules, DecisionTree, TreeConfig};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let functions: Vec<Function> = if args.is_empty() {
+        vec![Function::F1, Function::F2, Function::F3, Function::F4]
+    } else {
+        args.iter().filter_map(|&n| Function::from_number(n)).collect()
+    };
+
+    let generator = Generator::new(42).with_perturbation(0.05);
+    println!(
+        "{:<5} | {:>9} {:>7} {:>7} | {:>9} {:>7} {:>7}",
+        "func", "NR-rules", "train%", "test%", "C45-rules", "train%", "test%"
+    );
+    for f in functions {
+        let (train, test) = generator.train_test(f, 1000, 1000);
+
+        let nr = NeuroRule::default()
+            .with_encoder(Encoder::agrawal())
+            .fit(&train);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default());
+        let c45 = to_rules(&tree, &train);
+
+        match nr {
+            Ok(model) => println!(
+                "{:<5} | {:>9} {:>7.1} {:>7.1} | {:>9} {:>7.1} {:>7.1}",
+                f.to_string(),
+                model.ruleset.len(),
+                100.0 * model.rules_accuracy(&train),
+                100.0 * model.rules_accuracy(&test),
+                c45.len(),
+                100.0 * c45.accuracy(&train),
+                100.0 * c45.accuracy(&test),
+            ),
+            Err(e) => println!("{:<5} | pipeline failed: {e}", f.to_string()),
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate for the NeuroRule (VLDB 1995) reproduction.
+//!
+//! Re-exports every sub-crate under one roof so the examples and the
+//! integration tests (and downstream users who want a single dependency)
+//! can reach the whole system:
+//!
+//! * [`neurorule`] — the three-phase pipeline (train → prune → extract);
+//! * [`nr_tabular`] — schemas, values, datasets;
+//! * [`nr_datagen`] — the Agrawal et al. synthetic benchmark;
+//! * [`nr_encode`] — thermometer/one-hot input coding;
+//! * [`nr_nn`], [`nr_opt`] — the network and its optimizers;
+//! * [`nr_prune`] — the NP pruning algorithm;
+//! * [`nr_rulex`] — the RX rule-extraction algorithm;
+//! * [`nr_rules`] — the shared rule representation;
+//! * [`nr_tree`] — the C4.5 / C4.5rules baseline.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![deny(missing_docs)]
+
+pub use neurorule;
+pub use nr_datagen;
+pub use nr_encode;
+pub use nr_nn;
+pub use nr_opt;
+pub use nr_prune;
+pub use nr_rules;
+pub use nr_rulex;
+pub use nr_tabular;
+pub use nr_tree;

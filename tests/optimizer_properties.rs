@@ -1,0 +1,99 @@
+//! Property-based tests for the optimizer family: on random convex
+//! quadratics, every method must reach the unique minimum.
+
+use nr_opt::{Bfgs, ConjugateGradient, GradientDescent, Lbfgs, Objective, Optimizer};
+use proptest::prelude::*;
+
+/// Convex quadratic `Σ c_i (x_i − t_i)²` with positive curvatures.
+#[derive(Debug, Clone)]
+struct Quad {
+    target: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Objective for Quad {
+    fn dim(&self) -> usize {
+        self.target.len()
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(&self.target)
+            .zip(&self.scale)
+            .map(|((xi, ti), ci)| ci * (xi - ti) * (xi - ti))
+            .sum()
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        for ((gi, (xi, ti)), ci) in g.iter_mut().zip(x.iter().zip(&self.target)).zip(&self.scale)
+        {
+            *gi = 2.0 * ci * (xi - ti);
+        }
+    }
+}
+
+fn quad_strategy() -> impl Strategy<Value = (Quad, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-5.0f64..5.0, n),
+            proptest::collection::vec(0.1f64..50.0, n),
+            proptest::collection::vec(-10.0f64..10.0, n),
+        )
+            .prop_map(|(target, scale, x0)| (Quad { target, scale }, x0))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bfgs_reaches_minimum((q, x0) in quad_strategy()) {
+        let res = Bfgs::default().minimize(&q, x0);
+        prop_assert!(res.converged, "{res:?}");
+        for (xi, ti) in res.x.iter().zip(&q.target) {
+            prop_assert!((xi - ti).abs() < 1e-3, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn lbfgs_reaches_minimum((q, x0) in quad_strategy()) {
+        let res = Lbfgs::default().minimize(&q, x0);
+        prop_assert!(res.converged, "{res:?}");
+        for (xi, ti) in res.x.iter().zip(&q.target) {
+            prop_assert!((xi - ti).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cg_reaches_minimum((q, x0) in quad_strategy()) {
+        let res = ConjugateGradient::default().minimize(&q, x0);
+        prop_assert!(res.converged, "{res:?}");
+        for (xi, ti) in res.x.iter().zip(&q.target) {
+            prop_assert!((xi - ti).abs() < 1e-3);
+        }
+    }
+
+    /// All line-search methods decrease the objective monotonically in the
+    /// sense that the final value is never above the initial value.
+    #[test]
+    fn never_worse_than_start((q, x0) in quad_strategy()) {
+        let f0 = q.value(&x0);
+        for res in [
+            Bfgs::default().minimize(&q, x0.clone()),
+            Lbfgs::default().minimize(&q, x0.clone()),
+            ConjugateGradient::default().minimize(&q, x0.clone()),
+            GradientDescent::default().with_learning_rate(1e-3).minimize(&q, x0.clone()),
+        ] {
+            prop_assert!(res.value <= f0 + 1e-9);
+        }
+    }
+
+    /// Gradient checker agrees with the analytic gradient everywhere.
+    #[test]
+    fn numeric_gradient_agrees((q, x0) in quad_strategy()) {
+        let mut g = vec![0.0; q.dim()];
+        q.gradient(&x0, &mut g);
+        let numeric = nr_opt::numeric_gradient(&q, &x0, 1e-6);
+        for (a, n) in g.iter().zip(&numeric) {
+            prop_assert!((a - n).abs() < 1e-4 * (1.0 + a.abs()));
+        }
+    }
+}
