@@ -13,9 +13,13 @@ fn baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("c45");
     for f in [Function::F2, Function::F4] {
         let train = gen.dataset(f, 1000);
-        group.bench_with_input(BenchmarkId::new("fit-1000", f.to_string()), &train, |b, ds| {
-            b.iter(|| DecisionTree::fit(ds, &TreeConfig::default()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit-1000", f.to_string()),
+            &train,
+            |b, ds| {
+                b.iter(|| DecisionTree::fit(ds, &TreeConfig::default()));
+            },
+        );
         let tree = DecisionTree::fit(&train, &TreeConfig::default());
         group.bench_with_input(
             BenchmarkId::new("to-rules-1000", f.to_string()),

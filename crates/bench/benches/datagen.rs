@@ -9,9 +9,13 @@ fn generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("datagen");
     let gen = Generator::new(42).with_perturbation(0.05);
     for f in [Function::F2, Function::F7, Function::F10] {
-        group.bench_with_input(BenchmarkId::new("generate-1000", f.to_string()), &f, |b, &f| {
-            b.iter(|| gen.dataset(f, 1000));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate-1000", f.to_string()),
+            &f,
+            |b, &f| {
+                b.iter(|| gen.dataset(f, 1000));
+            },
+        );
     }
     group.finish();
 

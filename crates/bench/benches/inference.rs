@@ -20,7 +20,11 @@ fn inference(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("inference-1000-rows");
     group.bench_function("neurorule-rules", |b| {
-        b.iter(|| test.iter().map(|(row, _)| rx.ruleset.predict(row)).sum::<usize>());
+        b.iter(|| {
+            test.iter()
+                .map(|(row, _)| rx.ruleset.predict(row))
+                .sum::<usize>()
+        });
     });
     group.bench_function("pruned-network", |b| {
         b.iter(|| {
@@ -33,7 +37,11 @@ fn inference(c: &mut Criterion) {
         b.iter(|| test.iter().map(|(row, _)| tree.predict(row)).sum::<usize>());
     });
     group.bench_function("c45-rules", |b| {
-        b.iter(|| test.iter().map(|(row, _)| tree_rules.predict(row)).sum::<usize>());
+        b.iter(|| {
+            test.iter()
+                .map(|(row, _)| tree_rules.predict(row))
+                .sum::<usize>()
+        });
     });
     group.finish();
 }

@@ -15,9 +15,7 @@ fn training(c: &mut Criterion) {
     for &n in &[200usize, 500] {
         let (_, data) = bench_encoded(n);
         group.bench_with_input(BenchmarkId::new("bfgs-60", n), &n, |b, _| {
-            let trainer = Trainer::new(TrainingAlgorithm::Bfgs(
-                Bfgs::default().with_max_iters(60),
-            ));
+            let trainer = Trainer::new(TrainingAlgorithm::Bfgs(Bfgs::default().with_max_iters(60)));
             b.iter(|| {
                 let mut net = fresh_network(7);
                 trainer.train(&mut net, &data)
@@ -25,7 +23,9 @@ fn training(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("gd-600", n), &n, |b, _| {
             let trainer = Trainer::new(TrainingAlgorithm::GradientDescent(
-                GradientDescent::default().with_learning_rate(0.05).with_max_iters(600),
+                GradientDescent::default()
+                    .with_learning_rate(0.05)
+                    .with_max_iters(600),
             ));
             b.iter(|| {
                 let mut net = fresh_network(7);

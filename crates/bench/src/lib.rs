@@ -14,7 +14,9 @@ use nr_tabular::Dataset;
 
 /// Standard bench dataset: Function 2, 5% perturbation.
 pub fn bench_dataset(n: usize) -> Dataset {
-    Generator::new(42).with_perturbation(0.05).dataset(Function::F2, n)
+    Generator::new(42)
+        .with_perturbation(0.05)
+        .dataset(Function::F2, n)
 }
 
 /// Encoded version of [`bench_dataset`].

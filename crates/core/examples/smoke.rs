@@ -6,8 +6,14 @@ use nr_datagen::{Function, Generator};
 use nr_encode::Encoder;
 
 fn main() {
-    let f: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let f: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
     let function = Function::from_number(f).expect("function number 1-10");
     let gen = Generator::new(42).with_perturbation(0.05);
     let (train, test) = gen.train_test(function, n, 1000);
@@ -33,10 +39,13 @@ fn main() {
         model.rules_accuracy(&test),
         model.fidelity(&test),
     );
-    println!("clusters per node: {:?}", model.report.rx_trace.cluster_counts);
+    println!(
+        "clusters per node: {:?}",
+        model.report.rx_trace.cluster_counts
+    );
     println!("{} rules:", model.ruleset.len());
     print!("{}", model.ruleset.display(train.schema()));
-    println!("--- bit rules ---");
+    println!("--- bit rules (pre-reduction RX output) ---");
     for r in &model.report.bit_rules {
         println!("{}", r.display());
     }

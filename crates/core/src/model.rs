@@ -18,7 +18,10 @@ pub struct PipelineReport {
     pub prune_outcome: PruneOutcome,
     /// Phase 3: extraction trace (clusters, activation table, …).
     pub rx_trace: RxTrace,
-    /// Phase 3: rules in input-bit space, pre-rewrite.
+    /// Phase 3: rules in input-bit space, pre-rewrite and **pre-reduction**
+    /// — the complete RX output, which can be larger than the final
+    /// [`crate::Model::ruleset`] (that one is additionally pruned against
+    /// the training data).
     pub bit_rules: Vec<BitRule>,
     /// Accuracy of the final rules on the training set.
     pub train_rule_accuracy: f64,

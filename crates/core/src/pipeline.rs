@@ -161,12 +161,24 @@ impl NeuroRule {
             .min((prune_outcome.final_accuracy - 0.01).max(0.0));
         let rx = extract(&net, &encoder, &encoded, train.class_names(), &rx_config)?;
 
-        let train_rule_accuracy = rx.ruleset.accuracy(train);
+        // Post-extraction reduction: RX articulates every feasible input
+        // region of the discretized network, including regions no training
+        // tuple occupies. Drop rules whose removal keeps fidelity to the
+        // network on the training set (same spirit as C4.5rules' data-driven
+        // rule pruning); the survivors agree with the network at least as
+        // often as the full set did. `report.bit_rules` keeps the complete
+        // pre-reduction RX output for inspection.
+        let net_predictions: Vec<usize> = (0..encoded.rows())
+            .map(|i| net.classify(encoded.input(i)))
+            .collect();
+        let ruleset = rx.ruleset.reduced(train, &net_predictions);
+
+        let train_rule_accuracy = ruleset.accuracy(train);
         let train_network_accuracy = net.accuracy(&encoded);
         Ok(Model {
             encoder,
             network: net,
-            ruleset: rx.ruleset,
+            ruleset,
             report: PipelineReport {
                 train_report,
                 prune_outcome,

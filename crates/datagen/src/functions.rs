@@ -240,7 +240,11 @@ fn f9(p: &Person) -> bool {
 /// F10: like F9 but credits home equity instead of debiting the loan
 /// (highly skewed).
 fn f10(p: &Person) -> bool {
-    let equity = if p.hyears >= 20.0 { p.hvalue * (p.hyears - 20.0) / 10.0 } else { 0.0 };
+    let equity = if p.hyears >= 20.0 {
+        p.hvalue * (p.hyears - 20.0) / 10.0
+    } else {
+        0.0
+    };
     2.0 * (p.salary + p.commission) / 3.0 - 5_000.0 * p.elevel as f64 + equity / 5.0 - 10_000.0
         > 0.0
 }

@@ -33,12 +33,18 @@ pub struct Generator {
 impl Generator {
     /// Creates a generator with the given seed and no perturbation.
     pub fn new(seed: u64) -> Self {
-        Generator { seed, perturbation: 0.0 }
+        Generator {
+            seed,
+            perturbation: 0.0,
+        }
     }
 
     /// Sets the perturbation factor (the paper uses 0.05).
     pub fn with_perturbation(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "perturbation factor must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "perturbation factor must be in [0,1)"
+        );
         self.perturbation = p;
         self
     }
@@ -70,7 +76,17 @@ impl Generator {
         let hvalue = rng.gen_range(0.5 * k * 100_000.0..=1.5 * k * 100_000.0);
         let hyears = rng.gen_range(1..=30u32) as f64;
         let loan = rng.gen_range(ranges::LOAN.0..=ranges::LOAN.1);
-        Person { salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan }
+        Person {
+            salary,
+            commission,
+            age,
+            elevel,
+            car,
+            zipcode,
+            hvalue,
+            hyears,
+            loan,
+        }
     }
 
     /// Perturbs the continuous attributes of `p` in place.
@@ -119,16 +135,25 @@ impl Generator {
     pub fn dataset(&self, function: Function, n: usize) -> Dataset {
         let mut ds = Dataset::new(agrawal_schema(), class_names());
         for (p, g) in self.tuples(function, n) {
-            ds.push(p.to_row(), g.class_id()).expect("generated rows match the schema");
+            ds.push(p.to_row(), g.class_id())
+                .expect("generated rows match the schema");
         }
         ds
     }
 
     /// Generates independent train/test datasets (distinct substreams).
-    pub fn train_test(&self, function: Function, n_train: usize, n_test: usize) -> (Dataset, Dataset) {
+    pub fn train_test(
+        &self,
+        function: Function,
+        n_train: usize,
+        n_test: usize,
+    ) -> (Dataset, Dataset) {
         let train = self.dataset(function, n_train);
-        let test =
-            Generator { seed: self.seed.wrapping_add(0xDEAD_BEEF), ..*self }.dataset(function, n_test);
+        let test = Generator {
+            seed: self.seed.wrapping_add(0xDEAD_BEEF),
+            ..*self
+        }
+        .dataset(function, n_test);
         (train, test)
     }
 }
@@ -163,7 +188,11 @@ mod tests {
     fn values_respect_table1_ranges() {
         let g = Generator::new(3).with_perturbation(0.05);
         for (p, _) in g.tuples(Function::F5, 500) {
-            assert!((20_000.0..=150_000.0).contains(&p.salary), "salary {}", p.salary);
+            assert!(
+                (20_000.0..=150_000.0).contains(&p.salary),
+                "salary {}",
+                p.salary
+            );
             assert!(p.commission == 0.0 || (10_000.0..=75_000.0).contains(&p.commission));
             assert!((20.0..=80.0).contains(&p.age));
             assert!(p.elevel <= 4);

@@ -43,7 +43,9 @@ impl AttrId {
     /// All nine attributes in schema order.
     pub fn all() -> [AttrId; ATTRIBUTE_COUNT] {
         use AttrId::*;
-        [Salary, Commission, Age, Elevel, Car, Zipcode, Hvalue, Hyears, Loan]
+        [
+            Salary, Commission, Age, Elevel, Car, Zipcode, Hvalue, Hyears, Loan,
+        ]
     }
 }
 

@@ -39,16 +39,28 @@ impl AttrCoding {
         let mut thresholds = Vec::with_capacity(cuts.len() + 1);
         thresholds.push(f64::NEG_INFINITY);
         thresholds.extend(cuts);
-        debug_assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "cuts must ascend");
-        AttrCoding::Thermometer { thresholds, absent_value: None }
+        debug_assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "cuts must ascend"
+        );
+        AttrCoding::Thermometer {
+            thresholds,
+            absent_value: None,
+        }
     }
 
     /// Thermometer coding whose lowest threshold is finite, so the all-zero
     /// pattern means `value = absent_value` (e.g. `commission = 0`).
     pub fn thermometer_with_absent(thresholds: Vec<f64>, absent_value: f64) -> AttrCoding {
-        debug_assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "thresholds must ascend");
+        debug_assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must ascend"
+        );
         debug_assert!(thresholds[0].is_finite());
-        AttrCoding::Thermometer { thresholds, absent_value: Some(absent_value) }
+        AttrCoding::Thermometer {
+            thresholds,
+            absent_value: Some(absent_value),
+        }
     }
 
     /// Number of bits this coding occupies.
@@ -82,7 +94,10 @@ impl AttrCoding {
     /// Meaning of local bit `j` of this coding.
     pub fn bit_meaning(&self, attribute: usize, j: usize) -> BitMeaning {
         match self {
-            AttrCoding::Thermometer { thresholds, absent_value } => {
+            AttrCoding::Thermometer {
+                thresholds,
+                absent_value,
+            } => {
                 let m = thresholds.len();
                 BitMeaning::Threshold {
                     attribute,
@@ -91,7 +106,10 @@ impl AttrCoding {
                     absent_value: *absent_value,
                 }
             }
-            AttrCoding::OneHot { .. } => BitMeaning::Category { attribute, code: j as u32 },
+            AttrCoding::OneHot { .. } => BitMeaning::Category {
+                attribute,
+                code: j as u32,
+            },
         }
     }
 }
@@ -237,8 +255,16 @@ mod tests {
         let m2 = c.bit_meaning(5, 2);
         match (m0, m2) {
             (
-                BitMeaning::Threshold { threshold: t0, attribute: 5, .. },
-                BitMeaning::Threshold { threshold: t2, attribute: 5, .. },
+                BitMeaning::Threshold {
+                    threshold: t0,
+                    attribute: 5,
+                    ..
+                },
+                BitMeaning::Threshold {
+                    threshold: t2,
+                    attribute: 5,
+                    ..
+                },
             ) => {
                 assert_eq!(t0, 40.0);
                 assert_eq!(t2, f64::NEG_INFINITY);
@@ -263,7 +289,13 @@ mod tests {
     #[test]
     fn one_hot_bit_meaning() {
         let c = AttrCoding::OneHot { cardinality: 3 };
-        assert_eq!(c.bit_meaning(1, 2), BitMeaning::Category { attribute: 1, code: 2 });
+        assert_eq!(
+            c.bit_meaning(1, 2),
+            BitMeaning::Category {
+                attribute: 1,
+                code: 2
+            }
+        );
         assert_eq!(c.bit_meaning(1, 2).attribute(), Some(1));
         assert_eq!(BitMeaning::Bias.attribute(), None);
     }

@@ -34,7 +34,12 @@ impl Encoder {
             offsets.push(n);
             n += c.bits();
         }
-        Ok(Encoder { schema, codings, offsets, n_data_bits: n })
+        Ok(Encoder {
+            schema,
+            codings,
+            offsets,
+            n_data_bits: n,
+        })
     }
 
     /// The Table 2 encoder for the Agrawal schema: 86 data bits + bias.
@@ -82,7 +87,11 @@ impl Encoder {
                 codings.push(AttrCoding::OneHot { cardinality: card });
             } else {
                 let (lo, hi) = ds.numeric_range(i).unwrap_or((0.0, 1.0));
-                let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+                let width = if hi > lo {
+                    (hi - lo) / bins as f64
+                } else {
+                    1.0
+                };
                 let cuts: Vec<f64> = (1..bins).map(|k| lo + width * k as f64).collect();
                 codings.push(AttrCoding::thermometer(cuts));
             }
@@ -173,7 +182,12 @@ impl Encoder {
             self.encode_row_into(row, &mut data[i * cols..(i + 1) * cols]);
             targets.push(label);
         }
-        EncodedDataset { data, cols, targets, n_classes: ds.n_classes() }
+        EncodedDataset {
+            data,
+            cols,
+            targets,
+            n_classes: ds.n_classes(),
+        }
     }
 }
 
@@ -207,10 +221,24 @@ pub struct EncodedDataset {
 
 impl EncodedDataset {
     /// Builds an encoded dataset from raw parts (used by subnetwork training).
-    pub fn from_parts(data: Vec<f64>, cols: usize, targets: Vec<ClassId>, n_classes: usize) -> Self {
+    pub fn from_parts(
+        data: Vec<f64>,
+        cols: usize,
+        targets: Vec<ClassId>,
+        n_classes: usize,
+    ) -> Self {
         assert_eq!(data.len() % cols.max(1), 0, "ragged matrix");
-        assert_eq!(data.len() / cols.max(1), targets.len(), "target count mismatch");
-        EncodedDataset { data, cols, targets, n_classes }
+        assert_eq!(
+            data.len() / cols.max(1),
+            targets.len(),
+            "target count mismatch"
+        );
+        EncodedDataset {
+            data,
+            cols,
+            targets,
+            n_classes,
+        }
     }
 
     /// Number of rows.
@@ -275,20 +303,33 @@ mod tests {
         let e = Encoder::agrawal();
         // I2 (index 1) <=> salary >= 100000; I5 (index 4) <=> salary >= 25000.
         match e.bit_meaning(1) {
-            BitMeaning::Threshold { attribute: 0, threshold, .. } => {
+            BitMeaning::Threshold {
+                attribute: 0,
+                threshold,
+                ..
+            } => {
                 assert_eq!(threshold, 100_000.0)
             }
             m => panic!("unexpected {m:?}"),
         }
         match e.bit_meaning(4) {
-            BitMeaning::Threshold { attribute: 0, threshold, .. } => {
+            BitMeaning::Threshold {
+                attribute: 0,
+                threshold,
+                ..
+            } => {
                 assert_eq!(threshold, 25_000.0)
             }
             m => panic!("unexpected {m:?}"),
         }
         // I13 (index 12) <=> commission >= 10000 (lowest commission bit).
         match e.bit_meaning(12) {
-            BitMeaning::Threshold { attribute: 1, threshold, absent_value, .. } => {
+            BitMeaning::Threshold {
+                attribute: 1,
+                threshold,
+                absent_value,
+                ..
+            } => {
                 assert_eq!(threshold, 10_000.0);
                 assert_eq!(absent_value, Some(0.0));
             }
@@ -296,11 +337,19 @@ mod tests {
         }
         // I15 (index 14) <=> age >= 60; I17 (index 16) <=> age >= 40.
         match e.bit_meaning(14) {
-            BitMeaning::Threshold { attribute: 2, threshold, .. } => assert_eq!(threshold, 60.0),
+            BitMeaning::Threshold {
+                attribute: 2,
+                threshold,
+                ..
+            } => assert_eq!(threshold, 60.0),
             m => panic!("unexpected {m:?}"),
         }
         match e.bit_meaning(16) {
-            BitMeaning::Threshold { attribute: 2, threshold, .. } => assert_eq!(threshold, 40.0),
+            BitMeaning::Threshold {
+                attribute: 2,
+                threshold,
+                ..
+            } => assert_eq!(threshold, 40.0),
             m => panic!("unexpected {m:?}"),
         }
         assert_eq!(e.bit_meaning(86), BitMeaning::Bias);
@@ -329,8 +378,8 @@ mod tests {
         assert_eq!(x[23 + 3], 1.0); // car code 3
         assert_eq!(x[43 + 7], 1.0); // zip code 7
         assert_eq!(x[86], 1.0); // bias
-        // salary 2 + commission 0 + age 3 + elevel 2 + car 1 + zip 1
-        //  + hvalue 3 + hyears 4 + loan 2 + bias 1 = 19 set bits.
+                                // salary 2 + commission 0 + age 3 + elevel 2 + car 1 + zip 1
+                                //  + hvalue 3 + hyears 4 + loan 2 + bias 1 = 19 set bits.
         assert_eq!(x.iter().filter(|&&b| b == 1.0).count(), 19);
     }
 
@@ -387,7 +436,8 @@ mod tests {
         ]);
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..10 {
-            ds.push(vec![Value::Num(i as f64), Value::Nominal(i % 3)], 0).unwrap();
+            ds.push(vec![Value::Num(i as f64), Value::Nominal(i % 3)], 0)
+                .unwrap();
         }
         let e = Encoder::fit(&ds, 4).unwrap();
         assert_eq!(e.n_data_bits(), 4 + 3);

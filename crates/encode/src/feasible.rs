@@ -52,7 +52,10 @@ pub fn is_feasible(enc: &Encoder, literals: &[Literal]) -> bool {
 enum Part {
     /// Thermometer bits in ascending index order (descending threshold),
     /// with a flag for "lowest selected bit is the always-one base".
-    Thermo { bits: Vec<usize>, last_is_base: bool },
+    Thermo {
+        bits: Vec<usize>,
+        last_is_base: bool,
+    },
     /// One-hot bits plus whether the all-zero pattern is feasible.
     OneHot { bits: Vec<usize>, allow_none: bool },
     /// The bias bit (always one).
@@ -118,7 +121,10 @@ pub fn enumerate_feasible(
     for &b in &sorted {
         match enc.bit_meaning(b) {
             BitMeaning::Bias => bias_bits.push(b),
-            m => groups.entry(m.attribute().expect("non-bias")).or_default().push(b),
+            m => groups
+                .entry(m.attribute().expect("non-bias"))
+                .or_default()
+                .push(b),
         }
     }
 
@@ -131,12 +137,18 @@ pub fn enumerate_feasible(
                     enc.bit_meaning(last),
                     BitMeaning::Threshold { threshold, .. } if threshold == f64::NEG_INFINITY
                 );
-                parts.push(Part::Thermo { bits: group_bits, last_is_base });
+                parts.push(Part::Thermo {
+                    bits: group_bits,
+                    last_is_base,
+                });
             }
             BitMeaning::Category { .. } => {
                 let cardinality = enc.codings()[attr].bits();
                 let allow_none = group_bits.len() < cardinality;
-                parts.push(Part::OneHot { bits: group_bits, allow_none });
+                parts.push(Part::OneHot {
+                    bits: group_bits,
+                    allow_none,
+                });
             }
             BitMeaning::Bias => unreachable!("bias handled above"),
         }
@@ -150,7 +162,10 @@ pub fn enumerate_feasible(
     for p in &parts {
         size = size.saturating_mul(p.n_patterns());
         if size > cap {
-            return Err(EncodeError::PatternSpaceTooLarge { cap, at_least: size });
+            return Err(EncodeError::PatternSpaceTooLarge {
+                cap,
+                at_least: size,
+            });
         }
     }
 
@@ -182,7 +197,10 @@ pub fn enumerate_feasible(
         })
         .collect();
 
-    Ok(PatternSpace { bits: sorted, patterns })
+    Ok(PatternSpace {
+        bits: sorted,
+        patterns,
+    })
 }
 
 #[cfg(test)]
@@ -202,7 +220,10 @@ mod tests {
         let mut pats = ps.patterns.clone();
         pats.sort();
         // (0,0): salary<50K; (0,1): 50K<=s<100K; (1,1): s>=100K. (1,0) infeasible.
-        assert_eq!(pats, vec![vec![false, false], vec![false, true], vec![true, true]]);
+        assert_eq!(
+            pats,
+            vec![vec![false, false], vec![false, true], vec![true, true]]
+        );
     }
 
     #[test]
@@ -266,7 +287,10 @@ mod tests {
         let e = enc();
         let bits: Vec<usize> = (0..40).collect();
         let err = enumerate_feasible(&e, &bits, 10).unwrap_err();
-        assert!(matches!(err, EncodeError::PatternSpaceTooLarge { cap: 10, .. }));
+        assert!(matches!(
+            err,
+            EncodeError::PatternSpaceTooLarge { cap: 10, .. }
+        ));
     }
 
     #[test]

@@ -68,7 +68,12 @@ pub fn literals_to_conditions(enc: &Encoder, literals: &[Literal]) -> Option<Vec
                     return None; // bias is constant 1
                 }
             }
-            BitMeaning::Threshold { attribute, threshold, lowest_threshold, absent_value } => {
+            BitMeaning::Threshold {
+                attribute,
+                threshold,
+                lowest_threshold,
+                absent_value,
+            } => {
                 let b = thermo.entry(attribute).or_default();
                 b.lowest_threshold = lowest_threshold;
                 b.absent_value = absent_value;
@@ -114,7 +119,11 @@ pub fn literals_to_conditions(enc: &Encoder, literals: &[Literal]) -> Option<Vec
             }
             (lo, hi) => {
                 if lo.is_some() || hi.is_some() {
-                    conditions.push(Condition::Num { attribute: *attribute, lo, hi });
+                    conditions.push(Condition::Num {
+                        attribute: *attribute,
+                        lo,
+                        hi,
+                    });
                 }
             }
         }
@@ -127,7 +136,10 @@ pub fn literals_to_conditions(enc: &Encoder, literals: &[Literal]) -> Option<Vec
             if b.ne.contains(&code) {
                 return None;
             }
-            conditions.push(Condition::CatEq { attribute: *attribute, code });
+            conditions.push(Condition::CatEq {
+                attribute: *attribute,
+                code,
+            });
         } else if !b.ne.is_empty() {
             let cardinality = enc.codings()[*attribute].bits();
             if b.ne.len() >= cardinality {
@@ -167,8 +179,16 @@ pub fn literal_implies(enc: &Encoder, a: Literal, b: Literal) -> bool {
     let (ma, mb) = (enc.bit_meaning(a.bit), enc.bit_meaning(b.bit));
     match (ma, mb) {
         (
-            BitMeaning::Threshold { attribute: aa, threshold: ta, .. },
-            BitMeaning::Threshold { attribute: ab, threshold: tb, .. },
+            BitMeaning::Threshold {
+                attribute: aa,
+                threshold: ta,
+                ..
+            },
+            BitMeaning::Threshold {
+                attribute: ab,
+                threshold: tb,
+                ..
+            },
         ) if aa == ab => {
             if a.value && b.value {
                 // value >= ta  =>  value >= tb  when ta >= tb.
@@ -181,8 +201,14 @@ pub fn literal_implies(enc: &Encoder, a: Literal, b: Literal) -> bool {
             }
         }
         (
-            BitMeaning::Category { attribute: aa, code: ca },
-            BitMeaning::Category { attribute: ab, code: cb },
+            BitMeaning::Category {
+                attribute: aa,
+                code: ca,
+            },
+            BitMeaning::Category {
+                attribute: ab,
+                code: cb,
+            },
         ) if aa == ab => {
             // attr = ca  =>  attr != cb  for any other code.
             a.value && !b.value && ca != cb
@@ -204,10 +230,17 @@ mod tests {
     #[test]
     fn paper_rule_r1() {
         // R1: I2=0, I17=0, I13=0  =>  salary<100000, commission=0, age<40.
-        let lits = [Literal::new(1, false), Literal::new(16, false), Literal::new(12, false)];
+        let lits = [
+            Literal::new(1, false),
+            Literal::new(16, false),
+            Literal::new(12, false),
+        ];
         let conds = literals_to_conditions(&enc(), &lits).unwrap();
         assert!(conds.contains(&Condition::num_lt(0, 100_000.0)));
-        assert!(conds.contains(&Condition::NumEq { attribute: 1, value: 0.0 }));
+        assert!(conds.contains(&Condition::NumEq {
+            attribute: 1,
+            value: 0.0
+        }));
         assert!(conds.contains(&Condition::num_lt(2, 40.0)));
         assert_eq!(conds.len(), 3);
     }
@@ -215,7 +248,11 @@ mod tests {
     #[test]
     fn paper_rule_r2() {
         // R2: I5=1, I13=1, I15=1 => salary>=25000, commission>=10000, age>=60.
-        let lits = [Literal::new(4, true), Literal::new(12, true), Literal::new(14, true)];
+        let lits = [
+            Literal::new(4, true),
+            Literal::new(12, true),
+            Literal::new(14, true),
+        ];
         let conds = literals_to_conditions(&enc(), &lits).unwrap();
         assert!(conds.contains(&Condition::num_ge(0, 25_000.0)));
         assert!(conds.contains(&Condition::num_ge(1, 10_000.0)));
@@ -237,17 +274,29 @@ mod tests {
     #[test]
     fn zero_on_base_bit_is_infeasible() {
         // I6 (index 5) is the always-one salary base bit.
-        assert_eq!(literals_to_conditions(&enc(), &[Literal::new(5, false)]), None);
+        assert_eq!(
+            literals_to_conditions(&enc(), &[Literal::new(5, false)]),
+            None
+        );
         // A 1-literal on it is vacuous.
-        assert_eq!(literals_to_conditions(&enc(), &[Literal::new(5, true)]), Some(vec![]));
+        assert_eq!(
+            literals_to_conditions(&enc(), &[Literal::new(5, true)]),
+            Some(vec![])
+        );
     }
 
     #[test]
     fn bias_literals() {
         let e = enc();
         let bias = e.bias_bit();
-        assert_eq!(literals_to_conditions(&e, &[Literal::new(bias, true)]), Some(vec![]));
-        assert_eq!(literals_to_conditions(&e, &[Literal::new(bias, false)]), None);
+        assert_eq!(
+            literals_to_conditions(&e, &[Literal::new(bias, true)]),
+            Some(vec![])
+        );
+        assert_eq!(
+            literals_to_conditions(&e, &[Literal::new(bias, false)]),
+            None
+        );
     }
 
     #[test]
@@ -255,7 +304,13 @@ mod tests {
         let e = enc();
         // car bits start at 23; car code 3 -> bit 26.
         let conds = literals_to_conditions(&e, &[Literal::new(26, true)]).unwrap();
-        assert_eq!(conds, vec![Condition::CatEq { attribute: 4, code: 3 }]);
+        assert_eq!(
+            conds,
+            vec![Condition::CatEq {
+                attribute: 4,
+                code: 3
+            }]
+        );
         // Two distinct car equalities conflict.
         assert_eq!(
             literals_to_conditions(&e, &[Literal::new(26, true), Literal::new(27, true)]),
@@ -267,12 +322,14 @@ mod tests {
             None
         );
         // Pure exclusions collect.
-        let conds =
-            literals_to_conditions(&e, &[Literal::new(26, false), Literal::new(27, false)])
-                .unwrap();
+        let conds = literals_to_conditions(&e, &[Literal::new(26, false), Literal::new(27, false)])
+            .unwrap();
         assert_eq!(
             conds,
-            vec![Condition::CatNotIn { attribute: 4, codes: [3, 4].into_iter().collect() }]
+            vec![Condition::CatNotIn {
+                attribute: 4,
+                codes: [3, 4].into_iter().collect()
+            }]
         );
     }
 
@@ -292,7 +349,11 @@ mod tests {
                 .unwrap();
         assert_eq!(
             conds,
-            vec![Condition::Num { attribute: 0, lo: Some(50_000.0), hi: Some(100_000.0) }]
+            vec![Condition::Num {
+                attribute: 0,
+                lo: Some(50_000.0),
+                hi: Some(100_000.0)
+            }]
         );
     }
 

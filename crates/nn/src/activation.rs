@@ -62,7 +62,10 @@ mod tests {
                 let h = 1e-6;
                 let numeric = (f.apply(x + h) - f.apply(x - h)) / (2.0 * h);
                 let analytic = f.derivative_from_output(f.apply(x));
-                assert!((numeric - analytic).abs() < 1e-8, "{f:?} at {x}: {numeric} vs {analytic}");
+                assert!(
+                    (numeric - analytic).abs() < 1e-8,
+                    "{f:?} at {x}: {numeric} vs {analytic}"
+                );
             }
         }
     }

@@ -53,7 +53,10 @@ pub fn describe(net: &Mlp, input_name: impl Fn(usize) -> String) -> String {
         let status = if net.hidden_is_dead(m) { " (dead)" } else { "" };
         out.push_str(&format!("hidden node {m}{status}:\n"));
         for l in inputs {
-            let w = net.weight(LinkId::InputHidden { hidden: m, input: l });
+            let w = net.weight(LinkId::InputHidden {
+                hidden: m,
+                input: l,
+            });
             out.push_str(&format!(
                 "  {} --({}{:.3})--> H{m}\n",
                 input_name(l),
@@ -62,7 +65,10 @@ pub fn describe(net: &Mlp, input_name: impl Fn(usize) -> String) -> String {
             ));
         }
         for p in outputs {
-            let v = net.weight(LinkId::HiddenOutput { output: p, hidden: m });
+            let v = net.weight(LinkId::HiddenOutput {
+                output: p,
+                hidden: m,
+            });
             out.push_str(&format!(
                 "  H{m} --({}{:.3})--> C{}\n",
                 if v >= 0.0 { "+" } else { "" },
@@ -84,19 +90,37 @@ mod tests {
         for l in 0..3 {
             for m in 0..2 {
                 if !(l == 0 && m == 0) {
-                    net.prune(LinkId::InputHidden { hidden: m, input: l });
+                    net.prune(LinkId::InputHidden {
+                        hidden: m,
+                        input: l,
+                    });
                 }
             }
         }
         for p in 0..2 {
             for m in 0..2 {
                 if !(p == 0 && m == 0) {
-                    net.prune(LinkId::HiddenOutput { output: p, hidden: m });
+                    net.prune(LinkId::HiddenOutput {
+                        output: p,
+                        hidden: m,
+                    });
                 }
             }
         }
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 2.0);
-        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, -3.0);
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            2.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0,
+            },
+            -3.0,
+        );
         net
     }
 

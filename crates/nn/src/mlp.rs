@@ -100,7 +100,10 @@ impl Mlp {
 
     /// Sets a link weight (panics when the link is pruned).
     pub fn set_weight(&mut self, link: LinkId, value: f64) {
-        assert!(self.is_active(link), "cannot set weight of pruned link {link:?}");
+        assert!(
+            self.is_active(link),
+            "cannot set weight of pruned link {link:?}"
+        );
         match link {
             LinkId::InputHidden { hidden, input } => self.w[(hidden, input)] = value,
             LinkId::HiddenOutput { output, hidden } => self.v[(output, hidden)] = value,
@@ -136,8 +139,7 @@ impl Mlp {
 
     /// Number of active (unpruned) links.
     pub fn n_active(&self) -> usize {
-        self.w_mask.iter().filter(|&&b| b).count()
-            + self.v_mask.iter().filter(|&&b| b).count()
+        self.w_mask.iter().filter(|&&b| b).count() + self.v_mask.iter().filter(|&&b| b).count()
     }
 
     /// Active links in canonical order (all `w` row-major, then all `v`).
@@ -146,14 +148,20 @@ impl Mlp {
         for m in 0..self.n_hidden {
             for l in 0..self.n_in {
                 if self.w_mask[m * self.n_in + l] {
-                    out.push(LinkId::InputHidden { hidden: m, input: l });
+                    out.push(LinkId::InputHidden {
+                        hidden: m,
+                        input: l,
+                    });
                 }
             }
         }
         for p in 0..self.n_out {
             for m in 0..self.n_hidden {
                 if self.v_mask[p * self.n_hidden + m] {
-                    out.push(LinkId::HiddenOutput { output: p, hidden: m });
+                    out.push(LinkId::HiddenOutput {
+                        output: p,
+                        hidden: m,
+                    });
                 }
             }
         }
@@ -162,7 +170,10 @@ impl Mlp {
 
     /// Copies the active weights into a flat vector (canonical order).
     pub fn flatten_active(&self) -> Vec<f64> {
-        self.active_links().iter().map(|&l| self.weight(l)).collect()
+        self.active_links()
+            .iter()
+            .map(|&l| self.weight(l))
+            .collect()
     }
 
     /// Writes a flat vector of active weights back (canonical order).
@@ -176,12 +187,16 @@ impl Mlp {
 
     /// Active input indices feeding hidden node `m`.
     pub fn hidden_inputs(&self, m: usize) -> Vec<usize> {
-        (0..self.n_in).filter(|&l| self.w_mask[m * self.n_in + l]).collect()
+        (0..self.n_in)
+            .filter(|&l| self.w_mask[m * self.n_in + l])
+            .collect()
     }
 
     /// Active output indices fed by hidden node `m`.
     pub fn hidden_outputs(&self, m: usize) -> Vec<usize> {
-        (0..self.n_out).filter(|&p| self.v_mask[p * self.n_hidden + m]).collect()
+        (0..self.n_out)
+            .filter(|&p| self.v_mask[p * self.n_hidden + m])
+            .collect()
     }
 
     /// A hidden node is dead when it has no active input links or no active
@@ -192,7 +207,9 @@ impl Mlp {
 
     /// Hidden nodes that still participate in the classification.
     pub fn live_hidden(&self) -> Vec<usize> {
-        (0..self.n_hidden).filter(|&m| !self.hidden_is_dead(m)).collect()
+        (0..self.n_hidden)
+            .filter(|&m| !self.hidden_is_dead(m))
+            .collect()
     }
 
     /// Masks every link touching dead hidden nodes (repeats until fixpoint,
@@ -205,13 +222,19 @@ impl Mlp {
                 if self.hidden_is_dead(m) {
                     for l in 0..self.n_in {
                         if self.w_mask[m * self.n_in + l] {
-                            self.prune(LinkId::InputHidden { hidden: m, input: l });
+                            self.prune(LinkId::InputHidden {
+                                hidden: m,
+                                input: l,
+                            });
                             changed = true;
                         }
                     }
                     for p in 0..self.n_out {
                         if self.v_mask[p * self.n_hidden + m] {
-                            self.prune(LinkId::HiddenOutput { output: p, hidden: m });
+                            self.prune(LinkId::HiddenOutput {
+                                output: p,
+                                hidden: m,
+                            });
                             changed = true;
                         }
                     }
@@ -348,12 +371,48 @@ mod tests {
     /// 2-in (incl. bias), 2-hidden, 1-out net with hand-set weights.
     fn tiny() -> Mlp {
         let mut net = Mlp::random(2, 2, 1, 0);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 1.0);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 1 }, 0.5);
-        net.set_weight(LinkId::InputHidden { hidden: 1, input: 0 }, -1.0);
-        net.set_weight(LinkId::InputHidden { hidden: 1, input: 1 }, 0.0);
-        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 2.0);
-        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 1 }, -1.0);
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            1.0,
+        );
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 1,
+            },
+            0.5,
+        );
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 1,
+                input: 0,
+            },
+            -1.0,
+        );
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 1,
+                input: 1,
+            },
+            0.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0,
+            },
+            2.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 1,
+            },
+            -1.0,
+        );
         net
     }
 
@@ -376,7 +435,10 @@ mod tests {
         let mut net = tiny();
         let x = [1.0, 1.0];
         let before = net.forward(&x).1[0];
-        net.prune(LinkId::InputHidden { hidden: 0, input: 1 });
+        net.prune(LinkId::InputHidden {
+            hidden: 0,
+            input: 1,
+        });
         let after = net.forward(&x).1[0];
         assert_ne!(before, after);
         // Equivalent to weight 0.
@@ -384,16 +446,34 @@ mod tests {
         let a1 = (-1.0f64).tanh();
         let s = 1.0 / (1.0 + (-(2.0 * a0 - a1)).exp());
         assert!((after - s).abs() < 1e-15);
-        assert!(!net.is_active(LinkId::InputHidden { hidden: 0, input: 1 }));
-        assert_eq!(net.weight(LinkId::InputHidden { hidden: 0, input: 1 }), 0.0);
+        assert!(!net.is_active(LinkId::InputHidden {
+            hidden: 0,
+            input: 1
+        }));
+        assert_eq!(
+            net.weight(LinkId::InputHidden {
+                hidden: 0,
+                input: 1
+            }),
+            0.0
+        );
     }
 
     #[test]
     #[should_panic(expected = "pruned link")]
     fn setting_pruned_weight_panics() {
         let mut net = tiny();
-        net.prune(LinkId::InputHidden { hidden: 0, input: 0 });
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 3.0);
+        net.prune(LinkId::InputHidden {
+            hidden: 0,
+            input: 0,
+        });
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            3.0,
+        );
     }
 
     #[test]
@@ -412,7 +492,10 @@ mod tests {
     #[test]
     fn flatten_roundtrip_with_mask() {
         let mut net = tiny();
-        net.prune(LinkId::InputHidden { hidden: 1, input: 1 });
+        net.prune(LinkId::InputHidden {
+            hidden: 1,
+            input: 1,
+        });
         let params = net.flatten_active();
         assert_eq!(params.len(), net.n_active());
         assert_eq!(params.len(), 5);
@@ -425,22 +508,34 @@ mod tests {
     fn dead_hidden_detection_and_removal() {
         let mut net = tiny();
         // Kill hidden 1's only output link.
-        net.prune(LinkId::HiddenOutput { output: 0, hidden: 1 });
+        net.prune(LinkId::HiddenOutput {
+            output: 0,
+            hidden: 1,
+        });
         assert!(net.hidden_is_dead(1));
         assert!(!net.hidden_is_dead(0));
         assert_eq!(net.live_hidden(), vec![0]);
         let dead = net.remove_dead_hidden();
         assert_eq!(dead, vec![1]);
         // Its input links are now masked too.
-        assert!(!net.is_active(LinkId::InputHidden { hidden: 1, input: 0 }));
+        assert!(!net.is_active(LinkId::InputHidden {
+            hidden: 1,
+            input: 0
+        }));
         assert_eq!(net.unused_inputs(), Vec::<usize>::new()); // input 0 feeds hidden 0
     }
 
     #[test]
     fn unused_inputs_after_pruning() {
         let mut net = tiny();
-        net.prune(LinkId::InputHidden { hidden: 0, input: 1 });
-        net.prune(LinkId::InputHidden { hidden: 1, input: 1 });
+        net.prune(LinkId::InputHidden {
+            hidden: 0,
+            input: 1,
+        });
+        net.prune(LinkId::InputHidden {
+            hidden: 1,
+            input: 1,
+        });
         assert_eq!(net.unused_inputs(), vec![1]);
         assert_eq!(net.used_inputs(), vec![0]);
     }
@@ -448,12 +543,8 @@ mod tests {
     #[test]
     fn classify_and_accuracy() {
         let net = tiny();
-        let data = nr_encode::EncodedDataset::from_parts(
-            vec![1.0, 1.0, -1.0, 1.0],
-            2,
-            vec![0, 0],
-            1,
-        );
+        let data =
+            nr_encode::EncodedDataset::from_parts(vec![1.0, 1.0, -1.0, 1.0], 2, vec![0, 0], 1);
         // Single output: argmax is always node 0.
         assert_eq!(net.classify(&[1.0, 1.0]), 0);
         assert_eq!(net.accuracy(&data), 1.0);
@@ -482,7 +573,10 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let mut net = tiny();
-        net.prune(LinkId::InputHidden { hidden: 0, input: 0 });
+        net.prune(LinkId::InputHidden {
+            hidden: 0,
+            input: 0,
+        });
         let json = serde_json::to_string(&net).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
         assert_eq!(net, back);

@@ -30,14 +30,22 @@ pub struct Penalty {
 
 impl Default for Penalty {
     fn default() -> Self {
-        Penalty { eps1: 0.1, eps2: 1e-4, beta: 10.0 }
+        Penalty {
+            eps1: 0.1,
+            eps2: 1e-4,
+            beta: 10.0,
+        }
     }
 }
 
 impl Penalty {
     /// A zero penalty (pure cross-entropy training; ablation baseline).
     pub fn none() -> Self {
-        Penalty { eps1: 0.0, eps2: 0.0, beta: 10.0 }
+        Penalty {
+            eps1: 0.0,
+            eps2: 0.0,
+            beta: 10.0,
+        }
     }
 
     /// Penalty value for one weight.
@@ -83,7 +91,12 @@ impl<'a> CrossEntropyObjective<'a> {
             "need one output node per class"
         );
         let links = template.active_links();
-        CrossEntropyObjective { template, data, penalty, links }
+        CrossEntropyObjective {
+            template,
+            data,
+            penalty,
+            links,
+        }
     }
 
     /// Expands the flat parameter vector into dense `w`/`v` matrices
@@ -265,8 +278,14 @@ mod tests {
     #[test]
     fn gradient_matches_with_pruned_links() {
         let mut net = Mlp::random(3, 3, 2, 13);
-        net.prune(LinkId::InputHidden { hidden: 0, input: 1 });
-        net.prune(LinkId::HiddenOutput { output: 1, hidden: 2 });
+        net.prune(LinkId::InputHidden {
+            hidden: 0,
+            input: 1,
+        });
+        net.prune(LinkId::HiddenOutput {
+            output: 1,
+            hidden: 2,
+        });
         let data = toy_data();
         let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
         assert_eq!(obj.dim(), net.n_active());
@@ -307,10 +326,34 @@ mod tests {
     fn perfect_outputs_give_near_zero_loss() {
         // One input+bias, strong weights: class 0 for x=1 after training by hand.
         let mut net = Mlp::random(2, 1, 2, 23);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 50.0);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 1 }, -25.0);
-        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 50.0);
-        net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, -50.0);
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            50.0,
+        );
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 1,
+            },
+            -25.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0,
+            },
+            50.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 1,
+                hidden: 0,
+            },
+            -50.0,
+        );
         let data = EncodedDataset::from_parts(vec![1.0, 1.0, 0.0, 1.0], 2, vec![0, 1], 2);
         let obj = CrossEntropyObjective::new(&net, &data, Penalty::none());
         let loss = obj.value(&net.flatten_active());

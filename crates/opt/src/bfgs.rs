@@ -27,7 +27,12 @@ pub struct Bfgs {
 
 impl Default for Bfgs {
     fn default() -> Self {
-        Bfgs { grad_tol: 1e-5, max_iters: 500, f_tol: 1e-12, wolfe: WolfeParams::default() }
+        Bfgs {
+            grad_tol: 1e-5,
+            max_iters: 500,
+            f_tol: 1e-12,
+            wolfe: WolfeParams::default(),
+        }
     }
 }
 
@@ -65,7 +70,14 @@ impl Optimizer for Bfgs {
         for iter in 0..self.max_iters {
             let gnorm = inf_norm(&g);
             if gnorm <= self.grad_tol {
-                return OptResult { x, value: f, grad_norm: gnorm, iterations: iter, evaluations: evals, converged: true };
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter,
+                    evaluations: evals,
+                    converged: true,
+                };
             }
 
             // d = -H g
@@ -171,7 +183,14 @@ impl Optimizer for Bfgs {
         }
 
         let gnorm = inf_norm(&g);
-        OptResult { x, value: f, grad_norm: gnorm, iterations: self.max_iters, evaluations: evals, converged: gnorm <= self.grad_tol }
+        OptResult {
+            x,
+            value: f,
+            grad_norm: gnorm,
+            iterations: self.max_iters,
+            evaluations: evals,
+            converged: gnorm <= self.grad_tol,
+        }
     }
 }
 
@@ -210,7 +229,9 @@ mod tests {
 
     #[test]
     fn converges_on_rosenbrock() {
-        let res = Bfgs::default().with_max_iters(2000).minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        let res = Bfgs::default()
+            .with_max_iters(2000)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
         assert!(res.converged, "{res:?}");
         assert!((res.x[0] - 1.0).abs() < 1e-4, "{res:?}");
         assert!((res.x[1] - 1.0).abs() < 1e-4, "{res:?}");
@@ -220,12 +241,19 @@ mod tests {
     fn superlinear_vs_gradient_descent() {
         // BFGS should need far fewer iterations than GD on Rosenbrock.
         use crate::GradientDescent;
-        let bfgs = Bfgs::default().with_max_iters(500).minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        let bfgs = Bfgs::default()
+            .with_max_iters(500)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
         let gd = GradientDescent::default()
             .with_learning_rate(1e-3)
             .with_max_iters(500)
             .minimize(&Rosenbrock, vec![-1.2, 1.0]);
-        assert!(bfgs.value < gd.value, "bfgs {} vs gd {}", bfgs.value, gd.value);
+        assert!(
+            bfgs.value < gd.value,
+            "bfgs {} vs gd {}",
+            bfgs.value,
+            gd.value
+        );
         assert!(bfgs.converged);
     }
 

@@ -31,7 +31,10 @@ pub struct ConjugateGradient {
 }
 
 fn cg_wolfe() -> WolfeParams {
-    WolfeParams { c2: 0.45, ..WolfeParams::default() }
+    WolfeParams {
+        c2: 0.45,
+        ..WolfeParams::default()
+    }
 }
 
 impl Default for ConjugateGradient {
@@ -73,7 +76,14 @@ impl Optimizer for ConjugateGradient {
         for iter in 0..self.max_iters {
             let gnorm = inf_norm(&g);
             if gnorm <= self.grad_tol {
-                return OptResult { x, value: f, grad_norm: gnorm, iterations: iter, evaluations: evals, converged: true };
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter,
+                    evaluations: evals,
+                    converged: true,
+                };
             }
             if dot(&d, &g) >= 0.0 || (iter > 0 && iter % self.restart_every == 0) {
                 for (di, gi) in d.iter_mut().zip(&g) {
@@ -123,7 +133,14 @@ impl Optimizer for ConjugateGradient {
             }
         }
         let gnorm = inf_norm(&g);
-        OptResult { x, value: f, grad_norm: gnorm, iterations: self.max_iters, evaluations: evals, converged: gnorm <= self.grad_tol }
+        OptResult {
+            x,
+            value: f,
+            grad_norm: gnorm,
+            iterations: self.max_iters,
+            evaluations: evals,
+            converged: gnorm <= self.grad_tol,
+        }
     }
 }
 

@@ -24,7 +24,12 @@ pub struct GradientDescent {
 
 impl Default for GradientDescent {
     fn default() -> Self {
-        GradientDescent { learning_rate: 0.1, momentum: 0.9, grad_tol: 1e-5, max_iters: 1000 }
+        GradientDescent {
+            learning_rate: 0.1,
+            momentum: 0.9,
+            grad_tol: 1e-5,
+            max_iters: 1000,
+        }
     }
 }
 
@@ -71,7 +76,14 @@ impl Optimizer for GradientDescent {
             }
             let gnorm = inf_norm(&g);
             if gnorm <= self.grad_tol {
-                return OptResult { x, value: f, grad_norm: gnorm, iterations: iter, evaluations: evals, converged: true };
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter,
+                    evaluations: evals,
+                    converged: true,
+                };
             }
             for i in 0..n {
                 velocity[i] = self.momentum * velocity[i] - self.learning_rate * g[i];
@@ -124,7 +136,10 @@ mod tests {
             .with_momentum(0.9)
             .with_max_iters(100)
             .minimize(&q, vec![0.0]);
-        assert!(heavy.value <= plain.value, "momentum should not be slower here");
+        assert!(
+            heavy.value <= plain.value,
+            "momentum should not be slower here"
+        );
     }
 
     #[test]
@@ -137,7 +152,10 @@ mod tests {
             .with_max_iters(10)
             .minimize(&q, vec![1.0]);
         assert!(res.value.is_finite());
-        assert!(res.value <= 1.0 + 1e-12, "never worse than the start: {res:?}");
+        assert!(
+            res.value <= 1.0 + 1e-12,
+            "never worse than the start: {res:?}"
+        );
     }
 
     #[test]

@@ -32,7 +32,13 @@ pub struct Lbfgs {
 
 impl Default for Lbfgs {
     fn default() -> Self {
-        Lbfgs { memory: 10, grad_tol: 1e-5, max_iters: 500, f_tol: 1e-12, wolfe: WolfeParams::default() }
+        Lbfgs {
+            memory: 10,
+            grad_tol: 1e-5,
+            max_iters: 500,
+            f_tol: 1e-12,
+            wolfe: WolfeParams::default(),
+        }
     }
 }
 
@@ -79,7 +85,14 @@ impl Optimizer for Lbfgs {
         for iter in 0..self.max_iters {
             let gnorm = inf_norm(&g);
             if gnorm <= self.grad_tol {
-                return OptResult { x, value: f, grad_norm: gnorm, iterations: iter, evaluations: evals, converged: true };
+                return OptResult {
+                    x,
+                    value: f,
+                    grad_norm: gnorm,
+                    iterations: iter,
+                    evaluations: evals,
+                    converged: true,
+                };
             }
 
             // Two-loop recursion: d = -H g.
@@ -144,7 +157,11 @@ impl Optimizer for Lbfgs {
                 if history.len() == self.memory {
                     history.pop_front();
                 }
-                history.push_back(Pair { s, y, rho: 1.0 / sy });
+                history.push_back(Pair {
+                    s,
+                    y,
+                    rho: 1.0 / sy,
+                });
             }
 
             if (f_prev - f).abs() <= self.f_tol * (1.0 + f.abs()) {
@@ -160,7 +177,14 @@ impl Optimizer for Lbfgs {
             }
         }
         let gnorm = inf_norm(&g);
-        OptResult { x, value: f, grad_norm: gnorm, iterations: self.max_iters, evaluations: evals, converged: gnorm <= self.grad_tol }
+        OptResult {
+            x,
+            value: f,
+            grad_norm: gnorm,
+            iterations: self.max_iters,
+            evaluations: evals,
+            converged: gnorm <= self.grad_tol,
+        }
     }
 }
 
@@ -181,7 +205,9 @@ mod tests {
 
     #[test]
     fn converges_on_rosenbrock() {
-        let res = Lbfgs::default().with_max_iters(2000).minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        let res = Lbfgs::default()
+            .with_max_iters(2000)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
         assert!(res.converged, "{res:?}");
         assert!((res.x[0] - 1.0).abs() < 1e-4);
         assert!((res.x[1] - 1.0).abs() < 1e-4);

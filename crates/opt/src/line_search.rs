@@ -19,7 +19,13 @@ pub struct WolfeParams {
 
 impl Default for WolfeParams {
     fn default() -> Self {
-        WolfeParams { c1: 1e-4, c2: 0.9, alpha_init: 1.0, alpha_max: 1e4, max_iters: 60 }
+        WolfeParams {
+            c1: 1e-4,
+            c2: 0.9,
+            alpha_init: 1.0,
+            alpha_max: 1e4,
+            max_iters: 60,
+        }
     }
 }
 
@@ -58,7 +64,10 @@ impl<'a, O: Objective + ?Sized> Phi<'a, O> {
         }
         let phi = self.obj.value_and_gradient(&self.xt, &mut self.grad);
         self.evals += 1;
-        Probe { phi, dphi: dot(&self.grad, self.d) }
+        Probe {
+            phi,
+            dphi: dot(&self.grad, self.d),
+        }
     }
 }
 
@@ -79,7 +88,14 @@ pub fn wolfe_line_search<O: Objective + ?Sized>(
     if dphi0 >= 0.0 || !dphi0.is_finite() {
         return None;
     }
-    let mut phi = Phi { obj, x, d, xt: vec![0.0; x.len()], grad: vec![0.0; x.len()], evals: 0 };
+    let mut phi = Phi {
+        obj,
+        x,
+        d,
+        xt: vec![0.0; x.len()],
+        grad: vec![0.0; x.len()],
+        evals: 0,
+    };
 
     let mut alpha_prev = 0.0f64;
     let mut phi_prev = f0;
@@ -107,7 +123,9 @@ pub fn wolfe_line_search<O: Objective + ?Sized>(
             });
         }
         if p.dphi >= 0.0 {
-            return zoom(&mut phi, f0, dphi0, params, alpha, p.phi, p.dphi, alpha_prev, phi_prev);
+            return zoom(
+                &mut phi, f0, dphi0, params, alpha, p.phi, p.dphi, alpha_prev, phi_prev,
+            );
         }
         alpha_prev = alpha;
         phi_prev = p.phi;
@@ -143,7 +161,11 @@ fn zoom<O: Objective + ?Sized>(
         } else {
             0.5 * (alpha_lo + alpha_hi)
         };
-        let (lo, hi) = if alpha_lo < alpha_hi { (alpha_lo, alpha_hi) } else { (alpha_hi, alpha_lo) };
+        let (lo, hi) = if alpha_lo < alpha_hi {
+            (alpha_lo, alpha_hi)
+        } else {
+            (alpha_hi, alpha_lo)
+        };
         let span = hi - lo;
         if !(alpha.is_finite()) || alpha <= lo + 0.05 * span || alpha >= hi - 0.05 * span {
             alpha = 0.5 * (alpha_lo + alpha_hi);
@@ -194,7 +216,10 @@ mod tests {
         );
         // Curvature.
         let dphi = dot(&res.gradient, d);
-        assert!(dphi.abs() <= -params.c2 * dphi0 + 1e-12, "curvature violated");
+        assert!(
+            dphi.abs() <= -params.c2 * dphi0 + 1e-12,
+            "curvature violated"
+        );
     }
 
     #[test]

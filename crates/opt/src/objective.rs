@@ -68,8 +68,10 @@ pub(crate) mod test_functions {
                 .sum()
         }
         fn gradient(&self, x: &[f64], g: &mut [f64]) {
-            for ((gi, (xi, ti)), ci) in
-                g.iter_mut().zip(x.iter().zip(&self.target)).zip(&self.scale)
+            for ((gi, (xi, ti)), ci) in g
+                .iter_mut()
+                .zip(x.iter().zip(&self.target))
+                .zip(&self.scale)
             {
                 *gi = 2.0 * ci * (xi - ti);
             }

@@ -1,0 +1,124 @@
+//! Smoke tests: every optimizer in the family must minimize a fixed convex
+//! quadratic. These catch line-search regressions early, before the much
+//! more expensive property suite (`tests/optimizer_properties.rs` of the
+//! umbrella crate) or a full training run would.
+
+use nr_opt::{Bfgs, ConjugateGradient, GradientDescent, Lbfgs, Objective, OptResult, Optimizer};
+
+/// `f(x) = Σ cᵢ (xᵢ − tᵢ)²` with spread-out curvatures (condition ≈ 250).
+struct Quad;
+
+const TARGET: [f64; 4] = [1.0, -2.0, 0.5, 3.0];
+const SCALE: [f64; 4] = [0.2, 1.0, 10.0, 50.0];
+
+impl Objective for Quad {
+    fn dim(&self) -> usize {
+        TARGET.len()
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(TARGET)
+            .zip(SCALE)
+            .map(|((xi, ti), ci)| ci * (xi - ti) * (xi - ti))
+            .sum()
+    }
+    fn gradient(&self, x: &[f64], g: &mut [f64]) {
+        for ((gi, (xi, ti)), ci) in g.iter_mut().zip(x.iter().zip(TARGET)).zip(SCALE) {
+            *gi = 2.0 * ci * (xi - ti);
+        }
+    }
+}
+
+fn assert_at_minimum(result: &OptResult, tol: f64, label: &str) {
+    assert!(result.converged, "{label} did not converge: {result:?}");
+    for (i, (xi, ti)) in result.x.iter().zip(TARGET).enumerate() {
+        assert!(
+            (xi - ti).abs() < tol,
+            "{label}: coordinate {i} is {xi}, want {ti} (±{tol})"
+        );
+    }
+    assert!(
+        result.value < tol,
+        "{label}: final value {} not near zero",
+        result.value
+    );
+}
+
+const X0: [f64; 4] = [8.0, 8.0, -8.0, -8.0];
+
+#[test]
+fn bfgs_minimizes_convex_quadratic() {
+    let result = Bfgs::default().minimize(&Quad, X0.to_vec());
+    assert_at_minimum(&result, 1e-4, "BFGS");
+    // Superlinear: a quadratic in 4 dimensions needs only a handful of
+    // iterations (the paper's reason for preferring BFGS over backprop).
+    assert!(
+        result.iterations <= 30,
+        "BFGS took {} iterations",
+        result.iterations
+    );
+}
+
+#[test]
+fn lbfgs_minimizes_convex_quadratic() {
+    let result = Lbfgs::default().minimize(&Quad, X0.to_vec());
+    assert_at_minimum(&result, 1e-4, "L-BFGS");
+    assert!(
+        result.iterations <= 50,
+        "L-BFGS took {} iterations",
+        result.iterations
+    );
+}
+
+#[test]
+fn cg_minimizes_convex_quadratic() {
+    let result = ConjugateGradient::default().minimize(&Quad, X0.to_vec());
+    assert_at_minimum(&result, 1e-3, "CG");
+}
+
+#[test]
+fn gradient_descent_minimizes_convex_quadratic() {
+    // GD needs a learning rate below 1/L (L = 2·max cᵢ = 100) and patience
+    // proportional to the condition number.
+    let result = GradientDescent::default()
+        .with_learning_rate(5e-3)
+        .with_max_iters(20_000)
+        .minimize(&Quad, X0.to_vec());
+    assert_at_minimum(&result, 1e-2, "GD");
+}
+
+#[test]
+fn all_optimizers_monotonically_improve_from_start() {
+    let f0 = Quad.value(&X0);
+    for (label, result) in [
+        ("BFGS", Bfgs::default().minimize(&Quad, X0.to_vec())),
+        ("L-BFGS", Lbfgs::default().minimize(&Quad, X0.to_vec())),
+        (
+            "CG",
+            ConjugateGradient::default().minimize(&Quad, X0.to_vec()),
+        ),
+        (
+            "GD",
+            GradientDescent::default()
+                .with_learning_rate(5e-3)
+                .minimize(&Quad, X0.to_vec()),
+        ),
+    ] {
+        assert!(
+            result.value <= f0 + 1e-9,
+            "{label} ended worse than it started: {} vs {f0}",
+            result.value
+        );
+    }
+}
+
+#[test]
+fn analytic_gradient_matches_numeric() {
+    let x = [0.3, -1.2, 2.0, 0.9];
+    let mut g = vec![0.0; 4];
+    Quad.gradient(&x, &mut g);
+    let numeric = nr_opt::numeric_gradient(&Quad, &x, 1e-6);
+    for (a, n) in g.iter().zip(&numeric) {
+        assert!((a - n).abs() < 1e-5 * (1.0 + a.abs()), "{a} vs {n}");
+    }
+}

@@ -102,10 +102,19 @@ pub fn input_link_saliencies(net: &Mlp) -> Vec<(LinkId, f64)> {
         let vmax = net
             .hidden_outputs(m)
             .into_iter()
-            .map(|p| net.weight(LinkId::HiddenOutput { output: p, hidden: m }).abs())
+            .map(|p| {
+                net.weight(LinkId::HiddenOutput {
+                    output: p,
+                    hidden: m,
+                })
+                .abs()
+            })
             .fold(0.0f64, f64::max);
         for l in net.hidden_inputs(m) {
-            let link = LinkId::InputHidden { hidden: m, input: l };
+            let link = LinkId::InputHidden {
+                hidden: m,
+                input: l,
+            };
             out.push((link, vmax * net.weight(link).abs()));
         }
     }
@@ -127,7 +136,10 @@ pub fn prune(net: &mut Mlp, data: &EncodedDataset, config: &PruneConfig) -> Prun
             .collect();
         for p in 0..net.n_outputs() {
             for m in 0..net.n_hidden() {
-                let link = LinkId::HiddenOutput { output: p, hidden: m };
+                let link = LinkId::HiddenOutput {
+                    output: p,
+                    hidden: m,
+                };
                 if net.is_active(link) && net.weight(link).abs() <= threshold {
                     batch.push(link);
                 }
@@ -241,20 +253,54 @@ mod tests {
     #[test]
     fn saliency_matches_definition() {
         let mut net = Mlp::random(2, 2, 2, 1);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 0.5);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 1 }, -0.2);
-        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 2.0);
-        net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, -3.0);
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            0.5,
+        );
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 1,
+            },
+            -0.2,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0,
+            },
+            2.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 1,
+                hidden: 0,
+            },
+            -3.0,
+        );
         let sal = input_link_saliencies(&net);
         let s00 = sal
             .iter()
-            .find(|(l, _)| *l == LinkId::InputHidden { hidden: 0, input: 0 })
+            .find(|(l, _)| {
+                *l == LinkId::InputHidden {
+                    hidden: 0,
+                    input: 0,
+                }
+            })
             .unwrap()
             .1;
         assert!((s00 - 1.5).abs() < 1e-12); // max(|2*0.5|, |-3*0.5|) = 1.5
         let s01 = sal
             .iter()
-            .find(|(l, _)| *l == LinkId::InputHidden { hidden: 0, input: 1 })
+            .find(|(l, _)| {
+                *l == LinkId::InputHidden {
+                    hidden: 0,
+                    input: 1,
+                }
+            })
             .unwrap()
             .1;
         assert!((s01 - 0.6).abs() < 1e-12);
@@ -263,8 +309,14 @@ mod tests {
     #[test]
     fn saliency_zero_for_outputless_hidden() {
         let mut net = Mlp::random(2, 1, 2, 2);
-        net.prune(LinkId::HiddenOutput { output: 0, hidden: 0 });
-        net.prune(LinkId::HiddenOutput { output: 1, hidden: 0 });
+        net.prune(LinkId::HiddenOutput {
+            output: 0,
+            hidden: 0,
+        });
+        net.prune(LinkId::HiddenOutput {
+            output: 1,
+            hidden: 0,
+        });
         for (_, s) in input_link_saliencies(&net) {
             assert_eq!(s, 0.0);
         }
@@ -280,7 +332,10 @@ mod tests {
 
         let outcome = prune(&mut net, &data, &quick_config());
         assert!(outcome.final_accuracy >= 0.9, "{outcome:?}");
-        assert!(outcome.remaining_links < outcome.initial_links, "{outcome:?}");
+        assert!(
+            outcome.remaining_links < outcome.initial_links,
+            "{outcome:?}"
+        );
         // The junk input should be disconnected.
         assert!(outcome.unused_inputs.contains(&1), "{outcome:?}");
     }
@@ -305,7 +360,10 @@ mod tests {
         let data = noisy_separable(40);
         let mut net = Mlp::random(3, 3, 2, 13);
         Trainer::default().train(&mut net, &data);
-        let config = PruneConfig { max_rounds: 1, ..quick_config() };
+        let config = PruneConfig {
+            max_rounds: 1,
+            ..quick_config()
+        };
         let outcome = prune(&mut net, &data, &config);
         assert!(outcome.rounds <= 1);
     }
@@ -316,7 +374,10 @@ mod tests {
         let mut net = Mlp::random(3, 3, 2, 17);
         Trainer::default().train(&mut net, &data);
         let before = net.clone();
-        let config = PruneConfig { accuracy_floor: 1.01, ..quick_config() };
+        let config = PruneConfig {
+            accuracy_floor: 1.01,
+            ..quick_config()
+        };
         let outcome = prune(&mut net, &data, &config);
         assert_eq!(outcome.rounds, 0);
         // Rollback restored the exact weights (dead-hidden sweep may still

@@ -52,7 +52,9 @@ fn trainer_ablation() {
         ),
         (
             "L-BFGS-300 (m=10)",
-            Trainer::new(TrainingAlgorithm::Lbfgs(Lbfgs::default().with_max_iters(300))),
+            Trainer::new(TrainingAlgorithm::Lbfgs(
+                Lbfgs::default().with_max_iters(300),
+            )),
         ),
         (
             "CG-600 (PR+)",
@@ -63,7 +65,9 @@ fn trainer_ablation() {
         (
             "GD-3000 (lr 0.05, momentum 0.9)",
             Trainer::new(TrainingAlgorithm::GradientDescent(
-                GradientDescent::default().with_learning_rate(0.05).with_max_iters(3000),
+                GradientDescent::default()
+                    .with_learning_rate(0.05)
+                    .with_max_iters(3000),
             )),
         ),
     ] {

@@ -28,7 +28,9 @@ pub fn paper_datasets(function: Function) -> (Dataset, Dataset) {
 /// The paper's pipeline configuration (4 hidden nodes, Agrawal coding,
 /// 90% floors, ε = 0.6).
 pub fn paper_pipeline(seed: u64) -> NeuroRule {
-    NeuroRule::default().with_encoder(Encoder::agrawal()).with_seed(seed)
+    NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .with_seed(seed)
 }
 
 /// Fits the pipeline trying a few weight-initialization seeds. Every run
@@ -37,8 +39,10 @@ pub fn paper_pipeline(seed: u64) -> NeuroRule {
 /// deliverable — §4.2 judges rule sets by size at comparable accuracy).
 /// If no seed clears the floor, the most accurate model is returned.
 pub fn fit_best_of(train: &Dataset, seeds: &[u64]) -> Model {
-    let models: Vec<Model> =
-        seeds.iter().filter_map(|&s| paper_pipeline(s).fit(train).ok()).collect();
+    let models: Vec<Model> = seeds
+        .iter()
+        .filter_map(|&s| paper_pipeline(s).fit(train).ok())
+        .collect();
     assert!(!models.is_empty(), "at least one seed must fit");
     models
         .iter()
@@ -46,7 +50,9 @@ pub fn fit_best_of(train: &Dataset, seeds: &[u64]) -> Model {
         .min_by_key(|m| (m.ruleset.len(), m.ruleset.total_conditions()))
         .or_else(|| {
             models.iter().max_by(|a, b| {
-                a.report.train_rule_accuracy.total_cmp(&b.report.train_rule_accuracy)
+                a.report
+                    .train_rule_accuracy
+                    .total_cmp(&b.report.train_rule_accuracy)
             })
         })
         .expect("non-empty model list")

@@ -35,14 +35,14 @@ pub fn table1() {
 pub fn table2() {
     header("Table 2 — binarization of the attribute values");
     let enc = Encoder::agrawal();
-    println!(
-        "{:<12} {:<12} {:<8} coding",
-        "attribute", "inputs", "bits"
-    );
+    println!("{:<12} {:<12} {:<8} coding", "attribute", "inputs", "bits");
     for (a, attr) in enc.schema().attributes().iter().enumerate() {
         let (start, len) = enc.span(a);
         let coding = match &enc.codings()[a] {
-            AttrCoding::Thermometer { thresholds, absent_value } => {
+            AttrCoding::Thermometer {
+                thresholds,
+                absent_value,
+            } => {
                 let finite: Vec<String> = thresholds
                     .iter()
                     .filter(|t| t.is_finite())

@@ -47,17 +47,29 @@ pub enum Condition {
 impl Condition {
     /// `attr ≥ lo`.
     pub fn num_ge(attribute: usize, lo: f64) -> Condition {
-        Condition::Num { attribute, lo: Some(lo), hi: None }
+        Condition::Num {
+            attribute,
+            lo: Some(lo),
+            hi: None,
+        }
     }
 
     /// `attr < hi`.
     pub fn num_lt(attribute: usize, hi: f64) -> Condition {
-        Condition::Num { attribute, lo: None, hi: Some(hi) }
+        Condition::Num {
+            attribute,
+            lo: None,
+            hi: Some(hi),
+        }
     }
 
     /// `lo ≤ attr < hi`.
     pub fn num_range(attribute: usize, lo: f64, hi: f64) -> Condition {
-        Condition::Num { attribute, lo: Some(lo), hi: Some(hi) }
+        Condition::Num {
+            attribute,
+            lo: Some(lo),
+            hi: Some(hi),
+        }
     }
 
     /// The attribute this condition constrains.
@@ -90,7 +102,11 @@ impl Condition {
     /// only the interval case is decidable here).
     pub fn is_contradiction(&self) -> bool {
         match self {
-            Condition::Num { lo: Some(l), hi: Some(h), .. } => l >= h,
+            Condition::Num {
+                lo: Some(l),
+                hi: Some(h),
+                ..
+            } => l >= h,
             _ => false,
         }
     }
@@ -105,7 +121,11 @@ impl Condition {
         }
         match (self, other) {
             (
-                Condition::Num { attribute, lo: l1, hi: h1 },
+                Condition::Num {
+                    attribute,
+                    lo: l1,
+                    hi: h1,
+                },
                 Condition::Num { lo: l2, hi: h2, .. },
             ) => {
                 let lo = match (l1, l2) {
@@ -116,11 +136,18 @@ impl Condition {
                     (Some(a), Some(b)) => Some(a.min(*b)),
                     (a, b) => a.or(*b),
                 };
-                Some(Condition::Num { attribute: *attribute, lo, hi })
+                Some(Condition::Num {
+                    attribute: *attribute,
+                    lo,
+                    hi,
+                })
             }
             (Condition::CatEq { attribute, code: a }, Condition::CatEq { code: b, .. }) => {
                 if a == b {
-                    Some(Condition::CatEq { attribute: *attribute, code: *a })
+                    Some(Condition::CatEq {
+                        attribute: *attribute,
+                        code: *a,
+                    })
                 } else {
                     // Mutually exclusive equalities: represent as an empty interval
                     // is impossible for nominals; callers treat None as conflict.
@@ -128,18 +155,27 @@ impl Condition {
                 }
             }
             (
-                Condition::CatNotIn { attribute, codes: a },
+                Condition::CatNotIn {
+                    attribute,
+                    codes: a,
+                },
                 Condition::CatNotIn { codes: b, .. },
             ) => {
                 let codes: BTreeSet<u32> = a.union(b).copied().collect();
-                Some(Condition::CatNotIn { attribute: *attribute, codes })
+                Some(Condition::CatNotIn {
+                    attribute: *attribute,
+                    codes,
+                })
             }
             (Condition::CatEq { attribute, code }, Condition::CatNotIn { codes, .. })
             | (Condition::CatNotIn { codes, .. }, Condition::CatEq { attribute, code }) => {
                 if codes.contains(code) {
                     None
                 } else {
-                    Some(Condition::CatEq { attribute: *attribute, code: *code })
+                    Some(Condition::CatEq {
+                        attribute: *attribute,
+                        code: *code,
+                    })
                 }
             }
             _ => None,
@@ -182,7 +218,12 @@ impl Condition {
         let name = |a: usize| schema.attribute(a).name.clone();
         match self {
             Condition::Num { attribute, lo, hi } => match (lo, hi) {
-                (Some(l), Some(h)) => format!("({} <= {} < {})", fmt_num(*l), name(*attribute), fmt_num(*h)),
+                (Some(l), Some(h)) => format!(
+                    "({} <= {} < {})",
+                    fmt_num(*l),
+                    name(*attribute),
+                    fmt_num(*h)
+                ),
                 (Some(l), None) => format!("({} >= {})", name(*attribute), fmt_num(*l)),
                 (None, Some(h)) => format!("({} < {})", name(*attribute), fmt_num(*h)),
                 (None, None) => format!("({} : any)", name(*attribute)),
@@ -191,7 +232,11 @@ impl Condition {
                 format!("({} = {})", name(*attribute), fmt_num(*value))
             }
             Condition::CatEq { attribute, code } => {
-                format!("({} = {})", name(*attribute), schema.display_value(*attribute, &Value::Nominal(*code)))
+                format!(
+                    "({} = {})",
+                    name(*attribute),
+                    schema.display_value(*attribute, &Value::Nominal(*code))
+                )
             }
             Condition::CatNotIn { attribute, codes } => {
                 let parts: Vec<String> = codes
@@ -235,17 +280,26 @@ mod tests {
 
     #[test]
     fn num_eq_matching() {
-        let c = Condition::NumEq { attribute: 0, value: 0.0 };
+        let c = Condition::NumEq {
+            attribute: 0,
+            value: 0.0,
+        };
         assert!(c.matches(&[Value::Num(0.0), Value::Nominal(0)]));
         assert!(!c.matches(&[Value::Num(0.1), Value::Nominal(0)]));
     }
 
     #[test]
     fn cat_matching() {
-        let eq = Condition::CatEq { attribute: 1, code: 2 };
+        let eq = Condition::CatEq {
+            attribute: 1,
+            code: 2,
+        };
         assert!(eq.matches(&[Value::Num(0.0), Value::Nominal(2)]));
         assert!(!eq.matches(&[Value::Num(0.0), Value::Nominal(1)]));
-        let ne = Condition::CatNotIn { attribute: 1, codes: [0, 1].into_iter().collect() };
+        let ne = Condition::CatNotIn {
+            attribute: 1,
+            codes: [0, 1].into_iter().collect(),
+        };
         assert!(ne.matches(&[Value::Num(0.0), Value::Nominal(2)]));
         assert!(!ne.matches(&[Value::Num(0.0), Value::Nominal(0)]));
     }
@@ -262,12 +316,27 @@ mod tests {
 
     #[test]
     fn intersect_conflicting_categories_is_none() {
-        let a = Condition::CatEq { attribute: 1, code: 0 };
-        let b = Condition::CatEq { attribute: 1, code: 1 };
+        let a = Condition::CatEq {
+            attribute: 1,
+            code: 0,
+        };
+        let b = Condition::CatEq {
+            attribute: 1,
+            code: 1,
+        };
         assert_eq!(a.intersect(&b), None);
-        let ne = Condition::CatNotIn { attribute: 1, codes: [0].into_iter().collect() };
+        let ne = Condition::CatNotIn {
+            attribute: 1,
+            codes: [0].into_iter().collect(),
+        };
         assert_eq!(a.intersect(&ne), None);
-        assert_eq!(ne.intersect(&b), Some(Condition::CatEq { attribute: 1, code: 1 }));
+        assert_eq!(
+            ne.intersect(&b),
+            Some(Condition::CatEq {
+                attribute: 1,
+                code: 1
+            })
+        );
     }
 
     #[test]
@@ -296,19 +365,39 @@ mod tests {
             Condition::num_range(0, 50_000.0, 100_000.0).display(&s),
             "(50000 <= salary < 100000)"
         );
-        assert_eq!(Condition::num_ge(0, 25_000.0).display(&s), "(salary >= 25000)");
-        assert_eq!(Condition::num_lt(0, 125_000.0).display(&s), "(salary < 125000)");
         assert_eq!(
-            Condition::NumEq { attribute: 0, value: 0.0 }.display(&s),
+            Condition::num_ge(0, 25_000.0).display(&s),
+            "(salary >= 25000)"
+        );
+        assert_eq!(
+            Condition::num_lt(0, 125_000.0).display(&s),
+            "(salary < 125000)"
+        );
+        assert_eq!(
+            Condition::NumEq {
+                attribute: 0,
+                value: 0.0
+            }
+            .display(&s),
             "(salary = 0)"
         );
-        assert_eq!(Condition::CatEq { attribute: 1, code: 1 }.display(&s), "(zip = z2)");
+        assert_eq!(
+            Condition::CatEq {
+                attribute: 1,
+                code: 1
+            }
+            .display(&s),
+            "(zip = z2)"
+        );
     }
 
     #[test]
     fn intersect_different_attributes_is_none() {
         let a = Condition::num_ge(0, 1.0);
-        let b = Condition::CatEq { attribute: 1, code: 0 };
+        let b = Condition::CatEq {
+            attribute: 1,
+            code: 0,
+        };
         assert_eq!(a.intersect(&b), None);
         assert!(!a.implied_by(&b));
     }

@@ -116,7 +116,8 @@ mod tests {
         let mut d = Dataset::new(schema, vec!["A".into(), "B".into()]);
         // 4 A rows, 6 B rows.
         for i in 0..10 {
-            d.push(vec![Value::Num(i as f64)], usize::from(i >= 4)).unwrap();
+            d.push(vec![Value::Num(i as f64)], usize::from(i >= 4))
+                .unwrap();
         }
         d
     }

@@ -41,9 +41,10 @@ impl Rule {
     pub fn normalized(&self) -> Option<Rule> {
         let mut merged: Vec<Condition> = Vec::with_capacity(self.conditions.len());
         for cond in &self.conditions {
-            if let Some(pos) = merged.iter().position(|m| {
-                m.attribute() == cond.attribute() && m.intersect(cond).is_some()
-            }) {
+            if let Some(pos) = merged
+                .iter()
+                .position(|m| m.attribute() == cond.attribute() && m.intersect(cond).is_some())
+            {
                 let combined = merged[pos].intersect(cond).expect("checked above");
                 merged[pos] = combined;
             } else if merged
@@ -82,7 +83,11 @@ impl Rule {
             return format!("If (true), then {}", class_names[self.class]);
         }
         let conds: Vec<String> = self.conditions.iter().map(|c| c.display(schema)).collect();
-        format!("If {} , then {}", conds.join(" and "), class_names[self.class])
+        format!(
+            "If {} , then {}",
+            conds.join(" and "),
+            class_names[self.class]
+        )
     }
 }
 
@@ -103,18 +108,29 @@ fn conflict_or_absorb(merged: &mut [Condition], cond: &Condition) -> Absorb {
         match (&*m, cond) {
             (Condition::NumEq { value, .. }, Condition::Num { lo, hi, .. }) => {
                 let inside = lo.is_none_or(|l| *value >= l) && hi.is_none_or(|h| *value < h);
-                return if inside { Absorb::Done } else { Absorb::Conflict };
+                return if inside {
+                    Absorb::Done
+                } else {
+                    Absorb::Conflict
+                };
             }
             (Condition::Num { lo, hi, .. }, Condition::NumEq { attribute, value }) => {
                 let inside = lo.is_none_or(|l| *value >= l) && hi.is_none_or(|h| *value < h);
                 if inside {
-                    *m = Condition::NumEq { attribute: *attribute, value: *value };
+                    *m = Condition::NumEq {
+                        attribute: *attribute,
+                        value: *value,
+                    };
                     return Absorb::Done;
                 }
                 return Absorb::Conflict;
             }
             (Condition::NumEq { value: a, .. }, Condition::NumEq { value: b, .. }) => {
-                return if a == b { Absorb::Done } else { Absorb::Conflict };
+                return if a == b {
+                    Absorb::Done
+                } else {
+                    Absorb::Conflict
+                };
             }
             _ => return Absorb::Conflict,
         }
@@ -128,7 +144,10 @@ mod tests {
     use nr_tabular::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numeric("salary"), Attribute::numeric("age")])
+        Schema::new(vec![
+            Attribute::numeric("salary"),
+            Attribute::numeric("age"),
+        ])
     }
 
     #[test]
@@ -152,11 +171,17 @@ mod tests {
     #[test]
     fn normalize_merges_same_attribute() {
         let r = Rule::new(
-            vec![Condition::num_ge(0, 50_000.0), Condition::num_lt(0, 100_000.0)],
+            vec![
+                Condition::num_ge(0, 50_000.0),
+                Condition::num_lt(0, 100_000.0),
+            ],
             0,
         );
         let n = r.normalized().unwrap();
-        assert_eq!(n.conditions, vec![Condition::num_range(0, 50_000.0, 100_000.0)]);
+        assert_eq!(
+            n.conditions,
+            vec![Condition::num_range(0, 50_000.0, 100_000.0)]
+        );
     }
 
     #[test]
@@ -171,13 +196,31 @@ mod tests {
     #[test]
     fn normalize_numeq_in_interval() {
         let r = Rule::new(
-            vec![Condition::num_lt(0, 10_000.0), Condition::NumEq { attribute: 0, value: 0.0 }],
+            vec![
+                Condition::num_lt(0, 10_000.0),
+                Condition::NumEq {
+                    attribute: 0,
+                    value: 0.0,
+                },
+            ],
             0,
         );
         let n = r.normalized().unwrap();
-        assert_eq!(n.conditions, vec![Condition::NumEq { attribute: 0, value: 0.0 }]);
+        assert_eq!(
+            n.conditions,
+            vec![Condition::NumEq {
+                attribute: 0,
+                value: 0.0
+            }]
+        );
         let bad = Rule::new(
-            vec![Condition::num_ge(0, 10_000.0), Condition::NumEq { attribute: 0, value: 0.0 }],
+            vec![
+                Condition::num_ge(0, 10_000.0),
+                Condition::NumEq {
+                    attribute: 0,
+                    value: 0.0,
+                },
+            ],
             0,
         );
         assert!(bad.normalized().is_none());

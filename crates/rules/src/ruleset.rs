@@ -23,7 +23,11 @@ pub struct RuleSet {
 impl RuleSet {
     /// Creates a rule set.
     pub fn new(rules: Vec<Rule>, default_class: ClassId, class_names: Vec<String>) -> Self {
-        RuleSet { rules, default_class, class_names }
+        RuleSet {
+            rules,
+            default_class,
+            class_names,
+        }
     }
 
     /// Number of rules (excluding the default).
@@ -61,7 +65,10 @@ impl RuleSet {
         if ds.is_empty() {
             return 0.0;
         }
-        let correct = ds.iter().filter(|(row, label)| self.predict(row) == *label).count();
+        let correct = ds
+            .iter()
+            .filter(|(row, label)| self.predict(row) == *label)
+            .count();
         correct as f64 / ds.len() as f64
     }
 
@@ -75,7 +82,9 @@ impl RuleSet {
     pub fn simplified(&self) -> RuleSet {
         let mut kept: Vec<Rule> = Vec::with_capacity(self.rules.len());
         for rule in &self.rules {
-            let Some(norm) = rule.normalized() else { continue };
+            let Some(norm) = rule.normalized() else {
+                continue;
+            };
             if kept.iter().any(|k| k == &norm || k.subsumes(&norm)) {
                 continue;
             }
@@ -93,6 +102,47 @@ impl RuleSet {
             }
         }
         RuleSet::new(result, self.default_class, self.class_names.clone())
+    }
+
+    /// Data-driven reduction: greedily drops rules whose removal does not
+    /// lower agreement with `target` over the rows of `ds`.
+    ///
+    /// RX generates a rule per feasible input region, including regions no
+    /// training tuple occupies; those rules are dead weight (C4.5rules
+    /// prunes its rule sets against the training data for the same reason).
+    /// Passing the *network's* predictions as `target` makes the reduction
+    /// fidelity-preserving: the surviving rules agree with the network on
+    /// the training rows at least as often as the full set did (removing a
+    /// rule that itself disagreed with the network can push agreement
+    /// *above* the starting level).
+    pub fn reduced(&self, ds: &Dataset, target: &[ClassId]) -> RuleSet {
+        assert_eq!(ds.len(), target.len(), "one target class per row");
+        let agreement = |rules: &[Rule]| -> usize {
+            ds.iter()
+                .zip(target)
+                .filter(|((row, _), &t)| {
+                    let predicted = rules
+                        .iter()
+                        .find(|r| r.matches(row))
+                        .map(|r| r.class)
+                        .unwrap_or(self.default_class);
+                    predicted == t
+                })
+                .count()
+        };
+        let mut kept = self.rules.clone();
+        let baseline = agreement(&kept);
+        // Backwards, so the most specific rules (sorted last by extraction)
+        // are offered up first.
+        let mut i = kept.len();
+        while i > 0 {
+            i -= 1;
+            let candidate = kept.remove(i);
+            if agreement(&kept) < baseline {
+                kept.insert(i, candidate);
+            }
+        }
+        RuleSet::new(kept, self.default_class, self.class_names.clone())
     }
 
     /// Renders the whole rule set paper-style (Figure 5 layout).

@@ -35,7 +35,11 @@ impl RuleStats {
 /// Evaluates every rule of `rs` independently on `ds`.
 pub fn evaluate_rules(rs: &RuleSet, ds: &Dataset) -> Vec<RuleStats> {
     let mut stats: Vec<RuleStats> = (0..rs.len())
-        .map(|rule| RuleStats { rule, total: 0, correct: 0 })
+        .map(|rule| RuleStats {
+            rule,
+            total: 0,
+            correct: 0,
+        })
         .collect();
     for (row, label) in ds.iter() {
         for (i, rule) in rs.rules.iter().enumerate() {
@@ -81,7 +85,11 @@ mod tests {
 
     #[test]
     fn empty_match_is_hundred_pct() {
-        let s = RuleStats { rule: 0, total: 0, correct: 0 };
+        let s = RuleStats {
+            rule: 0,
+            total: 0,
+            correct: 0,
+        };
         assert_eq!(s.correct_pct(), 100.0);
     }
 }

@@ -1,0 +1,183 @@
+//! Dedicated tests for the rule/rule-set evaluation machinery: accuracy,
+//! per-rule coverage statistics (Table 3), confusion-matrix metrics, and
+//! the data-driven rule-set reduction.
+
+use nr_rules::{evaluate_rules, Condition, ConfusionMatrix, Rule, RuleSet};
+use nr_tabular::{Attribute, Dataset, Schema, Value};
+
+/// One numeric attribute `x`; label supplied per row.
+fn dataset(points: &[(f64, usize)]) -> Dataset {
+    let schema = Schema::new(vec![Attribute::numeric("x")]);
+    let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+    for &(x, class) in points {
+        ds.push(vec![Value::Num(x)], class).unwrap();
+    }
+    ds
+}
+
+/// `x < 10 → A`, `x ≥ 20 → B`, default A.
+fn band_rules() -> RuleSet {
+    RuleSet::new(
+        vec![
+            Rule::new(vec![Condition::num_lt(0, 10.0)], 0),
+            Rule::new(vec![Condition::num_ge(0, 20.0)], 1),
+        ],
+        0,
+        vec!["A".into(), "B".into()],
+    )
+}
+
+#[test]
+fn ruleset_accuracy_is_fraction_correct() {
+    let rs = band_rules();
+    // Four rows: rule 1 right, rule 2 right, default right, rule 2 wrong.
+    let ds = dataset(&[(5.0, 0), (25.0, 1), (15.0, 0), (30.0, 0)]);
+    assert!((rs.accuracy(&ds) - 0.75).abs() < 1e-12);
+    // Accuracy over an empty set is defined as 0.
+    assert_eq!(rs.accuracy(&dataset(&[])), 0.0);
+}
+
+#[test]
+fn per_rule_stats_count_coverage_independently() {
+    let rs = RuleSet::new(
+        vec![
+            Rule::new(vec![Condition::num_lt(0, 20.0)], 0),
+            Rule::new(vec![Condition::num_ge(0, 10.0)], 1),
+        ],
+        0,
+        vec!["A".into(), "B".into()],
+    );
+    // x=15 rows are matched by BOTH rules (Table 3 evaluates each rule on
+    // its own, not first-match).
+    let ds = dataset(&[(5.0, 0), (15.0, 1), (15.0, 0), (25.0, 1)]);
+    let stats = evaluate_rules(&rs, &ds);
+    assert_eq!(stats.len(), rs.len());
+    assert_eq!((stats[0].total, stats[0].correct), (3, 2));
+    assert_eq!((stats[1].total, stats[1].correct), (3, 2));
+    let covered: usize = stats.iter().map(|s| s.total).sum();
+    assert_eq!(
+        covered, 6,
+        "overlapping rules double-count coverage by design"
+    );
+    assert!((stats[0].correct_pct() - 200.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn uncovered_rule_reports_hundred_percent() {
+    let rs = RuleSet::new(
+        vec![Rule::new(vec![Condition::num_ge(0, 1e9)], 0)],
+        1,
+        vec!["A".into(), "B".into()],
+    );
+    let ds = dataset(&[(1.0, 1), (2.0, 1)]);
+    let stats = evaluate_rules(&rs, &ds);
+    assert_eq!(stats[0].total, 0);
+    assert_eq!(stats[0].correct_pct(), 100.0);
+}
+
+#[test]
+fn confusion_matrix_totals_and_diagonal() {
+    let rs = band_rules();
+    let ds = dataset(&[(5.0, 0), (25.0, 1), (15.0, 0), (30.0, 0), (1.0, 1)]);
+    let m = ConfusionMatrix::compute(&ds, |row| rs.predict(row));
+    assert_eq!(m.total(), ds.len());
+    assert_eq!(m.count(0, 0), 2); // (5.0,A) and (15.0,A via default)
+    assert_eq!(m.count(1, 1), 1); // (25.0,B)
+    assert_eq!(m.count(0, 1), 1); // (30.0,A) predicted B
+    assert_eq!(m.count(1, 0), 1); // (1.0,B) predicted A
+    assert!((m.accuracy() - rs.accuracy(&ds)).abs() < 1e-12);
+    // Hand-checked precision/recall for class 1: TP=1, FP=1, FN=1.
+    assert!((m.precision(1) - 0.5).abs() < 1e-12);
+    assert!((m.recall(1) - 0.5).abs() < 1e-12);
+    assert!((m.f1(1) - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn reduced_drops_rules_the_data_never_exercises() {
+    // Rule 2 covers x >= 50 — no training row reaches it, and the default
+    // class already handles that region.
+    let rs = RuleSet::new(
+        vec![
+            Rule::new(vec![Condition::num_lt(0, 10.0)], 0),
+            Rule::new(vec![Condition::num_ge(0, 50.0)], 0),
+        ],
+        1,
+        vec!["A".into(), "B".into()],
+    );
+    let ds = dataset(&[(5.0, 0), (15.0, 1), (20.0, 1)]);
+    let target: Vec<usize> = vec![0, 1, 1];
+    let reduced = rs.reduced(&ds, &target);
+    assert_eq!(reduced.len(), 1, "{:?}", reduced.rules);
+    assert_eq!(reduced.rules[0], rs.rules[0]);
+    // Agreement with the target is unchanged.
+    for ((row, _), &t) in ds.iter().zip(&target) {
+        assert_eq!(reduced.predict(row), t);
+    }
+}
+
+#[test]
+fn reduced_keeps_load_bearing_rules() {
+    // Default is B, so both A-rules are load-bearing: each covers a row
+    // the default would misclassify.
+    let rs = RuleSet::new(
+        vec![
+            Rule::new(vec![Condition::num_lt(0, 10.0)], 0),
+            Rule::new(vec![Condition::num_ge(0, 20.0)], 0),
+        ],
+        1,
+        vec!["A".into(), "B".into()],
+    );
+    let ds = dataset(&[(5.0, 0), (25.0, 0), (15.0, 1)]);
+    let target = vec![0usize, 0, 1];
+    let reduced = rs.reduced(&ds, &target);
+    assert_eq!(reduced.len(), 2);
+    assert_eq!(reduced.rules, rs.rules);
+}
+
+#[test]
+fn reduced_never_lowers_agreement() {
+    // Adversarial mix of overlapping rules; reduction must keep agreement.
+    let rs = RuleSet::new(
+        vec![
+            Rule::new(vec![Condition::num_lt(0, 12.0)], 0),
+            Rule::new(vec![Condition::num_range(0, 8.0, 18.0)], 1),
+            Rule::new(vec![Condition::num_ge(0, 16.0)], 0),
+            Rule::new(vec![Condition::num_ge(0, 30.0)], 1),
+        ],
+        1,
+        vec!["A".into(), "B".into()],
+    );
+    let points: Vec<(f64, usize)> = (0..40).map(|i| (i as f64, (i / 3) % 2)).collect();
+    let ds = dataset(&points);
+    let target: Vec<usize> = ds.iter().map(|(row, _)| rs.predict(row)).collect();
+    let reduced = rs.reduced(&ds, &target);
+    let before = ds
+        .iter()
+        .zip(&target)
+        .filter(|((r, _), &t)| rs.predict(r) == t)
+        .count();
+    let after = ds
+        .iter()
+        .zip(&target)
+        .filter(|((r, _), &t)| reduced.predict(r) == t)
+        .count();
+    assert!(
+        after >= before,
+        "reduction lowered agreement: {after} < {before}"
+    );
+    assert!(reduced.len() <= rs.len());
+}
+
+#[test]
+fn rule_coverage_predicates() {
+    let rule = Rule::new(vec![Condition::num_range(0, 10.0, 20.0)], 0);
+    assert!(
+        rule.matches(&[Value::Num(10.0)]),
+        "range lower bound is inclusive"
+    );
+    assert!(
+        !rule.matches(&[Value::Num(20.0)]),
+        "range upper bound is exclusive"
+    );
+    assert!(!rule.matches(&[Value::Num(9.9)]));
+}

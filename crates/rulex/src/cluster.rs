@@ -72,7 +72,11 @@ pub fn cluster_activations(values: &[f64], epsilon: f64) -> ClusterModel {
             }
         }
     }
-    let centers = sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect();
+    let centers = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| s / c as f64)
+        .collect();
     ClusterModel { centers }
 }
 
@@ -92,7 +96,10 @@ pub struct HiddenDiscretization {
 impl HiddenDiscretization {
     /// The cluster model of hidden node `m`, if it is live.
     pub fn model_of(&self, m: usize) -> Option<&ClusterModel> {
-        self.nodes.iter().position(|&n| n == m).map(|i| &self.models[i])
+        self.nodes
+            .iter()
+            .position(|&n| n == m)
+            .map(|i| &self.models[i])
     }
 
     /// Total number of activation combinations (`Π D_m`).
@@ -112,7 +119,10 @@ pub fn discretize_hidden(
     min_epsilon: f64,
     accuracy_floor: f64,
 ) -> Result<HiddenDiscretization, RxError> {
-    assert!((0.0..1.0).contains(&decay) && decay > 0.0, "decay must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&decay) && decay > 0.0,
+        "decay must be in (0,1)"
+    );
     let nodes = net.live_hidden();
     // Precompute raw activations: rows × live nodes.
     let mut activations: Vec<Vec<f64>> = vec![Vec::with_capacity(data.rows()); nodes.len()];
@@ -127,16 +137,26 @@ pub fn discretize_hidden(
 
     let mut best_accuracy = f64::NEG_INFINITY;
     loop {
-        let models: Vec<ClusterModel> =
-            activations.iter().map(|vals| cluster_activations(vals, epsilon)).collect();
+        let models: Vec<ClusterModel> = activations
+            .iter()
+            .map(|vals| cluster_activations(vals, epsilon))
+            .collect();
         let accuracy = discretized_accuracy(net, data, &nodes, &models);
         if accuracy >= accuracy_floor {
-            return Ok(HiddenDiscretization { nodes, models, epsilon, accuracy });
+            return Ok(HiddenDiscretization {
+                nodes,
+                models,
+                epsilon,
+                accuracy,
+            });
         }
         best_accuracy = best_accuracy.max(accuracy);
         let next = epsilon * decay;
         if next < min_epsilon {
-            return Err(RxError::ClusteringFailed { best_accuracy, floor: accuracy_floor });
+            return Err(RxError::ClusteringFailed {
+                best_accuracy,
+                floor: accuracy_floor,
+            });
         }
         epsilon = next;
     }
@@ -207,7 +227,9 @@ mod tests {
 
     #[test]
     fn assign_picks_nearest() {
-        let model = ClusterModel { centers: vec![-1.0, 0.0, 1.0] };
+        let model = ClusterModel {
+            centers: vec![-1.0, 0.0, 1.0],
+        };
         assert_eq!(model.assign(-0.8), 0);
         assert_eq!(model.assign(0.2), 1);
         assert_eq!(model.assign(0.9), 2);
@@ -276,8 +298,14 @@ mod tests {
     fn dead_nodes_excluded() {
         let (mut net, data) = trained_net();
         // Kill hidden node 1 entirely.
-        net.prune(LinkId::HiddenOutput { output: 0, hidden: 1 });
-        net.prune(LinkId::HiddenOutput { output: 1, hidden: 1 });
+        net.prune(LinkId::HiddenOutput {
+            output: 0,
+            hidden: 1,
+        });
+        net.prune(LinkId::HiddenOutput {
+            output: 1,
+            hidden: 1,
+        });
         net.remove_dead_hidden();
         let acc = net.accuracy(&data);
         if acc >= 0.9 {

@@ -34,7 +34,10 @@ pub struct CoverLimits {
 
 impl Default for CoverLimits {
     fn default() -> Self {
-        CoverLimits { max_exact_cols: 16, max_exact_work: 200_000_000 }
+        CoverLimits {
+            max_exact_cols: 16,
+            max_exact_work: 200_000_000,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ pub fn perfect_rules(table: &DecisionTable, target: usize, limits: &CoverLimits)
     }
     let negatives: Vec<&TableRow> = table.rows.iter().filter(|r| r.class != target).collect();
     if negatives.is_empty() {
-        return vec![TableRule { conditions: Vec::new(), class: target }];
+        return vec![TableRule {
+            conditions: Vec::new(),
+            class: target,
+        }];
     }
     let work = (positives.len() as u64)
         .saturating_mul(1u64 << table.n_cols().min(63))
@@ -141,7 +147,10 @@ fn exact_cover(
                 uncovered[i] = false;
             }
         }
-        chosen.push(TableRule { conditions: conds, class: target });
+        chosen.push(TableRule {
+            conditions: conds,
+            class: target,
+        });
     }
     chosen
 }
@@ -199,7 +208,10 @@ fn greedy_cover(
                 uncovered[i] = false;
             }
         }
-        rules.push(TableRule { conditions: conds, class: target });
+        rules.push(TableRule {
+            conditions: conds,
+            class: target,
+        });
     }
     // Dedup (different seeds can yield the same pruned rule).
     rules.sort();
@@ -318,11 +330,20 @@ mod tests {
     fn greedy_matches_exact_on_paper_table() {
         let t = paper_table();
         let exact = perfect_rules(&t, 0, &CoverLimits::default());
-        let greedy =
-            perfect_rules(&t, 0, &CoverLimits { max_exact_cols: 0, ..CoverLimits::default() });
+        let greedy = perfect_rules(
+            &t,
+            0,
+            &CoverLimits {
+                max_exact_cols: 0,
+                ..CoverLimits::default()
+            },
+        );
         assert!(is_perfect_cover(&greedy, &t, 0));
         // Greedy may produce a slightly different set but stays small.
-        assert!(greedy.len() <= exact.len() + 1, "greedy {greedy:?} vs exact {exact:?}");
+        assert!(
+            greedy.len() <= exact.len() + 1,
+            "greedy {greedy:?} vs exact {exact:?}"
+        );
     }
 
     #[test]
@@ -352,7 +373,10 @@ mod tests {
 
     #[test]
     fn covers_checks_conditions() {
-        let r = TableRule { conditions: vec![(0, 1), (2, 0)], class: 0 };
+        let r = TableRule {
+            conditions: vec![(0, 1), (2, 0)],
+            class: 0,
+        };
         assert!(r.covers(&[1, 9, 0]));
         assert!(!r.covers(&[0, 9, 0]));
         assert!(!r.covers(&[1, 9, 1]));

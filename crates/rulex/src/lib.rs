@@ -71,7 +71,10 @@ impl std::fmt::Display for RxError {
             RxError::ActivationSpaceTooLarge { needed, cap } => {
                 write!(f, "activation table needs {needed} rows, cap is {cap}")
             }
-            RxError::ClusteringFailed { best_accuracy, floor } => write!(
+            RxError::ClusteringFailed {
+                best_accuracy,
+                floor,
+            } => write!(
                 f,
                 "activation clustering reached accuracy {best_accuracy:.3}, below floor {floor:.3}"
             ),

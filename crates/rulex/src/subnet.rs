@@ -112,7 +112,10 @@ pub fn split(
     );
     let trained = Trainer::default().train(&mut subnet, &sub_data);
     let prune_config = PruneConfig {
-        accuracy_floor: config.subnet.accuracy_floor.min((trained.accuracy - 0.01).max(0.0)),
+        accuracy_floor: config
+            .subnet
+            .accuracy_floor
+            .min((trained.accuracy - 0.01).max(0.0)),
         ..PruneConfig::default()
     };
     let pruned = prune(&mut subnet, &sub_data, &prune_config);
@@ -122,8 +125,9 @@ pub fn split(
     // cluster-id task, which may legitimately sit below the top-level
     // floor — aim just under whatever the subnetwork achieved.
     let mut sub_config = config.clone();
-    sub_config.accuracy_floor =
-        sub_config.accuracy_floor.min((pruned.final_accuracy - 0.01).max(0.0));
+    sub_config.accuracy_floor = sub_config
+        .accuracy_floor
+        .min((pruned.final_accuracy - 0.01).max(0.0));
     literal_dnf_for_classes(
         &subnet,
         encoder,
@@ -145,11 +149,38 @@ mod tests {
     /// bits (+bias), giving activations near {−0.96, 0, 0.96}.
     fn parent_with_known_node() -> Mlp {
         let mut net = Mlp::random(3, 1, 2, 0);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 0 }, 2.0);
-        net.set_weight(LinkId::InputHidden { hidden: 0, input: 1 }, -2.0);
-        net.prune(LinkId::InputHidden { hidden: 0, input: 2 });
-        net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 3.0);
-        net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, -3.0);
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            2.0,
+        );
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 1,
+            },
+            -2.0,
+        );
+        net.prune(LinkId::InputHidden {
+            hidden: 0,
+            input: 2,
+        });
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0,
+            },
+            3.0,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: 1,
+                hidden: 0,
+            },
+            -3.0,
+        );
         net
     }
 
@@ -168,7 +199,9 @@ mod tests {
     fn subnet_dataset_targets_are_cluster_ids() {
         let net = parent_with_known_node();
         let data = all_patterns_data();
-        let model = ClusterModel { centers: vec![-0.96, 0.0, 0.96] };
+        let model = ClusterModel {
+            centers: vec![-0.96, 0.0, 0.96],
+        };
         let (sub, local_bits) = subnet_dataset(&net, 0, &model, &data);
         assert_eq!(local_bits, vec![0, 1]);
         assert_eq!(sub.cols(), 3); // two inputs + bias

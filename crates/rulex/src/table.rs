@@ -29,7 +29,10 @@ pub struct DecisionTable {
 impl DecisionTable {
     /// Creates an empty table with the given column arities.
     pub fn new(arity: Vec<usize>) -> Self {
-        DecisionTable { arity, rows: Vec::new() }
+        DecisionTable {
+            arity,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of columns.
@@ -113,8 +116,8 @@ mod tests {
 
     #[test]
     fn enumerate_covers_product() {
-        let t = DecisionTable::enumerate(vec![3, 2, 3], 100, |c| c.iter().sum::<usize>() % 2)
-            .unwrap();
+        let t =
+            DecisionTable::enumerate(vec![3, 2, 3], 100, |c| c.iter().sum::<usize>() % 2).unwrap();
         assert_eq!(t.n_rows(), 18); // the paper's 3·2·3 example size
         assert_eq!(t.n_cols(), 3);
         // All combos distinct.

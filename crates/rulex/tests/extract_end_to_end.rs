@@ -22,26 +22,61 @@ fn age_network() -> Mlp {
     for link in net.active_links() {
         let keep = matches!(
             link,
-            LinkId::InputHidden { hidden: 0, input: 14 }
-                | LinkId::InputHidden { hidden: 0, input: 86 }
-                | LinkId::HiddenOutput { output: 0, hidden: 0 }
-                | LinkId::HiddenOutput { output: 1, hidden: 0 }
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 14
+            } | LinkId::InputHidden {
+                hidden: 0,
+                input: 86
+            } | LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0
+            } | LinkId::HiddenOutput {
+                output: 1,
+                hidden: 0
+            }
         );
         if !keep {
             net.prune(link);
         }
     }
-    net.set_weight(LinkId::InputHidden { hidden: 0, input: 14 }, 5.0); // I15: age >= 60
-    net.set_weight(LinkId::InputHidden { hidden: 0, input: 86 }, -2.5); // bias
-    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 4.0);
-    net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, -4.0);
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 0,
+            input: 14,
+        },
+        5.0,
+    ); // I15: age >= 60
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 0,
+            input: 86,
+        },
+        -2.5,
+    ); // bias
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 0,
+            hidden: 0,
+        },
+        4.0,
+    );
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 1,
+            hidden: 0,
+        },
+        -4.0,
+    );
     net
 }
 
 /// Encoded dataset labeled by the network itself (accuracy is 1 by
 /// construction, so the RX accuracy checks cannot interfere).
 fn self_labeled(net: &Mlp, encoder: &Encoder, n: usize) -> nr_encode::EncodedDataset {
-    let ds = Generator::new(3).with_perturbation(0.05).dataset(Function::F1, n);
+    let ds = Generator::new(3)
+        .with_perturbation(0.05)
+        .dataset(Function::F1, n);
     let raw = encoder.encode_dataset(&ds);
     let mut matrix = Vec::with_capacity(raw.rows() * raw.cols());
     let mut targets = Vec::with_capacity(raw.rows());
@@ -96,29 +131,102 @@ fn two_node_conjunction_network() {
     for link in net.active_links() {
         let keep = matches!(
             link,
-            LinkId::InputHidden { hidden: 0, input: 14 }
-                | LinkId::InputHidden { hidden: 0, input: 86 }
-                | LinkId::InputHidden { hidden: 1, input: 3 }
-                | LinkId::InputHidden { hidden: 1, input: 86 }
-                | LinkId::InputHidden { hidden: 2, input: 86 }
-                | LinkId::HiddenOutput { output: 0, hidden: 0 }
-                | LinkId::HiddenOutput { output: 0, hidden: 1 }
-                | LinkId::HiddenOutput { output: 0, hidden: 2 }
-                | LinkId::HiddenOutput { output: 1, hidden: 0 }
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 14
+            } | LinkId::InputHidden {
+                hidden: 0,
+                input: 86
+            } | LinkId::InputHidden {
+                hidden: 1,
+                input: 3
+            } | LinkId::InputHidden {
+                hidden: 1,
+                input: 86
+            } | LinkId::InputHidden {
+                hidden: 2,
+                input: 86
+            } | LinkId::HiddenOutput {
+                output: 0,
+                hidden: 0
+            } | LinkId::HiddenOutput {
+                output: 0,
+                hidden: 1
+            } | LinkId::HiddenOutput {
+                output: 0,
+                hidden: 2
+            } | LinkId::HiddenOutput {
+                output: 1,
+                hidden: 0
+            }
         );
         if !keep {
             net.prune(link);
         }
     }
-    net.set_weight(LinkId::InputHidden { hidden: 0, input: 14 }, 6.0);
-    net.set_weight(LinkId::InputHidden { hidden: 0, input: 86 }, -3.0);
-    net.set_weight(LinkId::InputHidden { hidden: 1, input: 3 }, 6.0);
-    net.set_weight(LinkId::InputHidden { hidden: 1, input: 86 }, -3.0);
-    net.set_weight(LinkId::InputHidden { hidden: 2, input: 86 }, 5.0); // constant +1
-    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 0 }, 3.0);
-    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 1 }, 3.0);
-    net.set_weight(LinkId::HiddenOutput { output: 0, hidden: 2 }, -4.0);
-    net.set_weight(LinkId::HiddenOutput { output: 1, hidden: 0 }, 0.5);
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 0,
+            input: 14,
+        },
+        6.0,
+    );
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 0,
+            input: 86,
+        },
+        -3.0,
+    );
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 1,
+            input: 3,
+        },
+        6.0,
+    );
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 1,
+            input: 86,
+        },
+        -3.0,
+    );
+    net.set_weight(
+        LinkId::InputHidden {
+            hidden: 2,
+            input: 86,
+        },
+        5.0,
+    ); // constant +1
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 0,
+            hidden: 0,
+        },
+        3.0,
+    );
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 0,
+            hidden: 1,
+        },
+        3.0,
+    );
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 0,
+            hidden: 2,
+        },
+        -4.0,
+    );
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 1,
+            hidden: 0,
+        },
+        0.5,
+    );
 
     let data = self_labeled(&net, &encoder, 500);
     let outcome = extract(
@@ -150,7 +258,11 @@ fn two_node_conjunction_network() {
             agreement += 1;
         }
     }
-    assert_eq!(agreement, data.rows(), "network must equal the known function");
+    assert_eq!(
+        agreement,
+        data.rows(),
+        "network must equal the known function"
+    );
 }
 
 #[test]
@@ -160,8 +272,10 @@ fn subnet_path_produces_correct_rules() {
     let encoder = Encoder::agrawal();
     let net = age_network();
     let data = self_labeled(&net, &encoder, 400);
-    let mut config = RxConfig::default();
-    config.max_input_patterns = 1;
+    let mut config = RxConfig {
+        max_input_patterns: 1,
+        ..RxConfig::default()
+    };
     config.subnet.min_inputs = 1;
     let outcome = extract(&net, &encoder, &data, &["A".into(), "B".into()], &config)
         .expect("subnet extraction succeeds");
@@ -172,10 +286,9 @@ fn subnet_path_produces_correct_rules() {
     // The rules must still capture age >= 60 => A semantics.
     let class0 = outcome.ruleset.rules_for_class(0);
     assert!(
-        class0.iter().any(|r| r
-            .conditions
+        class0
             .iter()
-            .any(|c| c.attribute() == 2)),
+            .any(|r| r.conditions.iter().any(|c| c.attribute() == 2)),
         "expected an age condition, got {:?}",
         outcome.ruleset.rules
     );
@@ -193,8 +306,7 @@ fn degenerate_fully_pruned_network() {
     for i in 0..raw.rows() {
         matrix.extend_from_slice(raw.input(i));
     }
-    let data =
-        nr_encode::EncodedDataset::from_parts(matrix, raw.cols(), vec![0; raw.rows()], 2);
+    let data = nr_encode::EncodedDataset::from_parts(matrix, raw.cols(), vec![0; raw.rows()], 2);
     let outcome = extract(
         &net,
         &encoder,

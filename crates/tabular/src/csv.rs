@@ -108,8 +108,10 @@ mod tests {
             Attribute::nominal("color", ["red", "green"]),
         ]);
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
-        ds.push(vec![Value::Num(1.5), Value::Nominal(0)], 0).unwrap();
-        ds.push(vec![Value::Num(-2.0), Value::Nominal(1)], 1).unwrap();
+        ds.push(vec![Value::Num(1.5), Value::Nominal(0)], 0)
+            .unwrap();
+        ds.push(vec![Value::Num(-2.0), Value::Nominal(1)], 1)
+            .unwrap();
         ds
     }
 

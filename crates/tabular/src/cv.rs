@@ -20,8 +20,7 @@ pub fn stratified_split(ds: &Dataset, head_fraction: f64, seed: u64) -> (Dataset
     let mut head_idx = Vec::new();
     let mut tail_idx = Vec::new();
     for class in 0..ds.n_classes() {
-        let mut members: Vec<usize> =
-            (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
+        let mut members: Vec<usize> = (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
         members.shuffle(&mut rng);
         let cut = (members.len() as f64 * head_fraction).round() as usize;
         head_idx.extend_from_slice(&members[..cut]);
@@ -43,8 +42,7 @@ pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Data
     // shuffle — this keeps the folds' class ratios close to the dataset's.
     let mut fold_of = vec![0usize; ds.len()];
     for class in 0..ds.n_classes() {
-        let mut members: Vec<usize> =
-            (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
+        let mut members: Vec<usize> = (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
         members.shuffle(&mut rng);
         for (j, &row) in members.iter().enumerate() {
             fold_of[row] = j % k;
@@ -70,7 +68,8 @@ mod tests {
         let schema = Schema::new(vec![Attribute::numeric("x")]);
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..n {
-            ds.push(vec![Value::Num(i as f64)], usize::from(i % 5 == 0)).unwrap();
+            ds.push(vec![Value::Num(i as f64)], usize::from(i % 5 == 0))
+                .unwrap();
         }
         ds
     }
@@ -112,7 +111,10 @@ mod tests {
             let dist = val.class_distribution();
             assert!(dist[1] >= 1, "every fold should see the minority class");
         }
-        assert_eq!(total_val, 50, "validation folds must cover the dataset once");
+        assert_eq!(
+            total_val, 50,
+            "validation folds must cover the dataset once"
+        );
     }
 
     #[test]

@@ -33,7 +33,12 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset over `schema` with the given class labels.
     pub fn new(schema: Schema, class_names: Vec<String>) -> Self {
-        Dataset { schema, class_names, rows: Vec::new(), labels: Vec::new() }
+        Dataset {
+            schema,
+            class_names,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Creates a dataset with rows, validating each against the schema.
@@ -47,7 +52,10 @@ impl Dataset {
         ds.rows.reserve(rows.len());
         ds.labels.reserve(labels.len());
         if rows.len() != labels.len() {
-            return Err(TabularError::ArityMismatch { expected: rows.len(), got: labels.len() });
+            return Err(TabularError::RowLabelCountMismatch {
+                rows: rows.len(),
+                labels: labels.len(),
+            });
         }
         for (row, label) in rows.into_iter().zip(labels) {
             ds.push(row, label)?;
@@ -108,7 +116,10 @@ impl Dataset {
 
     /// Iterator over `(row, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[Value], ClassId)> + '_ {
-        self.rows.iter().map(|r| r.as_slice()).zip(self.labels.iter().copied())
+        self.rows
+            .iter()
+            .map(|r| r.as_slice())
+            .zip(self.labels.iter().copied())
     }
 
     /// Count of rows per class.
@@ -149,7 +160,11 @@ impl Dataset {
     ///
     /// Panics if `n > len()`.
     pub fn split(&self, n: usize, method: SplitMethod) -> (Dataset, Dataset) {
-        assert!(n <= self.len(), "split point {n} beyond dataset of {}", self.len());
+        assert!(
+            n <= self.len(),
+            "split point {n} beyond dataset of {}",
+            self.len()
+        );
         let mut order: Vec<usize> = (0..self.len()).collect();
         if let SplitMethod::Shuffled(seed) = method {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -203,11 +218,17 @@ mod tests {
     use crate::Attribute;
 
     fn toy(n: usize) -> Dataset {
-        let schema = Schema::new(vec![Attribute::numeric("x"), Attribute::nominal_anon("c", 3)]);
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("c", 3),
+        ]);
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..n {
-            ds.push(vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)], i % 2)
-                .unwrap();
+            ds.push(
+                vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
         }
         ds
     }
@@ -225,8 +246,12 @@ mod tests {
     fn rejects_invalid_rows() {
         let mut ds = toy(0);
         assert!(ds.push(vec![Value::Num(0.0)], 0).is_err());
-        assert!(ds.push(vec![Value::Num(0.0), Value::Nominal(0)], 7).is_err());
-        assert!(ds.push(vec![Value::Nominal(0), Value::Nominal(0)], 0).is_err());
+        assert!(ds
+            .push(vec![Value::Num(0.0), Value::Nominal(0)], 7)
+            .is_err());
+        assert!(ds
+            .push(vec![Value::Nominal(0), Value::Nominal(0)], 0)
+            .is_err());
     }
 
     #[test]
@@ -289,15 +314,19 @@ mod tests {
             vec![0],
         );
         assert!(ok.is_ok());
-        let bad = Dataset::from_rows(schema, vec!["A".into()], vec![vec![Value::Num(1.0)]], vec![1]);
+        let bad = Dataset::from_rows(
+            schema,
+            vec!["A".into()],
+            vec![vec![Value::Num(1.0)]],
+            vec![1],
+        );
         assert!(bad.is_err());
     }
 
     #[test]
     fn iter_pairs_rows_with_labels() {
         let ds = toy(3);
-        let pairs: Vec<(f64, ClassId)> =
-            ds.iter().map(|(r, l)| (r[0].expect_num(), l)).collect();
+        let pairs: Vec<(f64, ClassId)> = ds.iter().map(|(r, l)| (r[0].expect_num(), l)).collect();
         assert_eq!(pairs, vec![(0.0, 0), (1.0, 1), (2.0, 0)]);
     }
 

@@ -67,6 +67,13 @@ pub enum TabularError {
         /// The out-of-range code.
         code: u32,
     },
+    /// A row collection and a label collection had different lengths.
+    RowLabelCountMismatch {
+        /// Number of rows supplied.
+        rows: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
     /// CSV parsing failed.
     Csv(String),
 }
@@ -75,14 +82,23 @@ impl std::fmt::Display for TabularError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TabularError::ArityMismatch { expected, got } => {
-                write!(f, "row has {got} values but schema has {expected} attributes")
+                write!(
+                    f,
+                    "row has {got} values but schema has {expected} attributes"
+                )
             }
             TabularError::TypeMismatch { attribute, detail } => {
                 write!(f, "type mismatch at attribute {attribute}: {detail}")
             }
             TabularError::UnknownClass(c) => write!(f, "class id {c} out of range"),
             TabularError::UnknownCategory { attribute, code } => {
-                write!(f, "nominal code {code} out of range for attribute {attribute}")
+                write!(
+                    f,
+                    "nominal code {code} out of range for attribute {attribute}"
+                )
+            }
+            TabularError::RowLabelCountMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
             }
             TabularError::Csv(msg) => write!(f, "csv error: {msg}"),
         }

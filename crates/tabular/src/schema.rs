@@ -28,7 +28,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates a numeric attribute.
     pub fn numeric(name: impl Into<String>) -> Self {
-        Attribute { name: name.into(), kind: AttrKind::Numeric }
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric,
+        }
     }
 
     /// Creates a nominal attribute from category names.
@@ -80,7 +83,10 @@ impl Attribute {
                 if (*c as usize) < categories.len() {
                     Ok(())
                 } else {
-                    Err(TabularError::UnknownCategory { attribute: index, code: *c })
+                    Err(TabularError::UnknownCategory {
+                        attribute: index,
+                        code: *c,
+                    })
                 }
             }
             (AttrKind::Numeric, Value::Nominal(_)) => Err(TabularError::TypeMismatch {
@@ -130,7 +136,10 @@ impl Schema {
     /// Validates a full row against the schema.
     pub fn validate_row(&self, row: &[Value]) -> crate::Result<()> {
         if row.len() != self.arity() {
-            return Err(TabularError::ArityMismatch { expected: self.arity(), got: row.len() });
+            return Err(TabularError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
         }
         for (i, (attr, value)) in self.attributes.iter().zip(row).enumerate() {
             attr.validate(i, value)?;
@@ -173,35 +182,57 @@ mod tests {
     #[test]
     fn validates_good_row() {
         let s = schema();
-        assert!(s.validate_row(&[Value::Num(1.0), Value::Nominal(1)]).is_ok());
+        assert!(s
+            .validate_row(&[Value::Num(1.0), Value::Nominal(1)])
+            .is_ok());
     }
 
     #[test]
     fn rejects_bad_arity() {
         let s = schema();
         let err = s.validate_row(&[Value::Num(1.0)]).unwrap_err();
-        assert_eq!(err, TabularError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            TabularError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_type_mismatch() {
         let s = schema();
-        assert!(s.validate_row(&[Value::Nominal(0), Value::Nominal(0)]).is_err());
+        assert!(s
+            .validate_row(&[Value::Nominal(0), Value::Nominal(0)])
+            .is_err());
         assert!(s.validate_row(&[Value::Num(0.0), Value::Num(0.0)]).is_err());
     }
 
     #[test]
     fn rejects_unknown_category() {
         let s = schema();
-        let err = s.validate_row(&[Value::Num(0.0), Value::Nominal(9)]).unwrap_err();
-        assert_eq!(err, TabularError::UnknownCategory { attribute: 1, code: 9 });
+        let err = s
+            .validate_row(&[Value::Num(0.0), Value::Nominal(9)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TabularError::UnknownCategory {
+                attribute: 1,
+                code: 9
+            }
+        );
     }
 
     #[test]
     fn rejects_non_finite_numeric() {
         let s = schema();
-        assert!(s.validate_row(&[Value::Num(f64::NAN), Value::Nominal(0)]).is_err());
-        assert!(s.validate_row(&[Value::Num(f64::INFINITY), Value::Nominal(0)]).is_err());
+        assert!(s
+            .validate_row(&[Value::Num(f64::NAN), Value::Nominal(0)])
+            .is_err());
+        assert!(s
+            .validate_row(&[Value::Num(f64::INFINITY), Value::Nominal(0)])
+            .is_err());
     }
 
     #[test]

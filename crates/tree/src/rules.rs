@@ -83,7 +83,12 @@ fn collect_paths(node: &Node, conditions: &mut Vec<Condition>, out: &mut Vec<Rul
     match node {
         Node::Leaf { n: 0, .. } => {}
         Node::Leaf { class, .. } => out.push(Rule::new(conditions.clone(), *class)),
-        Node::Numeric { attribute, threshold, left, right } => {
+        Node::Numeric {
+            attribute,
+            threshold,
+            left,
+            right,
+        } => {
             // `x ≤ t` ≡ `x < t` here: thresholds are midpoints between
             // observed values, so equality never occurs on real data.
             conditions.push(Condition::num_lt(*attribute, *threshold));
@@ -93,9 +98,16 @@ fn collect_paths(node: &Node, conditions: &mut Vec<Condition>, out: &mut Vec<Rul
             collect_paths(right, conditions, out);
             conditions.pop();
         }
-        Node::Nominal { attribute, children, .. } => {
+        Node::Nominal {
+            attribute,
+            children,
+            ..
+        } => {
             for (code, child) in children.iter().enumerate() {
-                conditions.push(Condition::CatEq { attribute: *attribute, code: code as u32 });
+                conditions.push(Condition::CatEq {
+                    attribute: *attribute,
+                    code: code as u32,
+                });
                 collect_paths(child, conditions, out);
                 conditions.pop();
             }
@@ -165,7 +177,8 @@ mod tests {
         let schema = Schema::new(vec![Attribute::numeric("x")]);
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..40 {
-            ds.push(vec![Value::Num(i as f64)], usize::from(i >= 5)).unwrap();
+            ds.push(vec![Value::Num(i as f64)], usize::from(i >= 5))
+                .unwrap();
         }
         let tree = DecisionTree::fit(&ds, &TreeConfig::default());
         let rules = to_rules(&tree, &ds);
@@ -191,8 +204,11 @@ mod tests {
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..60 {
             let x = i as f64;
-            ds.push(vec![Value::Num(x), Value::Num((i % 7) as f64)], usize::from(x >= 30.0))
-                .unwrap();
+            ds.push(
+                vec![Value::Num(x), Value::Num((i % 7) as f64)],
+                usize::from(x >= 30.0),
+            )
+            .unwrap();
         }
         let rule = Rule::new(
             vec![Condition::num_lt(0, 30.0), Condition::num_lt(1, 6.0)],

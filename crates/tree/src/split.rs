@@ -80,7 +80,6 @@ pub fn gain_ratio_split(ds: &Dataset, rows: &[usize], min_leaf: usize) -> Option
         base_counts[ds.label(r)] += 1;
     }
     let base_entropy = entropy(&base_counts);
-    let n = rows.len() as f64;
 
     let mut candidates: Vec<SplitCandidate> = Vec::new();
     for a in 0..ds.schema().arity() {
@@ -99,9 +98,8 @@ pub fn gain_ratio_split(ds: &Dataset, rows: &[usize], min_leaf: usize) -> Option
     if candidates.is_empty() {
         return None;
     }
-    let avg_gain: f64 = candidates.iter().map(SplitCandidate::gain).sum::<f64>()
-        / candidates.len() as f64;
-    let _ = n;
+    let avg_gain: f64 =
+        candidates.iter().map(SplitCandidate::gain).sum::<f64>() / candidates.len() as f64;
     candidates
         .into_iter()
         .filter(|c| c.gain() >= avg_gain - 1e-12)
@@ -160,8 +158,17 @@ fn best_numeric_split(
     // Split info of the chosen binary partition.
     let n_left = sorted.iter().filter(|&&(v, _)| v <= threshold).count();
     let split_info = entropy(&[n_left, n - n_left]);
-    let gain_ratio = if split_info > 1e-12 { gain / split_info } else { 0.0 };
-    Some(SplitCandidate::Numeric { attribute, threshold, gain, gain_ratio })
+    let gain_ratio = if split_info > 1e-12 {
+        gain / split_info
+    } else {
+        0.0
+    };
+    Some(SplitCandidate::Numeric {
+        attribute,
+        threshold,
+        gain,
+        gain_ratio,
+    })
 }
 
 /// Multiway split on a nominal attribute.
@@ -180,8 +187,10 @@ fn nominal_split(
         per_cat[c][ds.label(r)] += 1;
     }
     let n = rows.len() as f64;
-    let nonempty: Vec<&Vec<usize>> =
-        per_cat.iter().filter(|c| c.iter().sum::<usize>() > 0).collect();
+    let nonempty: Vec<&Vec<usize>> = per_cat
+        .iter()
+        .filter(|c| c.iter().sum::<usize>() > 0)
+        .collect();
     if nonempty.len() < 2 {
         return None;
     }
@@ -202,8 +211,16 @@ fn nominal_split(
     }
     let gain = base_entropy - cond;
     let split_info = entropy(&split_info_counts);
-    let gain_ratio = if split_info > 1e-12 { gain / split_info } else { 0.0 };
-    Some(SplitCandidate::Nominal { attribute, gain, gain_ratio })
+    let gain_ratio = if split_info > 1e-12 {
+        gain / split_info
+    } else {
+        0.0
+    };
+    Some(SplitCandidate::Nominal {
+        attribute,
+        gain,
+        gain_ratio,
+    })
 }
 
 #[cfg(test)]
@@ -245,7 +262,12 @@ mod tests {
         let rows: Vec<usize> = (0..ds.len()).collect();
         let split = gain_ratio_split(&ds, &rows, 2).unwrap();
         match split {
-            SplitCandidate::Numeric { attribute, threshold, gain, .. } => {
+            SplitCandidate::Numeric {
+                attribute,
+                threshold,
+                gain,
+                ..
+            } => {
                 assert_eq!(attribute, 0);
                 assert!((threshold - 4.5).abs() < 1e-12, "threshold {threshold}");
                 // A perfect split recovers the full base entropy,
@@ -273,12 +295,15 @@ mod tests {
         let schema = Schema::new(vec![Attribute::nominal_anon("c", 2)]);
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..12 {
-            ds.push(vec![Value::Nominal((i % 2) as u32)], i % 2).unwrap();
+            ds.push(vec![Value::Nominal((i % 2) as u32)], i % 2)
+                .unwrap();
         }
         let rows: Vec<usize> = (0..12).collect();
         let split = gain_ratio_split(&ds, &rows, 2).unwrap();
         match split {
-            SplitCandidate::Nominal { attribute: 0, gain, .. } => {
+            SplitCandidate::Nominal {
+                attribute: 0, gain, ..
+            } => {
                 assert!((gain - 1.0).abs() < 1e-9);
             }
             other => panic!("expected nominal split, got {other:?}"),
@@ -296,6 +321,9 @@ mod tests {
     fn deterministic_choice() {
         let ds = toy_ds();
         let rows: Vec<usize> = (0..ds.len()).collect();
-        assert_eq!(gain_ratio_split(&ds, &rows, 2), gain_ratio_split(&ds, &rows, 2));
+        assert_eq!(
+            gain_ratio_split(&ds, &rows, 2),
+            gain_ratio_split(&ds, &rows, 2)
+        );
     }
 }

@@ -21,7 +21,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { min_leaf: 2, cf: 0.25, max_depth: 40, prune: true }
+        TreeConfig {
+            min_leaf: 2,
+            cf: 0.25,
+            max_depth: 40,
+            prune: true,
+        }
     }
 }
 
@@ -115,7 +120,11 @@ impl DecisionTree {
         if config.prune {
             prune_node(&mut root, config.cf);
         }
-        DecisionTree { root, config: *config, n_classes: ds.n_classes() }
+        DecisionTree {
+            root,
+            config: *config,
+            n_classes: ds.n_classes(),
+        }
     }
 
     /// The root node.
@@ -139,10 +148,23 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { class, .. } => return *class,
-                Node::Numeric { attribute, threshold, left, right } => {
-                    node = if row[*attribute].expect_num() <= *threshold { left } else { right };
+                Node::Numeric {
+                    attribute,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*attribute].expect_num() <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
-                Node::Nominal { attribute, children, majority_child } => {
+                Node::Nominal {
+                    attribute,
+                    children,
+                    majority_child,
+                } => {
                     let c = row[*attribute].expect_nominal() as usize;
                     node = children.get(c).unwrap_or(&children[*majority_child]);
                     // An empty category branch is a leaf with n == 0; route
@@ -160,7 +182,10 @@ impl DecisionTree {
         if ds.is_empty() {
             return 0.0;
         }
-        let correct = ds.iter().filter(|(row, label)| self.predict(row) == *label).count();
+        let correct = ds
+            .iter()
+            .filter(|(row, label)| self.predict(row) == *label)
+            .count();
         correct as f64 / ds.len() as f64
     }
 
@@ -175,20 +200,31 @@ impl DecisionTree {
 fn display_node(node: &Node, ds: &Dataset, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node {
-        Node::Leaf { class, n, errors, .. } => {
+        Node::Leaf {
+            class, n, errors, ..
+        } => {
             out.push_str(&format!(
                 "{pad}-> {} ({n} cases, {errors} errors)\n",
                 ds.class_names()[*class]
             ));
         }
-        Node::Numeric { attribute, threshold, left, right } => {
+        Node::Numeric {
+            attribute,
+            threshold,
+            left,
+            right,
+        } => {
             let name = &ds.schema().attribute(*attribute).name;
             out.push_str(&format!("{pad}{name} <= {threshold}:\n"));
             display_node(left, ds, indent + 1, out);
             out.push_str(&format!("{pad}{name} > {threshold}:\n"));
             display_node(right, ds, indent + 1, out);
         }
-        Node::Nominal { attribute, children, .. } => {
+        Node::Nominal {
+            attribute,
+            children,
+            ..
+        } => {
             let name = &ds.schema().attribute(*attribute).name;
             for (c, child) in children.iter().enumerate() {
                 if let Node::Leaf { n: 0, .. } = child {
@@ -196,7 +232,8 @@ fn display_node(node: &Node, ds: &Dataset, indent: usize, out: &mut String) {
                 }
                 out.push_str(&format!(
                     "{pad}{name} = {}:\n",
-                    ds.schema().display_value(*attribute, &Value::Nominal(c as u32))
+                    ds.schema()
+                        .display_value(*attribute, &Value::Nominal(c as u32))
                 ));
                 display_node(child, ds, indent + 1, out);
             }
@@ -208,13 +245,27 @@ fn display_node(node: &Node, ds: &Dataset, indent: usize, out: &mut String) {
 fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Node {
     let (class, n, errors, counts) = majority_leaf(ds, rows);
     if errors == 0 || n < 2 * config.min_leaf || depth >= config.max_depth {
-        return Node::Leaf { class, n, errors, counts };
+        return Node::Leaf {
+            class,
+            n,
+            errors,
+            counts,
+        };
     }
     let Some(split) = gain_ratio_split(ds, rows, config.min_leaf) else {
-        return Node::Leaf { class, n, errors, counts };
+        return Node::Leaf {
+            class,
+            n,
+            errors,
+            counts,
+        };
     };
     match split {
-        SplitCandidate::Numeric { attribute, threshold, .. } => {
+        SplitCandidate::Numeric {
+            attribute,
+            threshold,
+            ..
+        } => {
             let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
             for &r in rows {
                 if ds.row(r)[attribute].expect_num() <= threshold {
@@ -253,13 +304,22 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
                     if bucket.is_empty() {
                         // Empty category: placeholder leaf, rerouted at
                         // prediction time.
-                        Node::Leaf { class, n: 0, errors: 0, counts: Vec::new() }
+                        Node::Leaf {
+                            class,
+                            n: 0,
+                            errors: 0,
+                            counts: Vec::new(),
+                        }
                     } else {
                         build(ds, bucket, config, depth + 1)
                     }
                 })
                 .collect();
-            Node::Nominal { attribute, children, majority_child }
+            Node::Nominal {
+                attribute,
+                children,
+                majority_child,
+            }
         }
     }
 }
@@ -312,7 +372,12 @@ fn prune_node(node: &mut Node, cf: f64) -> f64 {
                 for (c, k) in acc {
                     counts[c] = k;
                 }
-                *node = Node::Leaf { class, n, errors: leaf_errors, counts };
+                *node = Node::Leaf {
+                    class,
+                    n,
+                    errors: leaf_errors,
+                    counts,
+                };
                 leaf_est
             } else {
                 subtree_est
@@ -392,7 +457,8 @@ mod tests {
         let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
         for i in 0..30 {
             let c = (i % 3) as u32;
-            ds.push(vec![Value::Nominal(c)], usize::from(c == 1)).unwrap();
+            ds.push(vec![Value::Nominal(c)], usize::from(c == 1))
+                .unwrap();
         }
         let tree = DecisionTree::fit(&ds, &TreeConfig::default());
         assert_eq!(tree.accuracy(&ds), 1.0);
@@ -411,8 +477,13 @@ mod tests {
             let label = usize::from(i % 17 == 3);
             ds.push(vec![Value::Num(x)], label).unwrap();
         }
-        let unpruned =
-            DecisionTree::fit(&ds, &TreeConfig { prune: false, ..TreeConfig::default() });
+        let unpruned = DecisionTree::fit(
+            &ds,
+            &TreeConfig {
+                prune: false,
+                ..TreeConfig::default()
+            },
+        );
         let pruned = DecisionTree::fit(&ds, &TreeConfig::default());
         assert!(
             pruned.n_leaves() < unpruned.n_leaves(),
@@ -427,7 +498,11 @@ mod tests {
         let gen = Generator::new(7).with_perturbation(0.05);
         let (train, test) = gen.train_test(Function::F1, 600, 600);
         let tree = DecisionTree::fit(&train, &TreeConfig::default());
-        assert!(tree.accuracy(&train) > 0.93, "train {}", tree.accuracy(&train));
+        assert!(
+            tree.accuracy(&train) > 0.93,
+            "train {}",
+            tree.accuracy(&train)
+        );
         assert!(tree.accuracy(&test) > 0.9, "test {}", tree.accuracy(&test));
     }
 
@@ -436,7 +511,11 @@ mod tests {
         let gen = Generator::new(7).with_perturbation(0.05);
         let (train, test) = gen.train_test(Function::F2, 800, 800);
         let tree = DecisionTree::fit(&train, &TreeConfig::default());
-        assert!(tree.accuracy(&train) > 0.9, "train {}", tree.accuracy(&train));
+        assert!(
+            tree.accuracy(&train) > 0.9,
+            "train {}",
+            tree.accuracy(&train)
+        );
         assert!(tree.accuracy(&test) > 0.85, "test {}", tree.accuracy(&test));
     }
 

@@ -1,0 +1,140 @@
+//! Dedicated tests for pessimistic-error pruning: monotonicity properties
+//! of the error estimate and their consequences for fitted trees.
+
+use nr_datagen::{Function, Generator};
+use nr_tree::{added_errors, DecisionTree, TreeConfig};
+
+/// The pessimistic estimate `e + added_errors(n, e, cf)`.
+fn estimate(n: f64, e: f64, cf: f64) -> f64 {
+    e + added_errors(n, e, cf)
+}
+
+#[test]
+fn estimate_grows_with_observed_errors() {
+    for &n in &[10.0, 50.0, 200.0, 1000.0] {
+        let mut last = estimate(n, 0.0, 0.25);
+        let mut e = 1.0;
+        while e + 0.5 < n {
+            let cur = estimate(n, e, 0.25);
+            assert!(
+                cur > last,
+                "estimate must be strictly increasing in e: n={n} e={e}: {cur} vs {last}"
+            );
+            last = cur;
+            e += 1.0;
+        }
+    }
+}
+
+#[test]
+fn surcharge_shrinks_with_confidence() {
+    // Lower CF = less confidence in the sample = a larger pessimistic
+    // surcharge. C4.5's `-c` flag relies on this direction.
+    for &(n, e) in &[(20.0, 2.0), (100.0, 10.0), (500.0, 13.0)] {
+        let mut last = f64::INFINITY;
+        for &cf in &[0.05, 0.1, 0.25, 0.5] {
+            let cur = added_errors(n, e, cf);
+            assert!(
+                cur < last,
+                "surcharge must shrink as CF grows: n={n} e={e} cf={cf}: {cur} vs {last}"
+            );
+            assert!(cur >= 0.0);
+            last = cur;
+        }
+    }
+}
+
+#[test]
+fn per_case_surcharge_shrinks_with_sample_size() {
+    // Fixed 10% error rate: more evidence, smaller per-case surcharge.
+    let mut last = f64::INFINITY;
+    for &n in &[10.0, 40.0, 160.0, 640.0, 2560.0] {
+        let cur = added_errors(n, 0.1 * n, 0.25) / n;
+        assert!(cur < last, "per-case surcharge at n={n}: {cur} vs {last}");
+        last = cur;
+    }
+}
+
+#[test]
+fn estimate_never_exceeds_leaf_size() {
+    for n in [5usize, 20, 100] {
+        for e in 0..n {
+            let est = estimate(n as f64, e as f64, 0.25);
+            assert!(
+                est <= n as f64 + 1e-9,
+                "estimate {est} exceeds leaf size {n} (e={e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_never_grows_the_tree() {
+    // Across functions and seeds: the pruned tree has at most as many
+    // leaves as the unpruned tree fit on the same data.
+    for f in [Function::F1, Function::F2, Function::F5, Function::F7] {
+        for seed in [3u64, 42] {
+            let train = Generator::new(seed).with_perturbation(0.05).dataset(f, 500);
+            let unpruned = DecisionTree::fit(
+                &train,
+                &TreeConfig {
+                    prune: false,
+                    ..TreeConfig::default()
+                },
+            );
+            let pruned = DecisionTree::fit(&train, &TreeConfig::default());
+            assert!(
+                pruned.n_leaves() <= unpruned.n_leaves(),
+                "{f} seed {seed}: pruned {} > unpruned {}",
+                pruned.n_leaves(),
+                unpruned.n_leaves()
+            );
+            assert!(pruned.depth() <= unpruned.depth());
+        }
+    }
+}
+
+#[test]
+fn stronger_confidence_prunes_at_least_as_hard_on_noisy_data() {
+    // On noisy data, a lower CF (more pessimism) should not yield a larger
+    // tree than the C4.5 default.
+    let train = Generator::new(42)
+        .with_perturbation(0.1)
+        .dataset(Function::F2, 600);
+    let default_cf = DecisionTree::fit(&train, &TreeConfig::default());
+    let harsh = DecisionTree::fit(
+        &train,
+        &TreeConfig {
+            cf: 0.05,
+            ..TreeConfig::default()
+        },
+    );
+    assert!(
+        harsh.n_leaves() <= default_cf.n_leaves(),
+        "cf=0.05 gave {} leaves, cf=0.25 gave {}",
+        harsh.n_leaves(),
+        default_cf.n_leaves()
+    );
+}
+
+#[test]
+fn pruning_preserves_generalization_on_noisy_data() {
+    // The point of the exercise: pruning must not cost test accuracy on
+    // noisy data (it exists to *help* generalization).
+    let gen = Generator::new(7).with_perturbation(0.1);
+    let (train, test) = gen.train_test(Function::F3, 800, 800);
+    let unpruned = DecisionTree::fit(
+        &train,
+        &TreeConfig {
+            prune: false,
+            ..TreeConfig::default()
+        },
+    );
+    let pruned = DecisionTree::fit(&train, &TreeConfig::default());
+    assert!(
+        pruned.accuracy(&test) >= unpruned.accuracy(&test) - 0.02,
+        "pruning hurt generalization: {} vs {}",
+        pruned.accuracy(&test),
+        unpruned.accuracy(&test)
+    );
+}

@@ -23,7 +23,9 @@ fn main() {
     let functions: Vec<Function> = if args.is_empty() {
         vec![Function::F1, Function::F2, Function::F3, Function::F4]
     } else {
-        args.iter().filter_map(|&n| Function::from_number(n)).collect()
+        args.iter()
+            .filter_map(|&n| Function::from_number(n))
+            .collect()
     };
 
     let generator = Generator::new(42).with_perturbation(0.05);

@@ -26,7 +26,11 @@ fn main() {
 
     // The "database" grows in three batches.
     let all = generator.dataset(Function::F2, 1500);
-    let batches: Vec<Dataset> = vec![all.subset(&idx(0, 500)), all.subset(&idx(0, 1000)), all.subset(&idx(0, 1500))];
+    let batches: Vec<Dataset> = vec![
+        all.subset(&idx(0, 500)),
+        all.subset(&idx(0, 1000)),
+        all.subset(&idx(0, 1500)),
+    ];
 
     // --- Incremental path: one network, warm-started per batch. ----------
     println!("== incremental (warm start) ==");
@@ -40,7 +44,13 @@ fn main() {
         // enough to absorb future batches.
         let mut snapshot = net.clone();
         prune(&mut snapshot, &encoded, &PruneConfig::default());
-        let rx = extract(&snapshot, &encoder, &encoded, batch.class_names(), &RxConfig::default());
+        let rx = extract(
+            &snapshot,
+            &encoder,
+            &encoded,
+            batch.class_names(),
+            &RxConfig::default(),
+        );
         let dt = t0.elapsed();
         match rx {
             Ok(rx) => println!(

@@ -12,7 +12,9 @@ use nr_tree::{to_rules, DecisionTree, TreeConfig};
 fn c45_accuracy_bands_across_functions() {
     let gen = Generator::new(42).with_perturbation(0.05);
     for f in Function::evaluated() {
-        let (train, test) = gen.train_test(f, 800, 800);
+        // Paper-sized training sets (§4 trains on 1000 tuples); 800 leaves
+        // too much draw-to-draw variance on the noisier functions.
+        let (train, test) = gen.train_test(f, 1000, 800);
         let tree = DecisionTree::fit(&train, &TreeConfig::default());
         let train_acc = tree.accuracy(&train);
         let test_acc = tree.accuracy(&test);

@@ -17,7 +17,9 @@ fn generator_and_encoder_agree_on_the_schema() {
 #[test]
 fn every_generated_row_encodes_within_the_feasible_space() {
     let enc = Encoder::agrawal();
-    let ds = Generator::new(3).with_perturbation(0.05).dataset(Function::F5, 300);
+    let ds = Generator::new(3)
+        .with_perturbation(0.05)
+        .dataset(Function::F5, 300);
     // Check a representative subset of bits covering all coding kinds:
     // salary (thermometer), commission (absent-able), age, elevel,
     // car/zipcode (one-hot), bias.
@@ -71,7 +73,13 @@ fn labels_are_assigned_before_perturbation() {
     // perturbed dataset must keep the *pre-perturbation* labels (that's what
     // makes the problem noisy). We verify the two generators share draws.
     let clean = Generator::new(77).dataset(Function::F2, 200);
-    let noisy = Generator::new(77).with_perturbation(0.05).dataset(Function::F2, 200);
-    assert_eq!(clean.labels(), noisy.labels(), "labels must not depend on perturbation");
+    let noisy = Generator::new(77)
+        .with_perturbation(0.05)
+        .dataset(Function::F2, 200);
+    assert_eq!(
+        clean.labels(),
+        noisy.labels(),
+        "labels must not depend on perturbation"
+    );
     assert_ne!(clean, noisy, "rows must differ under perturbation");
 }

@@ -23,7 +23,10 @@ impl Objective for Quad {
             .sum()
     }
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
-        for ((gi, (xi, ti)), ci) in g.iter_mut().zip(x.iter().zip(&self.target)).zip(&self.scale)
+        for ((gi, (xi, ti)), ci) in g
+            .iter_mut()
+            .zip(x.iter().zip(&self.target))
+            .zip(&self.scale)
         {
             *gi = 2.0 * ci * (xi - ti);
         }

@@ -21,7 +21,11 @@ fn person_strategy() -> impl Strategy<Value = Person> {
     )
         .prop_map(
             |(salary, age, elevel, car, zipcode, hyears, loan, commission, hv)| {
-                let commission = if salary >= 75_000.0 { 0.0 } else { commission.unwrap_or(10_000.0) };
+                let commission = if salary >= 75_000.0 {
+                    0.0
+                } else {
+                    commission.unwrap_or(10_000.0)
+                };
                 let k = zipcode as f64;
                 let hvalue = 0.5 * k * 100_000.0 + hv * k * 100_000.0;
                 Person {

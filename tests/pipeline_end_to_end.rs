@@ -28,8 +28,16 @@ fn f1_recovers_the_age_band_rule() {
     let (train, test) = gen.train_test(Function::F1, 500, 500);
     let model = pipeline(1).fit(&train).expect("pipeline succeeds on F1");
 
-    assert!(model.rules_accuracy(&train) >= 0.9, "train acc {}", model.rules_accuracy(&train));
-    assert!(model.rules_accuracy(&test) >= 0.9, "test acc {}", model.rules_accuracy(&test));
+    assert!(
+        model.rules_accuracy(&train) >= 0.9,
+        "train acc {}",
+        model.rules_accuracy(&train)
+    );
+    assert!(
+        model.rules_accuracy(&test) >= 0.9,
+        "test acc {}",
+        model.rules_accuracy(&test)
+    );
     // F1 depends only on age: every rule must test age (a noisy link may
     // occasionally drag in another attribute, but age must be load-bearing).
     for rule in &model.ruleset.rules {
@@ -53,8 +61,16 @@ fn f2_rules_beat_the_floor_and_stay_compact() {
         .fit(&train)
         .expect("pipeline succeeds on F2");
 
-    assert!(model.rules_accuracy(&train) >= 0.88, "train {}", model.rules_accuracy(&train));
-    assert!(model.rules_accuracy(&test) >= 0.85, "test {}", model.rules_accuracy(&test));
+    assert!(
+        model.rules_accuracy(&train) >= 0.88,
+        "train {}",
+        model.rules_accuracy(&train)
+    );
+    assert!(
+        model.rules_accuracy(&test) >= 0.85,
+        "test {}",
+        model.rules_accuracy(&test)
+    );
     // The paper's headline: fewer rules than C4.5rules' 18.
     assert!(model.ruleset.len() < 18, "{} rules", model.ruleset.len());
 }
@@ -73,7 +89,11 @@ fn pruning_shrinks_the_network_dramatically() {
         p.initial_links
     );
     // Feature selection: most of the 87 inputs must be disconnected.
-    assert!(p.unused_inputs.len() >= 60, "only {} unused inputs", p.unused_inputs.len());
+    assert!(
+        p.unused_inputs.len() >= 60,
+        "only {} unused inputs",
+        p.unused_inputs.len()
+    );
 }
 
 #[test]
@@ -83,8 +103,16 @@ fn extraction_preserves_network_accuracy() {
     let gen = Generator::new(42).with_perturbation(0.05);
     let (train, test) = gen.train_test(Function::F3, 600, 600);
     let model = pipeline(5).fit(&train).expect("pipeline succeeds on F3");
-    assert!(model.fidelity(&train) >= 0.95, "train fidelity {}", model.fidelity(&train));
-    assert!(model.fidelity(&test) >= 0.93, "test fidelity {}", model.fidelity(&test));
+    assert!(
+        model.fidelity(&train) >= 0.95,
+        "train fidelity {}",
+        model.fidelity(&train)
+    );
+    assert!(
+        model.fidelity(&test) >= 0.93,
+        "test fidelity {}",
+        model.fidelity(&test)
+    );
 }
 
 #[test]
@@ -128,5 +156,9 @@ fn generic_encoder_path_works() {
         .with_seed(4)
         .fit(&train)
         .expect("generic encoder pipeline succeeds");
-    assert!(model.rules_accuracy(&train) >= 0.8, "{}", model.rules_accuracy(&train));
+    assert!(
+        model.rules_accuracy(&train) >= 0.8,
+        "{}",
+        model.rules_accuracy(&train)
+    );
 }

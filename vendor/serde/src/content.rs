@@ -1,0 +1,365 @@
+//! The self-describing data model shared by the serializer and the
+//! deserializer, plus the one concrete implementation of each trait.
+
+use std::fmt;
+
+/// A serialized value: the common tree both sides of the bridge speak.
+///
+/// Numbers are split the way JSON implementations usually split them —
+/// signed/unsigned integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / `None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (array / tuple).
+    Seq(Vec<Content>),
+    /// Map with string keys, in insertion order (struct / map / enum tag).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a [`Content::Map`].
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// The single concrete error type used across the vendored serde stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl crate::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl crate::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializer: builds a Content tree.
+// ---------------------------------------------------------------------------
+
+/// [`crate::Serializer`] that produces a [`Content`] tree.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ContentSerializer;
+
+impl ContentSerializer {
+    /// Creates a serializer.
+    pub fn new() -> Self {
+        ContentSerializer
+    }
+}
+
+/// Serializes any value to a [`Content`] tree.
+pub fn to_content<T: crate::Serialize + ?Sized>(value: &T) -> Result<Content, Error> {
+    value.serialize(ContentSerializer)
+}
+
+/// In-progress sequence/tuple.
+#[derive(Debug)]
+pub struct SeqBuilder {
+    items: Vec<Content>,
+}
+
+/// In-progress map.
+#[derive(Debug)]
+pub struct MapBuilder {
+    entries: Vec<(String, Content)>,
+}
+
+/// In-progress struct (or struct variant, carrying the wrapping tag).
+#[derive(Debug)]
+pub struct StructBuilder {
+    variant: Option<&'static str>,
+    entries: Vec<(String, Content)>,
+}
+
+/// In-progress tuple variant.
+#[derive(Debug)]
+pub struct TupleVariantBuilder {
+    variant: &'static str,
+    items: Vec<Content>,
+}
+
+impl crate::Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = StructBuilder;
+    type SerializeTupleVariant = TupleVariantBuilder;
+    type SerializeStructVariant = StructBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, Error> {
+        Ok(Content::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Content, Error> {
+        Ok(if v >= 0 {
+            Content::U64(v as u64)
+        } else {
+            Content::I64(v)
+        })
+    }
+    fn serialize_u64(self, v: u64) -> Result<Content, Error> {
+        Ok(Content::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Content, Error> {
+        Ok(Content::F64(v))
+    }
+    fn serialize_char(self, v: char) -> Result<Content, Error> {
+        Ok(Content::Str(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Content, Error> {
+        Ok(Content::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Content, Error> {
+        Ok(Content::Null)
+    }
+    fn serialize_none(self) -> Result<Content, Error> {
+        Ok(Content::Null)
+    }
+    fn serialize_some<T: crate::Serialize + ?Sized>(self, v: &T) -> Result<Content, Error> {
+        v.serialize(self)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<Content, Error> {
+        Ok(Content::Str(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: crate::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        v: &T,
+    ) -> Result<Content, Error> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: crate::Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        v: &T,
+    ) -> Result<Content, Error> {
+        Ok(Content::Map(vec![(
+            variant.to_string(),
+            v.serialize(self)?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructBuilder, Error> {
+        Ok(StructBuilder {
+            variant: None,
+            entries: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<TupleVariantBuilder, Error> {
+        Ok(TupleVariantBuilder {
+            variant,
+            items: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<StructBuilder, Error> {
+        Ok(StructBuilder {
+            variant: Some(variant),
+            entries: Vec::with_capacity(len),
+        })
+    }
+}
+
+impl crate::ser::SerializeSeq for SeqBuilder {
+    type Ok = Content;
+    type Error = Error;
+    fn serialize_element<T: crate::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        self.items.push(v.serialize(ContentSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Content, Error> {
+        Ok(Content::Seq(self.items))
+    }
+}
+
+impl crate::ser::SerializeTuple for SeqBuilder {
+    type Ok = Content;
+    type Error = Error;
+    fn serialize_element<T: crate::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        crate::ser::SerializeSeq::serialize_element(self, v)
+    }
+    fn end(self) -> Result<Content, Error> {
+        crate::ser::SerializeSeq::end(self)
+    }
+}
+
+impl crate::ser::SerializeMap for MapBuilder {
+    type Ok = Content;
+    type Error = Error;
+    fn serialize_entry<K, V>(&mut self, key: &K, value: &V) -> Result<(), Error>
+    where
+        K: crate::Serialize + ?Sized,
+        V: crate::Serialize + ?Sized,
+    {
+        let key = match key.serialize(ContentSerializer)? {
+            Content::Str(s) => s,
+            Content::U64(n) => n.to_string(),
+            Content::I64(n) => n.to_string(),
+            other => {
+                return Err(crate::ser::Error::custom(format!(
+                    "map keys must be strings or integers, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        self.entries
+            .push((key, value.serialize(ContentSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, Error> {
+        Ok(Content::Map(self.entries))
+    }
+}
+
+impl crate::ser::SerializeStruct for StructBuilder {
+    type Ok = Content;
+    type Error = Error;
+    fn serialize_field<T: crate::Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        self.entries
+            .push((name.to_string(), v.serialize(ContentSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, Error> {
+        let map = Content::Map(self.entries);
+        Ok(match self.variant {
+            Some(tag) => Content::Map(vec![(tag.to_string(), map)]),
+            None => map,
+        })
+    }
+}
+
+impl crate::ser::SerializeStructVariant for StructBuilder {
+    type Ok = Content;
+    type Error = Error;
+    fn serialize_field<T: crate::Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        v: &T,
+    ) -> Result<(), Error> {
+        crate::ser::SerializeStruct::serialize_field(self, name, v)
+    }
+    fn end(self) -> Result<Content, Error> {
+        crate::ser::SerializeStruct::end(self)
+    }
+}
+
+impl crate::ser::SerializeTupleVariant for TupleVariantBuilder {
+    type Ok = Content;
+    type Error = Error;
+    fn serialize_field<T: crate::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+        self.items.push(v.serialize(ContentSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Content, Error> {
+        Ok(Content::Map(vec![(
+            self.variant.to_string(),
+            Content::Seq(self.items),
+        )]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer: hands out an owned Content tree.
+// ---------------------------------------------------------------------------
+
+/// [`crate::Deserializer`] over an owned [`Content`] tree.
+#[derive(Debug, Clone)]
+pub struct ContentDeserializer(pub Content);
+
+impl ContentDeserializer {
+    /// Creates a deserializer over `content`.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer(content)
+    }
+}
+
+impl<'de> crate::Deserializer<'de> for ContentDeserializer {
+    type Error = Error;
+
+    fn take_content(self) -> Result<Content, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes any value from a [`Content`] tree.
+pub fn from_content<'de, T: crate::Deserialize<'de>>(content: Content) -> Result<T, Error> {
+    T::deserialize(ContentDeserializer(content))
+}

@@ -1,0 +1,274 @@
+//! Deserialization traits, shaped like upstream serde's `de` module.
+//!
+//! Unlike upstream's visitor architecture, the vendored [`Deserializer`] is
+//! tree-based: it yields one owned [`Content`] value which `Deserialize`
+//! impls traverse directly. Formats buffer into `Content` (exactly what
+//! upstream does internally for untagged enums) instead of streaming.
+
+use crate::content::{Content, ContentDeserializer};
+use std::fmt::Display;
+
+/// Trait for deserialization errors.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// A value had the wrong shape.
+    fn invalid_type(expected: &str, got: &Content) -> Self {
+        Self::custom(format!(
+            "invalid type: expected {expected}, found {}",
+            got.kind()
+        ))
+    }
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format that can produce the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the complete value as an owned [`Content`] tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Deserializes a `T` out of an owned [`Content`] subtree, mapping the
+/// concrete error into the caller's error type.
+pub fn from_subtree<'de, T, E>(content: Content) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: Error,
+{
+    T::deserialize(ContentDeserializer(content)).map_err(E::custom)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                        <$t>::try_from(v as u64)
+                            .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t))))
+                    }
+                    other => Err(D::Error::invalid_type(concat!("a ", stringify!($t)), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(v as $t),
+                    other => Err(D::Error::invalid_type(concat!("a ", stringify!($t)), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::invalid_type("a bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            // serde_json maps non-finite floats to null; accept the reverse.
+            Content::Null => Ok(f64::NAN),
+            other => Err(D::Error::invalid_type("an f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(D::Error::invalid_type("a single-char string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::invalid_type("a string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::invalid_type("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            other => from_subtree(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_subtree).collect(),
+            other => Err(D::Error::invalid_type("a sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+) len $len:expr;)*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($( from_subtree::<$name, __D::Error>(it.next().unwrap())?, )+))
+                    }
+                    other => Err(__D::Error::invalid_type(
+                        concat!("a tuple of length ", stringify!($len)),
+                        &other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (A) len 1;
+    (A, B) len 2;
+    (A, B, C) len 3;
+    (A, B, C, D) len 4;
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(map_entries(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(map_entries(d)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_subtree).collect(),
+            other => Err(D::Error::invalid_type("a sequence", &other)),
+        }
+    }
+}
+
+/// Decodes a map's entries, parsing each string key back through `K`'s
+/// deserializer (integer-keyed maps arrive with stringified keys).
+fn map_entries<'de, K, V, D>(d: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    match d.take_content()? {
+        Content::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                // Try the key as a string first; integer-keyed maps arrive
+                // with stringified keys, so fall back to a numeric parse.
+                let key = match from_subtree::<K, D::Error>(Content::Str(k.clone())) {
+                    Ok(key) => key,
+                    Err(string_err) => {
+                        let numeric = match k.parse::<u64>() {
+                            Ok(n) => Content::U64(n),
+                            Err(_) => match k.parse::<i64>() {
+                                Ok(n) => Content::I64(n),
+                                Err(_) => return Err(string_err),
+                            },
+                        };
+                        from_subtree::<K, D::Error>(numeric)?
+                    }
+                };
+                let value = from_subtree::<V, D::Error>(v)?;
+                Ok((key, value))
+            })
+            .collect(),
+        other => Err(D::Error::invalid_type("a map", &other)),
+    }
+}

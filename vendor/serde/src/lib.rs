@@ -1,0 +1,31 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! reimplements the subset of serde's API surface the workspace uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits with upstream-shaped
+//!   signatures (`fn serialize<S: Serializer>(…) -> Result<S::Ok, S::Error>`),
+//!   so hand-written codecs such as `#[serde(with = "…")]` modules compile
+//!   unchanged;
+//! * the [`Serializer`] / [`Deserializer`] traits. Unlike upstream, the
+//!   deserializer side is tree-based: a [`content::Content`] value (the
+//!   self-describing data model) is produced once and traversed by the
+//!   `Deserialize` impls. This is equivalent to upstream's private
+//!   `Content` buffering and is all a JSON-backed workspace needs;
+//! * `derive` feature: re-exports the `Serialize`/`Deserialize` derive
+//!   macros from the vendored `serde_derive`.
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Helpers referenced by derive-generated code. Not a stable API.
+pub mod __private {
+    pub use crate::content::{Content, ContentDeserializer, ContentSerializer, Error};
+}

@@ -1,0 +1,352 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Implemented without `syn`/`quote` (the build environment is offline):
+//! the item is parsed directly from its token stream and the generated
+//! impls are rendered as strings. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   upstream serde), plus `#[serde(untagged)]` for unit/newtype variants;
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{DefaultAttr, Input, Kind, Shape};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive produced invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive produced invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut out = String::new();
+            out.push_str("use ::serde::ser::SerializeStruct as _;\n");
+            let live: Vec<_> = fields.iter().filter(|f| !f.skip).collect();
+            out.push_str(&format!(
+                "let mut __st = __serializer.serialize_struct({name:?}, {})?;\n",
+                live.len()
+            ));
+            for f in &live {
+                out.push_str(&serialize_field_stmt(
+                    &f.name,
+                    &format!("&self.{}", f.name),
+                    &f.ty,
+                    f.with.as_deref(),
+                ));
+            }
+            out.push_str("__st.end()\n");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let arm = match (&v.shape, item.untagged) {
+                    (Shape::Unit, false) => format!(
+                        "{name}::{vname} => __serializer.serialize_unit_variant({name:?}, {idx}u32, {vname:?}),\n"
+                    ),
+                    (Shape::Unit, true) => format!("{name}::{vname} => __serializer.serialize_unit(),\n"),
+                    (Shape::Tuple(tys), false) if tys.len() == 1 => format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant({name:?}, {idx}u32, {vname:?}, __f0),\n"
+                    ),
+                    (Shape::Tuple(tys), true) if tys.len() == 1 => {
+                        format!("{name}::{vname}(__f0) => ::serde::Serialize::serialize(__f0, __serializer),\n")
+                    }
+                    (Shape::Tuple(tys), false) => {
+                        let binders: Vec<String> = (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!("{name}::{vname}({}) => {{\n", binders.join(", "));
+                        arm.push_str("use ::serde::ser::SerializeTupleVariant as _;\n");
+                        arm.push_str(&format!(
+                            "let mut __tv = __serializer.serialize_tuple_variant({name:?}, {idx}u32, {vname:?}, {})?;\n",
+                            tys.len()
+                        ));
+                        for b in &binders {
+                            arm.push_str(&format!("__tv.serialize_field({b})?;\n"));
+                        }
+                        arm.push_str("__tv.end()\n}\n");
+                        arm
+                    }
+                    (Shape::Tuple(tys), true) => {
+                        let binders: Vec<String> = (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!("{name}::{vname}({}) => {{\n", binders.join(", "));
+                        arm.push_str("use ::serde::ser::SerializeTuple as _;\n");
+                        arm.push_str(&format!(
+                            "let mut __tu = __serializer.serialize_tuple({})?;\n",
+                            tys.len()
+                        ));
+                        for b in &binders {
+                            arm.push_str(&format!("__tu.serialize_element({b})?;\n"));
+                        }
+                        arm.push_str("__tu.end()\n}\n");
+                        arm
+                    }
+                    (Shape::Struct(fields), untagged) => {
+                        let live: Vec<_> = fields.iter().filter(|f| !f.skip).collect();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut arm =
+                            format!("{name}::{vname} {{ {} }} => {{\n", binders.join(", "));
+                        if untagged {
+                            arm.push_str("use ::serde::ser::SerializeStruct as _;\n");
+                            arm.push_str(&format!(
+                                "let mut __st = __serializer.serialize_struct({vname:?}, {})?;\n",
+                                live.len()
+                            ));
+                        } else {
+                            arm.push_str("use ::serde::ser::SerializeStructVariant as _;\n");
+                            arm.push_str(&format!(
+                                "let mut __st = __serializer.serialize_struct_variant({name:?}, {idx}u32, {vname:?}, {})?;\n",
+                                live.len()
+                            ));
+                        }
+                        for f in &live {
+                            arm.push_str(&serialize_field_stmt(&f.name, &f.name.clone(), &f.ty, f.with.as_deref()));
+                        }
+                        arm.push_str("__st.end()\n}\n");
+                        arm
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            let allow_unused = if variants.iter().all(|v| matches!(v.shape, Shape::Unit)) {
+                "#[allow(unused_variables)]\n"
+            } else {
+                ""
+            };
+            format!("{allow_unused}match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(non_snake_case, unused_mut, unused_imports, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+/// One `serialize_field` statement; `expr` is a `&Ty` expression.
+fn serialize_field_stmt(fname: &str, expr: &str, ty: &str, with: Option<&str>) -> String {
+    match with {
+        None => format!("__st.serialize_field({fname:?}, {expr})?;\n"),
+        Some(module) => format!(
+            "{{\n\
+             struct __SerdeWith<'__a>(&'__a ({ty}));\n\
+             impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{\n\
+             fn serialize<__S2: ::serde::Serializer>(&self, __s: __S2) \
+             -> ::std::result::Result<__S2::Ok, __S2::Error> {{ {module}::serialize(self.0, __s) }}\n\
+             }}\n\
+             __st.serialize_field({fname:?}, &__SerdeWith({expr}))?;\n\
+             }}\n"
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => struct_from_content(name, name, fields, "__content", "__D::Error"),
+        Kind::Enum(variants) if item.untagged => {
+            let mut out = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "if matches!(__content, ::serde::__private::Content::Null) \
+                         {{ return ::std::result::Result::Ok({name}::{vname}); }}\n"
+                    )),
+                    Shape::Tuple(tys) if tys.len() == 1 => out.push_str(&format!(
+                        "if let ::std::result::Result::Ok(__v) = \
+                         ::serde::de::from_subtree::<{ty}, ::serde::__private::Error>(__content.clone()) \
+                         {{ return ::std::result::Result::Ok({name}::{vname}(__v)); }}\n",
+                        ty = tys[0]
+                    )),
+                    _ => panic!(
+                        "vendored serde_derive: untagged enums support unit and newtype variants only ({name}::{vname})"
+                    ),
+                }
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 \"data did not match any variant of untagged enum {name}\"))\n"
+            ));
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(tys) if tys.len() == 1 => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::de::from_subtree::<{ty}, __D::Error>(__val)?)),\n",
+                        ty = tys[0]
+                    )),
+                    Shape::Tuple(tys) => {
+                        let n = tys.len();
+                        let mut fields = String::new();
+                        for ty in tys {
+                            fields.push_str(&format!(
+                                "::serde::de::from_subtree::<{ty}, __D::Error>(__it.next().unwrap())?, "
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "{vname:?} => match __val {{\n\
+                             ::serde::__private::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::std::result::Result::Ok({name}::{vname}({fields}))\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                             \"expected a sequence of length {n} for variant {vname}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let inner = struct_from_content(
+                            name,
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "__val",
+                            "__D::Error",
+                        );
+                        data_arms.push_str(&format!("{vname:?} => {{ {inner} }},\n"));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 ::serde::__private::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::__private::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __val) = __m.into_iter().next().unwrap();\n\
+                 #[allow(unused_variables)]\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\
+                 format!(\"invalid type for enum {name}: {{}}\", __other.kind()))),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(non_snake_case, unused_mut, unused_imports, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         let __content = ::serde::Deserializer::take_content(__deserializer)?;\n\
+         {body}}}\n}}\n"
+    )
+}
+
+/// Parses a struct (or struct variant) out of a `Content::Map` expression.
+///
+/// `constructor` is e.g. `Foo` or `Foo::Variant`; evaluates to
+/// `Result<Foo, {err}>`.
+fn struct_from_content(
+    type_name: &str,
+    constructor: &str,
+    fields: &[parse::Field],
+    content_var: &str,
+    err: &str,
+) -> String {
+    let mut out =
+        format!("match {content_var} {{\n::serde::__private::Content::Map(__entries) => {{\n");
+    let mut init = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let ty = &f.ty;
+        let missing = match (&f.default, f.skip) {
+            (Some(DefaultAttr::Path(path)), _) => format!("{path}()"),
+            (Some(DefaultAttr::Trait), _) | (None, true) => {
+                "::std::default::Default::default()".to_string()
+            }
+            (None, false) => format!(
+                "return ::std::result::Result::Err(<{err} as ::serde::de::Error>::missing_field({fname:?}))"
+            ),
+        };
+        if f.skip {
+            out.push_str(&format!("let __field_{fname}: {ty} = {missing};\n"));
+        } else {
+            let found = match &f.with {
+                None => format!("::serde::de::from_subtree::<{ty}, {err}>(__v.clone())?"),
+                Some(module) => format!(
+                    "{module}::deserialize(::serde::__private::ContentDeserializer::new(__v.clone()))\
+                     .map_err(<{err} as ::serde::de::Error>::custom)?"
+                ),
+            };
+            out.push_str(&format!(
+                "let __field_{fname}: {ty} = match __entries.iter().find(|(__k, _)| __k == {fname:?}) {{\n\
+                 ::std::option::Option::Some((_, __v)) => {found},\n\
+                 ::std::option::Option::None => {missing},\n\
+                 }};\n"
+            ));
+        }
+        init.push_str(&format!("{fname}: __field_{fname}, "));
+    }
+    out.push_str(&format!(
+        "::std::result::Result::Ok({constructor} {{ {init} }})\n}}\n"
+    ));
+    out.push_str(&format!(
+        "__other => ::std::result::Result::Err(<{err} as ::serde::de::Error>::custom(\
+         format!(\"invalid type for struct {type_name}: {{}}\", __other.kind()))),\n}}\n"
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shared helper exposed to the parse module
+// ---------------------------------------------------------------------------
+
+pub(crate) fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+pub(crate) fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+pub(crate) fn group_with(tt: &TokenTree, delim: Delimiter) -> Option<TokenStream> {
+    match tt {
+        TokenTree::Group(g) if g.delimiter() == delim => Some(g.stream()),
+        _ => None,
+    }
+}

@@ -1,0 +1,286 @@
+//! Token-tree parser for the derive input (structs with named fields and
+//! enums; no generics — the workspace derives on concrete types only).
+
+use crate::{group_with, is_ident, is_punct};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+pub(crate) struct Input {
+    pub name: String,
+    pub untagged: bool,
+    pub kind: Kind,
+}
+
+pub(crate) enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+pub(crate) struct Field {
+    pub name: String,
+    pub ty: String,
+    pub skip: bool,
+    pub default: Option<DefaultAttr>,
+    pub with: Option<String>,
+}
+
+pub(crate) enum DefaultAttr {
+    /// `#[serde(default)]` — use `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub shape: Shape,
+}
+
+pub(crate) enum Shape {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+/// Accumulated `#[serde(...)]` arguments from one attribute site.
+#[derive(Default)]
+struct SerdeArgs {
+    skip: bool,
+    default: Option<DefaultAttr>,
+    with: Option<String>,
+    untagged: bool,
+}
+
+pub(crate) fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let item_args = skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let is_enum = if is_ident(&tokens[pos], "struct") {
+        false
+    } else if is_ident(&tokens[pos], "enum") {
+        true
+    } else {
+        panic!(
+            "vendored serde_derive supports only structs and enums, got {:?}",
+            tokens[pos]
+        );
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    pos += 1;
+
+    if pos < tokens.len() && is_punct(&tokens[pos], '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+
+    let body = loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive does not support tuple structs ({name})")
+            }
+            Some(_) => pos += 1, // e.g. a where clause would land here
+            None => panic!("no body found for {name}"),
+        }
+    };
+
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(body))
+    } else {
+        Kind::Struct(parse_fields(body))
+    };
+    Input {
+        name,
+        untagged: item_args.untagged,
+        kind,
+    }
+}
+
+/// Skips (and inspects) any leading attributes at `pos`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> SerdeArgs {
+    let mut args = SerdeArgs::default();
+    while *pos < tokens.len() && is_punct(&tokens[*pos], '#') {
+        if let Some(inner) = group_with(&tokens[*pos + 1], Delimiter::Bracket) {
+            parse_serde_attr(inner, &mut args);
+        }
+        *pos += 2;
+    }
+    args
+}
+
+/// Folds one `#[...]` attribute's arguments into `args` when it is a
+/// `serde` attribute; other attributes (docs, derives) are ignored.
+fn parse_serde_attr(attr: TokenStream, args: &mut SerdeArgs) {
+    let parts: Vec<TokenTree> = attr.into_iter().collect();
+    if parts.len() != 2 || !is_ident(&parts[0], "serde") {
+        return;
+    }
+    let Some(list) = group_with(&parts[1], Delimiter::Parenthesis) else {
+        return;
+    };
+    let items: Vec<TokenTree> = list.into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let key = match &items[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("unexpected token in #[serde(...)]: {other:?}"),
+        };
+        let value = if i + 2 < items.len() && is_punct(&items[i + 1], '=') {
+            let v = match &items[i + 2] {
+                TokenTree::Literal(l) => strip_quotes(&l.to_string()),
+                other => panic!("expected string literal in #[serde({key} = ...)], got {other:?}"),
+            };
+            i += 3;
+            Some(v)
+        } else {
+            i += 1;
+            None
+        };
+        // Skip a trailing comma.
+        if i < items.len() && is_punct(&items[i], ',') {
+            i += 1;
+        }
+        match (key.as_str(), value) {
+            ("skip", None) | ("skip_serializing", None) | ("skip_deserializing", None) => {
+                args.skip = true
+            }
+            ("default", None) => args.default = Some(DefaultAttr::Trait),
+            ("default", Some(path)) => args.default = Some(DefaultAttr::Path(path)),
+            ("with", Some(path)) => args.with = Some(path),
+            ("untagged", None) => args.untagged = true,
+            (other, _) => panic!("vendored serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if *pos < tokens.len() && is_ident(&tokens[*pos], "pub") {
+        *pos += 1;
+        if *pos < tokens.len() && group_with(&tokens[*pos], Delimiter::Parenthesis).is_some() {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let args = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        pos += 1;
+        assert!(
+            is_punct(&tokens[pos], ':'),
+            "expected `:` after field `{name}`"
+        );
+        pos += 1;
+        let ty = take_type(&tokens, &mut pos);
+        fields.push(Field {
+            name,
+            ty,
+            skip: args.skip,
+            default: args.default,
+            with: args.with,
+        });
+    }
+    fields
+}
+
+/// Collects type tokens until a top-level `,` (angle-bracket aware).
+fn take_type(tokens: &[TokenTree], pos: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while *pos < tokens.len() {
+        let tt = &tokens[*pos];
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            *pos += 1;
+            break;
+        }
+        ty.push_str(&tt.to_string());
+        ty.push(' ');
+        *pos += 1;
+    }
+    let ty = ty.trim().to_string();
+    assert!(!ty.is_empty(), "empty field type");
+    ty
+}
+
+/// Parses enum variants.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(parse_tuple_types(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Struct(parse_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if pos < tokens.len() && is_punct(&tokens[pos], '=') {
+            pos += 1;
+            while pos < tokens.len() && !is_punct(&tokens[pos], ',') {
+                pos += 1;
+            }
+        }
+        if pos < tokens.len() && is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Splits tuple-variant field types on top-level commas.
+fn parse_tuple_types(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut types = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        types.push(take_type(&tokens, &mut pos));
+    }
+    types
+}

@@ -1,0 +1,52 @@
+//! Minimal, dependency-free stand-in for `serde_json`.
+//!
+//! Serializes any [`serde::Serialize`] type to JSON text and back, via the
+//! vendored serde's [`Content`] tree. Numbers are printed with `{:?}`
+//! (Rust's shortest round-trip float formatting), so `to_string` followed
+//! by `from_str` reproduces every finite `f64` bit-for-bit. Non-finite
+//! floats are printed as `null`, matching upstream serde_json.
+
+use serde::content::{from_content, to_content, Content};
+
+mod parser;
+mod printer;
+
+pub use parser::parse;
+
+/// Error type for JSON serialization/deserialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content(value).map_err(|e| Error(e.0))?;
+    Ok(printer::print(&content, None))
+}
+
+/// Serializes `value` to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content(value).map_err(|e| Error(e.0))?;
+    Ok(printer::print(&content, Some(0)))
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(s: &str) -> Result<T> {
+    let content = parser::parse(s)?;
+    from_content(content).map_err(|e| Error(e.0))
+}
+
+/// Parses JSON text into the generic [`Content`] tree.
+pub fn from_str_content(s: &str) -> Result<Content> {
+    parser::parse(s)
+}

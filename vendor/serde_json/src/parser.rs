@@ -1,0 +1,179 @@
+//! JSON text → Content.
+
+use crate::Error;
+use serde::content::Content;
+
+/// Parses one JSON document (surrounding whitespace allowed).
+pub fn parse(s: &str) -> Result<Content, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect_literal(b, pos, "null", Content::Null),
+        Some(b't') => expect_literal(b, pos, "true", Content::Bool(true)),
+        Some(b'f') => expect_literal(b, pos, "false", Content::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Content::Str),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'{') => parse_object(b, pos),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(Error(format!(
+            "unexpected character {:?} at byte {}",
+            *c as char, pos
+        ))),
+    }
+}
+
+fn expect_literal(b: &[u8], pos: &mut usize, lit: &str, value: Content) -> Result<Content, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u escape".into()))?;
+                        // Surrogate pairs are not needed for this workspace's
+                        // data; map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    let start = *pos;
+    if b[*pos] == b'-' {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    let is_integral = !text.contains(['.', 'e', 'E']);
+    if is_integral {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Content::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Content::I64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Content::F64)
+        .map_err(|_| Error(format!("invalid number {text:?}")))
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Content::Seq(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Content::Seq(items));
+            }
+            _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    *pos += 1; // '{'
+    let mut entries = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Content::Map(entries));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(Error(format!("expected object key at byte {pos}")));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(Error(format!("expected ':' at byte {pos}")));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        entries.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Content::Map(entries));
+            }
+            _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+        }
+    }
+}

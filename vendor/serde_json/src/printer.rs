@@ -1,0 +1,99 @@
+//! Content → JSON text.
+
+use serde::content::Content;
+
+/// Prints `content` as JSON; `indent = Some(level)` pretty-prints.
+pub fn print(content: &Content, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, content, indent);
+    out
+}
+
+fn write_value(out: &mut String, content: &Content, indent: Option<usize>) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => write_seq(out, items, indent),
+        Content::Map(entries) => write_map(out, entries, indent),
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip representation.
+        let s = format!("{v:?}");
+        out.push_str(&s);
+    } else {
+        // Upstream serde_json prints non-finite floats as null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(out: &mut String, items: &[Content], indent: Option<usize>) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline(out, indent.map(|n| n + 1));
+        write_value(out, item, indent.map(|n| n + 1));
+    }
+    newline(out, indent);
+    out.push(']');
+}
+
+fn write_map(out: &mut String, entries: &[(String, Content)], indent: Option<usize>) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline(out, indent.map(|n| n + 1));
+        write_string(out, k);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, v, indent.map(|n| n + 1));
+    }
+    newline(out, indent);
+    out.push('}');
+}
+
+fn newline(out: &mut String, indent: Option<usize>) {
+    if let Some(level) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+}
