@@ -1,11 +1,22 @@
-//! Inference-throughput benchmark: rules vs network vs decision tree.
+//! Inference-throughput benchmark: rules vs network vs decision tree,
+//! plus the batched-kernel scoreboard on a large synthetic workload.
 //!
 //! Backs the paper's §1 argument that explicit rules are cheap to apply to
 //! large databases (they test a handful of attributes, no arithmetic),
-//! while the network must encode every tuple and run a forward pass.
+//! while the network must encode every tuple and run a forward pass — and,
+//! since the batch refactor, measures how much of that network cost the
+//! dense row-major batch path claws back. The large group pits three ways
+//! of classifying the same tuples against each other in one run:
+//!
+//! * `per-row-encode-classify` — the pre-batch hot path: encode each tuple,
+//!   allocate, run a scalar forward pass;
+//! * `per-row-preencoded` — per-row forward passes over the pre-encoded
+//!   dataset with reused scratch buffers (allocation-free baseline);
+//! * `batch` — [`nr_nn::Mlp::classify_batch`] over the dense
+//!   [`nr_encode::EncodedDataset::batch`] layout.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use nr_bench::{bench_dataset, pruned_network};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nr_bench::{bench_dataset, bench_encoded, pruned_network};
 use nr_rulex::{extract, RxConfig};
 use nr_tree::{to_rules, DecisionTree, TreeConfig};
 
@@ -19,6 +30,7 @@ fn inference(c: &mut Criterion) {
     let tree_rules = to_rules(&tree, &train);
 
     let mut group = c.benchmark_group("inference-1000-rows");
+    group.throughput(Throughput::Elements(1000));
     group.bench_function("neurorule-rules", |b| {
         b.iter(|| {
             test.iter()
@@ -46,5 +58,45 @@ fn inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, inference);
+/// The batch-kernel scoreboard: per-row vs batched classification of the
+/// same rows, same network, one bench run.
+fn batch_inference(c: &mut Criterion) {
+    let rows = if criterion::quick_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let raw = bench_dataset(rows);
+    let (enc, data) = bench_encoded(rows);
+    let (_, _, net) = pruned_network(500);
+
+    let mut group = c.benchmark_group(format!("inference-batch-{rows}-rows"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function("per-row-encode-classify", |b| {
+        b.iter(|| {
+            raw.iter()
+                .map(|(row, _)| net.classify(&enc.encode_row(row)))
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("per-row-preencoded", |b| {
+        let mut hidden = vec![0.0; net.n_hidden()];
+        let mut out = vec![0.0; net.n_outputs()];
+        b.iter(|| {
+            (0..data.rows())
+                .map(|i| {
+                    net.forward_into(data.input(i), &mut hidden, &mut out);
+                    nr_nn::argmax(&out)
+                })
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| net.classify_batch(&data).into_iter().sum::<usize>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference, batch_inference);
 criterion_main!(benches);

@@ -1,19 +1,24 @@
-//! Phase-1 benchmark: network training, BFGS vs gradient descent.
+//! Phase-1 benchmark: network training, BFGS vs gradient descent, plus the
+//! batched objective on a large synthetic workload.
 //!
 //! Backs the paper's claim that quasi-Newton training converges in far
 //! fewer iterations than backpropagation (§2.1); the ablation table in
-//! EXPERIMENTS.md is generated from these numbers.
+//! EXPERIMENTS.md is generated from these numbers. The `objective` group is
+//! the training-side batch scoreboard: one full cross-entropy
+//! value-and-gradient evaluation over 100k rows, single-threaded and with
+//! auto worker threads (bit-identical results either way).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nr_bench::{bench_encoded, fresh_network};
-use nr_nn::{Trainer, TrainingAlgorithm};
-use nr_opt::{Bfgs, GradientDescent};
+use nr_nn::{CrossEntropyObjective, Penalty, Trainer, TrainingAlgorithm};
+use nr_opt::{Bfgs, GradientDescent, Objective};
 
 fn training(c: &mut Criterion) {
     let mut group = c.benchmark_group("training");
     group.sample_size(10);
     for &n in &[200usize, 500] {
         let (_, data) = bench_encoded(n);
+        group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("bfgs-60", n), &n, |b, _| {
             let trainer = Trainer::new(TrainingAlgorithm::Bfgs(Bfgs::default().with_max_iters(60)));
             b.iter(|| {
@@ -36,5 +41,30 @@ fn training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, training);
+/// One batched value-and-gradient evaluation over the large workload.
+fn objective(c: &mut Criterion) {
+    let rows = if criterion::quick_mode() {
+        10_000
+    } else {
+        100_000
+    };
+    let (_, data) = bench_encoded(rows);
+    let net = fresh_network(7);
+    let x = net.flatten_active();
+
+    let mut group = c.benchmark_group(format!("objective-{rows}-rows"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rows as u64));
+    for &(threads, label) in &[(1usize, "grad-1-thread"), (0, "grad-auto-threads")] {
+        group.bench_function(label, |b| {
+            let obj =
+                CrossEntropyObjective::new(&net, &data, Penalty::default()).with_threads(threads);
+            let mut g = vec![0.0; obj.dim()];
+            b.iter(|| obj.value_and_gradient(&x, &mut g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, training, objective);
 criterion_main!(benches);

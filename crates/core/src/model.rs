@@ -70,13 +70,19 @@ impl Model {
 
     /// Fraction of rows where rules and network agree (fidelity of the
     /// extraction).
+    ///
+    /// Encodes the dataset once and runs the network on the batched path
+    /// instead of encoding and classifying tuple by tuple.
     pub fn fidelity(&self, ds: &Dataset) -> f64 {
         if ds.is_empty() {
             return 0.0;
         }
+        let encoded = self.encoder.encode_dataset(ds);
+        let net_predictions = self.network.classify_batch(&encoded);
         let agree = ds
             .iter()
-            .filter(|(row, _)| self.predict(row) == self.predict_network(row))
+            .zip(&net_predictions)
+            .filter(|((row, _), &net)| self.predict(row) == net)
             .count();
         agree as f64 / ds.len() as f64
     }

@@ -168,9 +168,7 @@ impl NeuroRule {
         // rule pruning); the survivors agree with the network at least as
         // often as the full set did. `report.bit_rules` keeps the complete
         // pre-reduction RX output for inspection.
-        let net_predictions: Vec<usize> = (0..encoded.rows())
-            .map(|i| net.classify(encoded.input(i)))
-            .collect();
+        let net_predictions = net.classify_batch(&encoded);
         let ruleset = rx.ruleset.reduced(train, &net_predictions);
 
         let train_rule_accuracy = ruleset.accuracy(train);

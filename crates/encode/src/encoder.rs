@@ -182,12 +182,7 @@ impl Encoder {
             self.encode_row_into(row, &mut data[i * cols..(i + 1) * cols]);
             targets.push(label);
         }
-        EncodedDataset {
-            data,
-            cols,
-            targets,
-            n_classes: ds.n_classes(),
-        }
+        EncodedDataset::from_parts(data, cols, targets, ds.n_classes())
     }
 }
 
@@ -211,12 +206,102 @@ fn agrawal_schema_local() -> Schema {
 
 /// A dataset encoded to network inputs: a dense row-major matrix of 0/1
 /// values (plus the bias column) and integer class targets.
+///
+/// Alongside the per-row accessors, the encoded data is held in the batch
+/// layout the network's matrix kernels consume — one contiguous row-major
+/// inputs buffer plus a one-hot target matrix, both built once at encoding
+/// time and exposed through [`EncodedDataset::batch`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncodedDataset {
     data: Vec<f64>,
     cols: usize,
     targets: Vec<ClassId>,
     n_classes: usize,
+    /// Row-major `rows × n_classes` one-hot expansion of `targets`.
+    onehot: Vec<f64>,
+    /// Set-bit layout of `data`, present when every entry is exactly 0/1.
+    bits: Option<BinaryInputs>,
+}
+
+/// Compressed set-bit (CSR-style) layout of a strictly-0/1 input matrix.
+///
+/// The paper's thermometer/one-hot coding (Table 2) produces inputs that
+/// are exactly 0.0 or 1.0, so a row's contribution to `X·Wᵀ` is a plain
+/// gather-sum over its set bits — a fraction of the dense multiply-adds.
+/// Built once at encoding time; consumers fall back to the dense buffer
+/// when the data is not binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinaryInputs {
+    /// Set-bit column indices, ascending within each row, rows concatenated.
+    indices: Vec<u32>,
+    /// Row `i`'s indices are `indices[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<usize>,
+}
+
+impl BinaryInputs {
+    /// Builds the layout, or `None` when any entry is not exactly 0/1.
+    fn detect(data: &[f64], cols: usize) -> Option<BinaryInputs> {
+        if cols == 0 {
+            return None;
+        }
+        let rows = data.len() / cols;
+        let mut indices = Vec::with_capacity(data.len() / 4);
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        for r in 0..rows {
+            for (c, &v) in data[r * cols..(r + 1) * cols].iter().enumerate() {
+                if v == 1.0 {
+                    indices.push(c as u32);
+                } else if v != 0.0 {
+                    return None;
+                }
+            }
+            offsets.push(indices.len());
+        }
+        Some(BinaryInputs { indices, offsets })
+    }
+
+    /// Number of rows described.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Set-bit column indices of row `i`, ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.indices[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// All set-bit indices, rows concatenated (see [`BinaryInputs::offsets`]).
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Per-row offsets into [`BinaryInputs::indices`] (length `rows + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+/// Borrowed dense batch view of an [`EncodedDataset`]: the whole dataset as
+/// two contiguous row-major matrices, ready for matrix-matrix kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodedBatch<'a> {
+    /// All input rows, row-major (`rows × cols`, bias column included).
+    pub inputs: &'a [f64],
+    /// One-hot targets, row-major (`rows × n_classes`).
+    pub targets_onehot: &'a [f64],
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of input columns.
+    pub cols: usize,
+    /// Number of classes (columns of `targets_onehot`).
+    pub n_classes: usize,
+    /// Set-bit layout of `inputs` when the data is strictly 0/1
+    /// (always the case for the paper's Table-2 coding).
+    pub bits: Option<&'a BinaryInputs>,
 }
 
 impl EncodedDataset {
@@ -233,11 +318,22 @@ impl EncodedDataset {
             targets.len(),
             "target count mismatch"
         );
+        let mut onehot = vec![0.0; targets.len() * n_classes];
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(
+                t < n_classes,
+                "target {t} out of range for {n_classes} classes"
+            );
+            onehot[i * n_classes + t] = 1.0;
+        }
+        let bits = BinaryInputs::detect(&data, cols);
         EncodedDataset {
             data,
             cols,
             targets,
             n_classes,
+            onehot,
+            bits,
         }
     }
 
@@ -271,6 +367,39 @@ impl EncodedDataset {
     /// All targets.
     pub fn targets(&self) -> &[ClassId] {
         &self.targets
+    }
+
+    /// All input rows as one contiguous row-major buffer (`rows × cols`).
+    #[inline]
+    pub fn inputs_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One-hot targets as one contiguous row-major buffer
+    /// (`rows × n_classes`).
+    #[inline]
+    pub fn targets_onehot(&self) -> &[f64] {
+        &self.onehot
+    }
+
+    /// Set-bit layout of the inputs, when they are strictly 0/1.
+    #[inline]
+    pub fn binary_inputs(&self) -> Option<&BinaryInputs> {
+        self.bits.as_ref()
+    }
+
+    /// The whole dataset as a dense batch (built once at encoding time;
+    /// this is a zero-cost borrow).
+    #[inline]
+    pub fn batch(&self) -> EncodedBatch<'_> {
+        EncodedBatch {
+            inputs: &self.data,
+            targets_onehot: &self.onehot,
+            rows: self.targets.len(),
+            cols: self.cols,
+            n_classes: self.n_classes,
+            bits: self.bits.as_ref(),
+        }
     }
 }
 
@@ -444,6 +573,48 @@ mod tests {
         let x = e.encode_row(&[Value::Num(9.0), Value::Nominal(2)]);
         assert_eq!(&x[0..4], &[1.0, 1.0, 1.0, 1.0]);
         assert_eq!(&x[4..7], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batch_view_matches_per_row_accessors() {
+        let ds =
+            EncodedDataset::from_parts(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], 2, vec![0, 2, 1], 3);
+        let batch = ds.batch();
+        assert_eq!(batch.rows, 3);
+        assert_eq!(batch.cols, 2);
+        assert_eq!(batch.n_classes, 3);
+        for i in 0..3 {
+            assert_eq!(&batch.inputs[i * 2..(i + 1) * 2], ds.input(i));
+            let onehot = &batch.targets_onehot[i * 3..(i + 1) * 3];
+            for (c, &v) in onehot.iter().enumerate() {
+                assert_eq!(v, if c == ds.target(i) { 1.0 } else { 0.0 });
+            }
+        }
+        assert_eq!(ds.inputs_flat().len(), 6);
+        assert_eq!(ds.targets_onehot().len(), 9);
+        // Strictly-0/1 data carries the set-bit layout.
+        let bits = batch.bits.expect("binary data");
+        assert_eq!(bits.rows(), 3);
+        assert_eq!(bits.row(0), &[0]);
+        assert_eq!(bits.row(1), &[1]);
+        assert_eq!(bits.row(2), &[0, 1]);
+    }
+
+    #[test]
+    fn non_binary_data_has_no_bit_layout() {
+        let ds = EncodedDataset::from_parts(vec![0.5, 1.0], 1, vec![0, 1], 2);
+        assert!(ds.binary_inputs().is_none());
+        assert!(ds.batch().bits.is_none());
+        // An empty binary row still counts as binary.
+        let ds = EncodedDataset::from_parts(vec![0.0, 0.0], 2, vec![0], 2);
+        let bits = ds.binary_inputs().expect("all zeros is binary");
+        assert_eq!(bits.row(0), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_out_of_range_target() {
+        let _ = EncodedDataset::from_parts(vec![1.0, 1.0], 1, vec![0, 2], 2);
     }
 
     #[test]

@@ -1,13 +1,31 @@
-//! A minimal dense row-major matrix for weight storage.
+//! Dense row-major matrices and the batch matmul kernels built on them.
+//!
+//! Originally this type only stored weights for per-tuple forward passes;
+//! it now also carries the workspace's batched hot path: [`gemm_nt`]
+//! (`A·Bᵀ`, the shape of `inputs · weightsᵀ`), [`gemm_tn_acc`] (`Aᵀ·B`,
+//! the shape of the delta-rule weight gradients) and [`gemm_nn`] (`A·B`,
+//! the shape of back-propagating output deltas), plus in-place
+//! [`Matrix::axpy`]/[`Matrix::scale`] for reductions.
+//!
+//! Two properties the rest of the workspace relies on:
+//!
+//! * **Bit-compatibility with the per-row path.** Every kernel accumulates
+//!   each output element in ascending index order — the same order as the
+//!   scalar `z += w·x` loops in [`crate::Mlp::forward_into`] — so batched
+//!   and per-row results are bit-identical, not merely close. Blocking is
+//!   done across *independent* output columns (four parallel accumulator
+//!   chains), which changes instruction-level parallelism but never the
+//!   order of any single floating-point reduction.
+//! * **Auto-vectorizable inner loops.** The kernels index fixed-length
+//!   row slices so the compiler can keep bounds checks out of the inner
+//!   loops and vectorize the four-column blocks.
 
 use serde::{Deserialize, Serialize};
 
 /// Dense row-major `f64` matrix.
 ///
-/// Deliberately tiny: the networks here have at most a few hundred weights,
-/// so this is about clear indexing (`m[(row, col)]`), not BLAS performance.
 /// Hot loops borrow whole rows via [`Matrix::row`] to keep bounds checks out
-/// of inner loops.
+/// of inner loops; batch callers go through the `gemm_*` kernels.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
@@ -33,6 +51,13 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer (`data.len()` must be
+    /// `rows * cols`).
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
         Matrix { rows, cols, data }
     }
 
@@ -69,6 +94,73 @@ impl Matrix {
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
+
+    /// Sets every entry to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `self · other` (shapes `m×k · k×n → m×n`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        gemm_nn(
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self · otherᵀ` (shapes `m×k · (n×k)ᵀ → m×n`).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        gemm_nt(
+            self.rows,
+            other.rows,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ · other` (shapes `(k×m)ᵀ · k×n → m×n`).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        gemm_tn_acc(
+            self.cols,
+            other.cols,
+            self.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self += alpha · other`, in place.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
+        axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// `self *= alpha`, in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -85,6 +177,228 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         debug_assert!(r < self.rows && c < self.cols);
         &mut self.data[r * self.cols + c]
+    }
+}
+
+/// `out += alpha · x` over flat slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// `out = A · Bᵀ` over raw row-major buffers: `A` is `m×k`, `B` is `n×k`,
+/// `out` is `m×n`, all row-major.
+///
+/// This is the batch forward-pass shape (`inputs · weightsᵀ`): both
+/// operands are traversed along contiguous rows, so the inner loop is pure
+/// streaming. Output columns are processed in blocks of four independent
+/// accumulator chains; each individual output is still accumulated in
+/// ascending `k` order, keeping the result bit-identical to a scalar
+/// `z += a·b` loop.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), n * k, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let or = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        // Blocks of four output columns: four independent dot-product
+        // chains over the same streamed `A` row.
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for t in 0..k {
+                let x = ar[t];
+                s0 += x * b0[t];
+                s1 += x * b1[t];
+                s2 += x * b2[t];
+                s3 += x * b3[t];
+            }
+            or[j] = s0;
+            or[j + 1] = s1;
+            or[j + 2] = s2;
+            or[j + 3] = s3;
+            j += 4;
+        }
+        if j + 2 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let (mut s0, mut s1) = (0.0, 0.0);
+            for t in 0..k {
+                let x = ar[t];
+                s0 += x * b0[t];
+                s1 += x * b1[t];
+            }
+            or[j] = s0;
+            or[j + 1] = s1;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let mut s0 = 0.0;
+            for t in 0..k {
+                s0 += ar[t] * b0[t];
+            }
+            or[j] = s0;
+        }
+    }
+}
+
+/// `out += Aᵀ · B` over raw row-major buffers: `A` is `k×m`, `B` is `k×n`,
+/// `out` is `m×n`, all row-major. Accumulates into `out`.
+///
+/// This is the delta-rule gradient shape (`deltasᵀ · activations`): the
+/// `k` dimension (batch rows) is the outer loop, so each step is a rank-1
+/// update streaming one row of `A` and one row of `B` — the inner axpy
+/// has no loop-carried dependency and vectorizes cleanly. Accumulation
+/// per output element is in ascending `k` order, matching a per-row
+/// `grad += delta·activation` loop bit for bit.
+pub fn gemm_tn_acc(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), k * m, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    for r in 0..k {
+        let ar = &a[r * m..(r + 1) * m];
+        let br = &b[r * n..(r + 1) * n];
+        for i in 0..m {
+            let av = ar[i];
+            // Pruned links and saturated deltas produce exact zeros; skip
+            // whole rank-1 rows for them (adding ±0.0 would be a no-op).
+            if av != 0.0 {
+                axpy(av, br, &mut out[i * n..(i + 1) * n]);
+            }
+        }
+    }
+}
+
+/// `out = A · B` over raw row-major buffers: `A` is `m×k`, `B` is `k×n`,
+/// `out` is `m×n`, all row-major.
+///
+/// Used to back-propagate output deltas through the hidden→output weights
+/// (`D · V`). Row-of-`B` axpy inner loop; per-element accumulation in
+/// ascending `k` order, matching the per-row `Σ_p δ_p·v` loop.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let or = &mut out[i * n..(i + 1) * n];
+        or.fill(0.0);
+        for (l, &av) in ar.iter().enumerate() {
+            if av != 0.0 {
+                axpy(av, &b[l * n..(l + 1) * n], or);
+            }
+        }
+    }
+}
+
+/// `out = S·Bᵀ` where `S` is an `m×k` strictly-0/1 matrix given as per-row
+/// ascending set-bit column indices (`S` row `i` = `indices[offsets[i]..
+/// offsets[i+1]]`). `B` is `n×k` row-major, `out` is `m×n`.
+///
+/// The binary input coding makes this the natural forward-pass kernel: a
+/// row's dot product with a weight row is a gather-sum over its set bits,
+/// a fraction of the dense multiply-adds. Because the indices ascend and
+/// adding a `w·0.0` term to a non-negative-zero accumulator never changes
+/// its bits, the result is bit-identical to the dense [`gemm_nt`].
+pub fn gemm_bits_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    indices: &[u32],
+    offsets: &[usize],
+    b: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(offsets.len(), m + 1, "need one offset per row plus end");
+    assert_eq!(b.len(), n * k, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    for i in 0..m {
+        let bits = &indices[offsets[i]..offsets[i + 1]];
+        let or = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for &l in bits {
+                let l = l as usize;
+                s0 += b0[l];
+                s1 += b1[l];
+                s2 += b2[l];
+                s3 += b3[l];
+            }
+            or[j] = s0;
+            or[j + 1] = s1;
+            or[j + 2] = s2;
+            or[j + 3] = s3;
+            j += 4;
+        }
+        if j + 2 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let (mut s0, mut s1) = (0.0, 0.0);
+            for &l in bits {
+                let l = l as usize;
+                s0 += b0[l];
+                s1 += b1[l];
+            }
+            or[j] = s0;
+            or[j + 1] = s1;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let mut s0 = 0.0;
+            for &l in bits {
+                s0 += b0[l as usize];
+            }
+            or[j] = s0;
+        }
+    }
+}
+
+/// `out += Aᵀ·S` where `A` is `k×m` row-major and `S` is a `k×n`
+/// strictly-0/1 matrix given as per-row ascending set-bit indices.
+///
+/// This is the input-side weight-gradient shape (`deltasᵀ · inputs`) with
+/// binary inputs: each nonzero delta scatters itself onto its row's set
+/// bits (`δ·1.0 = δ` exactly), reproducing a dense accumulation that skips
+/// zero inputs bit for bit.
+pub fn gemm_tn_bits_acc(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    indices: &[u32],
+    offsets: &[usize],
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), k * m, "A shape mismatch");
+    assert_eq!(offsets.len(), k + 1, "need one offset per row plus end");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    for r in 0..k {
+        let ar = &a[r * m..(r + 1) * m];
+        let bits = &indices[offsets[r]..offsets[r + 1]];
+        for i in 0..m {
+            let av = ar[i];
+            if av != 0.0 {
+                let or = &mut out[i * n..(i + 1) * n];
+                for &l in bits {
+                    or[l as usize] += av;
+                }
+            }
+        }
     }
 }
 
@@ -114,5 +428,155 @@ mod tests {
     fn from_fn_order() {
         let m = Matrix::from_fn(3, 1, |r, _| r as f64);
         assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let m = Matrix::from_raw(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match shape")]
+    fn from_raw_rejects_bad_shape() {
+        let _ = Matrix::from_raw(2, 2, vec![1.0; 3]);
+    }
+
+    /// Reference implementation: naive triple loop.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|l| a[(i, l)] * b[(l, j)]).sum()
+        })
+    }
+
+    fn arbitrary(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r * 31 + c * 7 + seed as usize) as f64;
+            (x * 0.37).sin()
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        // Dimensions straddling the 4/2/1-column block boundaries.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 4), (7, 87, 6), (4, 3, 9), (2, 8, 2)] {
+            let a = arbitrary(m, k, 1);
+            let b = arbitrary(k, n, 2);
+            let got = a.matmul(&b);
+            let want = naive_matmul(&a, &b);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (5, 87, 4), (3, 6, 7), (2, 4, 2), (6, 5, 3)] {
+            let a = arbitrary(m, k, 3);
+            let b = arbitrary(n, k, 4);
+            let got = a.matmul_nt(&b);
+            // A·Bᵀ element (i, j) = dot(A row i, B row j).
+            let want = Matrix::from_fn(m, n, |i, j| {
+                a.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum()
+            });
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_bit_identical_to_scalar_loop() {
+        // The per-row forward pass accumulates z += w·x in ascending index
+        // order; the blocked kernel must reproduce those exact bits.
+        let a = arbitrary(9, 87, 5);
+        let b = arbitrary(4, 87, 6);
+        let got = a.matmul_nt(&b);
+        for i in 0..9 {
+            for j in 0..4 {
+                let mut z = 0.0;
+                for (x, y) in a.row(i).iter().zip(b.row(j)) {
+                    z += x * y;
+                }
+                assert_eq!(got[(i, j)], z, "element ({i}, {j}) differs in bits");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive() {
+        for &(k, m, n) in &[(1, 1, 1), (10, 4, 3), (5, 2, 6), (7, 3, 2)] {
+            let a = arbitrary(k, m, 7);
+            let b = arbitrary(k, n, 8);
+            let got = a.matmul_tn(&b);
+            let want = Matrix::from_fn(m, n, |i, j| (0..k).map(|r| a[(r, i)] * b[(r, j)]).sum());
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut m = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let other = Matrix::from_fn(2, 2, |_, _| 1.0);
+        m.axpy(2.0, &other);
+        assert_eq!(m.as_slice(), &[2.0, 3.0, 3.0, 4.0]);
+        m.scale(0.5);
+        assert_eq!(m.as_slice(), &[1.0, 1.5, 1.5, 2.0]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    /// Binary matrix fixture: rows of 0/1 plus the CSR layout.
+    fn binary_fixture(m: usize, k: usize) -> (Vec<f64>, Vec<u32>, Vec<usize>) {
+        let mut dense = vec![0.0; m * k];
+        let mut indices = Vec::new();
+        let mut offsets = vec![0];
+        for i in 0..m {
+            for c in 0..k {
+                if (i * 7 + c * 3) % 4 == 0 {
+                    dense[i * k + c] = 1.0;
+                    indices.push(c as u32);
+                }
+            }
+            offsets.push(indices.len());
+        }
+        (dense, indices, offsets)
+    }
+
+    #[test]
+    fn gemm_bits_nt_is_bit_identical_to_dense() {
+        for &(m, k, n) in &[(5, 87, 4), (3, 10, 3), (4, 6, 7), (2, 5, 1), (1, 4, 2)] {
+            let (dense, indices, offsets) = binary_fixture(m, k);
+            let b = arbitrary(n, k, 9);
+            let mut want = vec![0.0; m * n];
+            gemm_nt(m, n, k, &dense, b.as_slice(), &mut want);
+            let mut got = vec![0.0; m * n];
+            gemm_bits_nt(m, n, k, &indices, &offsets, b.as_slice(), &mut got);
+            assert_eq!(got, want, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_bits_acc_is_bit_identical_to_dense() {
+        for &(k, m, n) in &[(9, 4, 87), (5, 2, 6), (3, 3, 5), (1, 1, 4)] {
+            let (dense, indices, offsets) = binary_fixture(k, n);
+            let a = arbitrary(k, m, 11);
+            let mut want = vec![0.0; m * n];
+            gemm_tn_acc(m, n, k, a.as_slice(), &dense, &mut want);
+            let mut got = vec![0.0; m * n];
+            gemm_tn_bits_acc(m, n, k, a.as_slice(), &indices, &offsets, &mut got);
+            assert_eq!(got, want, "k={k} m={m} n={n}");
+        }
     }
 }

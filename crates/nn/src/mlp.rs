@@ -311,44 +311,243 @@ impl Mlp {
         argmax(&out)
     }
 
+    /// Batched forward pass over `rows` row-major input rows, writing the
+    /// hidden activations (`rows × n_hidden`) and outputs (`rows × n_out`)
+    /// into the given buffers.
+    ///
+    /// Computed as `hidden = tanh(X·Wᵀ)`, `out = σ(hidden·Vᵀ)` with the
+    /// blocked [`crate::gemm_nt`] kernel; every row's result is
+    /// bit-identical to [`Mlp::forward_into`] on that row.
+    pub fn forward_batch_into(&self, x: &[f64], rows: usize, hidden: &mut [f64], out: &mut [f64]) {
+        assert_eq!(x.len(), rows * self.n_in, "input shape mismatch");
+        forward_kernel(
+            BatchInput::Dense(x),
+            rows,
+            (self.n_in, self.n_hidden, self.n_out),
+            self.w.as_slice(),
+            self.v.as_slice(),
+            hidden,
+            out,
+        );
+    }
+
+    /// Batched forward pass, allocating: returns the hidden activations
+    /// (`rows × n_hidden`) and outputs (`rows × n_out`) as matrices.
+    pub fn forward_batch(&self, x: &[f64], rows: usize) -> (Matrix, Matrix) {
+        let mut hidden = vec![0.0; rows * self.n_hidden];
+        let mut out = vec![0.0; rows * self.n_out];
+        self.forward_batch_into(x, rows, &mut hidden, &mut out);
+        (
+            Matrix::from_raw(rows, self.n_hidden, hidden),
+            Matrix::from_raw(rows, self.n_out, out),
+        )
+    }
+
+    /// Batched forward pass over one chunk of an encoded batch, using the
+    /// set-bit input kernel when the data carries it (strictly-0/1 inputs).
+    ///
+    /// Crate-internal building block for the chunked dataset traversals
+    /// here and in the training objective; bit-identical to per-row
+    /// [`Mlp::forward_into`] either way.
+    pub(crate) fn chunk_forward(
+        &self,
+        batch: &nr_encode::EncodedBatch<'_>,
+        range: std::ops::Range<usize>,
+        hidden: &mut [f64],
+        out: &mut [f64],
+    ) {
+        forward_kernel(
+            BatchInput::select(batch, &range, self.n_in),
+            range.len(),
+            (self.n_in, self.n_hidden, self.n_out),
+            self.w.as_slice(),
+            self.v.as_slice(),
+            hidden,
+            out,
+        );
+    }
+
+    /// Runs `score` over the outputs of every row, on fixed-size chunks
+    /// with reusable scratch (and worker threads when the batch spans
+    /// several chunks), summing the per-chunk counts in chunk order.
+    fn count_rows(
+        &self,
+        data: &EncodedDataset,
+        score: impl Fn(&[f64], usize) -> bool + Sync,
+    ) -> usize {
+        let (h, o) = (self.n_hidden, self.n_out);
+        let batch = data.batch();
+        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(batch.rows));
+        crate::par::map_chunks(
+            batch.rows,
+            threads,
+            || {
+                (
+                    vec![0.0; crate::par::CHUNK_ROWS * h],
+                    vec![0.0; crate::par::CHUNK_ROWS * o],
+                )
+            },
+            |(hidden, out), _c, range| {
+                let n = range.len();
+                self.chunk_forward(
+                    &batch,
+                    range.clone(),
+                    &mut hidden[..n * h],
+                    &mut out[..n * o],
+                );
+                out[..n * o]
+                    .chunks_exact(o)
+                    .zip(range)
+                    .filter(|(row_out, i)| score(row_out, *i))
+                    .count()
+            },
+        )
+        .into_iter()
+        .sum()
+    }
+
+    /// Predicted classes for every row of an encoded dataset (argmax rule),
+    /// appended to `preds`. Processes fixed-size row chunks with reusable
+    /// scratch (and worker threads when the batch spans several chunks);
+    /// per-row results equal [`Mlp::classify`] bit for bit.
+    pub fn classify_batch_into(&self, data: &EncodedDataset, preds: &mut Vec<usize>) {
+        let (h, o) = (self.n_hidden, self.n_out);
+        let batch = data.batch();
+        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(batch.rows));
+        let chunks = crate::par::map_chunks(
+            batch.rows,
+            threads,
+            || {
+                (
+                    vec![0.0; crate::par::CHUNK_ROWS * h],
+                    vec![0.0; crate::par::CHUNK_ROWS * o],
+                )
+            },
+            |(hidden, out), _c, range| {
+                let n = range.len();
+                self.chunk_forward(&batch, range, &mut hidden[..n * h], &mut out[..n * o]);
+                out[..n * o].chunks_exact(o).map(argmax).collect::<Vec<_>>()
+            },
+        );
+        for chunk in chunks {
+            preds.extend(chunk);
+        }
+    }
+
+    /// Predicted classes for every row of an encoded dataset, allocating.
+    pub fn classify_batch(&self, data: &EncodedDataset) -> Vec<usize> {
+        let mut preds = Vec::with_capacity(data.rows());
+        self.classify_batch_into(data, &mut preds);
+        preds
+    }
+
     /// Fraction of the dataset classified correctly (argmax rule).
+    ///
+    /// Runs on the batched kernels; equal to classifying row by row.
     pub fn accuracy(&self, data: &EncodedDataset) -> f64 {
         if data.rows() == 0 {
             return 0.0;
         }
-        let mut hidden = vec![0.0; self.n_hidden];
-        let mut out = vec![0.0; self.n_out];
-        let mut correct = 0usize;
-        for i in 0..data.rows() {
-            self.forward_into(data.input(i), &mut hidden, &mut out);
-            if argmax(&out) == data.target(i) {
-                correct += 1;
-            }
-        }
+        let correct = self.count_rows(data, |out, i| argmax(out) == data.target(i));
         correct as f64 / data.rows() as f64
     }
 
     /// Condition (1) of the paper: `max_p |S_p − t_p| ≤ η₁`.
     pub fn condition1_holds(&self, x: &[f64], target: usize, eta1: f64) -> bool {
         let (_, out) = self.forward(x);
-        out.iter()
-            .enumerate()
-            .map(|(p, s)| (s - if p == target { 1.0 } else { 0.0 }).abs())
-            .fold(0.0f64, f64::max)
-            <= eta1
+        condition1(&out, target, eta1)
     }
 
     /// Fraction of rows satisfying condition (1) — the strict notion of
     /// "correctly classified" used by the pruning theory (§2.2).
+    ///
+    /// Runs on the batched kernels; equal to checking row by row.
     pub fn strict_accuracy(&self, data: &EncodedDataset, eta1: f64) -> f64 {
         if data.rows() == 0 {
             return 0.0;
         }
-        let correct = (0..data.rows())
-            .filter(|&i| self.condition1_holds(data.input(i), data.target(i), eta1))
-            .count();
+        let correct = self.count_rows(data, |out, i| condition1(out, data.target(i), eta1));
         correct as f64 / data.rows() as f64
     }
+}
+
+/// Input rows for one batched forward pass: dense row-major data, or the
+/// set-bit layout of strictly-0/1 data.
+pub(crate) enum BatchInput<'a> {
+    /// Row-major `rows × n_in`.
+    Dense(&'a [f64]),
+    /// Per-row ascending set-bit column indices; `offsets` (length
+    /// `rows + 1`) holds absolute positions into `indices`.
+    Bits {
+        /// Concatenated set-bit indices.
+        indices: &'a [u32],
+        /// Per-row offsets into `indices`.
+        offsets: &'a [usize],
+    },
+}
+
+impl<'a> BatchInput<'a> {
+    /// The given row range of an encoded batch, preferring the set-bit
+    /// layout when the dataset carries one.
+    pub(crate) fn select(
+        batch: &nr_encode::EncodedBatch<'a>,
+        range: &std::ops::Range<usize>,
+        n_in: usize,
+    ) -> Self {
+        match batch.bits {
+            Some(bits) => BatchInput::Bits {
+                indices: bits.indices(),
+                offsets: &bits.offsets()[range.start..=range.end],
+            },
+            None => BatchInput::Dense(&batch.inputs[range.start * n_in..range.end * n_in]),
+        }
+    }
+}
+
+/// The one batched forward sequence every batch caller shares:
+/// `hidden = tanh(X·Wᵀ)`, `out = σ(hidden·Vᵀ)`, with the input-layer
+/// product dispatched to the dense or set-bit kernel.
+///
+/// `dims` is `(n_in, n_hidden, n_out)`; `w` is `n_hidden × n_in` and `v`
+/// is `n_out × n_hidden`, both row-major (either a network's weights or
+/// the objective's assembled parameter matrices). Bit-identical to the
+/// per-row [`Mlp::forward_into`] loop on every row — keep it that way:
+/// the equivalence tests in `tests/batch_parallel.rs` pin this function
+/// for all callers at once.
+pub(crate) fn forward_kernel(
+    input: BatchInput<'_>,
+    rows: usize,
+    dims: (usize, usize, usize),
+    w: &[f64],
+    v: &[f64],
+    hidden: &mut [f64],
+    out: &mut [f64],
+) {
+    let (n_in, n_hidden, n_out) = dims;
+    assert_eq!(hidden.len(), rows * n_hidden, "hidden shape mismatch");
+    assert_eq!(out.len(), rows * n_out, "output shape mismatch");
+    match input {
+        BatchInput::Dense(x) => crate::matrix::gemm_nt(rows, n_hidden, n_in, x, w, hidden),
+        BatchInput::Bits { indices, offsets } => {
+            crate::matrix::gemm_bits_nt(rows, n_hidden, n_in, indices, offsets, w, hidden)
+        }
+    }
+    for a in hidden.iter_mut() {
+        *a = Activation::Tanh.apply(*a);
+    }
+    crate::matrix::gemm_nt(rows, n_out, n_hidden, hidden, v, out);
+    for s in out.iter_mut() {
+        *s = Activation::Sigmoid.apply(*s);
+    }
+}
+
+/// `max_p |S_p − t_p| ≤ η₁` for one output row.
+fn condition1(out: &[f64], target: usize, eta1: f64) -> bool {
+    out.iter()
+        .enumerate()
+        .map(|(p, s)| (s - if p == target { 1.0 } else { 0.0 }).abs())
+        .fold(0.0f64, f64::max)
+        <= eta1
 }
 
 /// Index of the maximum element, **first on ties** — the tie-breaking rule

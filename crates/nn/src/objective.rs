@@ -70,12 +70,23 @@ impl Penalty {
 /// template network ([`Mlp::flatten_active`]); masked links are simply not
 /// part of the optimization problem, which keeps BFGS's dense inverse
 /// Hessian small as pruning progresses.
+///
+/// Evaluation runs on the dataset's dense batch layout
+/// ([`nr_encode::EncodedDataset::batch`]): the forward pass is two
+/// matrix-matrix products (`hidden = tanh(X·Wᵀ)`, `S = σ(hidden·Vᵀ)`) and
+/// the backward pass is the transposed products `dV = Dᵀ·hidden` and
+/// `dW = ((D·V) ⊙ (1−hidden²))ᵀ·X` with `D = S − T`. Rows are sharded
+/// into fixed-size chunks evaluated by worker threads and reduced in chunk
+/// order, so the value and gradient are bit-identical for every thread
+/// count (see [`CrossEntropyObjective::with_threads`]).
 pub struct CrossEntropyObjective<'a> {
     template: &'a Mlp,
     data: &'a EncodedDataset,
     penalty: Penalty,
     /// Canonical order of the active links, cached.
     links: Vec<crate::LinkId>,
+    /// Worker threads for the data pass (`0` = auto).
+    threads: usize,
 }
 
 impl<'a> CrossEntropyObjective<'a> {
@@ -96,7 +107,17 @@ impl<'a> CrossEntropyObjective<'a> {
             data,
             penalty,
             links,
+            threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count for the data pass (`0` = auto-detect).
+    ///
+    /// Purely a throughput knob: the fixed chunking and ordered reduction
+    /// make the result bit-identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Expands the flat parameter vector into dense `w`/`v` matrices
@@ -116,69 +137,130 @@ impl<'a> CrossEntropyObjective<'a> {
 
     /// Shared forward/backward pass. When `grad` is `Some`, accumulates the
     /// gradient (in link order) as well.
+    ///
+    /// One fixed-size chunk of rows at a time: batch forward
+    /// (`hidden = tanh(X·Wᵀ)`, `S = σ(hidden·Vᵀ)`), cross entropy against
+    /// the precomputed one-hot targets, and the delta rules as transposed
+    /// matmuls. Chunks run on worker threads; per-chunk partial losses and
+    /// gradients are reduced in chunk order, so the result does not depend
+    /// on the thread count.
     fn evaluate(&self, x: &[f64], mut grad: Option<&mut [f64]>) -> f64 {
         let t = self.template;
         let (w, v) = self.assemble(x);
-        let (h, o) = (t.n_hidden(), t.n_outputs());
+        let (h, o, n_in) = (t.n_hidden(), t.n_outputs(), t.n_inputs());
+        let batch = self.data.batch();
+        let rows = batch.rows;
+        let want_grad = grad.is_some();
+        // One-hot targets match the output layer only when every output
+        // node corresponds to a class; subnetwork objectives with extra
+        // output nodes fall back to expanding targets on the fly.
+        let onehot = (o == batch.n_classes).then_some(batch.targets_onehot);
 
-        let mut dw = Matrix::zeros(h, t.n_inputs());
-        let mut dv = Matrix::zeros(o, h);
-        let mut hidden = vec![0.0; h];
-        let mut out = vec![0.0; o];
-        let mut delta_out = vec![0.0; o];
-        let mut loss = 0.0;
+        /// Per-worker scratch, reused across that worker's chunks.
+        struct Scratch {
+            hidden: Vec<f64>,
+            out: Vec<f64>,
+            delta: Vec<f64>,
+            back: Vec<f64>,
+        }
+        /// Per-chunk partial results, reduced in chunk order.
+        struct Partial {
+            loss: f64,
+            dw: Vec<f64>,
+            dv: Vec<f64>,
+        }
 
-        for i in 0..self.data.rows() {
-            let xrow = self.data.input(i);
-            // Forward.
-            for (m, hm) in hidden.iter_mut().enumerate() {
-                let row = w.row(m);
-                let mut z = 0.0;
-                for (wi, xi) in row.iter().zip(xrow) {
-                    z += wi * xi;
-                }
-                *hm = Activation::Tanh.apply(z);
-            }
-            for (p, op) in out.iter_mut().enumerate() {
-                let row = v.row(p);
-                let mut u = 0.0;
-                for (vi, ai) in row.iter().zip(&hidden) {
-                    u += vi * ai;
-                }
-                *op = Activation::Sigmoid.apply(u);
-            }
-            // Cross entropy against the one-hot target.
-            let target = self.data.target(i);
-            for (p, (&s, d)) in out.iter().zip(delta_out.iter_mut()).enumerate() {
-                let tph = if p == target { 1.0 } else { 0.0 };
-                let sc = s.clamp(EPS, 1.0 - EPS);
-                loss -= tph * sc.ln() + (1.0 - tph) * (1.0 - sc).ln();
-                *d = s - tph; // dE/du_p for sigmoid + CE
-            }
-            if grad.is_some() {
-                // Backward: dE/dv[p][m] += δp·αm ; δm = (1−α²)·Σp δp v[p][m].
-                for (p, &d) in delta_out.iter().enumerate() {
-                    let row = dv.row_mut(p);
-                    for (slot, ai) in row.iter_mut().zip(&hidden) {
-                        *slot += d * ai;
-                    }
-                }
-                for m in 0..h {
-                    let mut back = 0.0;
-                    for p in 0..o {
-                        back += delta_out[p] * v[(p, m)];
-                    }
-                    let dz = Activation::Tanh.derivative_from_output(hidden[m]) * back;
-                    if dz != 0.0 {
-                        let row = dw.row_mut(m);
-                        for (slot, xi) in row.iter_mut().zip(xrow) {
-                            // Inputs are mostly 0/1; skip the zeros.
-                            if *xi != 0.0 {
-                                *slot += dz * xi;
+        let chunk_cap = crate::par::CHUNK_ROWS;
+        let threads = crate::par::resolve_threads(self.threads, crate::par::n_chunks(rows));
+        let partials = crate::par::map_chunks(
+            rows,
+            threads,
+            || Scratch {
+                hidden: vec![0.0; chunk_cap * h],
+                out: vec![0.0; chunk_cap * o],
+                delta: vec![0.0; chunk_cap * o],
+                back: vec![0.0; chunk_cap * h],
+            },
+            |scratch, _c, range| {
+                let n = range.len();
+                let inputs = crate::mlp::BatchInput::select(&batch, &range, n_in);
+                let hidden = &mut scratch.hidden[..n * h];
+                let out = &mut scratch.out[..n * o];
+
+                // Forward: hidden = tanh(X·Wᵀ), S = σ(hidden·Vᵀ), over the
+                // assembled parameter matrices.
+                crate::mlp::forward_kernel(
+                    inputs,
+                    n,
+                    (n_in, h, o),
+                    w.as_slice(),
+                    v.as_slice(),
+                    hidden,
+                    out,
+                );
+
+                // Cross entropy + output deltas D = S − T.
+                let delta = &mut scratch.delta[..n * o];
+                let mut loss = 0.0;
+                for (ri, i) in range.clone().enumerate() {
+                    let srow = &out[ri * o..(ri + 1) * o];
+                    let drow = &mut delta[ri * o..(ri + 1) * o];
+                    let target = self.data.target(i);
+                    for (p, (&s, d)) in srow.iter().zip(drow.iter_mut()).enumerate() {
+                        let tph = match onehot {
+                            Some(t) => t[i * o + p],
+                            None => {
+                                if p == target {
+                                    1.0
+                                } else {
+                                    0.0
+                                }
                             }
-                        }
+                        };
+                        let sc = s.clamp(EPS, 1.0 - EPS);
+                        loss -= tph * sc.ln() + (1.0 - tph) * (1.0 - sc).ln();
+                        *d = s - tph; // dE/du_p for sigmoid + CE
                     }
                 }
+
+                if !want_grad {
+                    return Partial {
+                        loss,
+                        dw: Vec::new(),
+                        dv: Vec::new(),
+                    };
+                }
+
+                // Backward: dV += Dᵀ·hidden; dW += ((D·V) ⊙ (1−hidden²))ᵀ·X.
+                let mut dv = vec![0.0; o * h];
+                crate::matrix::gemm_tn_acc(o, h, n, delta, hidden, &mut dv);
+                let back = &mut scratch.back[..n * h];
+                crate::matrix::gemm_nn(n, h, o, delta, v.as_slice(), back);
+                for (b, &a) in back.iter_mut().zip(hidden.iter()) {
+                    *b *= Activation::Tanh.derivative_from_output(a);
+                }
+                let mut dw = vec![0.0; h * n_in];
+                match crate::mlp::BatchInput::select(&batch, &range, n_in) {
+                    crate::mlp::BatchInput::Bits { indices, offsets } => {
+                        crate::matrix::gemm_tn_bits_acc(h, n_in, n, back, indices, offsets, &mut dw)
+                    }
+                    crate::mlp::BatchInput::Dense(xs) => {
+                        crate::matrix::gemm_tn_acc(h, n_in, n, back, xs, &mut dw)
+                    }
+                }
+                Partial { loss, dw, dv }
+            },
+        );
+
+        // Ordered reduction: chunk 0 first, always.
+        let mut loss = 0.0;
+        let mut dw = Matrix::zeros(h, n_in);
+        let mut dv = Matrix::zeros(o, h);
+        for p in partials {
+            loss += p.loss;
+            if want_grad {
+                crate::matrix::axpy(1.0, &p.dw, dw.as_mut_slice());
+                crate::matrix::axpy(1.0, &p.dv, dv.as_mut_slice());
             }
         }
 

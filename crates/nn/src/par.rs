@@ -1,0 +1,133 @@
+//! Deterministic row-sharding for batch passes.
+//!
+//! Batched dataset traversals split the rows into **fixed-size chunks**
+//! (independent of how many worker threads run) and reduce the per-chunk
+//! results in chunk-index order. Because each chunk is processed
+//! sequentially and the reduction order is fixed, the result is
+//! bit-identical no matter how many threads execute the chunks — seeds and
+//! test thresholds do not move when the thread count changes.
+//!
+//! The chunk size is deliberately large enough that the paper-scale
+//! training sets (1000 tuples) fit in a single chunk: single-chunk
+//! evaluation is exactly the pre-batch sequential order.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per chunk. Must stay constant across thread counts (it defines the
+/// reduction grouping, and therefore the floating-point result).
+pub(crate) const CHUNK_ROWS: usize = 1024;
+
+/// Number of chunks a dataset of `rows` rows splits into.
+pub(crate) fn n_chunks(rows: usize) -> usize {
+    rows.div_ceil(CHUNK_ROWS)
+}
+
+/// Row range of chunk `c`.
+fn chunk_range(c: usize, rows: usize) -> Range<usize> {
+    let start = c * CHUNK_ROWS;
+    start..rows.min(start + CHUNK_ROWS)
+}
+
+/// Resolves a requested thread count (`0` = auto) against the hardware and
+/// the number of chunks available.
+pub(crate) fn resolve_threads(requested: usize, chunks: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        requested
+    };
+    t.clamp(1, chunks.max(1))
+}
+
+/// Maps `work` over the fixed row chunks of a dataset, each worker reusing
+/// one `init()` scratch value, and returns the per-chunk results **in chunk
+/// order** regardless of which thread computed which chunk.
+///
+/// `threads` is the resolved worker count (see [`resolve_threads`]); with
+/// one worker (or one chunk) everything runs inline on the caller's thread.
+pub(crate) fn map_chunks<S, T, G, F>(rows: usize, threads: usize, init: G, work: F) -> Vec<T>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+{
+    let chunks = n_chunks(rows);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || chunks == 1 {
+        let mut scratch = init();
+        return (0..chunks)
+            .map(|c| work(&mut scratch, c, chunk_range(c, rows)))
+            .collect();
+    }
+
+    // Work-stealing over an atomic chunk counter; each worker pushes
+    // `(chunk_index, result)` pairs which are re-ordered afterwards, so
+    // scheduling cannot influence the reduction order.
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut scratch = init();
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    local.push((c, work(&mut scratch, c, chunk_range(c, rows))));
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut results = collected.into_inner().unwrap();
+    results.sort_unstable_by_key(|&(c, _)| c);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_rows_exactly() {
+        for &rows in &[0usize, 1, CHUNK_ROWS - 1, CHUNK_ROWS, CHUNK_ROWS + 1, 5000] {
+            let chunks = n_chunks(rows);
+            let mut covered = 0;
+            for c in 0..chunks {
+                let r = chunk_range(c, rows);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, rows);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert_eq!(resolve_threads(4, 2), 2);
+        assert_eq!(resolve_threads(1, 100), 1);
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn results_come_back_in_chunk_order() {
+        let rows = CHUNK_ROWS * 5 + 17;
+        for threads in [1, 2, 8] {
+            let got = map_chunks(rows, threads, || (), |(), c, range| (c, range.len()));
+            let indices: Vec<usize> = got.iter().map(|&(c, _)| c).collect();
+            assert_eq!(indices, (0..n_chunks(rows)).collect::<Vec<_>>());
+            let total: usize = got.iter().map(|&(_, len)| len).sum();
+            assert_eq!(total, rows);
+        }
+    }
+}

@@ -117,31 +117,45 @@ impl RuleSet {
     /// *above* the starting level).
     pub fn reduced(&self, ds: &Dataset, target: &[ClassId]) -> RuleSet {
         assert_eq!(ds.len(), target.len(), "one target class per row");
-        let agreement = |rules: &[Rule]| -> usize {
-            ds.iter()
-                .zip(target)
-                .filter(|((row, _), &t)| {
-                    let predicted = rules
-                        .iter()
-                        .find(|r| r.matches(row))
-                        .map(|r| r.class)
+        let (n, k) = (ds.len(), self.rules.len());
+        // Antecedent evaluation is the dominant cost of the greedy loop, so
+        // match every (rule, row) pair exactly once up front; the loop then
+        // works on the cached bitmap (`matches[r * n + i]`).
+        let mut matches = vec![false; k * n];
+        for (r, rule) in self.rules.iter().enumerate() {
+            let row_matches = &mut matches[r * n..(r + 1) * n];
+            for (slot, (row, _)) in row_matches.iter_mut().zip(ds.iter()) {
+                *slot = rule.matches(row);
+            }
+        }
+        let mut active = vec![true; k];
+        let agreement = |active: &[bool]| -> usize {
+            (0..n)
+                .filter(|&i| {
+                    let predicted = (0..k)
+                        .find(|&r| active[r] && matches[r * n + i])
+                        .map(|r| self.rules[r].class)
                         .unwrap_or(self.default_class);
-                    predicted == t
+                    predicted == target[i]
                 })
                 .count()
         };
-        let mut kept = self.rules.clone();
-        let baseline = agreement(&kept);
+        let baseline = agreement(&active);
         // Backwards, so the most specific rules (sorted last by extraction)
         // are offered up first.
-        let mut i = kept.len();
-        while i > 0 {
-            i -= 1;
-            let candidate = kept.remove(i);
-            if agreement(&kept) < baseline {
-                kept.insert(i, candidate);
+        for r in (0..k).rev() {
+            active[r] = false;
+            if agreement(&active) < baseline {
+                active[r] = true;
             }
         }
+        let kept: Vec<Rule> = self
+            .rules
+            .iter()
+            .zip(&active)
+            .filter(|(_, &keep)| keep)
+            .map(|(rule, _)| rule.clone())
+            .collect();
         RuleSet::new(kept, self.default_class, self.class_names.clone())
     }
 

@@ -124,12 +124,12 @@ pub fn discretize_hidden(
         "decay must be in (0,1)"
     );
     let nodes = net.live_hidden();
-    // Precompute raw activations: rows × live nodes.
+    // Precompute raw activations in one batched forward pass, then gather
+    // the live-node columns: rows × live nodes.
+    let (hidden_batch, _) = net.forward_batch(data.inputs_flat(), data.rows());
     let mut activations: Vec<Vec<f64>> = vec![Vec::with_capacity(data.rows()); nodes.len()];
-    let mut hidden = vec![0.0; net.n_hidden()];
-    let mut out = vec![0.0; net.n_outputs()];
     for i in 0..data.rows() {
-        net.forward_into(data.input(i), &mut hidden, &mut out);
+        let hidden = hidden_batch.row(i);
         for (k, &m) in nodes.iter().enumerate() {
             activations[k].push(hidden[m]);
         }
@@ -173,18 +173,20 @@ pub fn discretized_accuracy(
     if data.rows() == 0 {
         return 0.0;
     }
-    let mut hidden = vec![0.0; net.n_hidden()];
+    // Raw activations come from one batched forward pass; only the
+    // (cheap) discretized output layer is recomputed per row.
+    let (mut hidden_batch, _) = net.forward_batch(data.inputs_flat(), data.rows());
     let mut out = vec![0.0; net.n_outputs()];
     let mut correct = 0usize;
     for i in 0..data.rows() {
-        net.forward_into(data.input(i), &mut hidden, &mut out);
+        let hidden = hidden_batch.row_mut(i);
         // Replace live activations by their cluster centers; dead nodes have
         // no output links, so their value is irrelevant.
         for (k, &m) in nodes.iter().enumerate() {
             let model = &models[k];
             hidden[m] = model.center(model.assign(hidden[m]));
         }
-        net.output_from_hidden(&hidden, &mut out);
+        net.output_from_hidden(hidden, &mut out);
         if nr_nn::argmax(&out) == data.target(i) {
             correct += 1;
         }

@@ -1,0 +1,248 @@
+//! Batch-path guarantees: the batched forward/classify/objective kernels
+//! are *bit-identical* to the per-row reference paths (including with
+//! pruned links and the set-bit input layout), and the parallel objective
+//! is deterministic across thread counts.
+
+use nr_encode::EncodedDataset;
+use nr_nn::{CrossEntropyObjective, LinkId, Mlp, Penalty};
+use nr_opt::Objective;
+use proptest::prelude::*;
+
+/// Builds a network with the given weights written over every link, then
+/// prunes the links selected by `prune_picks` (values `0` prune).
+fn build_net(
+    n_in: usize,
+    n_hidden: usize,
+    n_out: usize,
+    weights: &[f64],
+    prune_picks: &[usize],
+) -> Mlp {
+    let mut net = Mlp::random(n_in, n_hidden, n_out, 0);
+    net.set_active(weights);
+    let links = net.active_links();
+    let mut pruned = 0;
+    for (&link, &pick) in links.iter().zip(prune_picks) {
+        // Keep at least one link so the network stays non-degenerate.
+        if pick == 0 && pruned + 1 < links.len() {
+            net.prune(link);
+            pruned += 1;
+        }
+    }
+    net
+}
+
+/// Strictly-0/1 row-major input matrix from per-cell picks.
+fn build_inputs(picks: &[usize]) -> Vec<f64> {
+    picks
+        .iter()
+        .map(|&p| if p == 0 { 1.0 } else { 0.0 })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `forward_batch` equals per-row `forward` bit for bit, pruned links
+    /// and all.
+    #[test]
+    fn forward_batch_matches_per_row(
+        (dims, weights, prune_picks, input_picks) in (1usize..8, 1usize..6, 1usize..5, 1usize..12)
+            .prop_flat_map(|(n_in, h, o, rows)| {
+                let links = h * (n_in + o);
+                (
+                    (n_in..n_in + 1, h..h + 1, o..o + 1, rows..rows + 1),
+                    proptest::collection::vec(-3.0f64..3.0, links),
+                    proptest::collection::vec(0usize..4, links),
+                    proptest::collection::vec(0usize..3, rows * n_in),
+                )
+            })
+    ) {
+        let (n_in, h, o, rows) = dims;
+        let net = build_net(n_in, h, o, &weights, &prune_picks);
+        let x = build_inputs(&input_picks);
+        let (hidden_b, out_b) = net.forward_batch(&x, rows);
+        for i in 0..rows {
+            let (hidden, out) = net.forward(&x[i * n_in..(i + 1) * n_in]);
+            prop_assert_eq!(hidden_b.row(i), &hidden[..], "hidden row {} differs", i);
+            prop_assert_eq!(out_b.row(i), &out[..], "output row {} differs", i);
+        }
+    }
+
+    /// `classify_batch` and `accuracy` equal their per-row counterparts,
+    /// through both the dense and the set-bit chunk paths.
+    #[test]
+    fn classify_batch_matches_per_row(
+        (dims, weights, prune_picks, input_picks, target_picks) in
+            (1usize..8, 1usize..6, 1usize..5, 1usize..12)
+            .prop_flat_map(|(n_in, h, o, rows)| {
+                let links = h * (n_in + o);
+                (
+                    (n_in..n_in + 1, h..h + 1, o..o + 1, rows..rows + 1),
+                    proptest::collection::vec(-3.0f64..3.0, links),
+                    proptest::collection::vec(0usize..4, links),
+                    proptest::collection::vec(0usize..3, rows * n_in),
+                    proptest::collection::vec(0usize..100, rows),
+                )
+            })
+    ) {
+        let (n_in, h, o, rows) = dims;
+        let net = build_net(n_in, h, o, &weights, &prune_picks);
+        let x = build_inputs(&input_picks);
+        let targets: Vec<usize> = target_picks.iter().map(|&t| t % o).collect();
+        let data = EncodedDataset::from_parts(x.clone(), n_in, targets.clone(), o);
+        prop_assert!(data.binary_inputs().is_some(), "0/1 inputs carry the bit layout");
+
+        let batch_preds = net.classify_batch(&data);
+        let mut correct = 0usize;
+        for i in 0..rows {
+            let per_row = net.classify(data.input(i));
+            prop_assert_eq!(batch_preds[i], per_row, "row {} classified differently", i);
+            if per_row == targets[i] {
+                correct += 1;
+            }
+        }
+        let want_acc = correct as f64 / rows as f64;
+        prop_assert_eq!(net.accuracy(&data), want_acc);
+    }
+}
+
+/// Per-row reference implementation of eq. 2 + eq. 3 (the pre-batch code
+/// path), for pinning the batched objective.
+fn reference_objective(net: &Mlp, data: &EncodedDataset, penalty: Penalty) -> (f64, Vec<f64>) {
+    const EPS: f64 = 1e-12;
+    let (h, o) = (net.n_hidden(), net.n_outputs());
+    let links = net.active_links();
+    let mut dw = vec![0.0; h * net.n_inputs()];
+    let mut dv = vec![0.0; o * h];
+    let mut loss = 0.0;
+    for i in 0..data.rows() {
+        let (hidden, out) = net.forward(data.input(i));
+        let target = data.target(i);
+        let mut delta = vec![0.0; o];
+        for (p, (&s, d)) in out.iter().zip(delta.iter_mut()).enumerate() {
+            let tph = if p == target { 1.0 } else { 0.0 };
+            let sc = s.clamp(EPS, 1.0 - EPS);
+            loss -= tph * sc.ln() + (1.0 - tph) * (1.0 - sc).ln();
+            *d = s - tph;
+        }
+        for (p, &d) in delta.iter().enumerate() {
+            for (m, &a) in hidden.iter().enumerate() {
+                dv[p * h + m] += d * a;
+            }
+        }
+        for m in 0..h {
+            let mut back = 0.0;
+            for (p, &d) in delta.iter().enumerate() {
+                back += d * net.v()[(p, m)];
+            }
+            let dz = (1.0 - hidden[m] * hidden[m]) * back;
+            if dz != 0.0 {
+                for (l, &xi) in data.input(i).iter().enumerate() {
+                    if xi != 0.0 {
+                        dw[m * net.n_inputs() + l] += dz * xi;
+                    }
+                }
+            }
+        }
+    }
+    let mut grad = Vec::with_capacity(links.len());
+    let params: Vec<f64> = links.iter().map(|&l| net.weight(l)).collect();
+    for (&link, &p) in links.iter().zip(&params) {
+        loss += penalty.value(p);
+        let data_grad = match link {
+            LinkId::InputHidden { hidden, input } => dw[hidden * net.n_inputs() + input],
+            LinkId::HiddenOutput { output, hidden } => dv[output * h + hidden],
+        };
+        grad.push(data_grad + penalty.derivative(p));
+    }
+    (loss, grad)
+}
+
+/// Deterministic 0/1 dataset large enough to span several 1024-row chunks.
+fn synthetic_data(rows: usize, cols: usize, classes: usize) -> EncodedDataset {
+    let mut data = vec![0.0; rows * cols];
+    let mut targets = Vec::with_capacity(rows);
+    for i in 0..rows {
+        for c in 0..cols {
+            if (i * 31 + c * 17 + (i * c) % 5) % 3 == 0 {
+                data[i * cols + c] = 1.0;
+            }
+        }
+        data[i * cols + cols - 1] = 1.0; // bias column
+        targets.push((i * 13 + i / 7) % classes);
+    }
+    EncodedDataset::from_parts(data, cols, targets, classes)
+}
+
+/// Within one chunk the batched objective reproduces the per-row reference
+/// bit for bit (the kernels preserve accumulation order exactly).
+#[test]
+fn objective_bit_identical_to_reference_within_one_chunk() {
+    let data = synthetic_data(300, 12, 2); // single 1024-row chunk
+    let mut net = Mlp::random(12, 4, 2, 99);
+    net.prune(LinkId::InputHidden {
+        hidden: 1,
+        input: 3,
+    });
+    net.prune(LinkId::HiddenOutput {
+        output: 0,
+        hidden: 2,
+    });
+    let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
+    let x = net.flatten_active();
+    let mut grad = vec![0.0; obj.dim()];
+    let loss = obj.value_and_gradient(&x, &mut grad);
+    let (want_loss, want_grad) = reference_objective(&net, &data, Penalty::default());
+    assert_eq!(loss, want_loss, "loss bits differ");
+    assert_eq!(grad, want_grad, "gradient bits differ");
+}
+
+/// Across chunks only the reduction grouping changes; the result must stay
+/// within numerical noise of the per-row reference.
+#[test]
+fn objective_matches_reference_across_chunks() {
+    let data = synthetic_data(3000, 12, 3); // three chunks
+    let net = Mlp::random(12, 5, 3, 7);
+    let obj = CrossEntropyObjective::new(&net, &data, Penalty::default());
+    let x = net.flatten_active();
+    let mut grad = vec![0.0; obj.dim()];
+    let loss = obj.value_and_gradient(&x, &mut grad);
+    let (want_loss, want_grad) = reference_objective(&net, &data, Penalty::default());
+    assert!(
+        (loss - want_loss).abs() < 1e-9 * (1.0 + want_loss.abs()),
+        "{loss} vs {want_loss}"
+    );
+    for (g, w) in grad.iter().zip(&want_grad) {
+        assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+}
+
+/// The parallel objective is bit-deterministic across thread counts: the
+/// fixed chunking and ordered reduction make 1, 2 and 8 workers produce
+/// the same value and gradient down to the last bit.
+#[test]
+fn parallel_gradient_deterministic_across_thread_counts() {
+    let data = synthetic_data(5000, 16, 2); // five chunks
+    let mut net = Mlp::random(16, 5, 2, 21);
+    net.prune(LinkId::InputHidden {
+        hidden: 0,
+        input: 5,
+    });
+    let x = net.flatten_active();
+
+    let mut reference: Option<(f64, Vec<f64>)> = None;
+    for threads in [1usize, 2, 8] {
+        let obj = CrossEntropyObjective::new(&net, &data, Penalty::default()).with_threads(threads);
+        let mut grad = vec![0.0; obj.dim()];
+        let loss = obj.value_and_gradient(&x, &mut grad);
+        let value_only = obj.value(&x);
+        assert_eq!(loss, value_only, "value and value_and_gradient disagree");
+        match &reference {
+            None => reference = Some((loss, grad)),
+            Some((want_loss, want_grad)) => {
+                assert_eq!(loss, *want_loss, "loss differs with {threads} threads");
+                assert_eq!(&grad, want_grad, "gradient differs with {threads} threads");
+            }
+        }
+    }
+}

@@ -2,28 +2,81 @@
 //!
 //! Implements the API surface this workspace's benches use — `Criterion`,
 //! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
-//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
-//! simple timing loop instead of criterion's statistics: each benchmark is
-//! warmed up once, then run for a fixed number of timed iterations, and the
-//! mean wall-clock time is printed. Good enough to keep `cargo bench`
-//! meaningful while `cargo build --benches` stays the CI gate.
+//! `Throughput`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple timing loop instead of criterion's statistics:
+//! each benchmark is warmed up once, then timed for a fixed number of
+//! samples, and the per-sample median and mean are printed.
+//!
+//! Beyond printing, every run appends to an in-process registry and
+//! `criterion_main!` writes the registry out as `BENCH_<bench>.json`
+//! (median ns/iter, mean ns/iter, and — when a [`Throughput`] is set —
+//! rows/sec), so the perf trajectory is machine-readable across PRs. Two
+//! environment variables steer the harness:
+//!
+//! * `NR_BENCH_QUICK=1` — smoke mode: few samples, and benches may shrink
+//!   their workloads via [`quick_mode`]. Used by the CI bench-smoke job.
+//! * `NR_BENCH_OUT_DIR` — where to write `BENCH_*.json` (default: the
+//!   current directory, i.e. the bench package root under `cargo bench`).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque value barrier.
 pub use std::hint::black_box;
 
+/// True when the `NR_BENCH_QUICK` environment variable asks for smoke-test
+/// benches (fewer samples; benches may also shrink their workloads).
+pub fn quick_mode() -> bool {
+    std::env::var("NR_BENCH_QUICK")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// One finished benchmark measurement, kept for the JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    label: String,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    /// Elements processed per iteration, when declared via [`Throughput`].
+    elements: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Units processed by one benchmark iteration, enabling rows/sec output
+/// (mirrors upstream criterion's `Throughput`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. dataset rows) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn elements(self) -> Option<u64> {
+        match self {
+            Throughput::Elements(n) => Some(n),
+            Throughput::Bytes(_) => None,
+        }
+    }
+}
+
 /// Entry point handed to every benchmark function.
 #[derive(Debug)]
 pub struct Criterion {
-    /// Iterations per measured benchmark (after one warm-up call).
+    /// Samples per measured benchmark (after one warm-up call).
     sample_size: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: if quick_mode() { 3 } else { 10 },
+        }
     }
 }
 
@@ -36,6 +89,7 @@ impl Criterion {
             criterion: self,
             name,
             sample_size: None,
+            throughput: None,
         }
     }
 
@@ -44,7 +98,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, f);
+        run_bench(name, self.sample_size, None, f);
         self
     }
 }
@@ -54,12 +108,20 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed iterations for this group.
+    /// Sets the number of timed samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much data one iteration of the following benchmarks
+    /// processes; enables rows/sec in the printed and JSON output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -69,7 +131,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_bench(&label, self.effective_sample_size(), f);
+        run_bench(&label, self.effective_sample_size(), self.throughput, f);
         self
     }
 
@@ -84,7 +146,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_bench(&label, self.effective_sample_size(), |b| f(b, input));
+        run_bench(&label, self.effective_sample_size(), self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -92,7 +156,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn effective_sample_size(&self) -> usize {
-        self.sample_size.unwrap_or(self.criterion.sample_size)
+        let configured = self.sample_size.unwrap_or(self.criterion.sample_size);
+        if quick_mode() {
+            configured.min(3)
+        } else {
+            configured
+        }
     }
 }
 
@@ -154,20 +223,112 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     // One warm-up call, untimed.
     let mut warmup = Bencher::default();
     f(&mut warmup);
 
-    let mut bencher = Bencher::default();
+    // One sample = one invocation of the closure (normally one `b.iter`
+    // call); per-sample ns/iter feed the median.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size.max(1) {
+        let mut bencher = Bencher::default();
         f(&mut bencher);
+        if bencher.iters > 0 {
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
     }
-    if bencher.iters == 0 {
-        eprintln!("  {label:<40} (no iterations)");
-    } else {
-        let mean = bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
-        eprintln!("  {label:<40} {mean:>12.2?}/iter ({} iters)", bencher.iters);
+    if per_iter_ns.is_empty() {
+        eprintln!("  {label:<44} (no iterations)");
+        return;
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let elements = throughput.and_then(Throughput::elements);
+    let rate = elements
+        .map(|n| format!("  {:>12.0} rows/sec", n as f64 / (median_ns / 1e9)))
+        .unwrap_or_default();
+    eprintln!(
+        "  {label:<44} median {:>12.2?}/iter ({} samples){rate}",
+        Duration::from_nanos(median_ns as u64),
+        per_iter_ns.len(),
+    );
+    RESULTS.lock().unwrap().push(Record {
+        label: label.to_string(),
+        median_ns,
+        mean_ns,
+        samples: per_iter_ns.len(),
+        elements,
+    });
+}
+
+/// Writes the accumulated measurements of this bench binary as
+/// `BENCH_<name>.json` (called by `criterion_main!` after all groups ran).
+///
+/// `<name>` is the bench target name, recovered from the executable file
+/// name with cargo's trailing `-<hash>` stripped. The output directory is
+/// `NR_BENCH_OUT_DIR` when set, else the current directory.
+pub fn write_report() {
+    let results = RESULTS.lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let name = bench_name().unwrap_or_else(|| "unknown".to_string());
+    let dir = std::env::var("NR_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let rows_per_sec = r
+            .elements
+            .map(|n| {
+                format!(
+                    ", \"elements\": {n}, \"rows_per_sec\": {:.1}",
+                    n as f64 / (r.median_ns / 1e9)
+                )
+            })
+            .unwrap_or_default();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}{rows_per_sec}}}{}\n",
+            r.label.replace('"', "'"),
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Bench target name from the executable path (strips cargo's `-<hash>`).
+fn bench_name() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    Some(strip_cargo_hash(exe.file_stem()?.to_str()?))
+}
+
+/// Strips the 16-hex-digit `-<hash>` suffix cargo appends to test and
+/// bench executables.
+fn strip_cargo_hash(stem: &str) -> String {
+    match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if !base.is_empty()
+                && suffix.len() == 16
+                && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem.to_string(),
     }
 }
 
@@ -182,12 +343,33 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point, like upstream criterion.
+/// Declares the bench entry point, like upstream criterion; also writes
+/// the machine-readable `BENCH_<name>.json` report on exit.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:ident),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_report();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_name_strips_cargo_hash() {
+        assert_eq!(strip_cargo_hash("inference-0a1b2c3d4e5f6789"), "inference");
+        assert_eq!(strip_cargo_hash("training"), "training");
+        assert_eq!(strip_cargo_hash("two-words-0a1b2c3d4e5f6789"), "two-words");
+        assert_eq!(strip_cargo_hash("not-a-hash-suffix"), "not-a-hash-suffix");
+    }
+
+    #[test]
+    fn throughput_elements_accessor() {
+        assert_eq!(Throughput::Elements(5).elements(), Some(5));
+        assert_eq!(Throughput::Bytes(5).elements(), None);
+    }
 }
