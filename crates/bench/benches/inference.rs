@@ -33,25 +33,29 @@ fn inference(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1000));
     group.bench_function("neurorule-rules", |b| {
         b.iter(|| {
-            test.iter()
-                .map(|(row, _)| rx.ruleset.predict(row))
+            (0..test.len())
+                .map(|i| rx.ruleset.predict_row(&test, i))
                 .sum::<usize>()
         });
     });
     group.bench_function("pruned-network", |b| {
         b.iter(|| {
-            test.iter()
-                .map(|(row, _)| net.classify(&enc.encode_row(row)))
+            (0..test.len())
+                .map(|i| net.classify(&enc.encode_row(&test.row_values(i))))
                 .sum::<usize>()
         });
     });
     group.bench_function("c45-tree", |b| {
-        b.iter(|| test.iter().map(|(row, _)| tree.predict(row)).sum::<usize>());
+        b.iter(|| {
+            (0..test.len())
+                .map(|i| tree.predict_row(&test, i))
+                .sum::<usize>()
+        });
     });
     group.bench_function("c45-rules", |b| {
         b.iter(|| {
-            test.iter()
-                .map(|(row, _)| tree_rules.predict(row))
+            (0..test.len())
+                .map(|i| tree_rules.predict_row(&test, i))
                 .sum::<usize>()
         });
     });
@@ -75,8 +79,8 @@ fn batch_inference(c: &mut Criterion) {
     group.throughput(Throughput::Elements(rows as u64));
     group.bench_function("per-row-encode-classify", |b| {
         b.iter(|| {
-            raw.iter()
-                .map(|(row, _)| net.classify(&enc.encode_row(row)))
+            (0..raw.len())
+                .map(|i| net.classify(&enc.encode_row(&raw.row_values(i))))
                 .sum::<usize>()
         });
     });

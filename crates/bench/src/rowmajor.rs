@@ -1,0 +1,296 @@
+//! Seed-style row-major baselines for the layout benchmarks.
+//!
+//! Before the columnar refactor, `nr_tabular::Dataset` stored tuples as
+//! `Vec<Vec<Value>>` — one heap allocation per row, enum-tagged cells, and
+//! attribute access via `rows[r][a]` gathers. The benches keep a faithful
+//! emulation of that layout (storage, CSV parse, and the C4.5 split search
+//! over it) so the `ingest` and `training` scoreboards measure the
+//! columnar layout against exactly what it replaced. **Not for production
+//! use** — this exists to be slow in the representative way.
+
+use std::io::BufRead;
+
+use nr_tabular::{AttrKind, Schema, Value};
+
+/// A row-major labeled dataset, structured like the pre-refactor layout.
+pub struct RowMajorDataset {
+    /// The shared schema.
+    pub schema: Schema,
+    /// Class display names.
+    pub class_names: Vec<String>,
+    /// One boxed `Vec<Value>` per tuple — the layout under test.
+    pub rows: Vec<Vec<Value>>,
+    /// One label per row.
+    pub labels: Vec<usize>,
+}
+
+impl RowMajorDataset {
+    /// Gathers a columnar dataset into the row-major layout.
+    pub fn from_columnar(ds: &nr_tabular::Dataset) -> Self {
+        RowMajorDataset {
+            schema: ds.schema().clone(),
+            class_names: ds.class_names().to_vec(),
+            rows: (0..ds.len()).map(|i| ds.row_values(i)).collect(),
+            labels: ds.labels().to_vec(),
+        }
+    }
+
+    /// Seed-style CSV load: parse every line into a fresh `Vec<Value>` row
+    /// and validate it cell by cell — the shape of the pre-refactor
+    /// `read_csv` (one allocation per row plus per-value dispatch).
+    pub fn parse_csv<R: BufRead>(
+        schema: Schema,
+        class_names: Vec<String>,
+        input: R,
+    ) -> Result<Self, String> {
+        let mut lines = input.lines();
+        let _header = lines
+            .next()
+            .ok_or("missing header")?
+            .map_err(|e| e.to_string())?;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut labels = Vec::new();
+        for line in lines {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != schema.arity() + 1 {
+                return Err(format!("bad arity {}", cells.len()));
+            }
+            let mut row = Vec::with_capacity(schema.arity());
+            for (a, cell) in cells[..cells.len() - 1].iter().enumerate() {
+                let v = match &schema.attribute(a).kind {
+                    AttrKind::Numeric => {
+                        Value::Num(cell.parse::<f64>().map_err(|e| e.to_string())?)
+                    }
+                    AttrKind::Nominal { categories } => Value::Nominal(
+                        categories
+                            .iter()
+                            .position(|c| c == *cell)
+                            .ok_or("unknown category")? as u32,
+                    ),
+                };
+                row.push(v);
+            }
+            schema.validate_row(&row).map_err(|e| e.to_string())?;
+            let label = class_names
+                .iter()
+                .position(|c| c == cells[cells.len() - 1])
+                .ok_or("unknown class")?;
+            rows.push(row);
+            labels.push(label);
+        }
+        Ok(RowMajorDataset {
+            schema,
+            class_names,
+            rows,
+            labels,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+}
+
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+enum Split {
+    Numeric { attribute: usize, threshold: f64 },
+    Nominal { attribute: usize },
+}
+
+/// The pre-refactor gain-ratio split search: per-row `rows[r][a]` gathers
+/// through the enum-tagged cells.
+fn best_split(ds: &RowMajorDataset, rows: &[usize], min_leaf: usize) -> Option<(Split, f64, f64)> {
+    let n_classes = ds.n_classes();
+    let mut base_counts = vec![0usize; n_classes];
+    for &r in rows {
+        base_counts[ds.labels[r]] += 1;
+    }
+    let base_entropy = entropy(&base_counts);
+    let mut candidates: Vec<(Split, f64, f64)> = Vec::new();
+
+    for a in 0..ds.schema.arity() {
+        if ds.schema.attribute(a).is_numeric() {
+            let mut sorted: Vec<(f64, usize)> = rows
+                .iter()
+                .map(|&r| (ds.rows[r][a].expect_num(), ds.labels[r]))
+                .collect();
+            sorted.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let n = sorted.len();
+            if n < 2 * min_leaf {
+                continue;
+            }
+            let mut left = vec![0usize; n_classes];
+            let mut best: Option<(f64, f64)> = None;
+            for i in 0..n - 1 {
+                left[sorted[i].1] += 1;
+                if sorted[i].0 == sorted[i + 1].0 {
+                    continue;
+                }
+                let n_left = i + 1;
+                let n_right = n - n_left;
+                if n_left < min_leaf || n_right < min_leaf {
+                    continue;
+                }
+                let right: Vec<usize> = base_counts.iter().zip(&left).map(|(b, l)| b - l).collect();
+                let cond = (n_left as f64 / n as f64) * entropy(&left)
+                    + (n_right as f64 / n as f64) * entropy(&right);
+                let gain = base_entropy - cond;
+                let threshold = (sorted[i].0 + sorted[i + 1].0) / 2.0;
+                if best.is_none_or(|(g, _)| gain > g) {
+                    best = Some((gain, threshold));
+                }
+            }
+            if let Some((gain, threshold)) = best {
+                if gain > 1e-12 {
+                    let n_left = sorted.iter().filter(|&&(v, _)| v <= threshold).count();
+                    let split_info = entropy(&[n_left, n - n_left]);
+                    let ratio = if split_info > 1e-12 {
+                        gain / split_info
+                    } else {
+                        0.0
+                    };
+                    candidates.push((
+                        Split::Numeric {
+                            attribute: a,
+                            threshold,
+                        },
+                        gain,
+                        ratio,
+                    ));
+                }
+            }
+        } else {
+            let card = ds.schema.attribute(a).cardinality().unwrap_or(0);
+            let mut per_cat = vec![vec![0usize; n_classes]; card];
+            for &r in rows {
+                per_cat[ds.rows[r][a].expect_nominal() as usize][ds.labels[r]] += 1;
+            }
+            let n = rows.len() as f64;
+            let nonempty: Vec<&Vec<usize>> = per_cat
+                .iter()
+                .filter(|c| c.iter().sum::<usize>() > 0)
+                .collect();
+            if nonempty.len() < 2 {
+                continue;
+            }
+            let big = nonempty
+                .iter()
+                .filter(|c| c.iter().sum::<usize>() >= min_leaf)
+                .count();
+            if big < 2 {
+                continue;
+            }
+            let mut cond = 0.0;
+            let mut sizes = Vec::with_capacity(nonempty.len());
+            for counts in &nonempty {
+                let size: usize = counts.iter().sum();
+                cond += (size as f64 / n) * entropy(counts);
+                sizes.push(size);
+            }
+            let gain = base_entropy - cond;
+            if gain > 1e-12 {
+                let split_info = entropy(&sizes);
+                let ratio = if split_info > 1e-12 {
+                    gain / split_info
+                } else {
+                    0.0
+                };
+                candidates.push((Split::Nominal { attribute: a }, gain, ratio));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let avg: f64 = candidates.iter().map(|c| c.1).sum::<f64>() / candidates.len() as f64;
+    candidates
+        .into_iter()
+        .filter(|c| c.1 >= avg - 1e-12)
+        .max_by(|x, y| x.2.total_cmp(&y.2).then(x.1.total_cmp(&y.1)))
+}
+
+/// Row-major C4.5 induction (no pruning); returns the leaf count so the
+/// optimizer cannot elide the work. Mirrors the pre-refactor recursion:
+/// index lists plus `rows[r][a]` gathers.
+pub fn induce_rowmajor(ds: &RowMajorDataset, min_leaf: usize, max_depth: usize) -> usize {
+    fn rec(
+        ds: &RowMajorDataset,
+        rows: &[usize],
+        min_leaf: usize,
+        depth: usize,
+        max_depth: usize,
+    ) -> usize {
+        let mut counts = vec![0usize; ds.n_classes()];
+        for &r in rows {
+            counts[ds.labels[r]] += 1;
+        }
+        let majority = counts.iter().max().copied().unwrap_or(0);
+        let errors = rows.len() - majority;
+        if errors == 0 || rows.len() < 2 * min_leaf || depth >= max_depth {
+            return 1;
+        }
+        let Some((split, _, _)) = best_split(ds, rows, min_leaf) else {
+            return 1;
+        };
+        match split {
+            Split::Numeric {
+                attribute,
+                threshold,
+            } => {
+                let (mut l, mut r) = (Vec::new(), Vec::new());
+                for &row in rows {
+                    if ds.rows[row][attribute].expect_num() <= threshold {
+                        l.push(row);
+                    } else {
+                        r.push(row);
+                    }
+                }
+                rec(ds, &l, min_leaf, depth + 1, max_depth)
+                    + rec(ds, &r, min_leaf, depth + 1, max_depth)
+            }
+            Split::Nominal { attribute } => {
+                let card = ds.schema.attribute(attribute).cardinality().unwrap_or(0);
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); card];
+                for &row in rows {
+                    buckets[ds.rows[row][attribute].expect_nominal() as usize].push(row);
+                }
+                buckets
+                    .iter()
+                    .filter(|b| !b.is_empty())
+                    .map(|b| rec(ds, b, min_leaf, depth + 1, max_depth))
+                    .sum()
+            }
+        }
+    }
+    let rows: Vec<usize> = (0..ds.len()).collect();
+    rec(ds, &rows, min_leaf, 0, max_depth)
+}

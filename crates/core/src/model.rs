@@ -79,10 +79,10 @@ impl Model {
         }
         let encoded = self.encoder.encode_dataset(ds);
         let net_predictions = self.network.classify_batch(&encoded);
-        let agree = ds
+        let agree = net_predictions
             .iter()
-            .zip(&net_predictions)
-            .filter(|((row, _), &net)| self.predict(row) == net)
+            .enumerate()
+            .filter(|&(i, &net)| self.ruleset.predict_row(ds, i) == net)
             .count();
         agree as f64 / ds.len() as f64
     }

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use nr_tabular::Dataset;
+use nr_tabular::{Column, Dataset};
 
 use crate::{agrawal_schema, class_names, Function, Group, Person};
 
@@ -132,12 +132,49 @@ impl Generator {
     }
 
     /// Generates a labeled [`Dataset`] of `n` tuples for `function`.
+    ///
+    /// The tuples are written straight into typed column buffers and
+    /// bulk-appended once ([`Dataset::append_columns`]) — one validation
+    /// scan per column instead of per-row, per-value dispatch.
     pub fn dataset(&self, function: Function, n: usize) -> Dataset {
-        let mut ds = Dataset::new(agrawal_schema(), class_names());
+        let mut salary = Vec::with_capacity(n);
+        let mut commission = Vec::with_capacity(n);
+        let mut age = Vec::with_capacity(n);
+        let mut elevel = Vec::with_capacity(n);
+        let mut car = Vec::with_capacity(n);
+        let mut zipcode = Vec::with_capacity(n);
+        let mut hvalue = Vec::with_capacity(n);
+        let mut hyears = Vec::with_capacity(n);
+        let mut loan = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
         for (p, g) in self.tuples(function, n) {
-            ds.push(p.to_row(), g.class_id())
-                .expect("generated rows match the schema");
+            salary.push(p.salary);
+            commission.push(p.commission);
+            age.push(p.age);
+            elevel.push(p.elevel as f64);
+            car.push(p.car - 1);
+            zipcode.push(p.zipcode - 1);
+            hvalue.push(p.hvalue);
+            hyears.push(p.hyears);
+            loan.push(p.loan);
+            labels.push(g.class_id());
         }
+        let mut ds = Dataset::new(agrawal_schema(), class_names());
+        ds.append_columns(
+            vec![
+                Column::Num(salary),
+                Column::Num(commission),
+                Column::Num(age),
+                Column::Num(elevel),
+                Column::Nominal(car),
+                Column::Nominal(zipcode),
+                Column::Num(hvalue),
+                Column::Num(hyears),
+                Column::Num(loan),
+            ],
+            labels,
+        )
+        .expect("generated columns match the schema");
         ds
     }
 
@@ -164,6 +201,20 @@ mod tests {
     use crate::AttrId;
 
     #[test]
+    fn bulk_columnar_build_matches_row_pushes() {
+        // `dataset()` writes fields straight into column buffers; this pins
+        // its field-to-column mapping against `Person::to_row` (same order,
+        // same 0-based nominal shifts) so the two can never drift apart.
+        let g = Generator::new(7).with_perturbation(0.05);
+        let bulk = g.dataset(Function::F3, 40);
+        let mut pushed = Dataset::new(agrawal_schema(), class_names());
+        for (p, grp) in g.tuples(Function::F3, 40) {
+            pushed.push(p.to_row(), grp.class_id()).unwrap();
+        }
+        assert_eq!(bulk, pushed);
+    }
+
+    #[test]
     fn deterministic_for_same_seed() {
         let g = Generator::new(7).with_perturbation(0.05);
         assert_eq!(g.dataset(Function::F2, 50), g.dataset(Function::F2, 50));
@@ -181,7 +232,7 @@ mod tests {
         let g = Generator::new(7);
         let a = g.dataset(Function::F1, 20);
         let b = g.dataset(Function::F2, 20);
-        assert_ne!(a.row(0), b.row(0));
+        assert_ne!(a.row_values(0), b.row_values(0));
     }
 
     #[test]
@@ -253,7 +304,7 @@ mod tests {
         let (train, test) = g.train_test(Function::F3, 100, 100);
         assert_eq!(train.len(), 100);
         assert_eq!(test.len(), 100);
-        assert_ne!(train.row(0), test.row(0));
+        assert_ne!(train.row_values(0), test.row_values(0));
     }
 
     #[test]
@@ -261,8 +312,9 @@ mod tests {
         let g = Generator::new(17);
         let ds = g.dataset(Function::F1, 2000);
         let mid = ds
+            .num_column(AttrId::Salary.index())
             .iter()
-            .filter(|(r, _)| r[AttrId::Salary.index()].expect_num() < 85_000.0)
+            .filter(|&&s| s < 85_000.0)
             .count();
         // 85K is the midpoint of [20K,150K]; expect about half below.
         assert!((800..1200).contains(&mid), "got {mid}");

@@ -1,6 +1,8 @@
 //! The schema-level encoder: bit layout and dataset encoding.
 
-use nr_tabular::{ClassId, Dataset, Schema, Value};
+use std::sync::Arc;
+
+use nr_tabular::{ClassId, Column, Dataset, DatasetView, Schema, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::{AttrCoding, BitMeaning};
@@ -79,14 +81,19 @@ impl Encoder {
     /// equal-width thermometer codes with `bins` intervals over the observed
     /// range; nominal attributes get one-hot codes.
     pub fn fit(ds: &Dataset, bins: usize) -> Result<Encoder, crate::EncodeError> {
+        Self::fit_view(&ds.view(), bins)
+    }
+
+    /// [`Encoder::fit`] over a row selection (e.g. a training fold).
+    pub fn fit_view(view: &DatasetView<'_>, bins: usize) -> Result<Encoder, crate::EncodeError> {
         assert!(bins >= 2, "need at least two bins");
-        let schema = ds.schema().clone();
+        let schema = view.schema().clone();
         let mut codings = Vec::with_capacity(schema.arity());
         for (i, attr) in schema.attributes().iter().enumerate() {
             if let Some(card) = attr.cardinality() {
                 codings.push(AttrCoding::OneHot { cardinality: card });
             } else {
-                let (lo, hi) = ds.numeric_range(i).unwrap_or((0.0, 1.0));
+                let (lo, hi) = view.numeric_range(i).unwrap_or((0.0, 1.0));
                 let width = if hi > lo {
                     (hi - lo) / bins as f64
                 } else {
@@ -174,15 +181,44 @@ impl Encoder {
     }
 
     /// Encodes a whole dataset.
+    ///
+    /// The fill is column-major over the dataset's typed columns: each
+    /// attribute's coding walks one contiguous `Vec<f64>`/`Vec<u32>` and
+    /// scatters its bit span into every output row — no per-row `Vec<Value>`
+    /// is ever materialized.
     pub fn encode_dataset(&self, ds: &Dataset) -> EncodedDataset {
+        self.encode_view(&ds.view())
+    }
+
+    /// Encodes a row selection (e.g. a cross-validation fold) without
+    /// materializing it.
+    pub fn encode_view(&self, view: &DatasetView<'_>) -> EncodedDataset {
         let cols = self.n_inputs();
-        let mut data = vec![0.0; ds.len() * cols];
-        let mut targets = Vec::with_capacity(ds.len());
-        for (i, (row, label)) in ds.iter().enumerate() {
-            self.encode_row_into(row, &mut data[i * cols..(i + 1) * cols]);
-            targets.push(label);
+        let rows = view.len();
+        let mut data = vec![0.0; rows * cols];
+        for (a, coding) in self.codings.iter().enumerate() {
+            let (start, len) = self.span(a);
+            match view.dataset().column(a) {
+                Column::Num(_) => {
+                    for (i, x) in view.num_column(a).enumerate() {
+                        let at = i * cols + start;
+                        coding.encode(&Value::Num(x), &mut data[at..at + len]);
+                    }
+                }
+                Column::Nominal(_) => {
+                    for (i, c) in view.nominal_column(a).enumerate() {
+                        let at = i * cols + start;
+                        coding.encode(&Value::Nominal(c), &mut data[at..at + len]);
+                    }
+                }
+            }
         }
-        EncodedDataset::from_parts(data, cols, targets, ds.n_classes())
+        let bias = self.n_data_bits;
+        for i in 0..rows {
+            data[i * cols + bias] = 1.0;
+        }
+        let targets: Vec<ClassId> = view.labels().collect();
+        EncodedDataset::from_parts(data, cols, targets, view.n_classes())
     }
 }
 
@@ -210,17 +246,19 @@ fn agrawal_schema_local() -> Schema {
 /// Alongside the per-row accessors, the encoded data is held in the batch
 /// layout the network's matrix kernels consume — one contiguous row-major
 /// inputs buffer plus a one-hot target matrix, both built once at encoding
-/// time and exposed through [`EncodedDataset::batch`].
+/// time and exposed through [`EncodedDataset::batch`]. The buffers are
+/// reference-counted so a [`SharedBatch`] handle (an `Arc` clone per
+/// buffer, no data copy) can be moved onto long-lived worker threads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EncodedDataset {
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
     cols: usize,
-    targets: Vec<ClassId>,
+    targets: Arc<Vec<ClassId>>,
     n_classes: usize,
     /// Row-major `rows × n_classes` one-hot expansion of `targets`.
-    onehot: Vec<f64>,
+    onehot: Arc<Vec<f64>>,
     /// Set-bit layout of `data`, present when every entry is exactly 0/1.
-    bits: Option<BinaryInputs>,
+    bits: Option<Arc<BinaryInputs>>,
 }
 
 /// Compressed set-bit (CSR-style) layout of a strictly-0/1 input matrix.
@@ -304,6 +342,51 @@ pub struct EncodedBatch<'a> {
     pub bits: Option<&'a BinaryInputs>,
 }
 
+/// Owned, cheaply-cloneable handle on an [`EncodedDataset`]'s batch
+/// buffers (`Arc` clones — no data copy).
+///
+/// Unlike the borrowed [`EncodedBatch`], a `SharedBatch` is `'static`: it
+/// can move into jobs submitted to a long-lived worker pool. Borrow a
+/// kernel-ready [`EncodedBatch`] back on the worker via
+/// [`SharedBatch::batch`].
+#[derive(Debug, Clone)]
+pub struct SharedBatch {
+    inputs: Arc<Vec<f64>>,
+    onehot: Arc<Vec<f64>>,
+    targets: Arc<Vec<ClassId>>,
+    bits: Option<Arc<BinaryInputs>>,
+    rows: usize,
+    cols: usize,
+    n_classes: usize,
+}
+
+impl SharedBatch {
+    /// Borrows the kernel-facing batch view.
+    #[inline]
+    pub fn batch(&self) -> EncodedBatch<'_> {
+        EncodedBatch {
+            inputs: &self.inputs,
+            targets_onehot: &self.onehot,
+            rows: self.rows,
+            cols: self.cols,
+            n_classes: self.n_classes,
+            bits: self.bits.as_deref(),
+        }
+    }
+
+    /// Class targets, one per row.
+    #[inline]
+    pub fn targets(&self) -> &[ClassId] {
+        &self.targets
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
 impl EncodedDataset {
     /// Builds an encoded dataset from raw parts (used by subnetwork training).
     pub fn from_parts(
@@ -328,12 +411,12 @@ impl EncodedDataset {
         }
         let bits = BinaryInputs::detect(&data, cols);
         EncodedDataset {
-            data,
+            data: Arc::new(data),
             cols,
-            targets,
+            targets: Arc::new(targets),
             n_classes,
-            onehot,
-            bits,
+            onehot: Arc::new(onehot),
+            bits: bits.map(Arc::new),
         }
     }
 
@@ -385,7 +468,7 @@ impl EncodedDataset {
     /// Set-bit layout of the inputs, when they are strictly 0/1.
     #[inline]
     pub fn binary_inputs(&self) -> Option<&BinaryInputs> {
-        self.bits.as_ref()
+        self.bits.as_deref()
     }
 
     /// The whole dataset as a dense batch (built once at encoding time;
@@ -398,7 +481,21 @@ impl EncodedDataset {
             rows: self.targets.len(),
             cols: self.cols,
             n_classes: self.n_classes,
-            bits: self.bits.as_ref(),
+            bits: self.bits.as_deref(),
+        }
+    }
+
+    /// An owned, `'static` handle on the batch buffers (`Arc` clones — no
+    /// data copy), movable onto worker-pool threads.
+    pub fn shared(&self) -> SharedBatch {
+        SharedBatch {
+            inputs: self.data.clone(),
+            onehot: self.onehot.clone(),
+            targets: self.targets.clone(),
+            bits: self.bits.clone(),
+            rows: self.targets.len(),
+            cols: self.cols,
+            n_classes: self.n_classes,
         }
     }
 }

@@ -304,8 +304,8 @@ mod tests {
         // Sample some real tuples; their restricted encodings must be listed.
         use nr_datagen::{Function, Generator};
         let ds = Generator::new(5).dataset(Function::F2, 200);
-        for (row, _) in ds.iter() {
-            let x = e.encode_row(row);
+        for i in 0..ds.len() {
+            let x = e.encode_row(&ds.row_values(i));
             let restricted: Vec<bool> = ps.bits.iter().map(|&b| x[b] == 1.0).collect();
             assert!(
                 ps.patterns.contains(&restricted),

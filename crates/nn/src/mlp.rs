@@ -343,65 +343,33 @@ impl Mlp {
         )
     }
 
-    /// Batched forward pass over one chunk of an encoded batch, using the
-    /// set-bit input kernel when the data carries it (strictly-0/1 inputs).
-    ///
-    /// Crate-internal building block for the chunked dataset traversals
-    /// here and in the training objective; bit-identical to per-row
-    /// [`Mlp::forward_into`] either way.
-    pub(crate) fn chunk_forward(
-        &self,
-        batch: &nr_encode::EncodedBatch<'_>,
-        range: std::ops::Range<usize>,
-        hidden: &mut [f64],
-        out: &mut [f64],
-    ) {
-        forward_kernel(
-            BatchInput::select(batch, &range, self.n_in),
-            range.len(),
-            (self.n_in, self.n_hidden, self.n_out),
-            self.w.as_slice(),
-            self.v.as_slice(),
-            hidden,
-            out,
-        );
-    }
-
     /// Runs `score` over the outputs of every row, on fixed-size chunks
-    /// with reusable scratch (and worker threads when the batch spans
-    /// several chunks), summing the per-chunk counts in chunk order.
-    fn count_rows(
-        &self,
-        data: &EncodedDataset,
-        score: impl Fn(&[f64], usize) -> bool + Sync,
-    ) -> usize {
-        let (h, o) = (self.n_hidden, self.n_out);
-        let batch = data.batch();
-        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(batch.rows));
-        crate::par::map_chunks(
-            batch.rows,
-            threads,
-            || {
-                (
-                    vec![0.0; crate::par::CHUNK_ROWS * h],
-                    vec![0.0; crate::par::CHUNK_ROWS * o],
-                )
-            },
-            |(hidden, out), _c, range| {
-                let n = range.len();
-                self.chunk_forward(
-                    &batch,
-                    range.clone(),
-                    &mut hidden[..n * h],
-                    &mut out[..n * o],
-                );
-                out[..n * o]
-                    .chunks_exact(o)
-                    .zip(range)
-                    .filter(|(row_out, i)| score(row_out, *i))
+    /// dispatched to the shared worker pool (inline for single-chunk
+    /// datasets), summing the per-chunk counts in chunk order.
+    ///
+    /// `score` is a concrete enum rather than a closure so the chunk jobs
+    /// are `'static` (the pool outlives any borrow of `self`); the weights
+    /// are cloned into the job (a few hundred floats) and the batch buffers
+    /// travel as `Arc` handles.
+    fn count_rows(&self, data: &EncodedDataset, score: RowScore) -> usize {
+        let (n_in, h, o) = (self.n_in, self.n_hidden, self.n_out);
+        let rows = data.rows();
+        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(rows));
+        let shared = data.shared();
+        let w = self.w.clone();
+        let v = self.v.clone();
+        crate::par::map_chunks(rows, threads, move |_c, range| {
+            shared_chunk_forward(&shared, range.clone(), (n_in, h, o), &w, &v, |out| {
+                let targets = shared.targets();
+                out.chunks_exact(o)
+                    .zip(range.clone())
+                    .filter(|(row_out, i)| match score {
+                        RowScore::Argmax => argmax(row_out) == targets[*i],
+                        RowScore::Condition1(eta1) => condition1(row_out, targets[*i], eta1),
+                    })
                     .count()
-            },
-        )
+            })
+        })
         .into_iter()
         .sum()
     }
@@ -411,24 +379,17 @@ impl Mlp {
     /// scratch (and worker threads when the batch spans several chunks);
     /// per-row results equal [`Mlp::classify`] bit for bit.
     pub fn classify_batch_into(&self, data: &EncodedDataset, preds: &mut Vec<usize>) {
-        let (h, o) = (self.n_hidden, self.n_out);
-        let batch = data.batch();
-        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(batch.rows));
-        let chunks = crate::par::map_chunks(
-            batch.rows,
-            threads,
-            || {
-                (
-                    vec![0.0; crate::par::CHUNK_ROWS * h],
-                    vec![0.0; crate::par::CHUNK_ROWS * o],
-                )
-            },
-            |(hidden, out), _c, range| {
-                let n = range.len();
-                self.chunk_forward(&batch, range, &mut hidden[..n * h], &mut out[..n * o]);
-                out[..n * o].chunks_exact(o).map(argmax).collect::<Vec<_>>()
-            },
-        );
+        let (n_in, h, o) = (self.n_in, self.n_hidden, self.n_out);
+        let rows = data.rows();
+        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(rows));
+        let shared = data.shared();
+        let w = self.w.clone();
+        let v = self.v.clone();
+        let chunks = crate::par::map_chunks(rows, threads, move |_c, range| {
+            shared_chunk_forward(&shared, range, (n_in, h, o), &w, &v, |out| {
+                out.chunks_exact(o).map(argmax).collect::<Vec<_>>()
+            })
+        });
         for chunk in chunks {
             preds.extend(chunk);
         }
@@ -448,7 +409,7 @@ impl Mlp {
         if data.rows() == 0 {
             return 0.0;
         }
-        let correct = self.count_rows(data, |out, i| argmax(out) == data.target(i));
+        let correct = self.count_rows(data, RowScore::Argmax);
         correct as f64 / data.rows() as f64
     }
 
@@ -466,9 +427,49 @@ impl Mlp {
         if data.rows() == 0 {
             return 0.0;
         }
-        let correct = self.count_rows(data, |out, i| condition1(out, data.target(i), eta1));
+        let correct = self.count_rows(data, RowScore::Condition1(eta1));
         correct as f64 / data.rows() as f64
     }
+}
+
+/// One chunk's forward pass over `Arc`-shared batch buffers with
+/// thread-local scratch, handing the output activations (`range.len() × o`,
+/// row-major) to `f`. The single setup path for every pooled dataset
+/// traversal (`count_rows`, `classify_batch_into`).
+fn shared_chunk_forward<T>(
+    shared: &nr_encode::SharedBatch,
+    range: std::ops::Range<usize>,
+    (n_in, h, o): (usize, usize, usize),
+    w: &Matrix,
+    v: &Matrix,
+    f: impl FnOnce(&[f64]) -> T,
+) -> T {
+    let batch = shared.batch();
+    let n = range.len();
+    crate::par::with_scratch(&[n * h, n * o], |bufs| {
+        let [hidden, out] = bufs else {
+            unreachable!("two scratch buffers requested");
+        };
+        forward_kernel(
+            BatchInput::select(&batch, &range, n_in),
+            n,
+            (n_in, h, o),
+            w.as_slice(),
+            v.as_slice(),
+            hidden,
+            out,
+        );
+        f(out)
+    })
+}
+
+/// Per-row acceptance criterion for [`Mlp::count_rows`] chunk jobs.
+#[derive(Clone, Copy)]
+enum RowScore {
+    /// Argmax output equals the target class.
+    Argmax,
+    /// Condition (1) of the paper holds with the given η₁.
+    Condition1(f64),
 }
 
 /// Input rows for one batched forward pass: dense row-major data, or the

@@ -85,7 +85,8 @@ pub struct CrossEntropyObjective<'a> {
     penalty: Penalty,
     /// Canonical order of the active links, cached.
     links: Vec<crate::LinkId>,
-    /// Worker threads for the data pass (`0` = auto).
+    /// Data-pass execution mode: `1` = inline on the caller's thread,
+    /// anything else = the shared worker pool (`0` = auto-detect).
     threads: usize,
 }
 
@@ -111,10 +112,14 @@ impl<'a> CrossEntropyObjective<'a> {
         }
     }
 
-    /// Sets the worker-thread count for the data pass (`0` = auto-detect).
+    /// Selects the data-pass execution mode: `1` forces inline evaluation
+    /// on the caller's thread; any other value (`0` = auto-detect) runs
+    /// multi-chunk datasets on the **shared worker pool**, whose size is
+    /// fixed process-wide at `min(available_parallelism, 8)` — the value
+    /// is not a per-call worker count.
     ///
-    /// Purely a throughput knob: the fixed chunking and ordered reduction
-    /// make the result bit-identical for every thread count.
+    /// Purely a throughput knob either way: the fixed chunking and ordered
+    /// reduction make the result bit-identical in every mode.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -148,109 +153,27 @@ impl<'a> CrossEntropyObjective<'a> {
         let t = self.template;
         let (w, v) = self.assemble(x);
         let (h, o, n_in) = (t.n_hidden(), t.n_outputs(), t.n_inputs());
-        let batch = self.data.batch();
-        let rows = batch.rows;
+        let rows = self.data.rows();
         let want_grad = grad.is_some();
-        // One-hot targets match the output layer only when every output
-        // node corresponds to a class; subnetwork objectives with extra
-        // output nodes fall back to expanding targets on the fly.
-        let onehot = (o == batch.n_classes).then_some(batch.targets_onehot);
 
-        /// Per-worker scratch, reused across that worker's chunks.
-        struct Scratch {
-            hidden: Vec<f64>,
-            out: Vec<f64>,
-            delta: Vec<f64>,
-            back: Vec<f64>,
-        }
-        /// Per-chunk partial results, reduced in chunk order.
-        struct Partial {
-            loss: f64,
-            dw: Vec<f64>,
-            dv: Vec<f64>,
-        }
+        // Everything a chunk job needs, owned or `Arc`-shared, so the job
+        // closure is `'static` and can run on the shared worker pool
+        // (`map_chunks` shares the one closure across chunks). The
+        // assembled parameter matrices move in whole (a few hundred floats
+        // per evaluation); the dataset buffers travel as `Arc` handles.
+        let ctx = EvalCtx {
+            shared: self.data.shared(),
+            w,
+            v,
+            h,
+            o,
+            n_in,
+            want_grad,
+        };
 
-        let chunk_cap = crate::par::CHUNK_ROWS;
         let threads = crate::par::resolve_threads(self.threads, crate::par::n_chunks(rows));
-        let partials = crate::par::map_chunks(
-            rows,
-            threads,
-            || Scratch {
-                hidden: vec![0.0; chunk_cap * h],
-                out: vec![0.0; chunk_cap * o],
-                delta: vec![0.0; chunk_cap * o],
-                back: vec![0.0; chunk_cap * h],
-            },
-            |scratch, _c, range| {
-                let n = range.len();
-                let inputs = crate::mlp::BatchInput::select(&batch, &range, n_in);
-                let hidden = &mut scratch.hidden[..n * h];
-                let out = &mut scratch.out[..n * o];
-
-                // Forward: hidden = tanh(X·Wᵀ), S = σ(hidden·Vᵀ), over the
-                // assembled parameter matrices.
-                crate::mlp::forward_kernel(
-                    inputs,
-                    n,
-                    (n_in, h, o),
-                    w.as_slice(),
-                    v.as_slice(),
-                    hidden,
-                    out,
-                );
-
-                // Cross entropy + output deltas D = S − T.
-                let delta = &mut scratch.delta[..n * o];
-                let mut loss = 0.0;
-                for (ri, i) in range.clone().enumerate() {
-                    let srow = &out[ri * o..(ri + 1) * o];
-                    let drow = &mut delta[ri * o..(ri + 1) * o];
-                    let target = self.data.target(i);
-                    for (p, (&s, d)) in srow.iter().zip(drow.iter_mut()).enumerate() {
-                        let tph = match onehot {
-                            Some(t) => t[i * o + p],
-                            None => {
-                                if p == target {
-                                    1.0
-                                } else {
-                                    0.0
-                                }
-                            }
-                        };
-                        let sc = s.clamp(EPS, 1.0 - EPS);
-                        loss -= tph * sc.ln() + (1.0 - tph) * (1.0 - sc).ln();
-                        *d = s - tph; // dE/du_p for sigmoid + CE
-                    }
-                }
-
-                if !want_grad {
-                    return Partial {
-                        loss,
-                        dw: Vec::new(),
-                        dv: Vec::new(),
-                    };
-                }
-
-                // Backward: dV += Dᵀ·hidden; dW += ((D·V) ⊙ (1−hidden²))ᵀ·X.
-                let mut dv = vec![0.0; o * h];
-                crate::matrix::gemm_tn_acc(o, h, n, delta, hidden, &mut dv);
-                let back = &mut scratch.back[..n * h];
-                crate::matrix::gemm_nn(n, h, o, delta, v.as_slice(), back);
-                for (b, &a) in back.iter_mut().zip(hidden.iter()) {
-                    *b *= Activation::Tanh.derivative_from_output(a);
-                }
-                let mut dw = vec![0.0; h * n_in];
-                match crate::mlp::BatchInput::select(&batch, &range, n_in) {
-                    crate::mlp::BatchInput::Bits { indices, offsets } => {
-                        crate::matrix::gemm_tn_bits_acc(h, n_in, n, back, indices, offsets, &mut dw)
-                    }
-                    crate::mlp::BatchInput::Dense(xs) => {
-                        crate::matrix::gemm_tn_acc(h, n_in, n, back, xs, &mut dw)
-                    }
-                }
-                Partial { loss, dw, dv }
-            },
-        );
+        let partials =
+            crate::par::map_chunks(rows, threads, move |_c, range| eval_chunk(&ctx, range));
 
         // Ordered reduction: chunk 0 first, always.
         let mut loss = 0.0;
@@ -277,6 +200,110 @@ impl<'a> CrossEntropyObjective<'a> {
         }
         loss
     }
+}
+
+/// Everything one chunk evaluation needs, `'static` for the worker pool.
+struct EvalCtx {
+    /// `Arc` handles on the encoded dataset's batch buffers.
+    shared: nr_encode::SharedBatch,
+    /// Assembled dense input→hidden weights (masked entries zero).
+    w: Matrix,
+    /// Assembled dense hidden→output weights.
+    v: Matrix,
+    h: usize,
+    o: usize,
+    n_in: usize,
+    want_grad: bool,
+}
+
+/// Per-chunk partial results, reduced in chunk order.
+struct Partial {
+    loss: f64,
+    dw: Vec<f64>,
+    dv: Vec<f64>,
+}
+
+/// One fixed-size chunk of rows: batch forward (`hidden = tanh(X·Wᵀ)`,
+/// `S = σ(hidden·Vᵀ)`), cross entropy against the one-hot targets, and the
+/// delta rules as transposed matmuls.
+fn eval_chunk(ctx: &EvalCtx, range: std::ops::Range<usize>) -> Partial {
+    let (h, o, n_in) = (ctx.h, ctx.o, ctx.n_in);
+    let batch = ctx.shared.batch();
+    // One-hot targets match the output layer only when every output node
+    // corresponds to a class; subnetwork objectives with extra output
+    // nodes fall back to expanding targets on the fly.
+    let onehot = (o == batch.n_classes).then_some(batch.targets_onehot);
+    let targets = ctx.shared.targets();
+    let n = range.len();
+    // The n-proportional buffers come from the thread-local scratch cache
+    // (reused across this worker's chunks and calls); only the small
+    // per-chunk gradients (`dw`, `dv` — a few hundred floats) are owned,
+    // since they travel back through the ordered reduction.
+    crate::par::with_scratch(&[n * h, n * o, n * o, n * h], |bufs| {
+        let [hidden, out, delta, back] = bufs else {
+            unreachable!("four scratch buffers requested");
+        };
+
+        // Forward pass over the assembled parameter matrices.
+        crate::mlp::forward_kernel(
+            crate::mlp::BatchInput::select(&batch, &range, n_in),
+            n,
+            (n_in, h, o),
+            ctx.w.as_slice(),
+            ctx.v.as_slice(),
+            hidden,
+            out,
+        );
+
+        // Cross entropy + output deltas D = S − T.
+        let mut loss = 0.0;
+        for (ri, i) in range.clone().enumerate() {
+            let srow = &out[ri * o..(ri + 1) * o];
+            let drow = &mut delta[ri * o..(ri + 1) * o];
+            let target = targets[i];
+            for (p, (&s, d)) in srow.iter().zip(drow.iter_mut()).enumerate() {
+                let tph = match onehot {
+                    Some(t) => t[i * o + p],
+                    None => {
+                        if p == target {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                let sc = s.clamp(EPS, 1.0 - EPS);
+                loss -= tph * sc.ln() + (1.0 - tph) * (1.0 - sc).ln();
+                *d = s - tph; // dE/du_p for sigmoid + CE
+            }
+        }
+
+        if !ctx.want_grad {
+            return Partial {
+                loss,
+                dw: Vec::new(),
+                dv: Vec::new(),
+            };
+        }
+
+        // Backward: dV += Dᵀ·hidden; dW += ((D·V) ⊙ (1−hidden²))ᵀ·X.
+        let mut dv = vec![0.0; o * h];
+        crate::matrix::gemm_tn_acc(o, h, n, delta, hidden, &mut dv);
+        crate::matrix::gemm_nn(n, h, o, delta, ctx.v.as_slice(), back);
+        for (b, &a) in back.iter_mut().zip(hidden.iter()) {
+            *b *= Activation::Tanh.derivative_from_output(a);
+        }
+        let mut dw = vec![0.0; h * n_in];
+        match crate::mlp::BatchInput::select(&batch, &range, n_in) {
+            crate::mlp::BatchInput::Bits { indices, offsets } => {
+                crate::matrix::gemm_tn_bits_acc(h, n_in, n, back, indices, offsets, &mut dw)
+            }
+            crate::mlp::BatchInput::Dense(xs) => {
+                crate::matrix::gemm_tn_acc(h, n_in, n, back, xs, &mut dw)
+            }
+        }
+        Partial { loss, dw, dv }
+    })
 }
 
 impl Objective for CrossEntropyObjective<'_> {

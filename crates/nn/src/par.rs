@@ -1,4 +1,4 @@
-//! Deterministic row-sharding for batch passes.
+//! Deterministic row-sharding for batch passes on a shared worker pool.
 //!
 //! Batched dataset traversals split the rows into **fixed-size chunks**
 //! (independent of how many worker threads run) and reduce the per-chunk
@@ -10,10 +10,19 @@
 //! The chunk size is deliberately large enough that the paper-scale
 //! training sets (1000 tuples) fit in a single chunk: single-chunk
 //! evaluation is exactly the pre-batch sequential order.
+//!
+//! Chunks execute on **one lazily-initialized, process-wide worker pool**
+//! instead of `thread::scope` workers spawned per call: BFGS training
+//! evaluates the objective hundreds of times per fit and pruning retrains
+//! repeatedly, so per-call thread spawning was measurable overhead
+//! (ROADMAP, PR 2 follow-up). Jobs are `'static` closures over `Arc`-shared
+//! batch buffers ([`nr_encode::EncodedDataset::shared`]); each caller
+//! collects its own results over a private channel, so concurrent callers
+//! interleave safely on the same pool.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Rows per chunk. Must stay constant across thread counts (it defines the
 /// reduction grouping, and therefore the floating-point result).
@@ -25,13 +34,14 @@ pub(crate) fn n_chunks(rows: usize) -> usize {
 }
 
 /// Row range of chunk `c`.
-fn chunk_range(c: usize, rows: usize) -> Range<usize> {
+pub(crate) fn chunk_range(c: usize, rows: usize) -> Range<usize> {
     let start = c * CHUNK_ROWS;
     start..rows.min(start + CHUNK_ROWS)
 }
 
 /// Resolves a requested thread count (`0` = auto) against the hardware and
-/// the number of chunks available.
+/// the number of chunks available. A result of `1` means "run inline on
+/// the caller's thread"; anything larger means "submit to the shared pool".
 pub(crate) fn resolve_threads(requested: usize, chunks: usize) -> usize {
     let t = if requested == 0 {
         std::thread::available_parallelism()
@@ -44,51 +54,129 @@ pub(crate) fn resolve_threads(requested: usize, chunks: usize) -> usize {
     t.clamp(1, chunks.max(1))
 }
 
-/// Maps `work` over the fixed row chunks of a dataset, each worker reusing
-/// one `init()` scratch value, and returns the per-chunk results **in chunk
-/// order** regardless of which thread computed which chunk.
+thread_local! {
+    /// Per-thread cache of reusable f64 buffers (see [`with_scratch`]).
+    static SCRATCH: std::cell::RefCell<Vec<Vec<f64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `sizes.len()` zeroed `f64` buffers borrowed from a
+/// thread-local cache, so chunk jobs reuse scratch across chunks and
+/// across calls instead of heap-allocating per chunk — on pool workers and
+/// on the inline single-threaded path alike.
+pub(crate) fn with_scratch<R>(sizes: &[usize], f: impl FnOnce(&mut [Vec<f64>]) -> R) -> R {
+    let mut bufs: Vec<Vec<f64>> = SCRATCH.with(|c| {
+        let mut cache = c.borrow_mut();
+        sizes
+            .iter()
+            .map(|&s| {
+                let mut b = cache.pop().unwrap_or_default();
+                b.clear();
+                b.resize(s, 0.0);
+                b
+            })
+            .collect()
+    });
+    let result = f(&mut bufs);
+    SCRATCH.with(|c| {
+        let mut cache = c.borrow_mut();
+        // Bounded cache: a few chunk-sized buffers per thread, no more.
+        for b in bufs {
+            if cache.len() < 8 {
+                cache.push(b);
+            }
+        }
+    });
+    result
+}
+
+/// A unit of work shipped to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Sender<Job>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide worker pool, spawned on first use. Worker count is
+/// fixed at `min(available_parallelism, 8)`; determinism never depends on
+/// it (see module docs).
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for k in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("nr-nn-pool-{k}"))
+                .spawn(move || loop {
+                    // Hold the lock only while receiving, not while working.
+                    let job = receiver.lock().unwrap().recv();
+                    match job {
+                        // A panicking job must not kill the worker: swallow
+                        // the unwind here; the submitting caller notices the
+                        // missing result and re-raises (see `map_chunks`).
+                        Ok(job) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // pool sender dropped: process exit
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Pool { sender }
+    })
+}
+
+/// Maps `work` over the fixed row chunks of a dataset and returns the
+/// per-chunk results **in chunk order** regardless of which pool thread
+/// computed which chunk.
 ///
 /// `threads` is the resolved worker count (see [`resolve_threads`]); with
-/// one worker (or one chunk) everything runs inline on the caller's thread.
-pub(crate) fn map_chunks<S, T, G, F>(rows: usize, threads: usize, init: G, work: F) -> Vec<T>
+/// one worker (or one chunk) everything runs inline on the caller's
+/// thread — the single-threaded path never touches the pool. `work` must
+/// be `'static`: capture dataset buffers via
+/// [`nr_encode::EncodedDataset::shared`] and weights by value.
+pub(crate) fn map_chunks<T, F>(rows: usize, threads: usize, work: F) -> Vec<T>
 where
-    T: Send,
-    G: Fn() -> S + Sync,
-    F: Fn(&mut S, usize, Range<usize>) -> T + Sync,
+    T: Send + 'static,
+    F: Fn(usize, Range<usize>) -> T + Send + Sync + 'static,
 {
     let chunks = n_chunks(rows);
     if chunks == 0 {
         return Vec::new();
     }
     if threads <= 1 || chunks == 1 {
-        let mut scratch = init();
-        return (0..chunks)
-            .map(|c| work(&mut scratch, c, chunk_range(c, rows)))
-            .collect();
+        return (0..chunks).map(|c| work(c, chunk_range(c, rows))).collect();
     }
 
-    // Work-stealing over an atomic chunk counter; each worker pushes
-    // `(chunk_index, result)` pairs which are re-ordered afterwards, so
-    // scheduling cannot influence the reduction order.
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                let mut scratch = init();
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks {
-                        break;
-                    }
-                    local.push((c, work(&mut scratch, c, chunk_range(c, rows))));
-                }
-                collected.lock().unwrap().extend(local);
-            });
-        }
-    });
-    let mut results = collected.into_inner().unwrap();
+    let work = Arc::new(work);
+    let (tx, rx) = channel::<(usize, T)>();
+    for c in 0..chunks {
+        let work = Arc::clone(&work);
+        let tx = tx.clone();
+        pool()
+            .sender
+            .send(Box::new(move || {
+                let result = work(c, chunk_range(c, rows));
+                // The caller may have bailed (panic elsewhere); a closed
+                // channel is fine.
+                let _ = tx.send((c, result));
+            }))
+            .expect("worker pool alive for the process lifetime");
+    }
+    drop(tx);
+    let mut results: Vec<(usize, T)> = rx.iter().collect();
+    assert_eq!(
+        results.len(),
+        chunks,
+        "a chunk job panicked on the worker pool"
+    );
     results.sort_unstable_by_key(|&(c, _)| c);
     results.into_iter().map(|(_, t)| t).collect()
 }
@@ -123,11 +211,48 @@ mod tests {
     fn results_come_back_in_chunk_order() {
         let rows = CHUNK_ROWS * 5 + 17;
         for threads in [1, 2, 8] {
-            let got = map_chunks(rows, threads, || (), |(), c, range| (c, range.len()));
+            let got = map_chunks(rows, threads, |c, range| (c, range.len()));
             let indices: Vec<usize> = got.iter().map(|&(c, _)| c).collect();
             assert_eq!(indices, (0..n_chunks(rows)).collect::<Vec<_>>());
             let total: usize = got.iter().map(|&(_, len)| len).sum();
             assert_eq!(total, rows);
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Many pooled calls must not accumulate threads: every call after
+        // the first reuses the same workers (this is the regression guard
+        // for the per-call `thread::scope` spawning this pool replaced).
+        for _ in 0..20 {
+            let got = map_chunks(CHUNK_ROWS * 3, 4, |c, _| c);
+            assert_eq!(got, vec![0, 1, 2]);
+        }
+        let pool_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        // Indirect check: submitting far more jobs than workers completes.
+        let got = map_chunks(CHUNK_ROWS * (pool_threads * 4), 8, |c, _| c);
+        assert_eq!(got.len(), pool_threads * 4);
+    }
+
+    #[test]
+    fn concurrent_callers_do_not_cross_wires() {
+        // Two threads hammer the shared pool simultaneously; each must get
+        // exactly its own chunk results.
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let got = map_chunks(CHUNK_ROWS * 4, 4, move |c, _| (k, c));
+                        assert_eq!(got, (0..4).map(|c| (k, c)).collect::<Vec<_>>());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
     }
 }

@@ -12,18 +12,28 @@
 //! repro table3      Table 3: per-rule statistics for Function 4
 //! repro ablation    extra: BFGS vs gradient descent, penalty on/off
 //! repro all         everything above in order
+//! repro --quick     CI smoke: schema + coding tables and one reduced
+//!                   end-to-end pipeline fit with floor assertions
 //! ```
 
 mod ablation;
 mod accuracy;
 mod common;
 mod figures;
+mod smoke;
 mod table3;
 mod tables;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "--quick" | "quick" => {
+            smoke::run();
+            std::process::exit(0);
+        }
+        _ => {}
+    }
     match cmd {
         "schema" => tables::table1(),
         "coding" => tables::table2(),

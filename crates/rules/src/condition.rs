@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use nr_tabular::{Schema, Value};
+use nr_tabular::{Dataset, Schema, Value};
 use serde::{Deserialize, Serialize};
 
 /// An atomic predicate over one attribute of a tuple.
@@ -82,19 +82,34 @@ impl Condition {
         }
     }
 
-    /// Evaluates the condition on a row.
-    pub fn matches(&self, row: &[Value]) -> bool {
+    /// The one predicate evaluation, parameterized over how attribute
+    /// values are fetched (row slice or columnar gather); the closures
+    /// monomorphize away.
+    #[inline]
+    fn holds(&self, num: impl Fn(usize) -> f64, nominal: impl Fn(usize) -> u32) -> bool {
         match self {
             Condition::Num { attribute, lo, hi } => {
-                let x = row[*attribute].expect_num();
+                let x = num(*attribute);
                 lo.is_none_or(|l| x >= l) && hi.is_none_or(|h| x < h)
             }
-            Condition::NumEq { attribute, value } => row[*attribute].expect_num() == *value,
-            Condition::CatEq { attribute, code } => row[*attribute].expect_nominal() == *code,
-            Condition::CatNotIn { attribute, codes } => {
-                !codes.contains(&row[*attribute].expect_nominal())
-            }
+            Condition::NumEq { attribute, value } => num(*attribute) == *value,
+            Condition::CatEq { attribute, code } => nominal(*attribute) == *code,
+            Condition::CatNotIn { attribute, codes } => !codes.contains(&nominal(*attribute)),
         }
+    }
+
+    /// Evaluates the condition on a row.
+    #[inline]
+    pub fn matches(&self, row: &[Value]) -> bool {
+        self.holds(|a| row[a].expect_num(), |a| row[a].expect_nominal())
+    }
+
+    /// Evaluates the condition on row `row` of a columnar dataset —
+    /// a direct typed-column read, no row materialization or enum dispatch
+    /// per cell.
+    #[inline]
+    pub fn matches_at(&self, ds: &Dataset, row: usize) -> bool {
+        self.holds(|a| ds.num_column(a)[row], |a| ds.nominal_column(a)[row])
     }
 
     /// True when no value can satisfy the condition (empty interval or

@@ -7,7 +7,7 @@
 //! expressible as a prediction closure — the network, the rules, and the
 //! decision tree all evaluate through the same code path.
 
-use nr_tabular::{ClassId, Dataset, Value};
+use nr_tabular::{ClassId, Dataset};
 use serde::{Deserialize, Serialize};
 
 /// A confusion matrix: `counts[actual][predicted]`.
@@ -17,14 +17,16 @@ pub struct ConfusionMatrix {
 }
 
 impl ConfusionMatrix {
-    /// Evaluates `predict` over `ds`.
-    pub fn compute(ds: &Dataset, mut predict: impl FnMut(&[Value]) -> ClassId) -> Self {
+    /// Evaluates `predict` over `ds`. The closure receives the dataset and
+    /// a row index, so columnar predictors (rule sets, trees) evaluate
+    /// without materializing rows.
+    pub fn compute(ds: &Dataset, mut predict: impl FnMut(&Dataset, usize) -> ClassId) -> Self {
         let k = ds.n_classes();
         let mut counts = vec![vec![0usize; k]; k];
-        for (row, label) in ds.iter() {
-            let pred = predict(row);
+        for i in 0..ds.len() {
+            let pred = predict(ds, i);
             assert!(pred < k, "prediction {pred} out of range for {k} classes");
-            counts[label][pred] += 1;
+            counts[ds.label(i)][pred] += 1;
         }
         ConfusionMatrix { counts }
     }
@@ -109,7 +111,7 @@ impl ConfusionMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nr_tabular::{Attribute, Schema};
+    use nr_tabular::{Attribute, Schema, Value};
 
     fn ds() -> Dataset {
         let schema = Schema::new(vec![Attribute::numeric("x")]);
@@ -125,7 +127,7 @@ mod tests {
     #[test]
     fn perfect_classifier() {
         let data = ds();
-        let m = ConfusionMatrix::compute(&data, |row| usize::from(row[0].expect_num() >= 4.0));
+        let m = ConfusionMatrix::compute(&data, |d, i| usize::from(d.num_column(0)[i] >= 4.0));
         assert_eq!(m.accuracy(), 1.0);
         assert_eq!(m.count(0, 0), 4);
         assert_eq!(m.count(1, 1), 6);
@@ -140,7 +142,7 @@ mod tests {
     fn skewed_classifier() {
         let data = ds();
         // Always predicts B.
-        let m = ConfusionMatrix::compute(&data, |_| 1);
+        let m = ConfusionMatrix::compute(&data, |_, _| 1);
         assert!((m.accuracy() - 0.6).abs() < 1e-12);
         assert_eq!(m.recall(0), 0.0);
         assert_eq!(m.precision(0), 1.0, "never predicted => vacuous precision");
@@ -152,7 +154,7 @@ mod tests {
     #[test]
     fn display_contains_counts() {
         let data = ds();
-        let m = ConfusionMatrix::compute(&data, |_| 0);
+        let m = ConfusionMatrix::compute(&data, |_, _| 0);
         let text = m.display(&["A".into(), "B".into()]);
         assert!(text.contains('4'));
         assert!(text.contains('6'));
@@ -163,7 +165,7 @@ mod tests {
     fn empty_dataset() {
         let schema = Schema::new(vec![Attribute::numeric("x")]);
         let d = Dataset::new(schema, vec!["A".into()]);
-        let m = ConfusionMatrix::compute(&d, |_| 0);
+        let m = ConfusionMatrix::compute(&d, |_, _| 0);
         assert_eq!(m.accuracy(), 0.0);
         assert_eq!(m.total(), 0);
     }

@@ -1,6 +1,6 @@
 //! Conjunctive rules.
 
-use nr_tabular::{ClassId, Schema, Value};
+use nr_tabular::{ClassId, Dataset, Schema, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::Condition;
@@ -23,6 +23,12 @@ impl Rule {
     /// True when every condition holds on `row`.
     pub fn matches(&self, row: &[Value]) -> bool {
         self.conditions.iter().all(|c| c.matches(row))
+    }
+
+    /// True when every condition holds on row `row` of a columnar dataset.
+    #[inline]
+    pub fn matches_at(&self, ds: &Dataset, row: usize) -> bool {
+        self.conditions.iter().all(|c| c.matches_at(ds, row))
     }
 
     /// Number of atomic conditions (the paper's measure of rule complexity).

@@ -55,6 +55,16 @@ impl RuleSet {
             .unwrap_or(self.default_class)
     }
 
+    /// Predicts the class of dataset row `i` (first matching rule, else
+    /// default) — columnar evaluation, no row materialization.
+    pub fn predict_row(&self, ds: &Dataset, i: usize) -> ClassId {
+        self.rules
+            .iter()
+            .find(|r| r.matches_at(ds, i))
+            .map(|r| r.class)
+            .unwrap_or(self.default_class)
+    }
+
     /// Index of the first matching rule, `None` if only the default applies.
     pub fn first_match(&self, row: &[Value]) -> Option<usize> {
         self.rules.iter().position(|r| r.matches(row))
@@ -65,9 +75,8 @@ impl RuleSet {
         if ds.is_empty() {
             return 0.0;
         }
-        let correct = ds
-            .iter()
-            .filter(|(row, label)| self.predict(row) == *label)
+        let correct = (0..ds.len())
+            .filter(|&i| self.predict_row(ds, i) == ds.label(i))
             .count();
         correct as f64 / ds.len() as f64
     }
@@ -124,8 +133,8 @@ impl RuleSet {
         let mut matches = vec![false; k * n];
         for (r, rule) in self.rules.iter().enumerate() {
             let row_matches = &mut matches[r * n..(r + 1) * n];
-            for (slot, (row, _)) in row_matches.iter_mut().zip(ds.iter()) {
-                *slot = rule.matches(row);
+            for (i, slot) in row_matches.iter_mut().enumerate() {
+                *slot = rule.matches_at(ds, i);
             }
         }
         let mut active = vec![true; k];

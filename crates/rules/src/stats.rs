@@ -41,11 +41,13 @@ pub fn evaluate_rules(rs: &RuleSet, ds: &Dataset) -> Vec<RuleStats> {
             correct: 0,
         })
         .collect();
-    for (row, label) in ds.iter() {
-        for (i, rule) in rs.rules.iter().enumerate() {
-            if rule.matches(row) {
+    // Rule-major sweep: each rule walks its conditions' typed columns over
+    // all rows before the next rule runs (cache-friendlier than row-major).
+    for (i, rule) in rs.rules.iter().enumerate() {
+        for row in 0..ds.len() {
+            if rule.matches_at(ds, row) {
                 stats[i].total += 1;
-                if rule.class == label {
+                if rule.class == ds.label(row) {
                     stats[i].correct += 1;
                 }
             }

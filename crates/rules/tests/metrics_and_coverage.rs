@@ -79,7 +79,7 @@ fn uncovered_rule_reports_hundred_percent() {
 fn confusion_matrix_totals_and_diagonal() {
     let rs = band_rules();
     let ds = dataset(&[(5.0, 0), (25.0, 1), (15.0, 0), (30.0, 0), (1.0, 1)]);
-    let m = ConfusionMatrix::compute(&ds, |row| rs.predict(row));
+    let m = ConfusionMatrix::compute(&ds, |d, i| rs.predict_row(d, i));
     assert_eq!(m.total(), ds.len());
     assert_eq!(m.count(0, 0), 2); // (5.0,A) and (15.0,A via default)
     assert_eq!(m.count(1, 1), 1); // (25.0,B)
@@ -110,8 +110,8 @@ fn reduced_drops_rules_the_data_never_exercises() {
     assert_eq!(reduced.len(), 1, "{:?}", reduced.rules);
     assert_eq!(reduced.rules[0], rs.rules[0]);
     // Agreement with the target is unchanged.
-    for ((row, _), &t) in ds.iter().zip(&target) {
-        assert_eq!(reduced.predict(row), t);
+    for (i, &t) in target.iter().enumerate() {
+        assert_eq!(reduced.predict_row(&ds, i), t);
     }
 }
 
@@ -149,17 +149,17 @@ fn reduced_never_lowers_agreement() {
     );
     let points: Vec<(f64, usize)> = (0..40).map(|i| (i as f64, (i / 3) % 2)).collect();
     let ds = dataset(&points);
-    let target: Vec<usize> = ds.iter().map(|(row, _)| rs.predict(row)).collect();
+    let target: Vec<usize> = (0..ds.len()).map(|i| rs.predict_row(&ds, i)).collect();
     let reduced = rs.reduced(&ds, &target);
-    let before = ds
+    let before = target
         .iter()
-        .zip(&target)
-        .filter(|((r, _), &t)| rs.predict(r) == t)
+        .enumerate()
+        .filter(|&(i, &t)| rs.predict_row(&ds, i) == t)
         .count();
-    let after = ds
+    let after = target
         .iter()
-        .zip(&target)
-        .filter(|((r, _), &t)| reduced.predict(r) == t)
+        .enumerate()
+        .filter(|&(i, &t)| reduced.predict_row(&ds, i) == t)
         .count();
     assert!(
         after >= before,

@@ -1,14 +1,25 @@
-//! Minimal CSV round-trip for datasets.
+//! CSV ingest and export for datasets.
 //!
 //! Format: header row of attribute names plus a final `class` column; nominal
 //! values are written as category names, numerics with full precision. This
 //! is a deliberately small hand-rolled reader/writer (the pre-approved crate
 //! set has no CSV crate and the format we need is a strict subset: no quoting
 //! or embedded commas — generated identifiers never contain either).
+//!
+//! Reading is **streaming**: [`read_csv_streaming`] parses each line
+//! directly into typed column buffers and bulk-appends them to the dataset
+//! in fixed-size chunks ([`Dataset::append_columns`]). No intermediate
+//! `Vec<Vec<Value>>` of boxed rows is ever built, so peak memory beyond the
+//! dataset itself is one chunk of column staging. Parse errors carry the
+//! 1-based line number ([`TabularError::Csv`]).
 
 use std::io::{BufRead, Write};
 
-use crate::{AttrKind, Dataset, Schema, TabularError, Value};
+use crate::{AttrKind, ClassId, Column, Dataset, Schema, TabularError};
+
+/// Rows staged per bulk append during streaming reads. Bounds the staging
+/// memory while keeping per-append validation amortized.
+const CHUNK_ROWS: usize = 4096;
 
 /// Writes `ds` as CSV to `out`.
 pub fn write_csv<W: Write>(ds: &Dataset, out: &mut W) -> std::io::Result<()> {
@@ -20,87 +31,171 @@ pub fn write_csv<W: Write>(ds: &Dataset, out: &mut W) -> std::io::Result<()> {
         .chain(std::iter::once("class"))
         .collect();
     writeln!(out, "{}", names.join(","))?;
-    for (row, label) in ds.iter() {
-        for (i, v) in row.iter().enumerate() {
-            let cell = match (&ds.schema().attribute(i).kind, v) {
-                (AttrKind::Nominal { categories }, Value::Nominal(c)) => {
-                    categories[*c as usize].clone()
+    for i in 0..ds.len() {
+        for (a, attr) in ds.schema().attributes().iter().enumerate() {
+            match (&attr.kind, ds.column(a)) {
+                (AttrKind::Nominal { categories }, Column::Nominal(codes)) => {
+                    write!(out, "{},", categories[codes[i] as usize])?
                 }
-                _ => format!("{v}"),
-            };
-            write!(out, "{cell},")?;
+                (_, col) => write!(out, "{},", col.value(i))?,
+            }
         }
-        writeln!(out, "{}", ds.class_names()[label])?;
+        writeln!(out, "{}", ds.class_names()[ds.label(i)])?;
     }
     Ok(())
 }
 
-/// Reads a dataset written by [`write_csv`], given its schema and class names.
+/// Per-chunk column staging for the streaming reader.
+struct ChunkStage {
+    columns: Vec<Column>,
+    labels: Vec<ClassId>,
+}
+
+impl ChunkStage {
+    fn new(schema: &Schema) -> Self {
+        ChunkStage {
+            columns: schema
+                .attributes()
+                .iter()
+                .map(|a| Column::empty_for(&a.kind))
+                .collect(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn flush_into(&mut self, ds: &mut Dataset, line: usize) -> crate::Result<()> {
+        if self.labels.is_empty() {
+            return Ok(());
+        }
+        let columns = self
+            .columns
+            .iter_mut()
+            .map(|c| {
+                let empty = match c {
+                    Column::Num(_) => Column::Num(Vec::new()),
+                    Column::Nominal(_) => Column::Nominal(Vec::new()),
+                };
+                std::mem::replace(c, empty)
+            })
+            .collect();
+        let labels = std::mem::take(&mut self.labels);
+        // The parser validated every cell, so this only fails on logic
+        // errors; map them to the chunk's last line for diagnosability.
+        ds.append_columns(columns, labels)
+            .map_err(|e| TabularError::Csv {
+                line,
+                msg: format!("chunk append failed: {e}"),
+            })
+    }
+}
+
+/// Reads a dataset written by [`write_csv`] with constant staging memory:
+/// each line is parsed straight into typed column buffers which are
+/// bulk-appended every [`CHUNK_ROWS`] rows.
+///
+/// Errors carry the 1-based line number of the offending row (the header is
+/// line 1), so a malformed row in the middle of a million-row file is
+/// reported precisely — and nothing after it is consumed.
+pub fn read_csv_streaming<R: BufRead>(
+    schema: Schema,
+    class_names: Vec<String>,
+    input: R,
+) -> crate::Result<Dataset> {
+    let csv_err = |line: usize, msg: String| TabularError::Csv { line, msg };
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| csv_err(1, "missing header".into()))?
+        .map_err(|e| csv_err(1, e.to_string()))?;
+    let cols = header.split(',').count();
+    if cols != schema.arity() + 1 {
+        return Err(csv_err(
+            1,
+            format!(
+                "header has {} columns, expected {}",
+                cols,
+                schema.arity() + 1
+            ),
+        ));
+    }
+
+    let mut ds = Dataset::new(schema, class_names);
+    let mut stage = ChunkStage::new(ds.schema());
+    let arity = ds.schema().arity();
+    for (k, line) in lines.enumerate() {
+        let lineno = k + 2; // 1-based, after the header
+        let line = line.map_err(|e| csv_err(lineno, e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        for a in 0..arity {
+            let cell = cells
+                .next()
+                .ok_or_else(|| csv_err(lineno, format!("{} cells, expected {}", a, arity + 1)))?;
+            match (&ds.schema().attribute(a).kind, &mut stage.columns[a]) {
+                (AttrKind::Numeric, Column::Num(xs)) => {
+                    let x: f64 = cell
+                        .parse()
+                        .map_err(|e| csv_err(lineno, format!("bad number {cell:?}: {e}")))?;
+                    if !x.is_finite() {
+                        return Err(csv_err(lineno, format!("non-finite number {cell:?}")));
+                    }
+                    xs.push(x);
+                }
+                (AttrKind::Nominal { categories }, Column::Nominal(cs)) => {
+                    let code = categories
+                        .iter()
+                        .position(|c| c == cell)
+                        .ok_or_else(|| csv_err(lineno, format!("unknown category {cell:?}")))?;
+                    cs.push(code as u32);
+                }
+                _ => unreachable!("stage columns mirror the schema kinds"),
+            }
+        }
+        let class_cell = cells
+            .next()
+            .ok_or_else(|| csv_err(lineno, format!("{arity} cells, expected {}", arity + 1)))?;
+        if cells.next().is_some() {
+            return Err(csv_err(
+                lineno,
+                format!("too many cells, expected {}", arity + 1),
+            ));
+        }
+        // Any error aborts the whole read (the partial dataset is dropped),
+        // so a half-staged row can never leak out.
+        let label = ds
+            .class_names()
+            .iter()
+            .position(|c| c == class_cell)
+            .ok_or_else(|| csv_err(lineno, format!("unknown class {class_cell:?}")))?;
+        stage.labels.push(label);
+        if stage.len() >= CHUNK_ROWS {
+            stage.flush_into(&mut ds, lineno)?;
+        }
+    }
+    stage.flush_into(&mut ds, 0)?;
+    Ok(ds)
+}
+
+/// Reads a dataset written by [`write_csv`], given its schema and class
+/// names. Alias for [`read_csv_streaming`].
 pub fn read_csv<R: BufRead>(
     schema: Schema,
     class_names: Vec<String>,
     input: R,
 ) -> crate::Result<Dataset> {
-    let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| TabularError::Csv("missing header".into()))?
-        .map_err(|e| TabularError::Csv(e.to_string()))?;
-    let cols: Vec<&str> = header.split(',').collect();
-    if cols.len() != schema.arity() + 1 {
-        return Err(TabularError::Csv(format!(
-            "header has {} columns, expected {}",
-            cols.len(),
-            schema.arity() + 1
-        )));
-    }
-    let mut ds = Dataset::new(schema, class_names);
-    for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(|e| TabularError::Csv(e.to_string()))?;
-        if line.is_empty() {
-            continue;
-        }
-        let cells: Vec<&str> = line.split(',').collect();
-        if cells.len() != ds.schema().arity() + 1 {
-            return Err(TabularError::Csv(format!(
-                "row {}: {} cells, expected {}",
-                lineno + 2,
-                cells.len(),
-                ds.schema().arity() + 1
-            )));
-        }
-        let mut row = Vec::with_capacity(ds.schema().arity());
-        for (i, cell) in cells[..cells.len() - 1].iter().enumerate() {
-            let v = match &ds.schema().attribute(i).kind {
-                AttrKind::Numeric => Value::Num(cell.parse::<f64>().map_err(|e| {
-                    TabularError::Csv(format!("row {}: bad number {cell:?}: {e}", lineno + 2))
-                })?),
-                AttrKind::Nominal { categories } => {
-                    let code = categories.iter().position(|c| c == cell).ok_or_else(|| {
-                        TabularError::Csv(format!("row {}: unknown category {cell:?}", lineno + 2))
-                    })?;
-                    Value::Nominal(code as u32)
-                }
-            };
-            row.push(v);
-        }
-        let class_cell = cells[cells.len() - 1];
-        let label = ds
-            .class_names()
-            .iter()
-            .position(|c| c == class_cell)
-            .ok_or_else(|| {
-                TabularError::Csv(format!("row {}: unknown class {class_cell:?}", lineno + 2))
-            })?;
-        ds.push(row, label)?;
-    }
-    Ok(ds)
+    read_csv_streaming(schema, class_names, input)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Attribute;
+    use crate::{Attribute, Value};
 
     fn toy() -> Dataset {
         let schema = Schema::new(vec![
@@ -113,6 +208,13 @@ mod tests {
         ds.push(vec![Value::Num(-2.0), Value::Nominal(1)], 1)
             .unwrap();
         ds
+    }
+
+    fn line_of(err: crate::Result<Dataset>) -> usize {
+        match err {
+            Err(TabularError::Csv { line, .. }) => line,
+            other => panic!("expected csv error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -128,26 +230,104 @@ mod tests {
     }
 
     #[test]
+    fn streaming_crosses_chunk_boundaries() {
+        // More rows than one staging chunk: the chunked bulk appends must
+        // reassemble the exact dataset.
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal("color", ["red", "green"]),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..(CHUNK_ROWS + 123) {
+            ds.push(
+                vec![Value::Num(i as f64), Value::Nominal((i % 2) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back =
+            read_csv_streaming(ds.schema().clone(), ds.class_names().to_vec(), &buf[..]).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
     fn rejects_bad_header() {
         let ds = toy();
         let input = b"x,class\n1.0,A\n";
         let err = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]);
-        assert!(err.is_err());
+        assert_eq!(line_of(err), 1);
     }
 
     #[test]
-    fn rejects_unknown_class() {
+    fn rejects_unknown_class_with_line() {
         let ds = toy();
-        let input = b"x,color,class\n1.0,red,C\n";
+        let input = b"x,color,class\n1.0,red,A\n2.0,green,C\n";
         let err = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]);
-        assert!(matches!(err, Err(TabularError::Csv(_))));
+        assert_eq!(line_of(err), 3);
     }
 
     #[test]
-    fn rejects_bad_number() {
+    fn rejects_bad_number_with_line() {
         let ds = toy();
         let input = b"x,color,class\nfoo,red,A\n";
-        assert!(read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]).is_err());
+        let err = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]);
+        assert_eq!(line_of(err), 2);
+    }
+
+    #[test]
+    fn malformed_row_mid_stream_is_located() {
+        // A malformed row *after* the first staged chunk must still be
+        // reported with its exact line number, and nothing ingested after
+        // it.
+        let ds = toy();
+        let mut text = String::from("x,color,class\n");
+        for i in 0..(CHUNK_ROWS + 50) {
+            text.push_str(&format!("{}.0,red,A\n", i));
+        }
+        // CHUNK_ROWS + 50 good rows, then a bad one on line CHUNK_ROWS + 52.
+        text.push_str("oops,red,A\n");
+        text.push_str("1.0,green,B\n");
+        let err = read_csv_streaming(
+            ds.schema().clone(),
+            ds.class_names().to_vec(),
+            text.as_bytes(),
+        );
+        assert_eq!(line_of(err), CHUNK_ROWS + 52);
+    }
+
+    #[test]
+    fn rejects_wrong_arity_rows() {
+        let ds = toy();
+        let short = b"x,color,class\n1.0,red\n";
+        assert_eq!(
+            line_of(read_csv(
+                ds.schema().clone(),
+                ds.class_names().to_vec(),
+                &short[..]
+            )),
+            2
+        );
+        let long = b"x,color,class\n1.0,red,A,extra\n";
+        assert_eq!(
+            line_of(read_csv(
+                ds.schema().clone(),
+                ds.class_names().to_vec(),
+                &long[..]
+            )),
+            2
+        );
+    }
+
+    #[test]
+    fn csv_error_displays_line() {
+        let err = TabularError::Csv {
+            line: 17,
+            msg: "bad number".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 17"), "{text}");
     }
 
     #[test]

@@ -3,15 +3,25 @@
 //! The paper evaluates on one train/test pair; a production library also
 //! needs stratified splits (class ratios preserved — important with skewed
 //! functions like F8/F10) and k-fold cross-validation for model selection.
+//!
+//! Both helpers return [`DatasetView`]s: a fold is a row-index selection
+//! over the shared columnar dataset, so building `k` folds costs `k` index
+//! vectors — the column data is never cloned. Call
+//! [`DatasetView::materialize`] when an owned [`Dataset`] is genuinely
+//! needed.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::Dataset;
+use crate::{Dataset, DatasetView};
 
-/// Splits `ds` into `(head, tail)` with `head_fraction` of every class in
-/// the head split (stratified). Deterministic for a given seed.
-pub fn stratified_split(ds: &Dataset, head_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+/// Splits `ds` into `(head, tail)` views with `head_fraction` of every
+/// class in the head split (stratified). Deterministic for a given seed.
+pub fn stratified_split(
+    ds: &Dataset,
+    head_fraction: f64,
+    seed: u64,
+) -> (DatasetView<'_>, DatasetView<'_>) {
     assert!(
         (0.0..=1.0).contains(&head_fraction),
         "fraction must be within [0,1], got {head_fraction}"
@@ -28,12 +38,17 @@ pub fn stratified_split(ds: &Dataset, head_fraction: f64, seed: u64) -> (Dataset
     }
     head_idx.sort_unstable();
     tail_idx.sort_unstable();
-    (ds.subset(&head_idx), ds.subset(&tail_idx))
+    (ds.view_of(head_idx), ds.view_of(tail_idx))
 }
 
-/// K-fold cross-validation: yields `(train, validation)` pairs covering the
-/// dataset, stratified per class. Deterministic for a given seed.
-pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+/// K-fold cross-validation: yields `(train, validation)` view pairs
+/// covering the dataset, stratified per class. Deterministic for a given
+/// seed.
+pub fn stratified_kfold(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Vec<(DatasetView<'_>, DatasetView<'_>)> {
     assert!(k >= 2, "need at least two folds");
     assert!(ds.len() >= k, "need at least one row per fold");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -53,7 +68,7 @@ pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Data
         .map(|fold| {
             let train: Vec<usize> = (0..ds.len()).filter(|&i| fold_of[i] != fold).collect();
             let val: Vec<usize> = (0..ds.len()).filter(|&i| fold_of[i] == fold).collect();
-            (ds.subset(&train), ds.subset(&val))
+            (ds.view_of(train), ds.view_of(val))
         })
         .collect()
 }
@@ -72,6 +87,10 @@ mod tests {
                 .unwrap();
         }
         ds
+    }
+
+    fn ids(v: &DatasetView<'_>) -> Vec<usize> {
+        v.iter_ids().collect()
     }
 
     #[test]
@@ -93,9 +112,26 @@ mod tests {
         let ds = skewed(60);
         let a = stratified_split(&ds, 0.5, 7);
         let b = stratified_split(&ds, 0.5, 7);
-        assert_eq!(a, b);
+        assert_eq!(ids(&a.0), ids(&b.0));
+        assert_eq!(ids(&a.1), ids(&b.1));
         let c = stratified_split(&ds, 0.5, 8);
-        assert_ne!(a, c);
+        assert_ne!(ids(&a.0), ids(&c.0));
+    }
+
+    #[test]
+    fn split_views_are_zero_copy_and_materializable() {
+        let ds = skewed(40);
+        let (head, tail) = stratified_split(&ds, 0.5, 3);
+        // Views share the dataset's columns.
+        assert!(std::ptr::eq(head.dataset(), &ds));
+        assert!(std::ptr::eq(tail.dataset(), &ds));
+        // Materializing yields owned datasets with the same content.
+        let owned = head.materialize();
+        assert_eq!(owned.len(), head.len());
+        assert_eq!(
+            owned.num_column(0),
+            head.num_column(0).collect::<Vec<_>>().as_slice()
+        );
     }
 
     #[test]
@@ -120,7 +156,12 @@ mod tests {
     #[test]
     fn kfold_deterministic() {
         let ds = skewed(30);
-        assert_eq!(stratified_kfold(&ds, 3, 1), stratified_kfold(&ds, 3, 1));
+        let a = stratified_kfold(&ds, 3, 1);
+        let b = stratified_kfold(&ds, 3, 1);
+        for ((ta, va), (tb, vb)) in a.iter().zip(&b) {
+            assert_eq!(ids(ta), ids(tb));
+            assert_eq!(ids(va), ids(vb));
+        }
     }
 
     #[test]

@@ -1,10 +1,18 @@
-//! Labeled datasets: collections of tuples plus class labels.
+//! Labeled datasets: typed columns of tuples plus class labels.
+//!
+//! The storage is **columnar**: one `Vec<f64>` per numeric attribute, one
+//! `Vec<u32>` per nominal attribute, and one label vector — the layout the
+//! paper's "mining large databases" framing calls for. Consumers scan
+//! columns ([`Dataset::num_column`] / [`Dataset::nominal_column`]) or work
+//! on zero-copy row selections ([`crate::DatasetView`]); the row-major
+//! [`Dataset::row_values`] shim exists only for display and for feeding
+//! single tuples to row-oriented predictors.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Schema, TabularError, Value};
+use crate::{AttrKind, Schema, TabularError, Value};
 
 /// Index into a dataset's class list.
 pub type ClassId = usize;
@@ -18,70 +26,244 @@ pub enum SplitMethod {
     Shuffled(u64),
 }
 
-/// A labeled dataset: a schema, rows of values, and one class label per row.
+/// One typed attribute column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Values of a numeric attribute, in row order.
+    Num(Vec<f64>),
+    /// Category codes of a nominal attribute, in row order.
+    Nominal(Vec<u32>),
+}
+
+impl Column {
+    /// An empty column matching an attribute kind.
+    pub fn empty_for(kind: &AttrKind) -> Column {
+        match kind {
+            AttrKind::Numeric => Column::Num(Vec::new()),
+            AttrKind::Nominal { .. } => Column::Nominal(Vec::new()),
+        }
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Num(v) => v.len(),
+            Column::Nominal(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The numeric data, or `None` for nominal columns.
+    pub fn as_num(&self) -> Option<&[f64]> {
+        match self {
+            Column::Num(v) => Some(v),
+            Column::Nominal(_) => None,
+        }
+    }
+
+    /// The nominal codes, or `None` for numeric columns.
+    pub fn as_nominal(&self) -> Option<&[u32]> {
+        match self {
+            Column::Num(_) => None,
+            Column::Nominal(v) => Some(v),
+        }
+    }
+
+    /// Value at `row` as a [`Value`].
+    #[inline]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Num(v) => Value::Num(v[row]),
+            Column::Nominal(v) => Value::Nominal(v[row]),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            Column::Num(v) => v.reserve(additional),
+            Column::Nominal(v) => v.reserve(additional),
+        }
+    }
+
+    fn push_value(&mut self, value: &Value) {
+        match (self, value) {
+            (Column::Num(v), Value::Num(x)) => v.push(*x),
+            (Column::Nominal(v), Value::Nominal(c)) => v.push(*c),
+            _ => unreachable!("validated against the schema before pushing"),
+        }
+    }
+
+    fn extend_gather(&mut self, src: &Column, indices: &[usize]) {
+        match (self, src) {
+            (Column::Num(dst), Column::Num(s)) => dst.extend(indices.iter().map(|&i| s[i])),
+            (Column::Nominal(dst), Column::Nominal(s)) => dst.extend(indices.iter().map(|&i| s[i])),
+            _ => unreachable!("columns of one schema share kinds"),
+        }
+    }
+}
+
+/// A labeled dataset: a schema, typed attribute columns, and one class
+/// label per row.
 ///
 /// This corresponds directly to the paper's training/testing sets of
-/// `(a_1, …, a_n, c_k)` tuples.
+/// `(a_1, …, a_n, c_k)` tuples, stored column-major.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     schema: Schema,
     class_names: Vec<String>,
-    rows: Vec<Vec<Value>>,
+    columns: Vec<Column>,
     labels: Vec<ClassId>,
 }
 
 impl Dataset {
     /// Creates an empty dataset over `schema` with the given class labels.
     pub fn new(schema: Schema, class_names: Vec<String>) -> Self {
+        let columns = schema
+            .attributes()
+            .iter()
+            .map(|a| Column::empty_for(&a.kind))
+            .collect();
         Dataset {
             schema,
             class_names,
-            rows: Vec::new(),
+            columns,
             labels: Vec::new(),
         }
     }
 
-    /// Creates a dataset with rows, validating each against the schema.
+    /// Creates an empty dataset with row capacity reserved in every column.
+    pub fn with_capacity(schema: Schema, class_names: Vec<String>, rows: usize) -> Self {
+        let mut ds = Dataset::new(schema, class_names);
+        ds.reserve(rows);
+        ds
+    }
+
+    /// Reserves capacity for `additional` more rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.columns {
+            c.reserve(additional);
+        }
+        self.labels.reserve(additional);
+    }
+
+    /// Creates a dataset from row-major data, validating each row against
+    /// the schema (compatibility constructor; bulk ingest should build
+    /// columns directly and use [`Dataset::append_columns`]).
     pub fn from_rows(
         schema: Schema,
         class_names: Vec<String>,
         rows: Vec<Vec<Value>>,
         labels: Vec<ClassId>,
     ) -> crate::Result<Self> {
-        let mut ds = Dataset::new(schema, class_names);
-        ds.rows.reserve(rows.len());
-        ds.labels.reserve(labels.len());
         if rows.len() != labels.len() {
             return Err(TabularError::RowLabelCountMismatch {
                 rows: rows.len(),
                 labels: labels.len(),
             });
         }
+        let mut ds = Dataset::with_capacity(schema, class_names, rows.len());
         for (row, label) in rows.into_iter().zip(labels) {
             ds.push(row, label)?;
         }
         Ok(ds)
     }
 
-    /// Appends a validated row.
+    /// Appends one validated row (scattered into the columns).
     pub fn push(&mut self, row: Vec<Value>, label: ClassId) -> crate::Result<()> {
         self.schema.validate_row(&row)?;
         if label >= self.class_names.len() {
             return Err(TabularError::UnknownClass(label));
         }
-        self.rows.push(row);
+        for (col, value) in self.columns.iter_mut().zip(&row) {
+            col.push_value(value);
+        }
         self.labels.push(label);
+        Ok(())
+    }
+
+    /// Bulk append: concatenates whole column segments onto the dataset.
+    ///
+    /// Validation is per *column* (kind match, finite numerics, nominal
+    /// codes in range, labels in range) — one cache-friendly scan per
+    /// attribute instead of the per-row, per-value dispatch of
+    /// [`Dataset::push`]. All segments and `labels` must have equal length.
+    pub fn append_columns(
+        &mut self,
+        columns: Vec<Column>,
+        labels: Vec<ClassId>,
+    ) -> crate::Result<()> {
+        if columns.len() != self.schema.arity() {
+            return Err(TabularError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let rows = labels.len();
+        for (a, (attr, col)) in self.schema.attributes().iter().zip(&columns).enumerate() {
+            if col.len() != rows {
+                return Err(TabularError::RowLabelCountMismatch {
+                    rows: col.len(),
+                    labels: rows,
+                });
+            }
+            match (&attr.kind, col) {
+                (AttrKind::Numeric, Column::Num(xs)) => {
+                    if let Some(bad) = xs.iter().find(|x| !x.is_finite()) {
+                        return Err(TabularError::TypeMismatch {
+                            attribute: a,
+                            detail: format!("non-finite numeric value {bad}"),
+                        });
+                    }
+                }
+                (AttrKind::Nominal { categories }, Column::Nominal(cs)) => {
+                    let card = categories.len() as u32;
+                    if let Some(&bad) = cs.iter().find(|&&c| c >= card) {
+                        return Err(TabularError::UnknownCategory {
+                            attribute: a,
+                            code: bad,
+                        });
+                    }
+                }
+                (AttrKind::Numeric, Column::Nominal(_)) => {
+                    return Err(TabularError::TypeMismatch {
+                        attribute: a,
+                        detail: "nominal column for numeric attribute".into(),
+                    })
+                }
+                (AttrKind::Nominal { .. }, Column::Num(_)) => {
+                    return Err(TabularError::TypeMismatch {
+                        attribute: a,
+                        detail: "numeric column for nominal attribute".into(),
+                    })
+                }
+            }
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.class_names.len()) {
+            return Err(TabularError::UnknownClass(bad));
+        }
+        for (dst, src) in self.columns.iter_mut().zip(columns) {
+            match (dst, src) {
+                (Column::Num(d), Column::Num(s)) => d.extend(s),
+                (Column::Nominal(d), Column::Nominal(s)) => d.extend(s),
+                _ => unreachable!("kinds checked above"),
+            }
+        }
+        self.labels.extend(labels);
         Ok(())
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.labels.len()
     }
 
     /// True when the dataset has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.labels.is_empty()
     }
 
     /// The schema shared by all rows.
@@ -99,12 +281,42 @@ impl Dataset {
         self.class_names.len()
     }
 
-    /// Row at `index`.
-    pub fn row(&self, index: usize) -> &[Value] {
-        &self.rows[index]
+    /// The typed column of attribute `a`.
+    #[inline]
+    pub fn column(&self, a: usize) -> &Column {
+        &self.columns[a]
+    }
+
+    /// The numeric column of attribute `a`. Panics on nominal attributes.
+    #[inline]
+    pub fn num_column(&self, a: usize) -> &[f64] {
+        self.columns[a].as_num().expect("attribute is numeric")
+    }
+
+    /// The nominal column of attribute `a`. Panics on numeric attributes.
+    #[inline]
+    pub fn nominal_column(&self, a: usize) -> &[u32] {
+        self.columns[a].as_nominal().expect("attribute is nominal")
+    }
+
+    /// Value of attribute `a` in row `row`.
+    #[inline]
+    pub fn value(&self, row: usize, a: usize) -> Value {
+        self.columns[a].value(row)
+    }
+
+    /// Row `row` materialized as a value vector.
+    ///
+    /// This is the compatibility shim over the columnar storage — a gather
+    /// plus an allocation per call. Use it for display and for handing
+    /// single tuples to row-oriented APIs; bulk consumers should scan
+    /// columns instead.
+    pub fn row_values(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
     }
 
     /// Label of row `index`.
+    #[inline]
     pub fn label(&self, index: usize) -> ClassId {
         self.labels[index]
     }
@@ -112,14 +324,6 @@ impl Dataset {
     /// All labels in row order.
     pub fn labels(&self) -> &[ClassId] {
         &self.labels
-    }
-
-    /// Iterator over `(row, label)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&[Value], ClassId)> + '_ {
-        self.rows
-            .iter()
-            .map(|r| r.as_slice())
-            .zip(self.labels.iter().copied())
     }
 
     /// Count of rows per class.
@@ -156,8 +360,20 @@ impl Dataset {
         max as f64 / self.len() as f64
     }
 
+    /// A zero-copy view of every row, in order.
+    pub fn view(&self) -> crate::DatasetView<'_> {
+        crate::DatasetView::all(self)
+    }
+
+    /// A zero-copy view of the given rows (global indices, in view order).
+    pub fn view_of(&self, rows: Vec<usize>) -> crate::DatasetView<'_> {
+        crate::DatasetView::with_rows(self, rows)
+    }
+
     /// Splits into `(head, tail)` where `head` has `n` rows.
     ///
+    /// Materializes two owned datasets (column gathers); use
+    /// [`Dataset::view_of`] when a borrowed selection is enough.
     /// Panics if `n > len()`.
     pub fn split(&self, n: usize, method: SplitMethod) -> (Dataset, Dataset) {
         assert!(
@@ -170,37 +386,27 @@ impl Dataset {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             order.shuffle(&mut rng);
         }
-        let mut head = Dataset::new(self.schema.clone(), self.class_names.clone());
-        let mut tail = Dataset::new(self.schema.clone(), self.class_names.clone());
-        for (k, &i) in order.iter().enumerate() {
-            let target = if k < n { &mut head } else { &mut tail };
-            target.rows.push(self.rows[i].clone());
-            target.labels.push(self.labels[i]);
-        }
-        (head, tail)
+        (self.subset(&order[..n]), self.subset(&order[n..]))
     }
 
-    /// Returns the subset of rows whose indices are in `indices`.
+    /// Materializes the subset of rows whose indices are in `indices`
+    /// (column gathers — no per-row allocation).
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let mut out = Dataset::new(self.schema.clone(), self.class_names.clone());
-        out.rows.reserve(indices.len());
-        out.labels.reserve(indices.len());
-        for &i in indices {
-            out.rows.push(self.rows[i].clone());
-            out.labels.push(self.labels[i]);
+        let mut out =
+            Dataset::with_capacity(self.schema.clone(), self.class_names.clone(), indices.len());
+        for (dst, src) in out.columns.iter_mut().zip(&self.columns) {
+            dst.extend_gather(src, indices);
         }
+        out.labels.extend(indices.iter().map(|&i| self.labels[i]));
         out
     }
 
     /// Min and max of a numeric attribute over all rows, `None` when empty or nominal.
     pub fn numeric_range(&self, attribute: usize) -> Option<(f64, f64)> {
-        if !self.schema.attribute(attribute).is_numeric() {
-            return None;
-        }
-        let mut it = self.rows.iter().map(|r| r[attribute].expect_num());
-        let first = it.next()?;
+        let xs = self.columns[attribute].as_num()?;
+        let (&first, rest) = xs.split_first()?;
         let (mut lo, mut hi) = (first, first);
-        for x in it {
+        for &x in rest {
             if x < lo {
                 lo = x;
             }
@@ -237,9 +443,19 @@ mod tests {
     fn push_and_access() {
         let ds = toy(5);
         assert_eq!(ds.len(), 5);
-        assert_eq!(ds.row(2)[0], Value::Num(2.0));
+        assert_eq!(ds.value(2, 0), Value::Num(2.0));
+        assert_eq!(ds.row_values(2), vec![Value::Num(2.0), Value::Nominal(2)]);
         assert_eq!(ds.label(3), 1);
         assert_eq!(ds.n_classes(), 2);
+    }
+
+    #[test]
+    fn columns_are_typed_and_contiguous() {
+        let ds = toy(4);
+        assert_eq!(ds.num_column(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(ds.nominal_column(1), &[0, 1, 2, 0]);
+        assert!(ds.column(0).as_nominal().is_none());
+        assert!(ds.column(1).as_num().is_none());
     }
 
     #[test]
@@ -252,6 +468,68 @@ mod tests {
         assert!(ds
             .push(vec![Value::Nominal(0), Value::Nominal(0)], 0)
             .is_err());
+        // A rejected row must not leave partial column writes behind.
+        assert_eq!(ds.len(), 0);
+        assert_eq!(ds.num_column(0).len(), 0);
+    }
+
+    #[test]
+    fn append_columns_bulk() {
+        let mut ds = toy(2);
+        ds.append_columns(
+            vec![Column::Num(vec![10.0, 11.0]), Column::Nominal(vec![2, 0])],
+            vec![1, 0],
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.num_column(0), &[0.0, 1.0, 10.0, 11.0]);
+        assert_eq!(ds.labels(), &[0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn append_columns_validates() {
+        let mut ds = toy(0);
+        // Wrong arity.
+        assert!(ds
+            .append_columns(vec![Column::Num(vec![1.0])], vec![0])
+            .is_err());
+        // Kind mismatch.
+        assert!(ds
+            .append_columns(
+                vec![Column::Nominal(vec![0]), Column::Nominal(vec![0])],
+                vec![0]
+            )
+            .is_err());
+        // Ragged columns.
+        assert!(ds
+            .append_columns(
+                vec![Column::Num(vec![1.0, 2.0]), Column::Nominal(vec![0])],
+                vec![0]
+            )
+            .is_err());
+        // Out-of-range nominal code.
+        assert!(ds
+            .append_columns(
+                vec![Column::Num(vec![1.0]), Column::Nominal(vec![9])],
+                vec![0]
+            )
+            .is_err());
+        // Non-finite numeric.
+        assert!(ds
+            .append_columns(
+                vec![Column::Num(vec![f64::NAN]), Column::Nominal(vec![0])],
+                vec![0]
+            )
+            .is_err());
+        // Out-of-range label.
+        assert!(ds
+            .append_columns(
+                vec![Column::Num(vec![1.0]), Column::Nominal(vec![0])],
+                vec![5]
+            )
+            .is_err());
+        // Nothing was committed by the failed appends.
+        assert_eq!(ds.len(), 0);
     }
 
     #[test]
@@ -268,8 +546,8 @@ mod tests {
         let (head, tail) = ds.split(4, SplitMethod::Sequential);
         assert_eq!(head.len(), 4);
         assert_eq!(tail.len(), 6);
-        assert_eq!(head.row(0)[0], Value::Num(0.0));
-        assert_eq!(tail.row(0)[0], Value::Num(4.0));
+        assert_eq!(head.value(0, 0), Value::Num(0.0));
+        assert_eq!(tail.value(0, 0), Value::Num(4.0));
     }
 
     #[test]
@@ -279,9 +557,10 @@ mod tests {
         let (h2, _) = ds.split(10, SplitMethod::Shuffled(42));
         assert_eq!(h1, h2);
         let mut seen: Vec<f64> = h1
+            .num_column(0)
             .iter()
-            .chain(t1.iter())
-            .map(|(r, _)| r[0].expect_num())
+            .chain(t1.num_column(0))
+            .copied()
             .collect();
         seen.sort_by(f64::total_cmp);
         assert_eq!(seen, (0..20).map(|i| i as f64).collect::<Vec<_>>());
@@ -292,8 +571,9 @@ mod tests {
         let ds = toy(6);
         let sub = ds.subset(&[5, 0, 3]);
         assert_eq!(sub.len(), 3);
-        assert_eq!(sub.row(0)[0], Value::Num(5.0));
-        assert_eq!(sub.row(2)[0], Value::Num(3.0));
+        assert_eq!(sub.value(0, 0), Value::Num(5.0));
+        assert_eq!(sub.value(2, 0), Value::Num(3.0));
+        assert_eq!(sub.labels(), &[1, 0, 1]);
     }
 
     #[test]
@@ -324,10 +604,21 @@ mod tests {
     }
 
     #[test]
-    fn iter_pairs_rows_with_labels() {
-        let ds = toy(3);
-        let pairs: Vec<(f64, ClassId)> = ds.iter().map(|(r, l)| (r[0].expect_num(), l)).collect();
-        assert_eq!(pairs, vec![(0.0, 0), (1.0, 1), (2.0, 0)]);
+    fn row_major_and_columnar_construction_agree() {
+        // The cross-layout pin at the unit level: pushing rows and bulk
+        // appending columns must produce identical datasets.
+        let by_rows = toy(9);
+        let mut by_cols = toy(0);
+        by_cols
+            .append_columns(
+                vec![
+                    Column::Num((0..9).map(|i| i as f64).collect()),
+                    Column::Nominal((0..9).map(|i| (i % 3) as u32).collect()),
+                ],
+                (0..9).map(|i| i % 2).collect(),
+            )
+            .unwrap();
+        assert_eq!(by_rows, by_cols);
     }
 
     #[test]

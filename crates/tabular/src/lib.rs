@@ -4,8 +4,10 @@
 //! `(a_1, …, a_n, c_k)` tuples where each `a_i` comes from the domain of
 //! attribute `A_i` and `c_k` is one of `m` class labels. This crate provides
 //! that substrate: [`Schema`] describes the attributes, [`Value`] holds one
-//! attribute value, [`Dataset`] holds labeled tuples, and helpers cover the
-//! usual chores (splits, class distributions, CSV round-trips).
+//! attribute value, [`Dataset`] holds labeled tuples in **typed columns**
+//! (one `Vec<f64>`/`Vec<u32>` per attribute), [`DatasetView`] selects rows
+//! without copying them, and helpers cover the usual chores (splits, class
+//! distributions, streaming CSV ingest).
 //!
 //! Everything downstream — the synthetic generator (`nr-datagen`), the binary
 //! encoder (`nr-encode`), the C4.5 baseline (`nr-tree`) and the NeuroRule
@@ -34,12 +36,14 @@ mod cv;
 mod dataset;
 mod schema;
 mod value;
+mod view;
 
-pub use csv::{read_csv, write_csv};
+pub use csv::{read_csv, read_csv_streaming, write_csv};
 pub use cv::{stratified_kfold, stratified_split};
-pub use dataset::{ClassId, Dataset, SplitMethod};
+pub use dataset::{ClassId, Column, Dataset, SplitMethod};
 pub use schema::{AttrKind, Attribute, Schema};
 pub use value::Value;
+pub use view::{DatasetView, RowIdIter};
 
 /// Errors produced by the tabular data model.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,8 +78,14 @@ pub enum TabularError {
         /// Number of labels supplied.
         labels: usize,
     },
-    /// CSV parsing failed.
-    Csv(String),
+    /// CSV parsing failed at the given 1-based line (0 = not line-specific).
+    Csv {
+        /// 1-based line number of the offending input line (the header is
+        /// line 1); 0 when the failure is not tied to one line.
+        line: usize,
+        /// Human-readable description of the failure.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for TabularError {
@@ -100,7 +110,8 @@ impl std::fmt::Display for TabularError {
             TabularError::RowLabelCountMismatch { rows, labels } => {
                 write!(f, "{rows} rows but {labels} labels")
             }
-            TabularError::Csv(msg) => write!(f, "csv error: {msg}"),
+            TabularError::Csv { line: 0, msg } => write!(f, "csv error: {msg}"),
+            TabularError::Csv { line, msg } => write!(f, "csv error at line {line}: {msg}"),
         }
     }
 }

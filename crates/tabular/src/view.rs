@@ -1,0 +1,311 @@
+//! Zero-copy row selections over a columnar [`Dataset`].
+//!
+//! A [`DatasetView`] is a dataset reference plus an optional row-index
+//! selection. Tree induction recurses on views (child views own only an
+//! index vector — the column data is never cloned), and cross-validation
+//! folds are views too. Column access goes through [`DatasetView::num_column`]
+//! / [`DatasetView::nominal_column`]: contiguous slice scans for the
+//! full-dataset view, index gathers along one column otherwise — in both
+//! cases a cache-friendly walk down a single typed buffer.
+
+use crate::{ClassId, Dataset, Schema, Value};
+
+/// A borrowed selection of dataset rows (all rows, or an explicit index
+/// list in view order).
+#[derive(Debug, Clone)]
+pub struct DatasetView<'a> {
+    ds: &'a Dataset,
+    /// `None` = every row in dataset order; `Some` = global row indices.
+    rows: Option<Vec<usize>>,
+}
+
+/// Iterator over the global row ids of a view.
+#[derive(Debug, Clone)]
+pub enum RowIdIter<'v> {
+    /// Full view: `0..len`.
+    All(std::ops::Range<usize>),
+    /// Selected view: the index list.
+    Some(std::iter::Copied<std::slice::Iter<'v, usize>>),
+}
+
+impl Iterator for RowIdIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            RowIdIter::All(r) => r.next(),
+            RowIdIter::Some(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIdIter::All(r) => r.size_hint(),
+            RowIdIter::Some(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for RowIdIter<'_> {}
+
+impl<'a> DatasetView<'a> {
+    /// View of every row of `ds`, in order.
+    pub fn all(ds: &'a Dataset) -> Self {
+        DatasetView { ds, rows: None }
+    }
+
+    /// View of the given global row indices, in the given order.
+    ///
+    /// Panics (debug) when an index is out of range.
+    pub fn with_rows(ds: &'a Dataset, rows: Vec<usize>) -> Self {
+        debug_assert!(rows.iter().all(|&r| r < ds.len()), "row index out of range");
+        DatasetView {
+            ds,
+            rows: Some(rows),
+        }
+    }
+
+    /// The underlying dataset.
+    #[inline]
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// The schema shared by all rows.
+    #[inline]
+    pub fn schema(&self) -> &'a Schema {
+        self.ds.schema()
+    }
+
+    /// The class label names.
+    pub fn class_names(&self) -> &'a [String] {
+        self.ds.class_names()
+    }
+
+    /// Number of distinct classes.
+    pub fn n_classes(&self) -> usize {
+        self.ds.n_classes()
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            Some(v) => v.len(),
+            None => self.ds.len(),
+        }
+    }
+
+    /// True when the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global dataset index of view row `i`.
+    #[inline]
+    pub fn row_id(&self, i: usize) -> usize {
+        match &self.rows {
+            Some(v) => v[i],
+            None => i,
+        }
+    }
+
+    /// The explicit index selection, `None` for the full view.
+    pub fn row_ids(&self) -> Option<&[usize]> {
+        self.rows.as_deref()
+    }
+
+    /// Iterator over the global row ids, in view order.
+    #[inline]
+    pub fn iter_ids(&self) -> RowIdIter<'_> {
+        match &self.rows {
+            Some(v) => RowIdIter::Some(v.iter().copied()),
+            None => RowIdIter::All(0..self.ds.len()),
+        }
+    }
+
+    /// Label of view row `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> ClassId {
+        self.ds.label(self.row_id(i))
+    }
+
+    /// Labels in view order.
+    pub fn labels(&self) -> impl ExactSizeIterator<Item = ClassId> + '_ {
+        let labels = self.ds.labels();
+        self.iter_ids().map(move |r| labels[r])
+    }
+
+    /// Numeric column of attribute `a`, in view order. Panics on nominal
+    /// attributes.
+    pub fn num_column(&self, a: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
+        let col = self.ds.num_column(a);
+        self.iter_ids().map(move |r| col[r])
+    }
+
+    /// Nominal column of attribute `a`, in view order. Panics on numeric
+    /// attributes.
+    pub fn nominal_column(&self, a: usize) -> impl ExactSizeIterator<Item = u32> + '_ {
+        let col = self.ds.nominal_column(a);
+        self.iter_ids().map(move |r| col[r])
+    }
+
+    /// Value of attribute `a` in view row `i`.
+    #[inline]
+    pub fn value(&self, i: usize, a: usize) -> Value {
+        self.ds.value(self.row_id(i), a)
+    }
+
+    /// View row `i` materialized as a value vector (display shim).
+    pub fn row_values(&self, i: usize) -> Vec<Value> {
+        self.ds.row_values(self.row_id(i))
+    }
+
+    /// Count of view rows per class.
+    pub fn class_distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for l in self.labels() {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent class among the view rows (ties broken by lowest
+    /// id). Panics on empty views.
+    pub fn majority_class(&self) -> ClassId {
+        assert!(!self.is_empty(), "majority_class on empty view");
+        self.class_distribution()
+            .iter()
+            .enumerate()
+            .max_by_key(|(id, &c)| (c, usize::MAX - id))
+            .map(|(id, _)| id)
+            .expect("non-empty class list")
+    }
+
+    /// Fraction of view rows in the majority class, in `[0, 1]`.
+    pub fn skew(&self) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let max = self.class_distribution().into_iter().max().unwrap_or(0);
+        max as f64 / self.len() as f64
+    }
+
+    /// Min and max of a numeric attribute over the view rows, `None` when
+    /// the view is empty or the attribute nominal.
+    pub fn numeric_range(&self, attribute: usize) -> Option<(f64, f64)> {
+        if !self.schema().attribute(attribute).is_numeric() {
+            return None;
+        }
+        let mut it = self.num_column(attribute);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for x in it {
+            if x < lo {
+                lo = x;
+            }
+            if x > hi {
+                hi = x;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// A sub-view selecting the view rows whose *global* ids are given
+    /// (callers typically partition [`DatasetView::iter_ids`] output).
+    pub fn subview(&self, global_rows: Vec<usize>) -> DatasetView<'a> {
+        DatasetView::with_rows(self.ds, global_rows)
+    }
+
+    /// Materializes the view into an owned dataset (column gathers).
+    pub fn materialize(&self) -> Dataset {
+        match &self.rows {
+            Some(v) => self.ds.subset(v),
+            None => self.ds.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Schema};
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("c", 3),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            ds.push(
+                vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn full_view_matches_dataset() {
+        let ds = toy(6);
+        let v = ds.view();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.class_distribution(), ds.class_distribution());
+        assert_eq!(v.majority_class(), ds.majority_class());
+        assert_eq!(v.numeric_range(0), ds.numeric_range(0));
+        assert_eq!(v.num_column(0).collect::<Vec<_>>(), ds.num_column(0));
+        assert_eq!(
+            v.nominal_column(1).collect::<Vec<_>>(),
+            ds.nominal_column(1)
+        );
+        assert_eq!(v.labels().collect::<Vec<_>>(), ds.labels());
+    }
+
+    #[test]
+    fn selected_view_gathers_in_order() {
+        let ds = toy(8);
+        let v = ds.view_of(vec![7, 0, 3]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.num_column(0).collect::<Vec<_>>(), vec![7.0, 0.0, 3.0]);
+        assert_eq!(v.label(0), 1);
+        assert_eq!(v.row_id(2), 3);
+        assert_eq!(v.row_values(1), ds.row_values(0));
+        assert_eq!(v.row_ids(), Some(&[7usize, 0, 3][..]));
+    }
+
+    #[test]
+    fn subview_and_materialize() {
+        let ds = toy(10);
+        let v = ds.view_of((0..10).filter(|i| i % 2 == 0).collect());
+        let evens_lt6: Vec<usize> = v.iter_ids().filter(|&r| r < 6).collect();
+        let sub = v.subview(evens_lt6);
+        assert_eq!(sub.len(), 3);
+        let owned = sub.materialize();
+        assert_eq!(owned.len(), 3);
+        assert_eq!(owned.num_column(0), &[0.0, 2.0, 4.0]);
+        // Materializing the full view clones the dataset.
+        assert_eq!(ds.view().materialize(), ds);
+    }
+
+    #[test]
+    fn view_stats_on_selection() {
+        let ds = toy(10);
+        let v = ds.view_of(vec![1, 3, 5]); // labels 1,1,1
+        assert_eq!(v.class_distribution(), vec![0, 3]);
+        assert_eq!(v.majority_class(), 1);
+        assert_eq!(v.skew(), 1.0);
+        assert_eq!(v.numeric_range(0), Some((1.0, 5.0)));
+        assert_eq!(v.numeric_range(1), None);
+    }
+
+    #[test]
+    fn empty_view() {
+        let ds = toy(4);
+        let v = ds.view_of(Vec::new());
+        assert!(v.is_empty());
+        assert_eq!(v.skew(), 1.0);
+        assert_eq!(v.numeric_range(0), None);
+    }
+}

@@ -58,9 +58,9 @@ pub fn to_rules(tree: &DecisionTree, train: &Dataset) -> RuleSet {
     // Default class: majority among uncovered training tuples.
     let mut uncovered_counts = vec![0usize; train.n_classes()];
     let mut any_uncovered = false;
-    for (row, label) in train.iter() {
-        if !rules.iter().any(|r| r.matches(row)) {
-            uncovered_counts[label] += 1;
+    for i in 0..train.len() {
+        if !rules.iter().any(|r| r.matches_at(train, i)) {
+            uncovered_counts[train.label(i)] += 1;
             any_uncovered = true;
         }
     }
@@ -115,14 +115,14 @@ fn collect_paths(node: &Node, conditions: &mut Vec<Condition>, out: &mut Vec<Rul
     }
 }
 
-/// `(covered, errors)` of one rule on the training set.
+/// `(covered, errors)` of one rule on the training set (columnar sweep).
 fn coverage(rule: &Rule, train: &Dataset) -> (usize, usize) {
     let mut covered = 0;
     let mut errors = 0;
-    for (row, label) in train.iter() {
-        if rule.matches(row) {
+    for i in 0..train.len() {
+        if rule.matches_at(train, i) {
             covered += 1;
-            if label != rule.class {
+            if train.label(i) != rule.class {
                 errors += 1;
             }
         }

@@ -1,6 +1,11 @@
 //! Split selection: entropy, information gain, gain ratio.
+//!
+//! Split search runs on [`DatasetView`]s: candidate evaluation walks each
+//! attribute's typed column in view order (a contiguous slice scan for the
+//! root, an index gather down one column for inner nodes) instead of
+//! chasing per-row `Vec<Value>` allocations.
 
-use nr_tabular::Dataset;
+use nr_tabular::DatasetView;
 
 /// Shannon entropy of a class-count vector, in bits.
 pub fn entropy(counts: &[usize]) -> f64 {
@@ -69,25 +74,25 @@ impl SplitCandidate {
     }
 }
 
-/// Evaluates the best split of `rows` (indices into `ds`) on every
-/// attribute and applies C4.5's selection heuristic: among candidates with
-/// gain at least the average positive gain, pick the best gain ratio.
-/// Returns `None` when no split has positive gain.
-pub fn gain_ratio_split(ds: &Dataset, rows: &[usize], min_leaf: usize) -> Option<SplitCandidate> {
-    let n_classes = ds.n_classes();
+/// Evaluates the best split of the view's rows on every attribute and
+/// applies C4.5's selection heuristic: among candidates with gain at least
+/// the average positive gain, pick the best gain ratio. Returns `None`
+/// when no split has positive gain.
+pub fn gain_ratio_split(view: &DatasetView<'_>, min_leaf: usize) -> Option<SplitCandidate> {
+    let n_classes = view.n_classes();
     let mut base_counts = vec![0usize; n_classes];
-    for &r in rows {
-        base_counts[ds.label(r)] += 1;
+    for l in view.labels() {
+        base_counts[l] += 1;
     }
     let base_entropy = entropy(&base_counts);
 
     let mut candidates: Vec<SplitCandidate> = Vec::new();
-    for a in 0..ds.schema().arity() {
-        let attr = ds.schema().attribute(a);
+    for a in 0..view.schema().arity() {
+        let attr = view.schema().attribute(a);
         let candidate = if attr.is_numeric() {
-            best_numeric_split(ds, rows, a, &base_counts, base_entropy, min_leaf)
+            best_numeric_split(view, a, &base_counts, base_entropy, min_leaf)
         } else {
-            nominal_split(ds, rows, a, base_entropy, min_leaf)
+            nominal_split(view, a, base_entropy, min_leaf)
         };
         if let Some(c) = candidate {
             if c.gain() > 1e-12 {
@@ -111,21 +116,18 @@ pub fn gain_ratio_split(ds: &Dataset, rows: &[usize], min_leaf: usize) -> Option
         })
 }
 
-/// Best `≤ t` split of a numeric attribute: sort the rows, scan class
-/// counts, and evaluate the gain at every boundary between distinct values.
+/// Best `≤ t` split of a numeric attribute: scan the column in view order,
+/// sort the `(value, label)` pairs, and evaluate the gain at every boundary
+/// between distinct values.
 fn best_numeric_split(
-    ds: &Dataset,
-    rows: &[usize],
+    view: &DatasetView<'_>,
     attribute: usize,
     base_counts: &[usize],
     base_entropy: f64,
     min_leaf: usize,
 ) -> Option<SplitCandidate> {
-    let n_classes = ds.n_classes();
-    let mut sorted: Vec<(f64, usize)> = rows
-        .iter()
-        .map(|&r| (ds.row(r)[attribute].expect_num(), ds.label(r)))
-        .collect();
+    let n_classes = view.n_classes();
+    let mut sorted: Vec<(f64, usize)> = view.num_column(attribute).zip(view.labels()).collect();
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let n = sorted.len();
     if n < 2 * min_leaf {
@@ -173,20 +175,18 @@ fn best_numeric_split(
 
 /// Multiway split on a nominal attribute.
 fn nominal_split(
-    ds: &Dataset,
-    rows: &[usize],
+    view: &DatasetView<'_>,
     attribute: usize,
     base_entropy: f64,
     min_leaf: usize,
 ) -> Option<SplitCandidate> {
-    let card = ds.schema().attribute(attribute).cardinality()?;
-    let n_classes = ds.n_classes();
+    let card = view.schema().attribute(attribute).cardinality()?;
+    let n_classes = view.n_classes();
     let mut per_cat = vec![vec![0usize; n_classes]; card];
-    for &r in rows {
-        let c = ds.row(r)[attribute].expect_nominal() as usize;
-        per_cat[c][ds.label(r)] += 1;
+    for (c, l) in view.nominal_column(attribute).zip(view.labels()) {
+        per_cat[c as usize][l] += 1;
     }
-    let n = rows.len() as f64;
+    let n = view.len() as f64;
     let nonempty: Vec<&Vec<usize>> = per_cat
         .iter()
         .filter(|c| c.iter().sum::<usize>() > 0)
@@ -226,7 +226,7 @@ fn nominal_split(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nr_tabular::{Attribute, Schema, Value};
+    use nr_tabular::{Attribute, Dataset, Schema, Value};
 
     #[test]
     fn entropy_basics() {
@@ -259,8 +259,7 @@ mod tests {
     #[test]
     fn numeric_split_finds_boundary() {
         let ds = toy_ds();
-        let rows: Vec<usize> = (0..ds.len()).collect();
-        let split = gain_ratio_split(&ds, &rows, 2).unwrap();
+        let split = gain_ratio_split(&ds.view(), 2).unwrap();
         match split {
             SplitCandidate::Numeric {
                 attribute,
@@ -285,8 +284,7 @@ mod tests {
         for i in 0..10 {
             ds.push(vec![Value::Num(i as f64)], 0).unwrap();
         }
-        let rows: Vec<usize> = (0..10).collect();
-        assert_eq!(gain_ratio_split(&ds, &rows, 2), None);
+        assert_eq!(gain_ratio_split(&ds.view(), 2), None);
     }
 
     #[test]
@@ -298,8 +296,7 @@ mod tests {
             ds.push(vec![Value::Nominal((i % 2) as u32)], i % 2)
                 .unwrap();
         }
-        let rows: Vec<usize> = (0..12).collect();
-        let split = gain_ratio_split(&ds, &rows, 2).unwrap();
+        let split = gain_ratio_split(&ds.view(), 2).unwrap();
         match split {
             SplitCandidate::Nominal {
                 attribute: 0, gain, ..
@@ -313,17 +310,25 @@ mod tests {
     #[test]
     fn min_leaf_respected() {
         let ds = toy_ds();
-        let rows: Vec<usize> = (0..3).collect(); // labels 0,0,0 -> pure anyway
-        assert_eq!(gain_ratio_split(&ds, &rows, 2), None);
+        let view = ds.view_of((0..3).collect()); // labels 0,0,0 -> pure anyway
+        assert_eq!(gain_ratio_split(&view, 2), None);
+    }
+
+    #[test]
+    fn view_split_matches_full_split_on_all_rows() {
+        // A view selecting every row must choose the identical split.
+        let ds = toy_ds();
+        let full = gain_ratio_split(&ds.view(), 2);
+        let explicit = gain_ratio_split(&ds.view_of((0..ds.len()).collect()), 2);
+        assert_eq!(full, explicit);
     }
 
     #[test]
     fn deterministic_choice() {
         let ds = toy_ds();
-        let rows: Vec<usize> = (0..ds.len()).collect();
         assert_eq!(
-            gain_ratio_split(&ds, &rows, 2),
-            gain_ratio_split(&ds, &rows, 2)
+            gain_ratio_split(&ds.view(), 2),
+            gain_ratio_split(&ds.view(), 2)
         );
     }
 }

@@ -1,6 +1,10 @@
 //! Tree induction, pessimistic pruning, prediction.
+//!
+//! Induction runs on [`DatasetView`]s: every recursion step partitions the
+//! parent view's row ids and recurses on child views — only index vectors
+//! are allocated, the columnar tuple data is never cloned.
 
-use nr_tabular::{ClassId, Dataset, Value};
+use nr_tabular::{ClassId, Dataset, DatasetView, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::pessimistic::pessimistic_errors;
@@ -114,16 +118,21 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Induces a tree on `ds` (all rows) with the given configuration.
     pub fn fit(ds: &Dataset, config: &TreeConfig) -> Self {
-        assert!(!ds.is_empty(), "cannot fit a tree on an empty dataset");
-        let rows: Vec<usize> = (0..ds.len()).collect();
-        let mut root = build(ds, &rows, config, 0);
+        Self::fit_view(&ds.view(), config)
+    }
+
+    /// Induces a tree on a row selection (e.g. a cross-validation fold)
+    /// without materializing it.
+    pub fn fit_view(view: &DatasetView<'_>, config: &TreeConfig) -> Self {
+        assert!(!view.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut root = build(view, config, 0);
         if config.prune {
             prune_node(&mut root, config.cf);
         }
         DecisionTree {
             root,
             config: *config,
-            n_classes: ds.n_classes(),
+            n_classes: view.n_classes(),
         }
     }
 
@@ -142,8 +151,11 @@ impl DecisionTree {
         self.root.depth()
     }
 
-    /// Predicts the class of one row.
-    pub fn predict(&self, row: &[Value]) -> ClassId {
+    /// Shared root-to-leaf traversal, parameterized over how attribute
+    /// values are fetched (row slice or columnar gather); the closures
+    /// monomorphize away. The unseen-category / empty-leaf rerouting
+    /// policy lives only here.
+    fn descend(&self, num: impl Fn(usize) -> f64, nominal: impl Fn(usize) -> u32) -> ClassId {
         let mut node = &self.root;
         loop {
             match node {
@@ -154,7 +166,7 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*attribute].expect_num() <= *threshold {
+                    node = if num(*attribute) <= *threshold {
                         left
                     } else {
                         right
@@ -165,7 +177,7 @@ impl DecisionTree {
                     children,
                     majority_child,
                 } => {
-                    let c = row[*attribute].expect_nominal() as usize;
+                    let c = nominal(*attribute) as usize;
                     node = children.get(c).unwrap_or(&children[*majority_child]);
                     // An empty category branch is a leaf with n == 0; route
                     // those through the majority child instead.
@@ -177,16 +189,33 @@ impl DecisionTree {
         }
     }
 
+    /// Predicts the class of one row.
+    pub fn predict(&self, row: &[Value]) -> ClassId {
+        self.descend(|a| row[a].expect_num(), |a| row[a].expect_nominal())
+    }
+
+    /// Predicts the class of dataset row `i` (columnar traversal — no row
+    /// materialization).
+    pub fn predict_row(&self, ds: &Dataset, i: usize) -> ClassId {
+        self.descend(|a| ds.num_column(a)[i], |a| ds.nominal_column(a)[i])
+    }
+
     /// Fraction of `ds` classified correctly.
     pub fn accuracy(&self, ds: &Dataset) -> f64 {
-        if ds.is_empty() {
+        self.accuracy_view(&ds.view())
+    }
+
+    /// Fraction of the view's rows classified correctly.
+    pub fn accuracy_view(&self, view: &DatasetView<'_>) -> f64 {
+        if view.is_empty() {
             return 0.0;
         }
-        let correct = ds
-            .iter()
-            .filter(|(row, label)| self.predict(row) == *label)
+        let ds = view.dataset();
+        let correct = view
+            .iter_ids()
+            .filter(|&i| self.predict_row(ds, i) == ds.label(i))
             .count();
-        correct as f64 / ds.len() as f64
+        correct as f64 / view.len() as f64
     }
 
     /// Pretty-prints the tree structure.
@@ -241,9 +270,10 @@ fn display_node(node: &Node, ds: &Dataset, indent: usize, out: &mut String) {
     }
 }
 
-/// Recursive top-down induction.
-fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Node {
-    let (class, n, errors, counts) = majority_leaf(ds, rows);
+/// Recursive top-down induction. Each recursion partitions the parent
+/// view's row ids into child views — no tuple data is copied.
+fn build(view: &DatasetView<'_>, config: &TreeConfig, depth: usize) -> Node {
+    let (class, n, errors, counts) = majority_leaf(view);
     if errors == 0 || n < 2 * config.min_leaf || depth >= config.max_depth {
         return Node::Leaf {
             class,
@@ -252,7 +282,7 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
             counts,
         };
     }
-    let Some(split) = gain_ratio_split(ds, rows, config.min_leaf) else {
+    let Some(split) = gain_ratio_split(view, config.min_leaf) else {
         return Node::Leaf {
             class,
             n,
@@ -267,8 +297,9 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
             ..
         } => {
             let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
-            for &r in rows {
-                if ds.row(r)[attribute].expect_num() <= threshold {
+            let col = view.dataset().num_column(attribute);
+            for r in view.iter_ids() {
+                if col[r] <= threshold {
                     left_rows.push(r);
                 } else {
                     right_rows.push(r);
@@ -278,19 +309,20 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
             Node::Numeric {
                 attribute,
                 threshold,
-                left: Box::new(build(ds, &left_rows, config, depth + 1)),
-                right: Box::new(build(ds, &right_rows, config, depth + 1)),
+                left: Box::new(build(&view.subview(left_rows), config, depth + 1)),
+                right: Box::new(build(&view.subview(right_rows), config, depth + 1)),
             }
         }
         SplitCandidate::Nominal { attribute, .. } => {
-            let card = ds
+            let card = view
                 .schema()
                 .attribute(attribute)
                 .cardinality()
                 .expect("nominal split on nominal attribute");
             let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); card];
-            for &r in rows {
-                buckets[ds.row(r)[attribute].expect_nominal() as usize].push(r);
+            let col = view.dataset().nominal_column(attribute);
+            for r in view.iter_ids() {
+                buckets[col[r] as usize].push(r);
             }
             let majority_child = buckets
                 .iter()
@@ -299,7 +331,7 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             let children: Vec<Node> = buckets
-                .iter()
+                .into_iter()
                 .map(|bucket| {
                     if bucket.is_empty() {
                         // Empty category: placeholder leaf, rerouted at
@@ -311,7 +343,7 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
                             counts: Vec::new(),
                         }
                     } else {
-                        build(ds, bucket, config, depth + 1)
+                        build(&view.subview(bucket), config, depth + 1)
                     }
                 })
                 .collect();
@@ -324,18 +356,15 @@ fn build(ds: &Dataset, rows: &[usize], config: &TreeConfig, depth: usize) -> Nod
     }
 }
 
-fn majority_leaf(ds: &Dataset, rows: &[usize]) -> (ClassId, usize, usize, Vec<usize>) {
-    let mut counts = vec![0usize; ds.n_classes()];
-    for &r in rows {
-        counts[ds.label(r)] += 1;
-    }
+fn majority_leaf(view: &DatasetView<'_>) -> (ClassId, usize, usize, Vec<usize>) {
+    let counts = view.class_distribution();
     let class = counts
         .iter()
         .enumerate()
         .max_by_key(|&(i, &c)| (c, usize::MAX - i))
         .map(|(i, _)| i)
         .unwrap_or(0);
-    let n = rows.len();
+    let n = view.len();
     let errors = n - counts[class];
     (class, n, errors, counts)
 }

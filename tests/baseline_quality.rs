@@ -68,7 +68,7 @@ fn confusion_matrix_consistent_with_accuracy() {
     let gen = Generator::new(11).with_perturbation(0.05);
     let (train, test) = gen.train_test(Function::F3, 500, 500);
     let tree = DecisionTree::fit(&train, &TreeConfig::default());
-    let m = ConfusionMatrix::compute(&test, |row| tree.predict(row));
+    let m = ConfusionMatrix::compute(&test, |d, i| tree.predict_row(d, i));
     assert!((m.accuracy() - tree.accuracy(&test)).abs() < 1e-12);
     assert_eq!(m.total(), test.len());
     // Precision/recall stay within [0,1].
@@ -86,8 +86,10 @@ fn cross_validation_estimates_generalization() {
     let folds = stratified_kfold(&ds, 5, 42);
     let mut accs = Vec::new();
     for (train, val) in folds {
-        let tree = DecisionTree::fit(&train, &TreeConfig::default());
-        accs.push(tree.accuracy(&val));
+        // Folds are zero-copy views; induction and scoring run on them
+        // directly, no materialization.
+        let tree = DecisionTree::fit_view(&train, &TreeConfig::default());
+        accs.push(tree.accuracy_view(&val));
     }
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;
     assert!(mean > 0.9, "cv mean accuracy {mean}");
@@ -102,8 +104,8 @@ fn stratified_split_keeps_tree_quality() {
     let gen = Generator::new(13).with_perturbation(0.05);
     let ds = gen.dataset(Function::F3, 800);
     let (train, test) = stratified_split(&ds, 0.75, 9);
-    let tree = DecisionTree::fit(&train, &TreeConfig::default());
-    assert!(tree.accuracy(&test) > 0.9);
+    let tree = DecisionTree::fit_view(&train, &TreeConfig::default());
+    assert!(tree.accuracy_view(&test) > 0.9);
     // Ratios preserved within a couple of rows.
     let full = ds.class_distribution();
     let tr = train.class_distribution();

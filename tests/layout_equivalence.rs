@@ -1,0 +1,115 @@
+//! Cross-layout equivalence pins for the columnar dataset refactor.
+//!
+//! The move from row-major `Vec<Vec<Value>>` storage to typed columns is
+//! layout-only: every construction path must produce the identical dataset,
+//! and the full pipeline must produce byte-identical rule sets and
+//! accuracies. The expected values below were captured on the row-major
+//! layout immediately before the refactor — any drift means the data layer
+//! changed semantics, not just layout.
+
+use std::io::BufReader;
+
+use neurorule::NeuroRule;
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+use nr_tabular::{read_csv_streaming, write_csv, Column, Dataset};
+
+/// Row-pushed, bulk-column-appended, and CSV-streamed construction must
+/// yield identical datasets (and identical induced trees).
+#[test]
+fn construction_paths_are_equivalent() {
+    let by_bulk = Generator::new(42)
+        .with_perturbation(0.05)
+        .dataset(Function::F2, 500);
+
+    // Row-major reconstruction through the compatibility shim.
+    let rows: Vec<_> = (0..by_bulk.len()).map(|i| by_bulk.row_values(i)).collect();
+    let by_rows = Dataset::from_rows(
+        by_bulk.schema().clone(),
+        by_bulk.class_names().to_vec(),
+        rows,
+        by_bulk.labels().to_vec(),
+    )
+    .expect("rows round-trip");
+    assert_eq!(by_bulk, by_rows);
+
+    // Column-segment reconstruction.
+    let mut by_cols = Dataset::new(by_bulk.schema().clone(), by_bulk.class_names().to_vec());
+    let columns: Vec<Column> = (0..by_bulk.schema().arity())
+        .map(|a| by_bulk.column(a).clone())
+        .collect();
+    by_cols
+        .append_columns(columns, by_bulk.labels().to_vec())
+        .expect("columns round-trip");
+    assert_eq!(by_bulk, by_cols);
+
+    // Streaming CSV round-trip. (Numeric text formatting is lossless for
+    // f64 via Rust's shortest-roundtrip display.)
+    let mut buf = Vec::new();
+    write_csv(&by_bulk, &mut buf).unwrap();
+    let by_csv = read_csv_streaming(
+        by_bulk.schema().clone(),
+        by_bulk.class_names().to_vec(),
+        BufReader::new(&buf[..]),
+    )
+    .expect("csv round-trip");
+    assert_eq!(by_bulk, by_csv);
+
+    // And a consumer on top: identical trees from every construction path.
+    let cfg = nr_tree::TreeConfig::default();
+    let t0 = nr_tree::DecisionTree::fit(&by_bulk, &cfg);
+    assert_eq!(t0, nr_tree::DecisionTree::fit(&by_rows, &cfg));
+    assert_eq!(t0, nr_tree::DecisionTree::fit(&by_csv, &cfg));
+}
+
+/// The full-pipeline pin: F1 outputs captured on the pre-refactor
+/// row-major layout.
+#[test]
+fn f1_pipeline_outputs_match_row_major_baseline() {
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let (train, test) = gen.train_test(Function::F1, 1000, 1000);
+    let model = NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .with_seed(1)
+        .fit(&train)
+        .expect("fit");
+    assert_eq!(
+        model.ruleset.display(train.schema()),
+        "Rule 1. If (40 <= age < 60) , then B.\nDefault Rule. A.\n"
+    );
+    assert!((model.rules_accuracy(&train) - 0.967).abs() < 1e-12);
+    assert!((model.rules_accuracy(&test) - 0.983).abs() < 1e-12);
+    assert!((model.network_accuracy(&train) - 0.967).abs() < 1e-12);
+}
+
+/// The full-pipeline pin: F2 outputs captured on the pre-refactor
+/// row-major layout (9 rules, 33 conditions, fixed accuracies).
+#[test]
+fn f2_pipeline_outputs_match_row_major_baseline() {
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let (train, test) = gen.train_test(Function::F2, 1000, 1000);
+    let model = NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .with_seed(12345)
+        .fit(&train)
+        .expect("fit");
+    assert_eq!(model.ruleset.len(), 9);
+    assert_eq!(model.ruleset.total_conditions(), 33);
+    assert!((model.rules_accuracy(&train) - 0.934).abs() < 1e-12);
+    assert!((model.rules_accuracy(&test) - 0.939).abs() < 1e-12);
+    assert!((model.network_accuracy(&train) - 0.934).abs() < 1e-12);
+    let display = model.ruleset.display(train.schema());
+    // Spot-pin the first and last rules and the default verbatim.
+    assert!(
+        display.starts_with("Rule 1. If (50000 <= salary < 100000) and (age < 30) , then A.\n"),
+        "{display}"
+    );
+    assert!(
+        display.contains(
+            "Rule 9. If (50000 <= salary < 100000) and (commission >= 10000) and \
+             (30 <= age < 60) and (hvalue < 1100000) and (car = car15) , then A.\n"
+        ),
+        "{display}"
+    );
+    assert!(display.ends_with("Default Rule. B.\n"), "{display}");
+}

@@ -1,0 +1,110 @@
+//! End-to-end coverage of the m ≥ 3 class path: encode → train → prune →
+//! extract → rules.
+//!
+//! The paper's experiments are all two-class (Group A / Group B), but the
+//! method is defined for m classes — one output node per class, argmax
+//! classification (§2.1) — and every crate keeps the class count generic.
+//! Until now only m = 2 was exercised end-to-end; this suite pins the
+//! three-class path.
+
+use neurorule::NeuroRule;
+use nr_nn::{Trainer, TrainingAlgorithm};
+use nr_opt::Bfgs;
+use nr_prune::PruneConfig;
+use nr_tabular::{Attribute, Dataset, Schema, Value};
+
+/// Three well-separated bands of a single numeric attribute, plus a nominal
+/// noise column: `class = low / mid / high`. Deterministic, no RNG.
+fn three_band_dataset(n: usize) -> Dataset {
+    let schema = Schema::new(vec![
+        Attribute::numeric("x"),
+        Attribute::nominal_anon("noise", 3),
+    ]);
+    let mut ds = Dataset::new(schema, vec!["low".into(), "mid".into(), "high".into()]);
+    for i in 0..n {
+        let x = 30.0 * (i as f64 + 0.5) / n as f64; // spread over [0, 30)
+        let class = (x / 10.0) as usize; // 0, 1, 2
+        ds.push(vec![Value::Num(x), Value::Nominal((i % 3) as u32)], class)
+            .unwrap();
+    }
+    ds
+}
+
+fn pipeline(seed: u64) -> NeuroRule {
+    let prune = PruneConfig {
+        retrain: Trainer::new(TrainingAlgorithm::Bfgs(
+            Bfgs::default().with_max_iters(80).with_grad_tol(1e-3),
+        )),
+        ..PruneConfig::default()
+    };
+    NeuroRule::default()
+        .with_encoder_bins(6)
+        .with_hidden_nodes(6)
+        .with_seed(seed)
+        .with_prune(prune)
+}
+
+#[test]
+fn three_class_pipeline_end_to_end() {
+    let train = three_band_dataset(600);
+    assert_eq!(train.n_classes(), 3);
+    let model = pipeline(3).fit(&train).expect("pipeline succeeds at m = 3");
+
+    // The rules must clear a solid accuracy floor on the (noise-free)
+    // training data and actually use all three classes.
+    let acc = model.rules_accuracy(&train);
+    assert!(acc >= 0.9, "three-class rule accuracy {acc}");
+    let m = nr_rules::ConfusionMatrix::compute(&train, |d, i| model.ruleset.predict_row(d, i));
+    for class in 0..3 {
+        assert!(
+            m.recall(class) > 0.5,
+            "class {class} recall {} — a class was abandoned",
+            m.recall(class)
+        );
+    }
+
+    // Prediction surfaces agree with the network on most rows (fidelity of
+    // the extraction, paper §4.1).
+    assert!(
+        model.fidelity(&train) >= 0.9,
+        "fidelity {}",
+        model.fidelity(&train)
+    );
+
+    // Spot-check single-tuple prediction on fresh points well inside each
+    // band.
+    for (x, want) in [(2.0, 0usize), (15.0, 1), (28.0, 2)] {
+        let row = vec![Value::Num(x), Value::Nominal(0)];
+        assert_eq!(
+            model.predict(&row),
+            want,
+            "x = {x} must land in band {want}"
+        );
+    }
+}
+
+#[test]
+fn three_class_network_and_tree_agree_on_shapes() {
+    let train = three_band_dataset(300);
+    // The C4.5 baseline handles m = 3 on the same dataset (sanity for the
+    // comparison tooling).
+    let tree = nr_tree::DecisionTree::fit(&train, &nr_tree::TreeConfig::default());
+    assert!(tree.accuracy(&train) > 0.95);
+    let rules = nr_tree::to_rules(&tree, &train);
+    assert!(rules.accuracy(&train) > 0.9);
+    // Per-rule stats and the confusion matrix accept 3 classes.
+    let stats = nr_rules::evaluate_rules(&rules, &train);
+    assert_eq!(stats.len(), rules.len());
+    let m = nr_rules::ConfusionMatrix::compute(&train, |d, i| rules.predict_row(d, i));
+    assert_eq!(m.n_classes(), 3);
+    assert!((m.accuracy() - rules.accuracy(&train)).abs() < 1e-12);
+}
+
+#[test]
+fn three_class_deterministic() {
+    let train = three_band_dataset(300);
+    let a = pipeline(3).fit(&train).expect("fit a");
+    let b = pipeline(3).fit(&train).expect("fit b");
+    assert_eq!(a.ruleset, b.ruleset);
+    assert_eq!(a.network, b.network);
+}

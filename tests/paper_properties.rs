@@ -108,8 +108,8 @@ proptest! {
     #[test]
     fn generator_ranges_hold_for_any_seed(seed in 0u64..1000) {
         let ds = Generator::new(seed).with_perturbation(0.05).dataset(Function::F6, 50);
-        for (row, _) in ds.iter() {
-            let p = Person::from_row(row);
+        for i in 0..ds.len() {
+            let p = Person::from_row(&ds.row_values(i));
             prop_assert!((20_000.0..=150_000.0).contains(&p.salary));
             prop_assert!(p.commission == 0.0 || (10_000.0..=75_000.0).contains(&p.commission));
             prop_assert!((20.0..=80.0).contains(&p.age));

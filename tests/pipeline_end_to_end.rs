@@ -141,8 +141,9 @@ fn model_serde_roundtrip() {
     let back: neurorule::Model = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(model, back);
     // The revived model predicts identically.
-    for (row, _) in train.iter().take(50) {
-        assert_eq!(model.predict(row), back.predict(row));
+    for i in 0..50.min(train.len()) {
+        let row = train.row_values(i);
+        assert_eq!(model.predict(&row), back.predict(&row));
     }
 }
 

@@ -183,6 +183,12 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::sync::Arc::new)
+    }
+}
+
 macro_rules! deserialize_tuple {
     ($(($($name:ident),+) len $len:expr;)*) => {$(
         impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {

@@ -297,6 +297,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
 macro_rules! serialize_tuple {
     ($(($($name:ident . $idx:tt),+) len $len:expr;)*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
