@@ -39,6 +39,8 @@ fn inference(c: &mut Criterion) {
         });
     });
     group.bench_function("pruned-network", |b| {
+        // Deliberate legacy path: materialize + encode + classify per
+        // tuple. The serving bench measures the batch replacements.
         b.iter(|| {
             (0..test.len())
                 .map(|i| net.classify(&enc.encode_row(&test.row_values(i))))
@@ -78,6 +80,8 @@ fn batch_inference(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(rows as u64));
     group.bench_function("per-row-encode-classify", |b| {
+        // Deliberate legacy path (the pre-batch hot loop, row_values shim
+        // included) — it is the baseline this group measures against.
         b.iter(|| {
             (0..raw.len())
                 .map(|i| net.classify(&enc.encode_row(&raw.row_values(i))))

@@ -16,6 +16,7 @@
 //! use neurorule::NeuroRule;
 //! use nr_datagen::{Function, Generator};
 //! use nr_encode::Encoder;
+//! use nr_rules::Predictor;
 //!
 //! let train = Generator::new(42).with_perturbation(0.05).dataset(Function::F2, 1000);
 //! let model = NeuroRule::default()
@@ -24,6 +25,12 @@
 //!     .expect("pipeline succeeds");
 //! println!("{}", model.ruleset.display(train.schema()));
 //! println!("rule accuracy: {:.1}%", 100.0 * model.ruleset.accuracy(&train));
+//!
+//! // Compile for serving: batch scoring through the `Predictor` trait,
+//! // shareable across threads, persistable without retraining.
+//! let served = model.compile();
+//! let classes = served.predict_batch(&train.view());
+//! assert_eq!(classes.len(), train.len());
 //! ```
 
 #![deny(missing_docs)]

@@ -3,8 +3,9 @@
 use nr_encode::Encoder;
 use nr_nn::{Mlp, TrainReport};
 use nr_prune::PruneOutcome;
-use nr_rules::RuleSet;
+use nr_rules::{Predictor, RuleSet};
 use nr_rulex::{BitRule, RxTrace};
+use nr_serve::{ServeMode, ServeModel};
 use nr_tabular::{ClassId, Dataset, Value};
 use serde::{Deserialize, Serialize};
 
@@ -43,20 +44,49 @@ pub struct Model {
 }
 
 impl Model {
-    /// Predicts with the extracted rules (first match, else default).
+    /// Compiles the fitted model into an immutable, `Arc`-shareable
+    /// [`ServeModel`]: the rule set lowered to the batch predicate-table
+    /// engine, the pruned network behind the batch scorer, answering in
+    /// [`ServeMode::Rules`]. Switch engines with
+    /// [`ServeModel::with_mode`] (`Network`, or `Hybrid` for
+    /// rules-with-network-fallback); persist with [`ServeModel::save`].
+    pub fn compile(&self) -> ServeModel {
+        ServeModel::new(
+            &self.ruleset,
+            self.encoder.clone(),
+            self.network.clone(),
+            ServeMode::Rules,
+        )
+    }
+
+    /// Predicts one materialized row with the extracted rules (first
+    /// match, else default).
+    #[deprecated(
+        since = "0.1.0",
+        note = "row-at-a-time shim; use `compile()` and the batch \
+                `Predictor` API instead"
+    )]
+    #[allow(deprecated)]
     pub fn predict(&self, row: &[Value]) -> ClassId {
         self.ruleset.predict(row)
     }
 
-    /// Predicts with the pruned network (argmax output).
+    /// Predicts one materialized row with the pruned network (argmax
+    /// output).
+    #[deprecated(
+        since = "0.1.0",
+        note = "row-at-a-time shim; use `compile()` and the batch \
+                `Predictor` API instead"
+    )]
     pub fn predict_network(&self, row: &[Value]) -> ClassId {
         let x = self.encoder.encode_row(row);
         self.network.classify(&x)
     }
 
-    /// Rule-set accuracy on a dataset.
+    /// Rule-set accuracy on a dataset (batch evaluation through the
+    /// [`Predictor`] trait).
     pub fn rules_accuracy(&self, ds: &Dataset) -> f64 {
-        self.ruleset.accuracy(ds)
+        self.ruleset.accuracy_view(&ds.view())
     }
 
     /// Pruned-network accuracy on a dataset.
@@ -71,18 +101,20 @@ impl Model {
     /// Fraction of rows where rules and network agree (fidelity of the
     /// extraction).
     ///
-    /// Encodes the dataset once and runs the network on the batched path
-    /// instead of encoding and classifying tuple by tuple.
+    /// Both surfaces run batched: the dataset is encoded once for the
+    /// network and the rules predict the whole view through the
+    /// [`Predictor`] trait.
     pub fn fidelity(&self, ds: &Dataset) -> f64 {
         if ds.is_empty() {
             return 0.0;
         }
         let encoded = self.encoder.encode_dataset(ds);
         let net_predictions = self.network.classify_batch(&encoded);
+        let rule_predictions = self.ruleset.predict_batch(&ds.view());
         let agree = net_predictions
             .iter()
-            .enumerate()
-            .filter(|&(i, &net)| self.ruleset.predict_row(ds, i) == net)
+            .zip(&rule_predictions)
+            .filter(|(net, rules)| net == rules)
             .count();
         agree as f64 / ds.len() as f64
     }

@@ -301,11 +301,13 @@ mod tests {
         for i in 0..ps.len() {
             assert!(is_feasible(&e, &ps.literals(i)), "pattern {i} infeasible");
         }
-        // Sample some real tuples; their restricted encodings must be listed.
+        // Sample some real tuples (batch-encoded, no row materialization);
+        // their restricted encodings must be listed.
         use nr_datagen::{Function, Generator};
         let ds = Generator::new(5).dataset(Function::F2, 200);
-        for i in 0..ds.len() {
-            let x = e.encode_row(&ds.row_values(i));
+        let encoded = e.encode_dataset(&ds);
+        for i in 0..encoded.rows() {
+            let x = encoded.input(i);
             let restricted: Vec<bool> = ps.bits.iter().map(|&b| x[b] == 1.0).collect();
             assert!(
                 ps.patterns.contains(&restricted),

@@ -402,6 +402,35 @@ impl Mlp {
         preds
     }
 
+    /// Predicted class **and the winning output activation** for every
+    /// row of an encoded dataset — the scored variant backing serving's
+    /// `predict_scored_batch`. Same pooled fixed-chunk traversal as
+    /// [`Mlp::classify_batch`]; per-row results equal
+    /// [`Mlp::forward`] + argmax bit for bit.
+    pub fn classify_scored_batch(&self, data: &EncodedDataset) -> Vec<(usize, f64)> {
+        let (n_in, h, o) = (self.n_in, self.n_hidden, self.n_out);
+        let rows = data.rows();
+        let threads = crate::par::resolve_threads(0, crate::par::n_chunks(rows));
+        let shared = data.shared();
+        let w = self.w.clone();
+        let v = self.v.clone();
+        let chunks = crate::par::map_chunks(rows, threads, move |_c, range| {
+            shared_chunk_forward(&shared, range, (n_in, h, o), &w, &v, |out| {
+                out.chunks_exact(o)
+                    .map(|row| {
+                        let class = argmax(row);
+                        (class, row[class])
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        let mut preds = Vec::with_capacity(rows);
+        for chunk in chunks {
+            preds.extend(chunk);
+        }
+        preds
+    }
+
     /// Fraction of the dataset classified correctly (argmax rule).
     ///
     /// Runs on the batched kernels; equal to classifying row by row.
@@ -748,6 +777,24 @@ mod tests {
         // Single output: argmax is always node 0.
         assert_eq!(net.classify(&[1.0, 1.0]), 0);
         assert_eq!(net.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    fn scored_batch_matches_per_row_forward() {
+        let net = tiny();
+        let data = nr_encode::EncodedDataset::from_parts(
+            vec![1.0, 1.0, -1.0, 1.0, 0.0, 1.0],
+            2,
+            vec![0, 0, 0],
+            1,
+        );
+        let scored = net.classify_scored_batch(&data);
+        assert_eq!(scored.len(), 3);
+        for (i, &(class, score)) in scored.iter().enumerate() {
+            let (_, out) = net.forward(data.input(i));
+            assert_eq!(class, argmax(&out));
+            assert_eq!(score, out[class], "row {i} activation must be exact");
+        }
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! Ablations beyond the paper: trainer choice, penalty, clustering ε.
+//! Ablations beyond the paper: trainer choice, penalty, clustering ε,
+//! hidden width.
+//!
+//! Each ablation produces a structured [`Table`] so the same numbers back
+//! both the console output (`repro ablation`) and the generated
+//! `EXPERIMENTS.md` (`repro experiments`).
 
 use neurorule::NeuroRule;
 use nr_datagen::Function;
@@ -8,44 +13,110 @@ use nr_opt::{Bfgs, ConjugateGradient, GradientDescent, Lbfgs};
 
 use crate::common::{header, paper_datasets, pct};
 
-/// Runs all ablations on Function 2.
-pub fn run() {
-    header("Ablations (not in the paper): trainer, penalty, epsilon, width");
-    trainer_ablation();
-    penalty_ablation();
-    epsilon_ablation();
-    hidden_width_ablation();
+/// One ablation's results: a caption, column headers, and string rows.
+pub struct Table {
+    /// Section caption (what was varied, on which function).
+    pub title: String,
+    /// Column names.
+    pub headers: Vec<&'static str>,
+    /// One row per configuration.
+    pub rows: Vec<Vec<String>>,
 }
 
-/// Initial hidden-layer width: the paper starts oversized and prunes
-/// (§2.1); how much does the starting width matter?
-fn hidden_width_ablation() {
-    println!("\n-- initial hidden nodes (Function 2) --");
-    let (train, _) = paper_datasets(Function::F2);
-    for h in [2usize, 4, 6, 8] {
-        match NeuroRule::default()
-            .with_encoder(Encoder::agrawal())
-            .with_hidden_nodes(h)
-            .fit(&train)
-        {
-            Ok(m) => println!(
-                "h = {h}: links {} -> {}, live hidden {}, rules {}, rule-acc {}%",
-                m.report.prune_outcome.initial_links,
-                m.report.prune_outcome.remaining_links,
-                m.network.live_hidden().len(),
-                m.ruleset.len(),
-                pct(m.report.train_rule_accuracy),
-            ),
-            Err(e) => println!("h = {h}: failed: {e}"),
+impl Table {
+    /// Prints the table with aligned columns.
+    fn print(&self) {
+        println!("\n-- {} --", self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: Vec<String>| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            println!("{}", padded.join("  "));
+        };
+        line(self.headers.iter().map(|h| h.to_string()).collect());
+        for row in &self.rows {
+            line(row.clone());
         }
     }
 }
 
+/// Runs all ablations on Function 2 and returns their tables.
+pub fn tables() -> Vec<Table> {
+    vec![
+        trainer_ablation(),
+        penalty_ablation(),
+        epsilon_ablation(),
+        hidden_width_ablation(),
+    ]
+}
+
+/// Runs all ablations and prints them to stdout.
+pub fn run() {
+    header("Ablations (not in the paper): trainer, penalty, epsilon, width");
+    for table in tables() {
+        table.print();
+    }
+}
+
+/// Initial hidden-layer width: the paper starts oversized and prunes
+/// (§2.1); how much does the starting width matter?
+fn hidden_width_ablation() -> Table {
+    let (train, _) = paper_datasets(Function::F2);
+    let rows = [2usize, 4, 6, 8]
+        .into_iter()
+        .map(|h| {
+            match NeuroRule::default()
+                .with_encoder(Encoder::agrawal())
+                .with_hidden_nodes(h)
+                .fit(&train)
+            {
+                Ok(m) => vec![
+                    h.to_string(),
+                    format!(
+                        "{} -> {}",
+                        m.report.prune_outcome.initial_links,
+                        m.report.prune_outcome.remaining_links
+                    ),
+                    m.network.live_hidden().len().to_string(),
+                    m.ruleset.len().to_string(),
+                    pct(m.report.train_rule_accuracy),
+                ],
+                Err(e) => vec![
+                    h.to_string(),
+                    format!("failed: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ],
+            }
+        })
+        .collect();
+    Table {
+        title: "initial hidden nodes (Function 2)".into(),
+        headers: vec!["hidden", "links", "live hidden", "rules", "rule-acc %"],
+        rows,
+    }
+}
+
 /// BFGS vs gradient descent at equal wall-clock-ish budgets.
-fn trainer_ablation() {
-    println!("\n-- training algorithm (Function 2, 1000 tuples) --");
+fn trainer_ablation() -> Table {
     let (train, test) = paper_datasets(Function::F2);
-    for (name, trainer) in [
+    let configs: [(&str, Trainer); 4] = [
         (
             "BFGS-300 (paper)",
             Trainer::new(TrainingAlgorithm::Bfgs(Bfgs::default().with_max_iters(300))),
@@ -70,67 +141,110 @@ fn trainer_ablation() {
                     .with_max_iters(3000),
             )),
         ),
-    ] {
-        let t0 = std::time::Instant::now();
-        let result = NeuroRule::default()
-            .with_encoder(Encoder::agrawal())
-            .with_trainer(trainer)
-            .fit(&train);
-        let dt = t0.elapsed();
-        match result {
-            Ok(m) => println!(
-                "{name:<34} train {}%  test {}%  rules {}  links {}  in {dt:.1?}",
-                pct(m.report.train_network_accuracy),
-                pct(m.network_accuracy(&test)),
-                m.ruleset.len(),
-                m.report.prune_outcome.remaining_links,
-            ),
-            Err(e) => println!("{name:<34} failed: {e}"),
-        }
+    ];
+    let rows = configs
+        .into_iter()
+        .map(|(name, trainer)| {
+            let t0 = std::time::Instant::now();
+            let result = NeuroRule::default()
+                .with_encoder(Encoder::agrawal())
+                .with_trainer(trainer)
+                .fit(&train);
+            let dt = t0.elapsed();
+            match result {
+                Ok(m) => vec![
+                    name.to_string(),
+                    pct(m.report.train_network_accuracy),
+                    pct(m.network_accuracy(&test)),
+                    m.ruleset.len().to_string(),
+                    m.report.prune_outcome.remaining_links.to_string(),
+                    format!("{dt:.1?}"),
+                ],
+                Err(e) => vec![
+                    name.to_string(),
+                    format!("failed: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ],
+            }
+        })
+        .collect();
+    Table {
+        title: "training algorithm (Function 2, 1000 tuples)".into(),
+        headers: vec!["trainer", "train %", "test %", "rules", "links", "fit time"],
+        rows,
     }
 }
 
 /// Penalty on/off: the eq.-3 penalty is what makes pruning effective.
-fn penalty_ablation() {
-    println!("\n-- weight-decay penalty (Function 2) --");
+fn penalty_ablation() -> Table {
     let (train, _) = paper_datasets(Function::F2);
-    for (name, penalty) in [
+    let configs = [
         ("penalty eq.3 (eps1=0.1, eps2=1e-4)", Penalty::default()),
         ("no penalty", Penalty::none()),
-    ] {
-        let trainer = Trainer::default().with_penalty(penalty);
-        match NeuroRule::default()
-            .with_encoder(Encoder::agrawal())
-            .with_trainer(trainer)
-            .fit(&train)
-        {
-            Ok(m) => println!(
-                "{name:<36} links after pruning {}  rules {}  train-acc {}%",
-                m.report.prune_outcome.remaining_links,
-                m.ruleset.len(),
-                pct(m.report.train_network_accuracy),
-            ),
-            Err(e) => println!("{name:<36} failed: {e}"),
-        }
+    ];
+    let rows = configs
+        .into_iter()
+        .map(|(name, penalty)| {
+            let trainer = Trainer::default().with_penalty(penalty);
+            match NeuroRule::default()
+                .with_encoder(Encoder::agrawal())
+                .with_trainer(trainer)
+                .fit(&train)
+            {
+                Ok(m) => vec![
+                    name.to_string(),
+                    m.report.prune_outcome.remaining_links.to_string(),
+                    m.ruleset.len().to_string(),
+                    pct(m.report.train_network_accuracy),
+                ],
+                Err(e) => vec![
+                    name.to_string(),
+                    format!("failed: {e}"),
+                    String::new(),
+                    String::new(),
+                ],
+            }
+        })
+        .collect();
+    Table {
+        title: "weight-decay penalty (Function 2)".into(),
+        headers: vec!["penalty", "links after pruning", "rules", "train-acc %"],
+        rows,
     }
 }
 
 /// Clustering ε sensitivity (Figure 4 step 1).
-fn epsilon_ablation() {
-    println!("\n-- clustering epsilon (Function 2) --");
+fn epsilon_ablation() -> Table {
     let (train, _) = paper_datasets(Function::F2);
-    for eps in [0.9, 0.6, 0.3, 0.1] {
-        let mut config = NeuroRule::default().with_encoder(Encoder::agrawal());
-        config.rx.epsilon = eps;
-        match config.fit(&train) {
-            Ok(m) => println!(
-                "eps {eps:<4} -> final eps {:.3}  clusters {:?}  rules {}  rule-acc {}%",
-                m.report.rx_trace.epsilon,
-                m.report.rx_trace.cluster_counts,
-                m.ruleset.len(),
-                pct(m.report.train_rule_accuracy),
-            ),
-            Err(e) => println!("eps {eps:<4} -> failed: {e}"),
-        }
+    let rows = [0.9, 0.6, 0.3, 0.1]
+        .into_iter()
+        .map(|eps| {
+            let mut config = NeuroRule::default().with_encoder(Encoder::agrawal());
+            config.rx.epsilon = eps;
+            match config.fit(&train) {
+                Ok(m) => vec![
+                    eps.to_string(),
+                    format!("{:.3}", m.report.rx_trace.epsilon),
+                    format!("{:?}", m.report.rx_trace.cluster_counts),
+                    m.ruleset.len().to_string(),
+                    pct(m.report.train_rule_accuracy),
+                ],
+                Err(e) => vec![
+                    eps.to_string(),
+                    format!("failed: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ],
+            }
+        })
+        .collect();
+    Table {
+        title: "clustering epsilon (Function 2)".into(),
+        headers: vec!["eps", "final eps", "clusters", "rules", "rule-acc %"],
+        rows,
     }
 }

@@ -11,7 +11,10 @@
 //! repro accuracy    §4.1: accuracy table, pruned networks vs C4.5
 //! repro table3      Table 3: per-rule statistics for Function 4
 //! repro ablation    extra: BFGS vs gradient descent, penalty on/off
-//! repro all         everything above in order
+//! repro experiments writes EXPERIMENTS.md: the ablation tables plus the
+//!                   serving-throughput comparison from BENCH_serving.json
+//!                   (optional arg: output path)
+//! repro all         everything above in order (except experiments)
 //! repro --quick     CI smoke: schema + coding tables and one reduced
 //!                   end-to-end pipeline fit with floor assertions
 //! ```
@@ -19,6 +22,7 @@
 mod ablation;
 mod accuracy;
 mod common;
+mod experiments;
 mod figures;
 mod smoke;
 mod table3;
@@ -45,6 +49,7 @@ fn main() {
         "accuracy" => accuracy::run(),
         "table3" => table3::run(),
         "ablation" => ablation::run(),
+        "experiments" => experiments::run(args.get(1).map(String::as_str)),
         "all" => {
             tables::table1();
             tables::table2();

@@ -8,27 +8,35 @@
 //! default class), together with evaluation (accuracy, the per-rule
 //! `Total / Correct%` statistics of Table 3) and paper-style pretty printing.
 //!
+//! Prediction is **batch-first**: every classifier implements the
+//! [`Predictor`] trait (`predict_batch` over a [`nr_tabular::DatasetView`]),
+//! which is also what the compiled serving engines in `nr-serve` speak.
+//!
 //! ```
-//! use nr_tabular::{Attribute, Schema, Value};
-//! use nr_rules::{Condition, Rule, RuleSet};
+//! use nr_tabular::{Attribute, Dataset, Schema, Value};
+//! use nr_rules::{Condition, Predictor, Rule, RuleSet};
 //!
 //! let schema = Schema::new(vec![Attribute::numeric("age")]);
 //! let rule = Rule::new(vec![Condition::num_lt(0, 40.0)], 0);
 //! let rs = RuleSet::new(vec![rule], 1, vec!["A".into(), "B".into()]);
-//! assert_eq!(rs.predict(&[Value::Num(30.0)]), 0);
-//! assert_eq!(rs.predict(&[Value::Num(50.0)]), 1);
+//! let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+//! ds.push(vec![Value::Num(30.0)], 0).unwrap();
+//! ds.push(vec![Value::Num(50.0)], 1).unwrap();
+//! assert_eq!(rs.predict_batch(&ds.view()), vec![0, 1]);
 //! ```
 
 #![deny(missing_docs)]
 
 mod condition;
 mod metrics;
+mod predictor;
 mod rule;
 mod ruleset;
 mod stats;
 
 pub use condition::Condition;
 pub use metrics::ConfusionMatrix;
+pub use predictor::{Predictor, Scored};
 pub use rule::Rule;
 pub use ruleset::RuleSet;
 pub use stats::{evaluate_rules, RuleStats};

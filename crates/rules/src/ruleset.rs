@@ -1,9 +1,9 @@
 //! Ordered rule sets with a default class.
 
-use nr_tabular::{ClassId, Dataset, Schema, Value};
+use nr_tabular::{ClassId, Dataset, DatasetView, Schema, Value};
 use serde::{Deserialize, Serialize};
 
-use crate::Rule;
+use crate::{Predictor, Rule, Scored};
 
 /// An ordered list of rules plus a default class.
 ///
@@ -46,7 +46,13 @@ impl RuleSet {
         self.rules.iter().map(Rule::n_conditions).sum()
     }
 
-    /// Predicts the class of `row` (first matching rule, else default).
+    /// Predicts the class of a materialized `row` (first matching rule,
+    /// else default).
+    #[deprecated(
+        since = "0.1.0",
+        note = "row-at-a-time shim; use `Predictor::predict_batch` (or \
+                `predict_row` on a columnar dataset) instead"
+    )]
     pub fn predict(&self, row: &[Value]) -> ClassId {
         self.rules
             .iter()
@@ -57,6 +63,10 @@ impl RuleSet {
 
     /// Predicts the class of dataset row `i` (first matching rule, else
     /// default) — columnar evaluation, no row materialization.
+    ///
+    /// This is the interpreted reference path; the compiled engine in
+    /// `nr-serve` is pinned bit-identical to it. Bulk scoring should go
+    /// through [`Predictor::predict_batch`].
     pub fn predict_row(&self, ds: &Dataset, i: usize) -> ClassId {
         self.rules
             .iter()
@@ -65,20 +75,27 @@ impl RuleSet {
             .unwrap_or(self.default_class)
     }
 
-    /// Index of the first matching rule, `None` if only the default applies.
+    /// Index of the first rule matching a materialized row, `None` if only
+    /// the default applies.
+    #[deprecated(
+        since = "0.1.0",
+        note = "row-at-a-time shim; use `first_match_row` on a columnar \
+                dataset instead"
+    )]
     pub fn first_match(&self, row: &[Value]) -> Option<usize> {
         self.rules.iter().position(|r| r.matches(row))
     }
 
-    /// Fraction of `ds` rows classified correctly.
+    /// Index of the first rule matching dataset row `i`, `None` if only
+    /// the default applies.
+    pub fn first_match_row(&self, ds: &Dataset, i: usize) -> Option<usize> {
+        self.rules.iter().position(|r| r.matches_at(ds, i))
+    }
+
+    /// Fraction of `ds` rows classified correctly (batch evaluation via
+    /// [`Predictor::accuracy_view`]).
     pub fn accuracy(&self, ds: &Dataset) -> f64 {
-        if ds.is_empty() {
-            return 0.0;
-        }
-        let correct = (0..ds.len())
-            .filter(|&i| self.predict_row(ds, i) == ds.label(i))
-            .count();
-        correct as f64 / ds.len() as f64
+        self.accuracy_view(&ds.view())
     }
 
     /// Rules predicting `class`, in order.
@@ -186,6 +203,38 @@ impl RuleSet {
     }
 }
 
+/// The interpreted batch path: first-match evaluation row by row over the
+/// columnar storage. `CompiledRules` in `nr-serve` is the compiled
+/// equivalent, pinned bit-identical to this implementation.
+impl Predictor for RuleSet {
+    fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    fn predict_batch_into(&self, view: &DatasetView<'_>, out: &mut Vec<ClassId>) {
+        let ds = view.dataset();
+        out.extend(view.iter_ids().map(|r| self.predict_row(ds, r)));
+    }
+
+    /// Score `1.0` when an explicit rule matched, `0.0` for default-class
+    /// fallthrough — the same convention as the compiled engine.
+    fn predict_scored_batch(&self, view: &DatasetView<'_>) -> Vec<Scored> {
+        let ds = view.dataset();
+        view.iter_ids()
+            .map(|r| match self.first_match_row(ds, r) {
+                Some(idx) => Scored {
+                    class: self.rules[idx].class,
+                    score: 1.0,
+                },
+                None => Scored {
+                    class: self.default_class,
+                    score: 0.0,
+                },
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +265,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the row-slice shims on purpose
     fn first_match_semantics() {
         let rs = two_rules();
         assert_eq!(rs.predict(&[Value::Num(5.0)]), 0); // both match, first wins
@@ -223,6 +273,27 @@ mod tests {
         assert_eq!(rs.predict(&[Value::Num(25.0)]), 0); // default
         assert_eq!(rs.first_match(&[Value::Num(25.0)]), None);
         assert_eq!(rs.first_match(&[Value::Num(15.0)]), Some(1));
+        // The columnar equivalents agree.
+        let data = ds(&[(5.0, 0), (15.0, 1), (25.0, 0)]);
+        assert_eq!(rs.first_match_row(&data, 0), Some(0));
+        assert_eq!(rs.first_match_row(&data, 1), Some(1));
+        assert_eq!(rs.first_match_row(&data, 2), None);
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_row() {
+        let rs = two_rules();
+        let data = ds(&[(5.0, 0), (15.0, 1), (25.0, 0), (15.0, 0)]);
+        let batch = rs.predict_batch(&data.view());
+        let per_row: Vec<_> = (0..data.len()).map(|i| rs.predict_row(&data, i)).collect();
+        assert_eq!(batch, per_row);
+        // Selected views predict in view order.
+        assert_eq!(rs.predict_batch(&data.view_of(vec![2, 0])), vec![0, 0]);
+        // Scored: explicit matches score 1.0, default fallthrough 0.0.
+        let scored = rs.predict_scored_batch(&data.view());
+        assert_eq!(scored[0].score, 1.0);
+        assert_eq!(scored[2].score, 0.0);
+        assert_eq!(scored[2].class, 0);
     }
 
     #[test]

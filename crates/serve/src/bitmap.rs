@@ -1,0 +1,155 @@
+//! Selection bitmaps: one bit per batch row, 64 rows per word.
+//!
+//! The compiled rule engine works on these instead of per-row booleans —
+//! a rule's antecedent becomes a handful of word-wise ANDs, first-match
+//! arbitration becomes `undecided &= !matched`, and the whole batch's
+//! control flow is branch-free until the final class scatter.
+
+/// A fixed-length bitset over batch row positions (not global dataset
+/// indices). Bit `i` of word `i / 64` is row `i`; tail bits past `len`
+/// are always zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap for `len` rows.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one bitmap for `len` rows (tail bits masked off).
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Zeroes the bits past `len` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The backing words (row `i` lives in word `i / 64`, bit `i % 64`).
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// True when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when row `i` is selected.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// `self = other` (lengths must match).
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `self &= other`.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other` — removes `other`'s rows from the selection.
+    pub fn clear(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The complement within `len` rows.
+    pub fn not(&self) -> Bitmap {
+        let mut out = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Calls `f` with every selected row position, ascending.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                f(w * 64 + b);
+                m &= m - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_is_masked() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.get(69));
+        let c = b.not();
+        assert_eq!(c.count_ones(), 0);
+        // Complement of a partial selection stays inside the length.
+        let mut d = Bitmap::zeros(70);
+        d.words_mut()[0] = 0b101;
+        assert_eq!(d.not().count_ones(), 68);
+    }
+
+    #[test]
+    fn word_ops() {
+        let mut a = Bitmap::ones(10);
+        let mut b = Bitmap::zeros(10);
+        b.words_mut()[0] = 0b1100;
+        a.and_assign(&b);
+        assert_eq!(a.count_ones(), 2);
+        let mut seen = Vec::new();
+        a.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, vec![2, 3]);
+        a.clear(&b);
+        assert!(a.none_set());
+        let mut c = Bitmap::ones(10);
+        c.copy_from(&b);
+        assert_eq!(c, b);
+        assert!(!c.none_set());
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::ones(0);
+        assert!(b.none_set());
+        assert_eq!(b.not().count_ones(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The compiled rule engine: a deduplicated predicate table evaluated as
+//! column sweeps over selection bitmaps.
+//!
+//! [`CompiledRules`] lowers a [`RuleSet`] into two flat tables:
+//!
+//! * a **predicate table** — every distinct atomic [`Condition`] across
+//!   the rule set, stored once;
+//! * a **rule table** — per rule, the predicate ids of its conjunction
+//!   plus the class it implies.
+//!
+//! Scoring a batch then inverts the interpreted loop nest: instead of
+//! walking rules and conditions *per row* (branchy, re-evaluating shared
+//! conditions per rule), each needed predicate is evaluated **once per
+//! batch** as a tight sweep down one typed column into a row bitmap, and
+//! a rule's antecedent is the word-wise AND of its predicate bitmaps.
+//! First-match semantics are resolved per batch with an `undecided`
+//! bitmap: rules are visited in priority order, each claims its matching
+//! still-undecided rows, and the sweep stops as soon as every row is
+//! decided. Predicate bitmaps are evaluated lazily, so predicates only
+//! reachable after the batch is fully decided are never computed.
+//!
+//! The engine is pinned **bit-identical** to the interpreted
+//! [`RuleSet::predict_row`] path by the workspace equivalence suite, and
+//! holds no interior mutability — one `CompiledRules` behind an `Arc`
+//! can score from any number of threads.
+
+use nr_rules::{Condition, Predictor, Rule, RuleSet, Scored};
+use nr_tabular::{ClassId, DatasetView};
+use serde::{Deserialize, Serialize};
+
+use crate::bitmap::Bitmap;
+
+/// One lowered rule: predicate ids (indices into the predicate table, in
+/// original condition order) and the implied class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CompiledRule {
+    predicates: Vec<u32>,
+    class: ClassId,
+}
+
+/// A [`RuleSet`] compiled for batch scoring (see the module docs).
+///
+/// Compilation is lossless: [`CompiledRules::to_ruleset`] reconstructs
+/// the source rule set exactly (same conditions, order, classes, default,
+/// and class names), so display and audit never need the original around.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledRules {
+    predicates: Vec<Condition>,
+    rules: Vec<CompiledRule>,
+    default_class: ClassId,
+    class_names: Vec<String>,
+}
+
+impl CompiledRules {
+    /// Lowers a rule set into the predicate-table form.
+    pub fn compile(rs: &RuleSet) -> Self {
+        let mut predicates: Vec<Condition> = Vec::new();
+        let rules =
+            rs.rules
+                .iter()
+                .map(|rule| {
+                    let ids =
+                        rule.conditions
+                            .iter()
+                            .map(|cond| {
+                                let id = predicates.iter().position(|p| p == cond).unwrap_or_else(
+                                    || {
+                                        predicates.push(cond.clone());
+                                        predicates.len() - 1
+                                    },
+                                );
+                                u32::try_from(id).expect("predicate table fits in u32")
+                            })
+                            .collect();
+                    CompiledRule {
+                        predicates: ids,
+                        class: rule.class,
+                    }
+                })
+                .collect();
+        CompiledRules {
+            predicates,
+            rules,
+            default_class: rs.default_class,
+            class_names: rs.class_names.clone(),
+        }
+    }
+
+    /// Number of rules (excluding the default).
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of distinct predicates shared across the rules.
+    pub fn n_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Class assigned when no rule matches.
+    pub fn default_class(&self) -> ClassId {
+        self.default_class
+    }
+
+    /// Class display names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Reconstructs the source [`RuleSet`] (exact inverse of
+    /// [`CompiledRules::compile`] — used for display and audit).
+    pub fn to_ruleset(&self) -> RuleSet {
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| {
+                let conditions = r
+                    .predicates
+                    .iter()
+                    .map(|&p| self.predicates[p as usize].clone())
+                    .collect();
+                Rule::new(conditions, r.class)
+            })
+            .collect();
+        RuleSet::new(rules, self.default_class, self.class_names.clone())
+    }
+
+    /// The batch first-match core: the class of every view row plus the
+    /// bitmap of rows claimed by an **explicit** rule (unset = default
+    /// fallthrough). Everything public routes through here.
+    pub(crate) fn match_batch(&self, view: &DatasetView<'_>) -> (Vec<ClassId>, Bitmap) {
+        let n = view.len();
+        let mut classes = vec![self.default_class; n];
+        let mut undecided = Bitmap::ones(n);
+        let mut cache: Vec<Option<Bitmap>> = vec![None; self.predicates.len()];
+        let mut scratch = Bitmap::zeros(n);
+        for rule in &self.rules {
+            if undecided.none_set() {
+                break;
+            }
+            scratch.copy_from(&undecided);
+            let mut dead = false;
+            for &p in &rule.predicates {
+                let bits = cache[p as usize].get_or_insert_with(|| {
+                    let mut b = Bitmap::zeros(n);
+                    eval_predicate(&self.predicates[p as usize], view, &mut b);
+                    b
+                });
+                scratch.and_assign(bits);
+                if scratch.none_set() {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                continue;
+            }
+            scratch.for_each_set(|i| classes[i] = rule.class);
+            undecided.clear(&scratch);
+        }
+        (classes, undecided.not())
+    }
+}
+
+impl Predictor for CompiledRules {
+    fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    fn predict_batch_into(&self, view: &DatasetView<'_>, out: &mut Vec<ClassId>) {
+        let (classes, _) = self.match_batch(view);
+        out.extend(classes);
+    }
+
+    /// Score `1.0` when an explicit rule matched, `0.0` for default-class
+    /// fallthrough — the same convention as the interpreted [`RuleSet`].
+    fn predict_scored_batch(&self, view: &DatasetView<'_>) -> Vec<Scored> {
+        let (classes, matched) = self.match_batch(view);
+        classes
+            .into_iter()
+            .enumerate()
+            .map(|(i, class)| Scored {
+                class,
+                score: if matched.get(i) { 1.0 } else { 0.0 },
+            })
+            .collect()
+    }
+}
+
+/// Evaluates one predicate over every view row into a bitmap — a single
+/// pass down one typed column (contiguous for full views, an index gather
+/// for row selections).
+fn eval_predicate(cond: &Condition, view: &DatasetView<'_>, bits: &mut Bitmap) {
+    let ds = view.dataset();
+    let ids = view.row_ids();
+    match cond {
+        // The (lo, hi) split mirrors `Condition::holds` exactly: both
+        // bounds optional, lower inclusive, upper exclusive.
+        Condition::Num { attribute, lo, hi } => {
+            let col = ds.num_column(*attribute);
+            match (*lo, *hi) {
+                (Some(l), Some(h)) => sweep(col, ids, bits, |x| x >= l && x < h),
+                (Some(l), None) => sweep(col, ids, bits, |x| x >= l),
+                (None, Some(h)) => sweep(col, ids, bits, |x| x < h),
+                (None, None) => sweep(col, ids, bits, |_| true),
+            }
+        }
+        Condition::NumEq { attribute, value } => {
+            sweep(ds.num_column(*attribute), ids, bits, |x| x == *value)
+        }
+        Condition::CatEq { attribute, code } => {
+            sweep(ds.nominal_column(*attribute), ids, bits, |c| c == *code)
+        }
+        Condition::CatNotIn { attribute, codes } => {
+            sweep(ds.nominal_column(*attribute), ids, bits, |c| {
+                !codes.contains(&c)
+            })
+        }
+    }
+}
+
+/// Packs `pred` over the selected column values into bitmap words, 64
+/// rows at a time. The full-view arm walks the column slice directly so
+/// the inner loop is a branch-free compare over contiguous memory.
+#[inline]
+fn sweep<T: Copy>(col: &[T], ids: Option<&[usize]>, bits: &mut Bitmap, pred: impl Fn(T) -> bool) {
+    let words = bits.words_mut();
+    match ids {
+        None => {
+            for (w, chunk) in col.chunks(64).enumerate() {
+                let mut word = 0u64;
+                for (i, &x) in chunk.iter().enumerate() {
+                    word |= (pred(x) as u64) << i;
+                }
+                words[w] = word;
+            }
+        }
+        Some(ids) => {
+            for (w, chunk) in ids.chunks(64).enumerate() {
+                let mut word = 0u64;
+                for (i, &r) in chunk.iter().enumerate() {
+                    word |= (pred(col[r]) as u64) << i;
+                }
+                words[w] = word;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::{Attribute, Dataset, Schema, Value};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("c", 3),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..100 {
+            ds.push(
+                vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn ruleset() -> RuleSet {
+        RuleSet::new(
+            vec![
+                Rule::new(
+                    vec![
+                        Condition::num_range(0, 10.0, 40.0),
+                        Condition::CatEq {
+                            attribute: 1,
+                            code: 0,
+                        },
+                    ],
+                    1,
+                ),
+                Rule::new(vec![Condition::num_lt(0, 40.0)], 0),
+                Rule::new(
+                    vec![
+                        Condition::num_range(0, 10.0, 40.0), // shared with rule 0
+                        Condition::CatNotIn {
+                            attribute: 1,
+                            codes: [2].into_iter().collect(),
+                        },
+                    ],
+                    1,
+                ),
+            ],
+            0,
+            vec!["A".into(), "B".into()],
+        )
+    }
+
+    #[test]
+    fn predicates_are_deduplicated() {
+        let compiled = CompiledRules::compile(&ruleset());
+        assert_eq!(compiled.n_rules(), 3);
+        // 4 distinct conditions across 5 condition slots.
+        assert_eq!(compiled.n_predicates(), 4);
+        assert_eq!(compiled.default_class(), 0);
+    }
+
+    #[test]
+    fn matches_interpreted_per_row() {
+        let ds = dataset();
+        let rs = ruleset();
+        let compiled = CompiledRules::compile(&rs);
+        let batch = compiled.predict_batch(&ds.view());
+        for i in 0..ds.len() {
+            assert_eq!(batch[i], rs.predict_row(&ds, i), "row {i}");
+        }
+        // Selected (gathered) views too, in view order.
+        let sel: Vec<usize> = (0..ds.len()).rev().step_by(3).collect();
+        let view = ds.view_of(sel.clone());
+        let batch = compiled.predict_batch(&view);
+        for (pos, &r) in sel.iter().enumerate() {
+            assert_eq!(batch[pos], rs.predict_row(&ds, r), "view row {pos}");
+        }
+    }
+
+    #[test]
+    fn scored_marks_default_fallthrough() {
+        let ds = dataset();
+        let rs = ruleset();
+        let compiled = CompiledRules::compile(&rs);
+        let scored = compiled.predict_scored_batch(&ds.view());
+        for (i, s) in scored.iter().enumerate() {
+            let explicit = rs.first_match_row(&ds, i).is_some();
+            assert_eq!(s.score, if explicit { 1.0 } else { 0.0 }, "row {i}");
+            assert_eq!(s.class, rs.predict_row(&ds, i));
+        }
+        // Rows >= 40 fall through to the default.
+        assert_eq!(scored[50].score, 0.0);
+        assert_eq!(scored[50].class, 0);
+    }
+
+    #[test]
+    fn roundtrips_to_the_source_ruleset() {
+        let rs = ruleset();
+        let compiled = CompiledRules::compile(&rs);
+        assert_eq!(compiled.to_ruleset(), rs);
+        // And through JSON.
+        let json = serde_json::to_string(&compiled).unwrap();
+        let back: CompiledRules = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, compiled);
+        assert_eq!(back.to_ruleset(), rs);
+    }
+
+    #[test]
+    fn empty_view_and_empty_ruleset() {
+        let ds = dataset();
+        let compiled = CompiledRules::compile(&ruleset());
+        assert!(compiled.predict_batch(&ds.view_of(Vec::new())).is_empty());
+        let empty =
+            CompiledRules::compile(&RuleSet::new(Vec::new(), 1, vec!["A".into(), "B".into()]));
+        assert_eq!(empty.predict_batch(&ds.view_of(vec![0, 5])), vec![1, 1]);
+    }
+}

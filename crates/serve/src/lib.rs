@@ -1,0 +1,44 @@
+//! Serving layer: compile a fitted NeuroRule model into immutable,
+//! `Arc`-shareable batch-scoring engines.
+//!
+//! The paper's §1 pitch is that extracted rules are *cheap to apply to
+//! large databases*. This crate makes that operational:
+//!
+//! * [`CompiledRules`] lowers a [`nr_rules::RuleSet`] into a deduplicated
+//!   predicate table evaluated as column sweeps over selection bitmaps —
+//!   first-match semantics resolved per batch, bit-identical to the
+//!   interpreted `RuleSet::predict_row` path;
+//! * [`NetworkScorer`] packages encoder + pruned MLP behind the same
+//!   batch [`Predictor`](nr_rules::Predictor) trait, riding the matrix
+//!   kernels in `nr-nn`;
+//! * [`ServeModel`] bundles both behind a [`ServeMode`] dispatch (rules /
+//!   network / hybrid rules-with-network-fallback) with JSON save/load,
+//!   so a serving process starts from a file — no retraining, no
+//!   recompilation.
+//!
+//! Every engine is immutable after construction and holds no interior
+//! mutability: wrap one in an `Arc` and score from any number of threads
+//! with results bit-identical to single-threaded runs.
+//!
+//! ```no_run
+//! use nr_rules::Predictor;
+//! use nr_serve::{ServeModel, ServeMode};
+//! # let (ruleset, encoder, network): (nr_rules::RuleSet, nr_encode::Encoder, nr_nn::Mlp) = todo!();
+//! # let database: nr_tabular::Dataset = todo!();
+//!
+//! let model = ServeModel::new(&ruleset, encoder, network, ServeMode::Rules);
+//! model.save("model.json").unwrap();
+//! let served = std::sync::Arc::new(ServeModel::load("model.json").unwrap());
+//! let classes = served.predict_batch(&database.view());
+//! ```
+
+#![deny(missing_docs)]
+
+mod bitmap;
+mod compiled;
+mod model;
+mod scorer;
+
+pub use compiled::CompiledRules;
+pub use model::{ServeError, ServeMode, ServeModel};
+pub use scorer::NetworkScorer;

@@ -1,0 +1,279 @@
+//! The deployable unit: compiled rules + network behind one dispatch.
+
+use nr_encode::Encoder;
+use nr_nn::Mlp;
+use nr_rules::{Predictor, RuleSet, Scored};
+use nr_tabular::{ClassId, DatasetView};
+use serde::{Deserialize, Serialize};
+
+use crate::{CompiledRules, NetworkScorer};
+
+/// Which engine a [`ServeModel`] answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeMode {
+    /// Compiled rules only; unmatched rows get the default class.
+    Rules,
+    /// The network only.
+    Network,
+    /// Compiled rules first; rows no explicit rule matches fall back to
+    /// the network instead of the default class.
+    Hybrid,
+}
+
+/// Errors from [`ServeModel::load`] / [`ServeModel::from_json`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading or writing the model file failed.
+    Io(std::io::Error),
+    /// The model JSON did not parse.
+    Json(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "model file: {e}"),
+            ServeError::Json(e) => write!(f, "model json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A fitted model compiled for serving: immutable engines (compiled rule
+/// table + network scorer), a [`ServeMode`] dispatch, and JSON
+/// persistence — everything a scoring process needs, nothing it can
+/// mutate.
+///
+/// `ServeModel` is `Send + Sync` with no interior mutability (asserted at
+/// compile time below): wrap one in an `Arc` and score disjoint batches
+/// from as many threads as the hardware offers. Results are bit-identical
+/// to single-threaded scoring because each call's state lives entirely on
+/// the caller's stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeModel {
+    rules: CompiledRules,
+    network: NetworkScorer,
+    mode: ServeMode,
+}
+
+// The serving contract: shareable across threads by construction. A
+// field with interior mutability (Cell, RefCell, Mutex, raw pointer)
+// would fail this assertion at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeModel>();
+};
+
+impl ServeModel {
+    /// Compiles the parts of a fitted model into a serving bundle.
+    pub fn new(ruleset: &RuleSet, encoder: Encoder, network: Mlp, mode: ServeMode) -> Self {
+        ServeModel {
+            rules: CompiledRules::compile(ruleset),
+            network: NetworkScorer::new(encoder, network),
+            mode,
+        }
+    }
+
+    /// Switches the answering engine (the bundle always carries all of
+    /// them, so this is free).
+    pub fn with_mode(mut self, mode: ServeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The engine currently answering.
+    pub fn mode(&self) -> ServeMode {
+        self.mode
+    }
+
+    /// The compiled rule engine.
+    pub fn rules(&self) -> &CompiledRules {
+        &self.rules
+    }
+
+    /// The network engine.
+    pub fn network(&self) -> &NetworkScorer {
+        &self.network
+    }
+
+    /// The rule set in displayable form (lossless reconstruction from the
+    /// compiled tables).
+    pub fn ruleset(&self) -> RuleSet {
+        self.rules.to_ruleset()
+    }
+
+    /// Serializes the whole bundle (rules, encoder, network, mode) to
+    /// JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serve model serializes")
+    }
+
+    /// Deserializes a bundle produced by [`ServeModel::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, ServeError> {
+        serde_json::from_str(json).map_err(|e| ServeError::Json(e.to_string()))
+    }
+
+    /// Writes the bundle to a file, JSON-encoded.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads a bundle written by [`ServeModel::save`] — no retraining, no
+    /// recompilation.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ServeError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// The hybrid fallback set: view positions no explicit rule claimed
+    /// (ascending) plus the sub-view of their global rows, `None` when the
+    /// rules decided every row. Shared by both hybrid prediction paths so
+    /// the class and scored answers cannot drift apart.
+    fn fallback_rows<'a>(
+        &self,
+        matched: &crate::bitmap::Bitmap,
+        view: &DatasetView<'a>,
+    ) -> Option<(Vec<usize>, DatasetView<'a>)> {
+        let unmatched = matched.not();
+        if unmatched.none_set() {
+            return None;
+        }
+        let mut positions = Vec::with_capacity(unmatched.count_ones());
+        unmatched.for_each_set(|pos| positions.push(pos));
+        let global: Vec<usize> = positions.iter().map(|&p| view.row_id(p)).collect();
+        Some((positions, view.subview(global)))
+    }
+}
+
+impl Predictor for ServeModel {
+    fn n_classes(&self) -> usize {
+        self.rules.n_classes()
+    }
+
+    fn predict_batch_into(&self, view: &DatasetView<'_>, out: &mut Vec<ClassId>) {
+        match self.mode {
+            ServeMode::Rules => self.rules.predict_batch_into(view, out),
+            ServeMode::Network => self.network.predict_batch_into(view, out),
+            ServeMode::Hybrid => {
+                let (mut classes, matched) = self.rules.match_batch(view);
+                if let Some((positions, sub)) = self.fallback_rows(&matched, view) {
+                    // Network fallback for the rows no explicit rule
+                    // claimed, scored as one sub-batch.
+                    let fallback = self.network.predict_batch(&sub);
+                    for (&pos, cls) in positions.iter().zip(fallback) {
+                        classes[pos] = cls;
+                    }
+                }
+                out.extend(classes);
+            }
+        }
+    }
+
+    fn predict_scored_batch(&self, view: &DatasetView<'_>) -> Vec<Scored> {
+        match self.mode {
+            ServeMode::Rules => self.rules.predict_scored_batch(view),
+            ServeMode::Network => self.network.predict_scored_batch(view),
+            ServeMode::Hybrid => {
+                // Rule-claimed rows score 1.0; fallback rows carry the
+                // network's winning activation.
+                let (classes, matched) = self.rules.match_batch(view);
+                let mut scored: Vec<Scored> = classes
+                    .into_iter()
+                    .map(|class| Scored { class, score: 1.0 })
+                    .collect();
+                if let Some((positions, sub)) = self.fallback_rows(&matched, view) {
+                    let fallback = self.network.predict_scored_batch(&sub);
+                    for (&pos, s) in positions.iter().zip(&fallback) {
+                        scored[pos] = *s;
+                    }
+                }
+                scored
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_datagen::{Function, Generator};
+    use nr_rules::{Condition, Rule};
+
+    /// A rule set that deliberately leaves rows uncovered (salary >= the
+    /// threshold falls through), so hybrid fallback has work to do.
+    fn partial_ruleset() -> RuleSet {
+        RuleSet::new(
+            vec![Rule::new(vec![Condition::num_lt(0, 75_000.0)], 0)],
+            1,
+            vec!["Group A".into(), "Group B".into()],
+        )
+    }
+
+    fn bundle(mode: ServeMode) -> (ServeModel, nr_tabular::Dataset) {
+        let ds = Generator::new(11).dataset(Function::F1, 200);
+        let encoder = Encoder::agrawal();
+        let net = Mlp::random(encoder.n_inputs(), 4, 2, 9);
+        (ServeModel::new(&partial_ruleset(), encoder, net, mode), ds)
+    }
+
+    #[test]
+    fn mode_dispatch() {
+        let (model, ds) = bundle(ServeMode::Rules);
+        let rules_preds = model.predict_batch(&ds.view());
+        assert_eq!(rules_preds, model.rules().predict_batch(&ds.view()));
+        let net_model = model.clone().with_mode(ServeMode::Network);
+        assert_eq!(net_model.mode(), ServeMode::Network);
+        assert_eq!(
+            net_model.predict_batch(&ds.view()),
+            net_model.network().predict_batch(&ds.view())
+        );
+        assert_eq!(model.n_classes(), 2);
+    }
+
+    #[test]
+    fn hybrid_falls_back_to_the_network() {
+        let (model, ds) = bundle(ServeMode::Hybrid);
+        let rs = model.ruleset();
+        let hybrid = model.predict_batch(&ds.view());
+        let net = model.network().predict_batch(&ds.view());
+        let mut fell_back = 0;
+        for i in 0..ds.len() {
+            match rs.first_match_row(&ds, i) {
+                Some(r) => assert_eq!(hybrid[i], rs.rules[r].class, "row {i} rule-claimed"),
+                None => {
+                    assert_eq!(hybrid[i], net[i], "row {i} network fallback");
+                    fell_back += 1;
+                }
+            }
+        }
+        assert!(fell_back > 0, "fixture must exercise the fallback path");
+        // Scored: rule rows 1.0, fallback rows the network activation.
+        let scored = model.predict_scored_batch(&ds.view());
+        let net_scored = model.network().predict_scored_batch(&ds.view());
+        for i in 0..ds.len() {
+            match rs.first_match_row(&ds, i) {
+                Some(_) => assert_eq!(scored[i].score, 1.0),
+                None => assert_eq!(scored[i], net_scored[i]),
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let (model, ds) = bundle(ServeMode::Hybrid);
+        let back = ServeModel::from_json(&model.to_json()).expect("parses");
+        assert_eq!(back, model);
+        assert_eq!(
+            back.predict_batch(&ds.view()),
+            model.predict_batch(&ds.view())
+        );
+        assert!(ServeModel::from_json("{not json").is_err());
+    }
+}

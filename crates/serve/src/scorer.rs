@@ -1,0 +1,119 @@
+//! The network engine: encoder + pruned MLP behind the batch [`Predictor`]
+//! trait.
+
+use nr_encode::Encoder;
+use nr_nn::Mlp;
+use nr_rules::{Predictor, Scored};
+use nr_tabular::{ClassId, DatasetView};
+use serde::{Deserialize, Serialize};
+
+/// A fitted network packaged for serving: the input [`Encoder`] plus the
+/// (typically pruned) [`Mlp`], scoring whole batches on the matrix
+/// kernels (`encode_view` → `classify_batch`).
+///
+/// Immutable after construction — share one instance behind an `Arc`
+/// across scoring threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkScorer {
+    encoder: Encoder,
+    network: Mlp,
+}
+
+impl NetworkScorer {
+    /// Packages an encoder and a network. Panics when the network's input
+    /// width does not match the encoder's bit layout.
+    pub fn new(encoder: Encoder, network: Mlp) -> Self {
+        assert_eq!(
+            encoder.n_inputs(),
+            network.n_inputs(),
+            "encoder bit layout must match the network's input width"
+        );
+        NetworkScorer { encoder, network }
+    }
+
+    /// The input encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Mlp {
+        &self.network
+    }
+}
+
+impl Predictor for NetworkScorer {
+    fn n_classes(&self) -> usize {
+        self.network.n_outputs()
+    }
+
+    fn predict_batch_into(&self, view: &DatasetView<'_>, out: &mut Vec<ClassId>) {
+        if view.is_empty() {
+            return;
+        }
+        let encoded = self.encoder.encode_view(view);
+        self.network.classify_batch_into(&encoded, out);
+    }
+
+    /// Score = the winning output node's sigmoid activation (in `(0, 1)`).
+    fn predict_scored_batch(&self, view: &DatasetView<'_>) -> Vec<Scored> {
+        if view.is_empty() {
+            return Vec::new();
+        }
+        let encoded = self.encoder.encode_view(view);
+        self.network
+            .classify_scored_batch(&encoded)
+            .into_iter()
+            .map(|(class, score)| Scored { class, score })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_datagen::{Function, Generator};
+
+    #[test]
+    fn batch_matches_per_row_classify() {
+        let ds = Generator::new(7).dataset(Function::F1, 64);
+        let encoder = Encoder::agrawal();
+        let net = Mlp::random(encoder.n_inputs(), 4, 2, 3);
+        let scorer = NetworkScorer::new(encoder.clone(), net.clone());
+        let preds = scorer.predict_batch(&ds.view());
+        let encoded = encoder.encode_dataset(&ds);
+        for i in 0..ds.len() {
+            assert_eq!(preds[i], net.classify(encoded.input(i)), "row {i}");
+        }
+        // Scored predictions agree on the class and report the winning
+        // activation.
+        let scored = scorer.predict_scored_batch(&ds.view());
+        for (i, s) in scored.iter().enumerate() {
+            assert_eq!(s.class, preds[i]);
+            assert!(s.score > 0.0 && s.score < 1.0);
+            let (_, out) = net.forward(encoded.input(i));
+            assert_eq!(s.score, out[s.class]);
+        }
+    }
+
+    #[test]
+    fn selected_views_score_in_view_order() {
+        let ds = Generator::new(9).dataset(Function::F2, 40);
+        let encoder = Encoder::agrawal();
+        let net = Mlp::random(encoder.n_inputs(), 4, 2, 5);
+        let scorer = NetworkScorer::new(encoder, net);
+        let full = scorer.predict_batch(&ds.view());
+        let sel = vec![30usize, 2, 17, 2];
+        let picked = scorer.predict_batch(&ds.view_of(sel.clone()));
+        for (pos, &r) in sel.iter().enumerate() {
+            assert_eq!(picked[pos], full[r]);
+        }
+        assert!(scorer.predict_batch(&ds.view_of(Vec::new())).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn mismatched_widths_panic() {
+        let _ = NetworkScorer::new(Encoder::agrawal(), Mlp::random(10, 4, 2, 0));
+    }
+}

@@ -172,6 +172,20 @@ impl Dataset {
         Ok(ds)
     }
 
+    /// Appends one validated row **without a known class** — the serving
+    /// ingest path. The row is stored with the placeholder label `0`
+    /// (keeping the one-label-per-row invariant); batch predictors ignore
+    /// labels, so scoring a table built this way is well-defined, while
+    /// label-consuming statistics (`accuracy`, confusion matrices) are
+    /// meaningless on it by construction.
+    pub fn push_unlabeled(&mut self, row: Vec<Value>) -> crate::Result<()> {
+        assert!(
+            !self.class_names.is_empty(),
+            "dataset must know its class list before receiving rows"
+        );
+        self.push(row, 0)
+    }
+
     /// Appends one validated row (scattered into the columns).
     pub fn push(&mut self, row: Vec<Value>, label: ClassId) -> crate::Result<()> {
         self.schema.validate_row(&row)?;
@@ -456,6 +470,17 @@ mod tests {
         assert_eq!(ds.nominal_column(1), &[0, 1, 2, 0]);
         assert!(ds.column(0).as_nominal().is_none());
         assert!(ds.column(1).as_num().is_none());
+    }
+
+    #[test]
+    fn push_unlabeled_stores_the_placeholder_label() {
+        let mut ds = toy(0);
+        ds.push_unlabeled(vec![Value::Num(7.0), Value::Nominal(1)])
+            .unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.label(0), 0);
+        // Schema validation still applies.
+        assert!(ds.push_unlabeled(vec![Value::Num(7.0)]).is_err());
     }
 
     #[test]

@@ -217,6 +217,24 @@ impl<'a> DatasetView<'a> {
         DatasetView::with_rows(self.ds, global_rows)
     }
 
+    /// Splits the view into exactly `n` disjoint contiguous sub-views of
+    /// near-equal size (the first `len % n` chunks are one row longer;
+    /// chunks past the length are empty when `n > len`). Concatenated in
+    /// order, the chunks reproduce the view — the partition a serving
+    /// caller hands to scoring threads sharing one predictor.
+    pub fn chunks(&self, n: usize) -> Vec<DatasetView<'a>> {
+        assert!(n > 0, "need at least one chunk");
+        let len = self.len();
+        let (base, extra) = (len / n, len % n);
+        let mut ids = self.iter_ids();
+        (0..n)
+            .map(|c| {
+                let take = base + usize::from(c < extra);
+                self.subview(ids.by_ref().take(take).collect())
+            })
+            .collect()
+    }
+
     /// Materializes the view into an owned dataset (column gathers).
     pub fn materialize(&self) -> Dataset {
         match &self.rows {
@@ -298,6 +316,29 @@ mod tests {
         assert_eq!(v.skew(), 1.0);
         assert_eq!(v.numeric_range(0), Some((1.0, 5.0)));
         assert_eq!(v.numeric_range(1), None);
+    }
+
+    #[test]
+    fn chunks_partition_the_view() {
+        let ds = toy(10);
+        // 10 rows into 3 chunks: 4 + 3 + 3.
+        let parts = ds.view().chunks(3);
+        assert_eq!(
+            parts.iter().map(DatasetView::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        let rejoined: Vec<usize> = parts.iter().flat_map(DatasetView::iter_ids).collect();
+        assert_eq!(rejoined, (0..10).collect::<Vec<_>>());
+        // Selected views chunk in view order.
+        let v = ds.view_of(vec![9, 1, 5, 3]);
+        let parts = v.chunks(2);
+        assert_eq!(parts[0].row_ids(), Some(&[9usize, 1][..]));
+        assert_eq!(parts[1].row_ids(), Some(&[5usize, 3][..]));
+        // More chunks than rows: trailing chunks are empty.
+        let parts = ds.view_of(vec![2]).chunks(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 1);
+        assert!(parts[1].is_empty() && parts[2].is_empty());
     }
 
     #[test]

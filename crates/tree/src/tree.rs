@@ -226,6 +226,19 @@ impl DecisionTree {
     }
 }
 
+/// The batch prediction surface shared with the rules and serving
+/// engines: columnar root-to-leaf traversal per view row.
+impl nr_rules::Predictor for DecisionTree {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_batch_into(&self, view: &DatasetView<'_>, out: &mut Vec<ClassId>) {
+        let ds = view.dataset();
+        out.extend(view.iter_ids().map(|i| self.predict_row(ds, i)));
+    }
+}
+
 fn display_node(node: &Node, ds: &Dataset, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node {
@@ -478,6 +491,21 @@ mod tests {
         assert_eq!(tree.accuracy(&ds), 1.0);
         assert!(tree.n_leaves() >= 4);
         assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn implements_the_batch_predictor_trait() {
+        use nr_rules::Predictor;
+        let ds = stripes(60);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::default());
+        assert_eq!(Predictor::n_classes(&tree), 2);
+        let batch = tree.predict_batch(&ds.view());
+        let per_row: Vec<_> = (0..ds.len()).map(|i| tree.predict_row(&ds, i)).collect();
+        assert_eq!(batch, per_row);
+        assert_eq!(
+            tree.predict_batch(&ds.view_of(vec![5, 0])),
+            vec![per_row[5], per_row[0]]
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use neurorule::NeuroRule;
 use nr_datagen::{Function, Generator};
 use nr_encode::Encoder;
-use nr_rules::evaluate_rules;
+use nr_rules::{evaluate_rules, Predictor};
+use nr_serve::{ServeMode, ServeModel};
 
 fn main() {
     let generator = Generator::new(7).with_perturbation(0.05);
@@ -60,5 +61,27 @@ fn main() {
         "\noverall: rules {:.1}% vs network {:.1}% on unseen data",
         100.0 * model.rules_accuracy(&tomorrow),
         100.0 * model.network_accuracy(&tomorrow),
+    );
+
+    // Deploy: persist the compiled policy, load it in the "scoring
+    // service", and batch-score tomorrow's applications. Hybrid mode
+    // answers from the audited rules and only consults the network for
+    // applicants no explicit rule covers.
+    let path = std::env::temp_dir().join("credit_policy.json");
+    model
+        .compile()
+        .with_mode(ServeMode::Hybrid)
+        .save(&path)
+        .expect("policy saves");
+    let service = ServeModel::load(&path).expect("policy loads without retraining");
+    std::fs::remove_file(&path).ok();
+    let decisions = service.predict_scored_batch(&tomorrow.view());
+    let by_rules = decisions.iter().filter(|d| d.score == 1.0).count();
+    println!(
+        "served {} decisions from the reloaded policy: {} by explicit rule, \
+         {} by network fallback",
+        decisions.len(),
+        by_rules,
+        decisions.len() - by_rules,
     );
 }

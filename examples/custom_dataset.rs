@@ -11,6 +11,7 @@
 //! for arbitrary tabular data.
 
 use neurorule::NeuroRule;
+use nr_rules::Predictor;
 use nr_tabular::{Attribute, Dataset, Schema, Value};
 
 /// Ground truth the example mines back: a machine needs service when it is
@@ -70,15 +71,27 @@ fn main() {
         model.encoder.n_inputs(),
     );
 
-    // Sanity-check the rules on points we know the answer for.
-    let hot_shaky = vec![Value::Num(85.0), Value::Num(0.8), Value::Nominal(0)];
-    let cool = vec![Value::Num(30.0), Value::Num(0.2), Value::Nominal(1)];
+    // Sanity-check the rules on points we know the answer for, through
+    // the compiled serving engine: an unlabeled probe batch — exactly
+    // what a scoring service receives.
+    let served = model.compile();
+    let mut probe = Dataset::new(train.schema().clone(), train.class_names().to_vec());
+    for (temp, vibration, vendor) in [(85.0, 0.8, 0u32), (30.0, 0.2, 1)] {
+        probe
+            .push_unlabeled(vec![
+                Value::Num(temp),
+                Value::Num(vibration),
+                Value::Nominal(vendor),
+            ])
+            .expect("probe row matches schema");
+    }
+    let answers = served.predict_batch(&probe.view());
     println!(
         "\nhot+vibrating alpha machine -> {}",
-        train.class_names()[model.predict(&hot_shaky)]
+        train.class_names()[answers[0]]
     );
     println!(
         "cool beta machine          -> {}",
-        train.class_names()[model.predict(&cool)]
+        train.class_names()[answers[1]]
     );
 }

@@ -6,11 +6,13 @@
 //!
 //! Generates the paper's Function-2 benchmark (1000 training tuples, 5%
 //! perturbation), runs the full NeuroRule pipeline — train a neural network,
-//! prune it, extract rules — and prints the rules with their accuracy.
+//! prune it, extract rules — prints the rules with their accuracy, and
+//! compiles the model into the batch serving engine.
 
 use neurorule::NeuroRule;
 use nr_datagen::{Function, Generator};
 use nr_encode::Encoder;
+use nr_rules::Predictor;
 
 fn main() {
     // 1. Data: the Agrawal et al. synthetic benchmark from the paper.
@@ -64,5 +66,20 @@ fn main() {
     println!(
         "rule/network fidelity on the test set: {:.1}%",
         100.0 * model.fidelity(&test)
+    );
+
+    // 4. Serving: compile once, score whole batches through the
+    //    `Predictor` trait. The compiled engine is immutable — wrap it in
+    //    an `Arc` to share across scoring threads, or `save()` it and
+    //    `ServeModel::load()` in a serving process (no retraining).
+    let served = model.compile();
+    let t0 = std::time::Instant::now();
+    let classes = served.predict_batch(&test.view());
+    println!(
+        "\nserving: scored {} tuples in {:.2?} with the compiled rules \
+         ({} approved as Group A)",
+        classes.len(),
+        t0.elapsed(),
+        classes.iter().filter(|&&c| c == 0).count(),
     );
 }

@@ -11,7 +11,9 @@
 //! * [`nr_nn`], [`nr_opt`] — the network and its optimizers;
 //! * [`nr_prune`] — the NP pruning algorithm;
 //! * [`nr_rulex`] — the RX rule-extraction algorithm;
-//! * [`nr_rules`] — the shared rule representation;
+//! * [`nr_rules`] — the shared rule representation and the batch
+//!   `Predictor` trait;
+//! * [`nr_serve`] — compiled, `Arc`-shareable serving engines;
 //! * [`nr_tree`] — the C4.5 / C4.5rules baseline.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -26,5 +28,6 @@ pub use nr_opt;
 pub use nr_prune;
 pub use nr_rules;
 pub use nr_rulex;
+pub use nr_serve;
 pub use nr_tabular;
 pub use nr_tree;

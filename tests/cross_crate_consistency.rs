@@ -25,8 +25,10 @@ fn every_generated_row_encodes_within_the_feasible_space() {
     // car/zipcode (one-hot), bias.
     let bits = [0usize, 3, 6, 12, 16, 20, 25, 45, 86];
     let space = enumerate_feasible(&enc, &bits, 100_000).expect("space fits");
-    for i in 0..ds.len() {
-        let x = enc.encode_row(&ds.row_values(i));
+    // Encode the whole dataset on the batch path — no row materialization.
+    let encoded = enc.encode_dataset(&ds);
+    for i in 0..encoded.rows() {
+        let x = encoded.input(i);
         let pattern: Vec<bool> = space.bits.iter().map(|&b| x[b] == 1.0).collect();
         assert!(
             space.patterns.contains(&pattern),

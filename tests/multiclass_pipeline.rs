@@ -11,6 +11,7 @@ use neurorule::NeuroRule;
 use nr_nn::{Trainer, TrainingAlgorithm};
 use nr_opt::Bfgs;
 use nr_prune::PruneConfig;
+use nr_rules::Predictor;
 use nr_tabular::{Attribute, Dataset, Schema, Value};
 
 /// Three well-separated bands of a single numeric attribute, plus a nominal
@@ -71,16 +72,20 @@ fn three_class_pipeline_end_to_end() {
         model.fidelity(&train)
     );
 
-    // Spot-check single-tuple prediction on fresh points well inside each
-    // band.
-    for (x, want) in [(2.0, 0usize), (15.0, 1), (28.0, 2)] {
-        let row = vec![Value::Num(x), Value::Nominal(0)];
-        assert_eq!(
-            model.predict(&row),
-            want,
-            "x = {x} must land in band {want}"
-        );
+    // Spot-check prediction on fresh points well inside each band, through
+    // the compiled batch surface (a three-row unlabeled probe batch).
+    let served = model.compile();
+    let mut probe = Dataset::new(train.schema().clone(), train.class_names().to_vec());
+    for x in [2.0, 15.0, 28.0] {
+        probe
+            .push_unlabeled(vec![Value::Num(x), Value::Nominal(0)])
+            .unwrap();
     }
+    assert_eq!(
+        served.predict_batch(&probe.view()),
+        vec![0, 1, 2],
+        "probe points must land in their bands"
+    );
 }
 
 #[test]

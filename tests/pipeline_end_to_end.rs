@@ -140,11 +140,17 @@ fn model_serde_roundtrip() {
     let json = serde_json::to_string(&model).expect("serialize");
     let back: neurorule::Model = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(model, back);
-    // The revived model predicts identically.
-    for i in 0..50.min(train.len()) {
-        let row = train.row_values(i);
-        assert_eq!(model.predict(&row), back.predict(&row));
-    }
+    // The revived model predicts identically, through the batch surface.
+    use nr_rules::Predictor;
+    let view = train.view();
+    assert_eq!(
+        model.ruleset.predict_batch(&view),
+        back.ruleset.predict_batch(&view)
+    );
+    assert_eq!(
+        model.compile().predict_batch(&view),
+        back.compile().predict_batch(&view)
+    );
 }
 
 #[test]

@@ -1,0 +1,95 @@
+//! Concurrency contract of the serving layer: one `Arc<ServeModel>`
+//! scores disjoint chunks from N threads with results bit-identical to a
+//! single-threaded pass — no interior mutability, no locks, asserted at
+//! compile time and exercised at run time for every serve mode.
+
+use std::sync::Arc;
+
+use neurorule::NeuroRule;
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+use nr_nn::{Trainer, TrainingAlgorithm};
+use nr_opt::Bfgs;
+use nr_prune::PruneConfig;
+use nr_rules::Predictor;
+use nr_serve::{CompiledRules, NetworkScorer, ServeMode, ServeModel};
+use nr_tabular::Dataset;
+
+/// Compile-time half of the satellite: every serving engine is
+/// `Send + Sync` (a field with interior mutability would fail here).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeModel>();
+    assert_send_sync::<CompiledRules>();
+    assert_send_sync::<NetworkScorer>();
+    assert_send_sync::<Arc<ServeModel>>();
+};
+
+fn fixture() -> (ServeModel, Dataset) {
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let (train, _) = gen.train_test(Function::F1, 400, 1);
+    let prune = PruneConfig {
+        retrain: Trainer::new(TrainingAlgorithm::Bfgs(
+            Bfgs::default().with_max_iters(60).with_grad_tol(1e-3),
+        )),
+        ..PruneConfig::default()
+    };
+    let model = NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .with_seed(1)
+        .with_prune(prune)
+        .fit(&train)
+        .expect("pipeline fits");
+    // A larger scoring workload than the training set.
+    let score_me = gen.dataset(Function::F1, 6000);
+    (model.compile(), score_me)
+}
+
+#[test]
+fn threaded_scoring_is_bit_identical_for_every_mode() {
+    let (model, ds) = fixture();
+    for mode in [ServeMode::Rules, ServeMode::Network, ServeMode::Hybrid] {
+        let served = Arc::new(model.clone().with_mode(mode));
+        let single = served.predict_batch(&ds.view());
+        for threads in [2usize, 3, 8] {
+            let parts = ds.view().chunks(threads);
+            let merged: Vec<usize> = std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|view| {
+                        let served = Arc::clone(&served);
+                        let view = view.clone();
+                        scope.spawn(move || served.predict_batch(&view))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scoring thread panicked"))
+                    .collect()
+            });
+            assert_eq!(
+                merged, single,
+                "{mode:?} with {threads} threads must equal the single-threaded pass"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_full_view_scoring_agrees() {
+    // Not just disjoint chunks: many threads scoring the *same* rows
+    // through one Arc must all see identical answers.
+    let (model, ds) = fixture();
+    let served = Arc::new(model);
+    let expected = served.predict_batch(&ds.view());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let served = Arc::clone(&served);
+            let expected = expected.clone();
+            let view = ds.view();
+            scope.spawn(move || {
+                assert_eq!(served.predict_batch(&view), expected);
+            });
+        }
+    });
+}

@@ -1,0 +1,92 @@
+//! Model-persistence regression: a fitted `Model` and its compiled
+//! `ServeModel` must round-trip through JSON with identical predictions
+//! and identical human-readable rule display — the "load in a serving
+//! process without retraining" contract.
+
+use neurorule::{Model, NeuroRule};
+use nr_datagen::{Function, Generator};
+use nr_encode::Encoder;
+use nr_nn::{Trainer, TrainingAlgorithm};
+use nr_opt::Bfgs;
+use nr_prune::PruneConfig;
+use nr_rules::Predictor;
+use nr_serve::{ServeMode, ServeModel};
+use nr_tabular::Dataset;
+
+fn fixture() -> (Model, Dataset, Dataset) {
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let (train, test) = gen.train_test(Function::F2, 500, 800);
+    let prune = PruneConfig {
+        retrain: Trainer::new(TrainingAlgorithm::Bfgs(
+            Bfgs::default().with_max_iters(60).with_grad_tol(1e-3),
+        )),
+        ..PruneConfig::default()
+    };
+    let model = NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .with_seed(12345)
+        .with_prune(prune)
+        .fit(&train)
+        .expect("pipeline fits");
+    (model, train, test)
+}
+
+#[test]
+fn fitted_model_roundtrips_with_identical_predictions_and_display() {
+    let (model, train, test) = fixture();
+    let json = serde_json::to_string(&model).expect("model serializes");
+    let back: Model = serde_json::from_str(&json).expect("model deserializes");
+    assert_eq!(back, model);
+
+    // Identical predictions on both surfaces, on unseen data too.
+    for ds in [&train, &test] {
+        assert_eq!(
+            back.ruleset.predict_batch(&ds.view()),
+            model.ruleset.predict_batch(&ds.view())
+        );
+        assert_eq!(back.network_accuracy(ds), model.network_accuracy(ds));
+    }
+    // Identical rule display output (the paper-facing artifact).
+    assert_eq!(
+        back.ruleset.display(train.schema()),
+        model.ruleset.display(train.schema())
+    );
+}
+
+#[test]
+fn serve_model_save_load_is_lossless() {
+    let (model, train, test) = fixture();
+    let served = model.compile().with_mode(ServeMode::Hybrid);
+
+    let dir = std::env::temp_dir().join("nr_serve_persistence_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.json");
+    served.save(&path).expect("save succeeds");
+    let loaded = ServeModel::load(&path).expect("load succeeds");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded, served);
+    assert_eq!(loaded.mode(), ServeMode::Hybrid);
+
+    // Identical predictions in every mode, without retraining or
+    // recompiling anything.
+    for mode in [ServeMode::Rules, ServeMode::Network, ServeMode::Hybrid] {
+        let a = served.clone().with_mode(mode);
+        let b = loaded.clone().with_mode(mode);
+        assert_eq!(
+            a.predict_batch(&test.view()),
+            b.predict_batch(&test.view()),
+            "{mode:?} predictions must survive save/load"
+        );
+    }
+
+    // The reconstructed rule set renders exactly like the fitted one.
+    assert_eq!(loaded.ruleset(), model.ruleset);
+    assert_eq!(
+        loaded.ruleset().display(train.schema()),
+        model.ruleset.display(train.schema())
+    );
+
+    // Loading garbage fails loudly.
+    assert!(ServeModel::load(dir.join("missing.json")).is_err());
+}
