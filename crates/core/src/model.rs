@@ -66,6 +66,9 @@ impl Model {
         note = "row-at-a-time shim; use `compile()` and the batch \
                 `Predictor` API instead"
     )]
+    // One deprecated shim delegating to another: first-match semantics
+    // must live in exactly one place (RuleSet), or the serving-equivalence
+    // guarantees drift.
     #[allow(deprecated)]
     pub fn predict(&self, row: &[Value]) -> ClassId {
         self.ruleset.predict(row)

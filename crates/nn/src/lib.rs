@@ -41,10 +41,12 @@ mod mlp;
 mod objective;
 mod par;
 mod trainer;
+mod undo;
 
 pub use activation::Activation;
 pub use describe::{describe, summarize, NetworkSummary};
 pub use matrix::{axpy, gemm_bits_nt, gemm_nn, gemm_nt, gemm_tn_acc, gemm_tn_bits_acc, Matrix};
 pub use mlp::{argmax, LinkId, Mlp};
 pub use objective::{CrossEntropyObjective, Penalty};
-pub use trainer::{TrainReport, Trainer, TrainingAlgorithm};
+pub use trainer::{TrainReport, Trainer, TrainingAlgorithm, WarmState};
+pub use undo::UndoLog;

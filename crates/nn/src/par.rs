@@ -147,37 +147,50 @@ where
     T: Send + 'static,
     F: Fn(usize, Range<usize>) -> T + Send + Sync + 'static,
 {
-    let chunks = n_chunks(rows);
-    if chunks == 0 {
+    map_indexed(n_chunks(rows), threads, move |c| {
+        work(c, chunk_range(c, rows))
+    })
+}
+
+/// Maps `work` over the job indices `0..jobs` on the shared worker pool
+/// and returns the results **in index order** regardless of which pool
+/// thread computed which job. The generalization behind [`map_chunks`];
+/// multi-candidate evaluations (pruning's parallel accuracy gates) submit
+/// `candidates × chunks` jobs through this.
+///
+/// With one resolved worker (or one job) everything runs inline on the
+/// caller's thread — the single-threaded path never touches the pool.
+pub(crate) fn map_indexed<T, F>(jobs: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    if jobs == 0 {
         return Vec::new();
     }
-    if threads <= 1 || chunks == 1 {
-        return (0..chunks).map(|c| work(c, chunk_range(c, rows))).collect();
+    if threads <= 1 || jobs == 1 {
+        return (0..jobs).map(work).collect();
     }
 
     let work = Arc::new(work);
     let (tx, rx) = channel::<(usize, T)>();
-    for c in 0..chunks {
+    for j in 0..jobs {
         let work = Arc::clone(&work);
         let tx = tx.clone();
         pool()
             .sender
             .send(Box::new(move || {
-                let result = work(c, chunk_range(c, rows));
+                let result = work(j);
                 // The caller may have bailed (panic elsewhere); a closed
                 // channel is fine.
-                let _ = tx.send((c, result));
+                let _ = tx.send((j, result));
             }))
             .expect("worker pool alive for the process lifetime");
     }
     drop(tx);
     let mut results: Vec<(usize, T)> = rx.iter().collect();
-    assert_eq!(
-        results.len(),
-        chunks,
-        "a chunk job panicked on the worker pool"
-    );
-    results.sort_unstable_by_key(|&(c, _)| c);
+    assert_eq!(results.len(), jobs, "a job panicked on the worker pool");
+    results.sort_unstable_by_key(|&(j, _)| j);
     results.into_iter().map(|(_, t)| t).collect()
 }
 
@@ -217,6 +230,16 @@ mod tests {
             let total: usize = got.iter().map(|&(_, len)| len).sum();
             assert_eq!(total, rows);
         }
+    }
+
+    #[test]
+    fn indexed_results_come_back_in_order() {
+        for threads in [1, 2, 8] {
+            let got = map_indexed(23, threads, |j| j * j);
+            assert_eq!(got, (0..23).map(|j| j * j).collect::<Vec<_>>());
+        }
+        assert_eq!(map_indexed(0, 4, |j| j), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |j| j), vec![0]);
     }
 
     #[test]

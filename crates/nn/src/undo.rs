@@ -1,0 +1,166 @@
+//! Delta checkpoints for the pruning loop.
+//!
+//! Algorithm NP speculatively removes links, retrains, and rolls the
+//! network back when the accuracy floor is violated. Cloning the whole
+//! [`Mlp`] per attempt makes that rollback O(network); an [`UndoLog`]
+//! records only what an attempt actually changed — the pruned links (with
+//! their weights) and, when a retrain ran, the active weights it was about
+//! to overwrite — so rollback is O(changed).
+//!
+//! Entries replay in reverse order: a retrain snapshot restores the
+//! post-removal weights first, then each pruned link is re-activated with
+//! its original weight. [`Mlp::rollback`] therefore reproduces the
+//! checkpointed network exactly (masks and weights, `==`-equal).
+
+use crate::{LinkId, Mlp};
+
+/// A compact record of the changes one pruning attempt made to an [`Mlp`],
+/// sufficient to restore the starting state exactly.
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    entries: Vec<UndoEntry>,
+}
+
+#[derive(Debug, Clone)]
+enum UndoEntry {
+    /// A link that was pruned, with the weight it carried.
+    Pruned { link: LinkId, weight: f64 },
+    /// A snapshot of the active weights taken just before a retrain
+    /// overwrote them (canonical active-link order at snapshot time).
+    Weights {
+        links: Vec<LinkId>,
+        values: Vec<f64>,
+    },
+}
+
+impl UndoLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded entries (pruned links count one each; a weight
+    /// snapshot counts one).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Mlp {
+    /// Removes a link like [`Mlp::prune`], recording it (and its weight)
+    /// in `log` so [`Mlp::rollback`] can restore it.
+    pub fn prune_logged(&mut self, link: LinkId, log: &mut UndoLog) {
+        debug_assert!(self.is_active(link), "pruning an already-pruned link");
+        log.entries.push(UndoEntry::Pruned {
+            link,
+            weight: self.weight(link),
+        });
+        self.prune(link);
+    }
+
+    /// Snapshots the current active weights into `log`. Call immediately
+    /// before a retrain so a later [`Mlp::rollback`] can undo it.
+    pub fn log_active_weights(&self, log: &mut UndoLog) {
+        log.entries.push(UndoEntry::Weights {
+            links: self.active_links(),
+            values: self.flatten_active(),
+        });
+    }
+
+    /// Replays `log` backwards, restoring the network to the exact state
+    /// it had when the log was empty (weight snapshots are written back,
+    /// pruned links re-activated with their original weights).
+    pub fn rollback(&mut self, log: UndoLog) {
+        for entry in log.entries.into_iter().rev() {
+            match entry {
+                UndoEntry::Weights { links, values } => {
+                    for (&link, &value) in links.iter().zip(&values) {
+                        self.set_weight(link, value);
+                    }
+                }
+                UndoEntry::Pruned { link, weight } => self.unprune(link, weight),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollback_restores_pruned_links_exactly() {
+        let mut net = Mlp::random(5, 3, 2, 7);
+        let before = net.clone();
+        let mut log = UndoLog::new();
+        net.prune_logged(
+            LinkId::InputHidden {
+                hidden: 1,
+                input: 2,
+            },
+            &mut log,
+        );
+        net.prune_logged(
+            LinkId::HiddenOutput {
+                output: 0,
+                hidden: 2,
+            },
+            &mut log,
+        );
+        assert_eq!(log.len(), 2);
+        assert_ne!(net, before);
+        net.rollback(log);
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    fn rollback_restores_retrained_weights() {
+        let mut net = Mlp::random(4, 2, 2, 11);
+        let before = net.clone();
+        let mut log = UndoLog::new();
+        net.prune_logged(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 3,
+            },
+            &mut log,
+        );
+        // "Retrain": snapshot, then scribble over every surviving weight.
+        net.log_active_weights(&mut log);
+        let links = net.active_links();
+        for (k, &link) in links.iter().enumerate() {
+            net.set_weight(link, 0.25 * (k as f64 + 1.0));
+        }
+        assert_ne!(net, before);
+        net.rollback(log);
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    fn empty_log_is_a_noop() {
+        let mut net = Mlp::random(3, 2, 2, 13);
+        let before = net.clone();
+        let log = UndoLog::new();
+        assert!(log.is_empty());
+        net.rollback(log);
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot unprune")]
+    fn unprune_of_active_link_panics() {
+        let mut net = Mlp::random(3, 2, 2, 17);
+        net.unprune(
+            LinkId::InputHidden {
+                hidden: 0,
+                input: 0,
+            },
+            1.0,
+        );
+    }
+}

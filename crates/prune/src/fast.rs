@@ -1,0 +1,239 @@
+//! The incremental NP engine: retrain-on-demand, cached saliencies, delta
+//! checkpoints, parallel candidate gating.
+//!
+//! Same semantics as the reference engine — the accuracy floor is never
+//! violated, the candidate conditions (4)/(5) are unchanged, every round
+//! removes at least one link — but the cost model is different:
+//!
+//! * **Retrain-on-demand.** After a removal the engine first checks the
+//!   batched accuracy gate ([`Mlp::accuracy`] on the pooled batch path).
+//!   Links qualifying under conditions (4)/(5) have provably small output
+//!   influence, so most removals keep the floor and the optimizer never
+//!   runs. Only a gate failure triggers retraining: a warm-started leg
+//!   with carried curvature and a small iteration cap
+//!   ([`nr_nn::Trainer::train_warm`] under [`PruneConfig::warm_budget`]),
+//!   escalating to the full [`PruneConfig::retrain`] budget before the
+//!   removal is abandoned — so the engine never gives up earlier than the
+//!   reference engine would.
+//! * **Saliency caching.** [`SaliencyCache`] maintains the per-link
+//!   saliencies incrementally; a removal invalidates O(touched) entries
+//!   instead of triggering an O(links) rescan.
+//! * **Delta checkpoints.** Rollback restores an [`nr_nn::UndoLog`]
+//!   (pruned links + weights a retrain overwrote) instead of cloning the
+//!   whole network per attempt.
+//! * **Parallel candidate gating.** When no batch candidate exists, the
+//!   `gate_width` lowest-saliency links are accuracy-gated together on the
+//!   shared worker pool ([`Mlp::accuracy_many`]); the lowest-saliency
+//!   candidate that holds the floor is removed without any retraining.
+//!   Chunk-ordered reduction keeps the gates bit-identical across thread
+//!   counts.
+
+use nr_encode::EncodedDataset;
+use nr_nn::{LinkId, Mlp, UndoLog, WarmState};
+
+use crate::{finish, output_candidates, PruneConfig, PruneOutcome, PruneRound, SaliencyCache};
+
+/// Runs the incremental engine on `net` in place.
+pub(crate) fn run(net: &mut Mlp, data: &EncodedDataset, config: &PruneConfig) -> PruneOutcome {
+    let threshold = 4.0 * config.eta2;
+    let initial_links = net.n_active();
+    let mut engine = Engine {
+        data,
+        config,
+        cache: SaliencyCache::new(net),
+        warm: WarmState::new(),
+        trace: Vec::new(),
+        removed_since_retrain: 0,
+    };
+
+    // Holds the pre-consolidation weights while a consolidation (one full
+    // retrain with no removal — see `Engine::consolidate`) is on
+    // probation: dropped when a following round is accepted, rolled back
+    // when the engine stalls on the consolidated weights too.
+    let mut consolidation_undo: Option<UndoLog> = None;
+    for _ in 0..config.max_rounds {
+        // Proactive consolidation: removals accepted without retraining
+        // consume the optimization slack the reference engine restores
+        // every round, and leave the weights optimized for a topology
+        // that no longer exists. Re-optimize once — one retrain amortized
+        // over the whole preceding run of skipped ones — when either
+        // trigger fires: the last accepted round left the accuracy within
+        // `slack_margin` of the floor, or `stale_limit` links have been
+        // removed since the optimizer last ran.
+        let thin_slack = engine.trace.last().is_some_and(|r| {
+            !r.retrained && r.accuracy < config.accuracy_floor + config.slack_margin
+        });
+        let stale = engine.removed_since_retrain >= config.stale_limit.max(1);
+        if (thin_slack || stale) && consolidation_undo.is_none() {
+            consolidation_undo = Some(engine.consolidate(net));
+        }
+
+        let mut batch = engine.cache.candidates_at_most(threshold);
+        batch.extend(output_candidates(net, threshold));
+
+        let accepted = if batch.is_empty() {
+            engine.single_fallback(net)
+        } else {
+            engine.attempt(net, &batch, true, false) || engine.single_fallback(net)
+        };
+        if accepted {
+            consolidation_undo = None;
+            continue;
+        }
+        // Stalled: nothing was removable even with retraining. When the
+        // stall happened on weights a consolidation already refreshed,
+        // it is final — the reference engine would have stopped here too.
+        // The consolidation is undone so the returned network is exactly
+        // the last accepted round's state (whose accuracy the trace
+        // carries). Otherwise consolidate and retry once.
+        if let Some(undo) = consolidation_undo.take() {
+            net.rollback(undo);
+            break;
+        }
+        consolidation_undo = Some(engine.consolidate(net));
+    }
+    if let Some(undo) = consolidation_undo.take() {
+        // max_rounds ran out with a consolidation still on probation.
+        net.rollback(undo);
+    }
+
+    finish(net, data, initial_links, engine.trace)
+}
+
+/// The loop state threaded through one incremental pruning run.
+struct Engine<'a> {
+    data: &'a EncodedDataset,
+    config: &'a PruneConfig,
+    cache: SaliencyCache,
+    warm: WarmState,
+    trace: Vec<PruneRound>,
+    /// Links removed since the optimizer last ran (any retrain or
+    /// consolidation resets it) — the staleness counter behind
+    /// [`PruneConfig::stale_limit`].
+    removed_since_retrain: usize,
+}
+
+impl Engine<'_> {
+    /// Tries to remove `links`: accuracy gate first, then warm-budget
+    /// retraining, then a full-budget escalation; rolls the delta
+    /// checkpoint back when even that cannot hold the floor. `skip_gate`
+    /// skips the no-retrain gate when the caller has already evaluated it
+    /// (the parallel candidate gate).
+    fn attempt(&mut self, net: &mut Mlp, links: &[LinkId], batch: bool, skip_gate: bool) -> bool {
+        if links.is_empty() {
+            return false;
+        }
+        let mut undo = UndoLog::new();
+        for &l in links {
+            net.prune_logged(l, &mut undo);
+        }
+        if net.n_active() == 0 {
+            net.rollback(undo);
+            return false;
+        }
+
+        if !skip_gate {
+            let acc = net.accuracy(self.data);
+            if acc >= self.config.accuracy_floor {
+                self.cache.apply_removal(net, links);
+                self.push_round(links.len(), batch, acc, net.n_active(), false);
+                return true;
+            }
+        }
+
+        // The gate failed: earn the removal with a warm-started bounded
+        // retrain, escalating to the full budget before giving up.
+        net.log_active_weights(&mut undo);
+        let warm =
+            self.config
+                .retrain
+                .train_warm(net, self.data, &mut self.warm, self.config.warm_budget);
+        let accuracy = if warm.accuracy >= self.config.accuracy_floor {
+            warm.accuracy
+        } else {
+            let full = self.config.retrain.train(net, self.data);
+            if full.accuracy < self.config.accuracy_floor {
+                net.rollback(undo);
+                // The rollback restored weights the carried curvature no
+                // longer describes.
+                self.warm.reset();
+                return false;
+            }
+            full.accuracy
+        };
+        self.cache.rebuild(net);
+        self.push_round(links.len(), batch, accuracy, net.n_active(), true);
+        true
+    }
+
+    /// Step 5 of Figure 2, gated in parallel: the `gate_width`
+    /// lowest-saliency links are considered **in saliency order** (the
+    /// reference engine's removal order), and the accuracy gates of all
+    /// their prefixes are evaluated together on the worker pool. The
+    /// largest prefix that jointly holds the slack bar is removed in one
+    /// round with no retraining; when not even the single smallest link
+    /// passes, that link goes the (warm, then full) retraining route.
+    fn single_fallback(&mut self, net: &mut Mlp) -> bool {
+        let candidates = self.cache.k_smallest(self.config.gate_width.max(1));
+        if candidates.is_empty() {
+            return false;
+        }
+        // Never remove the whole network.
+        let max_len = candidates.len().min(net.n_active().saturating_sub(1));
+        let prefixes: Vec<Vec<LinkId>> = (1..=max_len)
+            .map(|len| candidates[..len].to_vec())
+            .collect();
+        let gates = net.accuracy_many(self.data, &prefixes, 0);
+        if let Some(i) = gates
+            .iter()
+            .rposition(|&acc| acc >= self.config.accuracy_floor)
+        {
+            let links = &candidates[..=i];
+            let mut undo = UndoLog::new();
+            for &l in links {
+                net.prune_logged(l, &mut undo);
+            }
+            self.cache.apply_removal(net, links);
+            self.push_round(links.len(), false, gates[i], net.n_active(), false);
+            return true;
+        }
+        // Not even the smallest link survives without retraining (gate 0
+        // covered it), so go the retraining route for it.
+        self.attempt(net, &[candidates[0]], false, true)
+    }
+
+    /// One full retrain with no removal: restores optimization slack after
+    /// a run of retrain-free removals (or before giving up on a stall).
+    /// Returns the undo entry that takes the weights back.
+    fn consolidate(&mut self, net: &mut Mlp) -> UndoLog {
+        let mut undo = UndoLog::new();
+        net.log_active_weights(&mut undo);
+        self.config.retrain.train(net, self.data);
+        self.warm.reset();
+        self.cache.rebuild(net);
+        self.removed_since_retrain = 0;
+        undo
+    }
+
+    fn push_round(
+        &mut self,
+        removed: usize,
+        batch: bool,
+        accuracy: f64,
+        links_left: usize,
+        retrained: bool,
+    ) {
+        self.removed_since_retrain = if retrained {
+            0
+        } else {
+            self.removed_since_retrain + removed
+        };
+        self.trace.push(PruneRound {
+            removed,
+            batch,
+            accuracy,
+            links_left,
+            retrained,
+        });
+    }
+}

@@ -1,0 +1,99 @@
+//! The reference NP engine: full retrain after every removal, full
+//! saliency rescan per round, whole-network rollback checkpoints.
+//!
+//! This is the original implementation of Figure 2, kept verbatim as the
+//! semantic baseline: its trace is **bit-compatible** with the
+//! pre-incremental implementation (pinned by the seeded-fixture test in
+//! `tests/pruning_equivalence.rs`), and the `pruning` bench measures the
+//! incremental engine against it.
+
+use nr_encode::EncodedDataset;
+use nr_nn::{LinkId, Mlp};
+
+use crate::{
+    finish, input_link_saliencies, output_candidates, PruneConfig, PruneOutcome, PruneRound,
+};
+
+/// Runs the reference engine on `net` in place.
+pub(crate) fn run(net: &mut Mlp, data: &EncodedDataset, config: &PruneConfig) -> PruneOutcome {
+    let threshold = 4.0 * config.eta2;
+    let initial_links = net.n_active();
+    let mut trace = Vec::new();
+
+    for _ in 0..config.max_rounds {
+        // Step 3/4: batch candidates from conditions (4) and (5).
+        let mut batch: Vec<LinkId> = input_link_saliencies(net)
+            .into_iter()
+            .filter(|&(_, s)| s <= threshold)
+            .map(|(l, _)| l)
+            .collect();
+        batch.extend(output_candidates(net, threshold));
+
+        let tried_batch = !batch.is_empty();
+        let accepted = if tried_batch {
+            try_removal(net, data, config, &batch, true, &mut trace)
+                || try_single_smallest(net, data, config, &mut trace)
+        } else {
+            try_single_smallest(net, data, config, &mut trace)
+        };
+        if !accepted {
+            break;
+        }
+    }
+
+    finish(net, data, initial_links, trace)
+}
+
+/// Step 5 of Figure 2: remove the active input-side link with the smallest
+/// saliency.
+fn try_single_smallest(
+    net: &mut Mlp,
+    data: &EncodedDataset,
+    config: &PruneConfig,
+    trace: &mut Vec<PruneRound>,
+) -> bool {
+    let Some((link, _)) = input_link_saliencies(net)
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+    else {
+        return false;
+    };
+    try_removal(net, data, config, &[link], false, trace)
+}
+
+/// Prunes `links`, retrains, and keeps the result iff accuracy stays at or
+/// above the floor; otherwise restores the checkpoint.
+fn try_removal(
+    net: &mut Mlp,
+    data: &EncodedDataset,
+    config: &PruneConfig,
+    links: &[LinkId],
+    batch: bool,
+    trace: &mut Vec<PruneRound>,
+) -> bool {
+    if links.is_empty() {
+        return false;
+    }
+    let checkpoint = net.clone();
+    for &l in links {
+        net.prune(l);
+    }
+    if net.n_active() == 0 {
+        *net = checkpoint;
+        return false;
+    }
+    let report = config.retrain.train(net, data);
+    if report.accuracy >= config.accuracy_floor {
+        trace.push(PruneRound {
+            removed: links.len(),
+            batch,
+            accuracy: report.accuracy,
+            links_left: net.n_active(),
+            retrained: true,
+        });
+        true
+    } else {
+        *net = checkpoint;
+        false
+    }
+}

@@ -116,6 +116,42 @@ fn extraction_preserves_network_accuracy() {
 }
 
 #[test]
+fn fast_pruning_pipeline_holds_the_floors() {
+    // The incremental pruning engine slots into the full pipeline via
+    // `with_prune_mode`: same floors, different (cheaper) trajectory.
+    let gen = Generator::new(42).with_perturbation(0.05);
+    let (train, test) = gen.train_test(Function::F1, 500, 500);
+    let model = pipeline(1)
+        .with_prune_mode(nr_prune::PruneMode::Fast)
+        .fit(&train)
+        .expect("fast-mode pipeline succeeds on F1");
+    assert!(
+        model.report.prune_outcome.final_accuracy >= 0.9,
+        "{:?}",
+        model.report.prune_outcome
+    );
+    assert!(
+        model.rules_accuracy(&train) >= 0.88,
+        "train acc {}",
+        model.rules_accuracy(&train)
+    );
+    assert!(
+        model.rules_accuracy(&test) >= 0.85,
+        "test acc {}",
+        model.rules_accuracy(&test)
+    );
+    // The engine actually pruned (F1 uses one attribute; the network must
+    // shrink dramatically either way).
+    let p = &model.report.prune_outcome;
+    assert!(
+        p.remaining_links <= p.initial_links / 4,
+        "{} of {} links left",
+        p.remaining_links,
+        p.initial_links
+    );
+}
+
+#[test]
 fn deterministic_given_seeds() {
     let gen = Generator::new(9).with_perturbation(0.05);
     let train = gen.dataset(Function::F1, 400);

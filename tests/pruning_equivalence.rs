@@ -1,0 +1,286 @@
+//! Pins the incremental pruning engine to the paper's semantics and the
+//! strict engine to the pre-refactor implementation, bit for bit.
+//!
+//! * `strict_mode_reproduces_the_pre_refactor_trace` — the seeded F2-300
+//!   fixture's full strict trace (removal counts, batch flags, link
+//!   counts, accuracy *bits*) was captured from the implementation before
+//!   the incremental engine existed and is hardcoded here; `Strict` mode
+//!   must reproduce it exactly.
+//! * proptests — on randomized networks/datasets, fast mode never
+//!   violates the accuracy floor, its trace strictly shrinks, and it
+//!   never stops earlier (more links) than strict mode.
+//! * determinism — the parallel candidate gates are bit-identical across
+//!   thread counts, and a full fast run replays identically.
+
+use nr_datagen::{Function, Generator};
+use nr_encode::{EncodedDataset, Encoder};
+use nr_nn::{Mlp, Trainer, TrainingAlgorithm};
+use nr_opt::Bfgs;
+use nr_prune::{prune, PruneConfig, PruneMode};
+use proptest::prelude::*;
+
+/// The `nr_bench::trained_network(300)` fixture, replicated (the umbrella
+/// package does not depend on nr-bench): F2, 5% perturbation, seed 42 data,
+/// seed 12345 network, default trainer.
+fn f2_300_fixture() -> (EncodedDataset, Mlp) {
+    let raw = Generator::new(42)
+        .with_perturbation(0.05)
+        .dataset(Function::F2, 300);
+    let enc = Encoder::agrawal();
+    let data = enc.encode_dataset(&raw);
+    let mut net = Mlp::random(87, 4, 2, 12345);
+    Trainer::default().train(&mut net, &data);
+    (data, net)
+}
+
+/// The pruning config the trace was captured under (the bench budget).
+fn capture_config(mode: PruneMode) -> PruneConfig {
+    PruneConfig {
+        retrain: Trainer::new(TrainingAlgorithm::Bfgs(
+            Bfgs::default().with_max_iters(30).with_grad_tol(1e-3),
+        )),
+        mode,
+        ..PruneConfig::default()
+    }
+}
+
+/// `(removed, batch, links_left, accuracy.to_bits())` for all 48 rounds of
+/// the pre-refactor run on the seeded F2-300 fixture — captured from the
+/// original single-engine implementation before the incremental refactor.
+const EXPECTED_TRACE: &[(usize, bool, usize, u64)] = &[
+    (214, true, 142, ONE),
+    (23, true, 119, ONE),
+    (5, true, 114, ONE),
+    (7, true, 107, ONE),
+    (2, true, 105, ONE),
+    (2, true, 103, ONE),
+    (2, true, 101, ONE),
+    (1, true, 100, ONE),
+    (4, true, 96, ONE),
+    (1, true, 95, ONE),
+    (2, true, 93, ONE),
+    (1, true, 92, ONE),
+    (3, true, 89, ONE),
+    (1, true, 88, ONE),
+    (3, true, 85, ONE),
+    (1, true, 84, ONE),
+    (1, true, 83, ONE),
+    (1, true, 82, ONE),
+    (1, false, 81, ONE),
+    (1, false, 80, ONE),
+    (1, false, 79, ONE),
+    (1, true, 78, ONE),
+    (1, false, 77, ONE),
+    (1, false, 76, ONE),
+    (1, false, 75, ONE),
+    (1, false, 74, ONE),
+    (1, false, 73, 0x3fefe4b17e4b17e5),
+    (1, false, 72, 0x3fefc962fc962fc9),
+    (1, false, 71, 0x3fefae147ae147ae),
+    (1, false, 70, 0x3fefae147ae147ae),
+    (1, false, 69, 0x3fefae147ae147ae),
+    (1, false, 68, 0x3fefae147ae147ae),
+    (1, false, 67, 0x3fee9d0369d0369d),
+    (1, false, 66, 0x3fee9d0369d0369d),
+    (1, false, 65, 0x3fed3a06d3a06d3a),
+    (1, false, 64, 0x3fed3a06d3a06d3a),
+    (1, false, 63, 0x3fed3a06d3a06d3a),
+    (1, false, 62, 0x3fed3a06d3a06d3a),
+    (1, false, 61, 0x3fed3a06d3a06d3a),
+    (1, false, 60, 0x3fed3a06d3a06d3a),
+    (1, false, 59, 0x3fed3a06d3a06d3a),
+    (1, false, 58, 0x3fed3a06d3a06d3a),
+    (1, false, 57, 0x3fed3a06d3a06d3a),
+    (1, false, 56, 0x3fed3a06d3a06d3a),
+    (1, false, 55, 0x3fed3a06d3a06d3a),
+    (1, false, 54, 0x3fed3a06d3a06d3a),
+    (1, false, 53, 0x3fed3a06d3a06d3a),
+    (1, false, 52, 0x3fed1eb851eb851f),
+];
+
+/// `1.0f64.to_bits()`.
+const ONE: u64 = 0x3ff0000000000000;
+
+#[test]
+fn strict_mode_reproduces_the_pre_refactor_trace() {
+    let (data, net) = f2_300_fixture();
+    let mut candidate = net.clone();
+    let outcome = prune(&mut candidate, &data, &capture_config(PruneMode::Strict));
+
+    assert_eq!(outcome.rounds, EXPECTED_TRACE.len());
+    assert_eq!(outcome.initial_links, 356);
+    assert_eq!(outcome.remaining_links, 48);
+    assert_eq!(outcome.dead_hidden, vec![2, 3]);
+    assert_eq!(
+        outcome.final_accuracy.to_bits(),
+        0x3fed1eb851eb851f,
+        "final accuracy drifted: {}",
+        outcome.final_accuracy
+    );
+    assert_eq!(outcome.unused_inputs.len(), 48);
+    for (i, (round, &(removed, batch, links_left, acc_bits))) in
+        outcome.trace.iter().zip(EXPECTED_TRACE).enumerate()
+    {
+        assert_eq!(round.removed, removed, "round {i} removal count");
+        assert_eq!(round.batch, batch, "round {i} batch flag");
+        assert_eq!(round.links_left, links_left, "round {i} links");
+        assert_eq!(
+            round.accuracy.to_bits(),
+            acc_bits,
+            "round {i} accuracy drifted: {}",
+            round.accuracy
+        );
+        assert!(round.retrained, "strict mode retrains every round");
+    }
+}
+
+#[test]
+fn fast_mode_beats_strict_on_the_f2_fixture_without_losing_quality() {
+    let (data, net) = f2_300_fixture();
+    let mut strict_net = net.clone();
+    let strict = prune(&mut strict_net, &data, &capture_config(PruneMode::Strict));
+    let mut fast_net = net.clone();
+    let fast = prune(&mut fast_net, &data, &capture_config(PruneMode::Fast));
+
+    assert!(fast.final_accuracy >= 0.9, "{fast:?}");
+    assert!(
+        fast.remaining_links <= strict.remaining_links,
+        "fast stopped earlier: {} vs {} links",
+        fast.remaining_links,
+        strict.remaining_links
+    );
+    // The speed mechanism is observable in the trace: most rounds skip
+    // the optimizer entirely.
+    let skipped = fast.trace.iter().filter(|r| !r.retrained).count();
+    assert!(
+        skipped * 2 > fast.trace.len(),
+        "expected most rounds to skip retraining: {} of {}",
+        skipped,
+        fast.trace.len()
+    );
+}
+
+/// Small learnable fixture: class = input bit 0, one junk bit per extra
+/// input, bias appended.
+fn synthetic(rows: usize, n_in: usize, seed: u64) -> EncodedDataset {
+    let cols = n_in + 1; // + bias
+    let mut inputs = Vec::with_capacity(rows * cols);
+    let mut targets = Vec::with_capacity(rows);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..rows {
+        let b0 = (next() % 2) as f64;
+        inputs.push(b0);
+        for _ in 1..n_in {
+            inputs.push((next() % 2) as f64);
+        }
+        inputs.push(1.0); // bias
+        targets.push(if b0 == 1.0 { 0 } else { 1 });
+    }
+    EncodedDataset::from_parts(inputs, cols, targets, 2)
+}
+
+fn quick_config(mode: PruneMode) -> PruneConfig {
+    PruneConfig {
+        retrain: Trainer::new(TrainingAlgorithm::Bfgs(
+            Bfgs::default().with_max_iters(40).with_grad_tol(1e-4),
+        )),
+        mode,
+        ..PruneConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fast_mode_respects_the_papers_invariants(
+        (rows, n_in, hidden, seed) in (30usize..70, 2usize..5, 2usize..5, 0u64..1000)
+    ) {
+        let data = synthetic(rows, n_in, seed);
+        let mut net = Mlp::random(n_in + 1, hidden, 2, seed);
+        let report = Trainer::default().train(&mut net, &data);
+        // Only meaningful when training put the net above the floor.
+        prop_assert!(report.accuracy >= 0.9, "fixture untrainable: {report:?}");
+
+        let mut strict_net = net.clone();
+        let strict = prune(&mut strict_net, &data, &quick_config(PruneMode::Strict));
+        let mut fast_net = net.clone();
+        let fast = prune(&mut fast_net, &data, &quick_config(PruneMode::Fast));
+
+        // Floor never violated, in the trace or at the end.
+        for round in &fast.trace {
+            prop_assert!(round.accuracy >= 0.9, "floor violated: {round:?}");
+        }
+        prop_assert!(fast.final_accuracy >= 0.9, "{fast:?}");
+        prop_assert_eq!(fast.final_accuracy, fast_net.accuracy(&data));
+
+        // links_left strictly decreasing (both engines).
+        for outcome in [&strict, &fast] {
+            let mut last = outcome.initial_links;
+            for round in &outcome.trace {
+                prop_assert!(round.links_left < last, "{outcome:?}");
+                last = round.links_left;
+            }
+        }
+
+        // Fast mode never stops earlier than strict mode.
+        prop_assert!(
+            fast.remaining_links <= strict.remaining_links,
+            "fast {} vs strict {} links (seed {})",
+            fast.remaining_links,
+            strict.remaining_links,
+            seed
+        );
+    }
+}
+
+#[test]
+fn parallel_candidate_gates_are_thread_count_invariant() {
+    let (data, net) = f2_300_fixture();
+    // Gate the 8 lowest-saliency single-link removals, like the fast
+    // engine's fallback does, at several thread settings.
+    let saliencies = {
+        let mut s = nr_prune::input_link_saliencies(&net);
+        s.sort_by(|a, b| a.1.total_cmp(&b.1));
+        s
+    };
+    let removals: Vec<Vec<nr_nn::LinkId>> =
+        saliencies.iter().take(8).map(|&(l, _)| vec![l]).collect();
+    let inline = net.accuracy_many(&data, &removals, 1);
+    for threads in [0, 2, 4, 8] {
+        assert_eq!(
+            net.accuracy_many(&data, &removals, threads),
+            inline,
+            "candidate gates drifted at {threads} threads"
+        );
+    }
+    // And each gate equals the per-candidate batch accuracy.
+    for (links, &gate) in removals.iter().zip(&inline) {
+        let mut candidate = net.clone();
+        for &l in links {
+            candidate.prune(l);
+        }
+        assert_eq!(gate, candidate.accuracy(&data));
+    }
+}
+
+#[test]
+fn fast_mode_replays_bit_identically() {
+    let data = synthetic(60, 3, 77);
+    let run = || {
+        let mut net = Mlp::random(4, 4, 2, 9);
+        Trainer::default().train(&mut net, &data);
+        let outcome = prune(&mut net, &data, &quick_config(PruneMode::Fast));
+        (net, outcome)
+    };
+    let (net_a, outcome_a) = run();
+    let (net_b, outcome_b) = run();
+    assert_eq!(net_a, net_b);
+    assert_eq!(outcome_a, outcome_b);
+}
