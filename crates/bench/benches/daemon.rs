@@ -1,0 +1,42 @@
+//! Serving-daemon load bench: end-to-end over real sockets, not a
+//! criterion microbench. The harness in `nr_daemon::load` spawns a
+//! daemon, drives mixed single-row/bulk traffic from closed-loop client
+//! fleets, and measures p50/p99 latency and rows/sec with the
+//! batch-former on (`max_batch` 64) versus request-at-a-time
+//! (`max_batch` 1), then hot-swaps models under load.
+//!
+//! Output goes to `BENCH_daemon.json` (same contract as the criterion
+//! shim: cwd or `NR_BENCH_OUT_DIR`). `NR_BENCH_QUICK=1` shrinks the
+//! fleets to a smoke run; the ≥2× coalescing bar arms only in full
+//! runs, while the hot-swap zero-failure/zero-mixed-version bars are
+//! always on.
+
+fn main() {
+    let quick = std::env::var("NR_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let report = nr_daemon::load::run_and_write(quick);
+    println!(
+        "daemon/coalesced: {:.0} rows/s (p50 {:.1}us p99 {:.1}us, {} batches, largest {})",
+        report.coalesced.rows_per_sec,
+        report.coalesced.p50_us,
+        report.coalesced.p99_us,
+        report.coalesced.batches,
+        report.coalesced.largest_batch,
+    );
+    println!(
+        "daemon/uncoalesced: {:.0} rows/s (p50 {:.1}us p99 {:.1}us)",
+        report.uncoalesced.rows_per_sec, report.uncoalesced.p50_us, report.uncoalesced.p99_us,
+    );
+    println!(
+        "daemon/speedup: {:.2}x{}",
+        report.speedup,
+        if report.quick {
+            " (quick mode: >=2x bar not armed)"
+        } else {
+            " (>=2x bar armed and passed)"
+        },
+    );
+    println!(
+        "daemon/swap: {} requests over {} swaps, {} failed, {} mixed-version",
+        report.swap.requests, report.swap.swaps, report.swap.failed, report.swap.mixed_version,
+    );
+}

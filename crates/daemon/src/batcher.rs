@@ -1,0 +1,401 @@
+//! The batch-former: the daemon's core. Concurrent single-row predict
+//! requests are coalesced into one compiled column sweep instead of being
+//! scored one at a time.
+//!
+//! Every hosted model owns one scoring lane: an MPSC queue plus a
+//! dedicated thread. Handler threads parse a row, [`submit`](BatchFormer::submit)
+//! it, and block on a private reply channel. The lane thread drains the
+//! queue into a batch until **capacity** (`max_batch` rows) or a
+//! self-arming **deadline** (`max_delay` after the first queued row,
+//! armed only while traffic is concurrent — see [`run_lane`]'s drain
+//! policy) — then scores the whole batch through the compiled engines
+//! and scatters the answers back.
+//!
+//! Why this wins: a single-row predict pays fixed costs that dwarf the
+//! per-row sweep — model snapshot load, dataset assembly, predicate
+//! table setup. Coalescing amortizes all of it over the batch; under
+//! concurrent load the lane forms large batches and per-request cost
+//! collapses (the load harness asserts ≥2× over request-at-a-time).
+//!
+//! Version atomicity: the lane loads **exactly one** model snapshot per
+//! batch, so every row coalesced together is answered by one model
+//! version — a hot swap lands between batches, never inside one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nr_rules::Predictor;
+use nr_serve::{ModelHandle, PredictResponse};
+use nr_tabular::{Dataset, Value};
+use serde::{Deserialize, Serialize};
+
+/// Coalescing policy of a scoring lane.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Capacity threshold: a forming batch is dispatched as soon as it
+    /// holds this many rows. `1` disables coalescing (request-at-a-time)
+    /// — the load harness's baseline.
+    pub max_batch: usize,
+    /// Deadline threshold: a forming batch is dispatched this long after
+    /// its first row arrived, full or not. Only applies while the lane
+    /// sees concurrent traffic (the window self-arms after a multi-row
+    /// batch); a lone client's requests dispatch immediately.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(250),
+        }
+    }
+}
+
+/// Why a submitted row got no prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The row did not fit the model's schema (client error).
+    Rejected(String),
+    /// The scoring lane has shut down (server is stopping).
+    LaneClosed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected(msg) => write!(f, "row rejected: {msg}"),
+            SubmitError::LaneClosed => write!(f, "scoring lane is shut down"),
+        }
+    }
+}
+
+/// One queued single-row request: the parsed row plus the channel the
+/// lane scatters the answer back through.
+struct Pending {
+    values: Vec<Value>,
+    reply: mpsc::Sender<Result<PredictResponse, SubmitError>>,
+}
+
+/// Monotonic counters a lane maintains; read by the `/stats` endpoint.
+#[derive(Default)]
+struct LaneCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    rows: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+/// Snapshot of one lane's counters, as served by `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneStats {
+    /// Hosted model name.
+    pub model: String,
+    /// Model version currently serving.
+    pub version: u64,
+    /// Single-row requests submitted to the lane.
+    pub requests: u64,
+    /// Batches the lane dispatched.
+    pub batches: u64,
+    /// Rows scored across all batches (requests minus schema rejects).
+    pub rows: u64,
+    /// Largest batch formed so far — the direct measure of coalescing.
+    pub largest_batch: u64,
+}
+
+/// One model's coalescing scoring lane. See the module docs.
+pub struct BatchFormer {
+    tx: Option<mpsc::Sender<Pending>>,
+    counters: Arc<LaneCounters>,
+    lane: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BatchFormer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchFormer")
+            .field("running", &self.lane.is_some())
+            .finish()
+    }
+}
+
+impl BatchFormer {
+    /// Spawns the scoring lane for `handle` with policy `config`.
+    pub fn new(handle: Arc<ModelHandle>, config: BatchConfig) -> BatchFormer {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        let (tx, rx) = mpsc::channel::<Pending>();
+        let counters = Arc::new(LaneCounters::default());
+        let lane_counters = Arc::clone(&counters);
+        let lane = std::thread::Builder::new()
+            .name("nr-daemon-lane".into())
+            .spawn(move || run_lane(&handle, &lane_counters, &config, &rx))
+            .expect("spawn scoring lane");
+        BatchFormer {
+            tx: Some(tx),
+            counters,
+            lane: Some(lane),
+        }
+    }
+
+    /// Queues one parsed row and blocks until the lane's batch containing
+    /// it is scored. Called from handler threads.
+    pub fn submit(&self, values: Vec<Value>) -> Result<PredictResponse, SubmitError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("lane alive while BatchFormer exists")
+            .send(Pending {
+                values,
+                reply: reply_tx,
+            })
+            .map_err(|_| SubmitError::LaneClosed)?;
+        reply_rx.recv().map_err(|_| SubmitError::LaneClosed)?
+    }
+
+    /// Current counter values, labeled with `model` and `version`.
+    pub fn stats(&self, model: &str, version: u64) -> LaneStats {
+        LaneStats {
+            model: model.to_string(),
+            version,
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            rows: self.counters.rows.load(Ordering::Relaxed),
+            largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for BatchFormer {
+    fn drop(&mut self) {
+        // Closing the queue lets the lane finish in-flight work and exit;
+        // joining guarantees no reply is ever silently dropped mid-score.
+        drop(self.tx.take());
+        if let Some(lane) = self.lane.take() {
+            let _ = lane.join();
+        }
+    }
+}
+
+/// The lane thread: block for the first row, drain, score, scatter,
+/// repeat until the queue closes.
+///
+/// Drain policy — a batch is dispatched at whichever comes first:
+/// * **capacity**: the batch holds `max_batch` rows;
+/// * **fleet match**: the batch has grown to the size of the previous
+///   multi-row batch — the lane's running estimate of how many clients
+///   are in flight — and the queue is empty;
+/// * **deadline**: `max_delay` elapsed since the batch started forming.
+///   The window only arms while traffic is concurrent; under sparse
+///   traffic an empty queue dispatches immediately.
+///
+/// The fleet estimate is what keeps the lane off the timer. A closed
+/// fleet of N clients settles into lockstep — score N rows, scatter N
+/// replies, N resubmits arrive — so each batch reaches the previous
+/// batch's size within microseconds and dispatches the moment it does,
+/// without ever sleeping out the window. The deadline is the fallback
+/// for ramps and drops (a client leaves: one window is paid, then the
+/// estimate shrinks to match). That matters doubly because OS timers are
+/// far coarser than a batch: `recv_timeout` can overshoot a 250 µs
+/// window by whole milliseconds under a coarse tick, so steady state
+/// must never depend on it.
+///
+/// The window is self-arming: on after any multi-row batch, off after
+/// any single-row batch. A lone client therefore never waits out a
+/// window for company that is not coming, while a concurrent fleet —
+/// whose requests pile up during the previous batch's scoring — gets
+/// coalesced toward capacity.
+fn run_lane(
+    handle: &ModelHandle,
+    counters: &LaneCounters,
+    config: &BatchConfig,
+    rx: &mpsc::Receiver<Pending>,
+) {
+    // Size of the last multi-row batch: 0 = sparse traffic, window off.
+    let mut fleet = 0usize;
+    loop {
+        let first = match rx.recv() {
+            Ok(p) => p,
+            Err(_) => return, // queue closed: daemon shutting down
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + config.max_delay;
+        while batch.len() < config.max_batch {
+            match rx.try_recv() {
+                Ok(p) => batch.push(p),
+                Err(TryRecvError::Empty) => {
+                    if fleet == 0 || batch.len() >= fleet {
+                        break; // sparse traffic, or the fleet is all here
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break; // window spent: score what we have
+                    }
+                    // Mid-ramp: collect until the fleet or the deadline.
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(p) => batch.push(p),
+                        Err(_) => break,
+                    }
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        fleet = if batch.len() >= 2 { batch.len() } else { 0 };
+        score_batch(handle, counters, batch);
+    }
+}
+
+/// Scores one formed batch against exactly one model snapshot and
+/// scatters per-row answers. Rows the dataset rejects (schema drift can
+/// only happen through a bug — swap admission pins the schema) get their
+/// error replies without failing the rest of the batch.
+fn score_batch(handle: &ModelHandle, counters: &LaneCounters, batch: Vec<Pending>) {
+    let snapshot = handle.load(); // ONE load: the whole batch answers with one version
+    let model = snapshot.model();
+    let version = snapshot.version();
+    let class_names = model.rules().class_names().to_vec();
+    let mut ds = Dataset::new(model.network().encoder().schema().clone(), class_names);
+    let mut accepted = Vec::with_capacity(batch.len());
+    for pending in batch {
+        match ds.push_unlabeled(pending.values) {
+            Ok(()) => accepted.push(pending.reply),
+            Err(e) => {
+                let _ = pending
+                    .reply
+                    .send(Err(SubmitError::Rejected(e.to_string())));
+            }
+        }
+    }
+    if accepted.is_empty() {
+        return;
+    }
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .rows
+        .fetch_add(accepted.len() as u64, Ordering::Relaxed);
+    counters
+        .largest_batch
+        .fetch_max(accepted.len() as u64, Ordering::Relaxed);
+    let scored = model.predict_scored_batch(&ds.view());
+    let names = model.rules().class_names();
+    for (reply, s) in accepted.into_iter().zip(scored) {
+        let _ = reply.send(Ok(PredictResponse {
+            class: s.class,
+            class_name: names[s.class].clone(),
+            score: s.score,
+            version,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::serving_fixture;
+    use nr_tabular::parse_row;
+
+    fn lane(
+        max_batch: usize,
+        max_delay: Duration,
+    ) -> (BatchFormer, Arc<ModelHandle>, Vec<Vec<Value>>) {
+        let fx = serving_fixture(64);
+        let handle = Arc::new(ModelHandle::new(fx.model_a.clone()));
+        let schema = fx.model_a.network().encoder().schema().clone();
+        let rows: Vec<Vec<Value>> = fx
+            .rows
+            .iter()
+            .map(|line| parse_row(&schema, line).unwrap())
+            .collect();
+        let former = BatchFormer::new(
+            Arc::clone(&handle),
+            BatchConfig {
+                max_batch,
+                max_delay,
+            },
+        );
+        (former, handle, rows)
+    }
+
+    #[test]
+    fn lone_request_dispatches_without_waiting_for_company() {
+        // Capacity 64 but only one request in flight: with the deadline
+        // window disarmed (no concurrent traffic yet), the lone row must
+        // score immediately rather than idle out max_delay.
+        let (former, _, rows) = lane(64, Duration::from_secs(5));
+        let resp = former.submit(rows[0].clone()).unwrap();
+        assert_eq!(resp.version, 1);
+        assert!(resp.class == 0 || resp.class == 1);
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.largest_batch, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_shared_batches() {
+        // A generous deadline and 16 threads blocked in submit(): the lane
+        // must form at least one multi-row batch.
+        let (former, _, rows) = lane(64, Duration::from_millis(50));
+        let former = Arc::new(former);
+        let workers: Vec<_> = (0..16)
+            .map(|i| {
+                let former = Arc::clone(&former);
+                let row = rows[i % rows.len()].clone();
+                std::thread::spawn(move || former.submit(row).unwrap())
+            })
+            .collect();
+        for w in workers {
+            let resp = w.join().unwrap();
+            assert_eq!(resp.version, 1);
+        }
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.requests, 16);
+        assert_eq!(stats.rows, 16);
+        assert!(
+            stats.largest_batch > 1,
+            "16 concurrent submits never coalesced (largest batch {})",
+            stats.largest_batch
+        );
+        assert!(stats.batches < 16, "every request scored alone");
+    }
+
+    #[test]
+    fn capacity_one_scores_request_at_a_time() {
+        let (former, _, rows) = lane(1, Duration::from_millis(50));
+        let former = Arc::new(former);
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let former = Arc::clone(&former);
+                let row = rows[i].clone();
+                std::thread::spawn(move || former.submit(row).unwrap())
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.batches, 8, "max_batch=1 must never coalesce");
+        assert_eq!(stats.largest_batch, 1);
+    }
+
+    #[test]
+    fn batch_answers_match_direct_scoring_and_swap_lands_between_batches() {
+        let (former, handle, rows) = lane(64, Duration::from_millis(1));
+        // Direct predictions from the deployed model for comparison.
+        let fx = serving_fixture(64);
+        for (i, row) in rows.iter().take(8).enumerate() {
+            let resp = former.submit(row.clone()).unwrap();
+            assert_eq!(resp.class, fx.expected_a[i], "row {i} vs direct scoring");
+        }
+        // Swap to the flipped model: subsequent answers flip class and
+        // report the new version.
+        assert_eq!(handle.swap(fx.model_b.clone()), 2);
+        for (i, row) in rows.iter().take(8).enumerate() {
+            let resp = former.submit(row.clone()).unwrap();
+            assert_eq!(resp.version, 2);
+            assert_eq!(resp.class, 1 - fx.expected_a[i], "row {i} after swap");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Endpoint handlers: everything between a parsed [`Request`] and a
+//! `(status, JSON body)` answer. Pure functions of server state, so each
+//! endpoint is testable without a socket.
+
+use nr_rules::Predictor;
+use nr_serve::{BulkResponse, ErrorResponse, ModelInfo, ServeModel, SwapResponse};
+use nr_tabular::{parse_row, Dataset};
+use serde::Serialize;
+
+use crate::batcher::SubmitError;
+use crate::http::Request;
+use crate::router::{route, Route};
+use crate::server::{ModelEntry, ServerState};
+use crate::LaneStats;
+
+/// `GET /stats` body: one entry per hosted model, name-sorted.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct StatsResponse {
+    /// Per-lane counters.
+    pub models: Vec<LaneStats>,
+}
+
+fn error(status: u16, message: impl Into<String>) -> (u16, String) {
+    (
+        status,
+        serde_json::to_string(&ErrorResponse {
+            error: message.into(),
+        })
+        .unwrap_or_default(),
+    )
+}
+
+fn ok_json<T: Serialize>(payload: &T) -> (u16, String) {
+    match serde_json::to_string(payload) {
+        Ok(body) => (200, body),
+        Err(e) => error(500, format!("response serialization failed: {e}")),
+    }
+}
+
+/// Routes and answers one request.
+pub(crate) fn handle(state: &ServerState, request: &Request) -> (u16, String) {
+    let Some(route) = route(&request.method, &request.path) else {
+        return error(
+            404,
+            format!("no route for {} {}", request.method, request.path),
+        );
+    };
+    match route {
+        Route::Health => (200, r#"{"ok":true}"#.to_string()),
+        Route::Stats => stats(state),
+        Route::Predict { model } => with_model(state, &model, |e| predict(e, &request.body)),
+        Route::PredictBulk { model } => {
+            with_model(state, &model, |e| predict_bulk(e, &request.body))
+        }
+        Route::ModelInfo { model } => with_model(state, &model, |e| {
+            ok_json(&ModelInfo::describe(&e.handle.load()))
+        }),
+        Route::ModelSwap { model } => with_model(state, &model, |e| swap(e, &request.body)),
+    }
+}
+
+fn with_model(
+    state: &ServerState,
+    name: &str,
+    f: impl FnOnce(&ModelEntry) -> (u16, String),
+) -> (u16, String) {
+    match state.models.get(name) {
+        Some(entry) => f(entry),
+        None => error(404, format!("unknown model {name:?}")),
+    }
+}
+
+fn stats(state: &ServerState) -> (u16, String) {
+    let mut models: Vec<LaneStats> = state
+        .models
+        .iter()
+        .map(|(name, entry)| entry.lane.stats(name, entry.handle.version()))
+        .collect();
+    models.sort_by(|a, b| a.model.cmp(&b.model));
+    ok_json(&StatsResponse { models })
+}
+
+/// Single-row predict: parse the CSV body against the deployed schema,
+/// then go through the batch-former (this is the request the daemon
+/// coalesces).
+fn predict(entry: &ModelEntry, body: &str) -> (u16, String) {
+    let body = body.trim_end_matches(['\r', '\n']);
+    // Parsing uses the current snapshot's schema. Swap admission pins the
+    // schema (see `swap`), so the schema cannot change between this parse
+    // and the lane's scoring snapshot.
+    let snapshot = entry.handle.load();
+    let values = match parse_row(snapshot.model().network().encoder().schema(), body) {
+        Ok(values) => values,
+        Err(e) => return error(400, format!("bad row: {e}")),
+    };
+    drop(snapshot);
+    match entry.lane.submit(values) {
+        Ok(response) => ok_json(&response),
+        Err(SubmitError::Rejected(msg)) => error(400, msg),
+        Err(SubmitError::LaneClosed) => error(503, SubmitError::LaneClosed.to_string()),
+    }
+}
+
+/// Bulk predict: the body is already a batch (one CSV row per line,
+/// blank lines ignored), so it skips the batch-former's queue and scores
+/// directly — against exactly one model snapshot.
+fn predict_bulk(entry: &ModelEntry, body: &str) -> (u16, String) {
+    let snapshot = entry.handle.load(); // ONE load for the whole request
+    let model = snapshot.model();
+    let schema = model.network().encoder().schema();
+    let mut ds = Dataset::new(schema.clone(), model.rules().class_names().to_vec());
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let values = match parse_row(schema, line) {
+            Ok(values) => values,
+            Err(e) => return error(400, format!("line {}: {e}", lineno + 1)),
+        };
+        if let Err(e) = ds.push_unlabeled(values) {
+            return error(400, format!("line {}: {e}", lineno + 1));
+        }
+    }
+    if ds.is_empty() {
+        return error(400, "empty bulk body: expected one CSV row per line");
+    }
+    let classes = model.predict_batch(&ds.view());
+    ok_json(&BulkResponse {
+        version: snapshot.version(),
+        rows: classes.len(),
+        classes,
+    })
+}
+
+/// Hot swap: parse the incoming bundle, admit it (finite parameters,
+/// identical schema and class list — so queued rows parsed against the
+/// old deployment stay valid), then swap atomically.
+fn swap(entry: &ModelEntry, body: &str) -> (u16, String) {
+    let incoming = match ServeModel::from_json(body) {
+        Ok(model) => model,
+        Err(e) => return error(400, format!("bad model bundle: {e}")),
+    };
+    if let Err(e) = incoming.validate_finite() {
+        return error(400, format!("refusing swap: {e}"));
+    }
+    let current = entry.handle.load();
+    if incoming.network().encoder().schema() != current.model().network().encoder().schema() {
+        return error(
+            409,
+            "refusing swap: incoming model's schema differs from the deployed one",
+        );
+    }
+    if incoming.rules().class_names() != current.model().rules().class_names() {
+        return error(
+            409,
+            "refusing swap: incoming model's class list differs from the deployed one",
+        );
+    }
+    drop(current);
+    let version = entry.handle.swap(incoming);
+    ok_json(&SwapResponse { version })
+}

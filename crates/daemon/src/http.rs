@@ -1,0 +1,212 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! The pre-approved crate set has no HTTP stack, and the daemon needs a
+//! strict subset of the protocol: verb + path routing, `Content-Length`
+//! framed bodies, keep-alive connections. So the wire layer is hand
+//! rolled: [`read_request`] parses one request off a buffered stream,
+//! [`write_response`] frames one JSON answer, and [`Client`] is the
+//! matching blocking client the load harness and tests drive the server
+//! with. No chunked encoding, no TLS, no pipelining — requests on one
+//! connection are strictly request/response in order.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Upper bound on accepted request/response bodies (a bulk CSV scoring
+/// payload fits comfortably; a runaway client cannot OOM the server).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// One parsed HTTP request: the routing inputs plus the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Verb, uppercase as sent (`GET`, `POST`, `PUT`, …).
+    pub method: String,
+    /// Absolute path, query string included if any.
+    pub path: String,
+    /// The body, `Content-Length` bytes, required to be UTF-8 (every
+    /// daemon payload is CSV or JSON text).
+    pub body: String,
+}
+
+fn protocol_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one request off `reader`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (the keep-alive loop's exit);
+/// `Err` means a malformed or truncated request.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) if !m.is_empty() && p.starts_with('/') => (m.to_string(), p.to_string()),
+        _ => return Err(protocol_err(format!("malformed request line {line:?}"))),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(protocol_err("connection closed inside headers"));
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| protocol_err(format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(protocol_err(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| protocol_err("body is not UTF-8"))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Frames and writes one keep-alive JSON response. The frame is built in
+/// memory and written with a single `write_all`: formatting straight into
+/// a `TcpStream` would issue one syscall per format fragment, which
+/// dominates small-request latency.
+pub fn write_response<W: Write>(out: &mut W, status: u16, body: &str) -> io::Result<()> {
+    let frame = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    );
+    out.write_all(frame.as_bytes())?;
+    out.flush()
+}
+
+/// A blocking keep-alive client for one daemon connection — what the load
+/// harness, the integration tests, and the CLI use. One in-flight request
+/// at a time per client; open more clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon. `TCP_NODELAY` is set: the harness measures
+    /// per-request latency and must not see Nagle stalls.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for the `(status, body)` answer.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        {
+            // One write_all per request (see write_response on why).
+            let frame = format!(
+                "{method} {path} HTTP/1.1\r\nHost: nr-daemon\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                body.len(),
+            );
+            let stream = self.reader.get_mut();
+            stream.write_all(frame.as_bytes())?;
+            stream.flush()?;
+        }
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(protocol_err("server closed the connection"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| protocol_err(format!("malformed status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(protocol_err("connection closed inside response headers"));
+            }
+            let header = header.trim_end_matches(['\r', '\n']);
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| protocol_err("bad response content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| protocol_err("response is not UTF-8"))?;
+        Ok((status, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_framed_request() {
+        let wire = "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn keep_alive_reads_back_to_back_requests() {
+        let wire = "GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        let mut reader = wire.as_bytes();
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/healthz");
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/stats");
+        // Clean close between requests is the keep-alive exit, not an error.
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(read_request(&mut "garbage\r\n\r\n".as_bytes()).is_err());
+        // Truncated body: Content-Length promises more than arrives.
+        let wire = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut wire.as_bytes()).is_err());
+        let wire = "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(read_request(&mut wire.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

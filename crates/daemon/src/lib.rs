@@ -1,0 +1,49 @@
+//! The serving daemon: compiled NeuroRule models behind a coalescing
+//! HTTP front end.
+//!
+//! The paper's §1 pitch — extracted rules are cheap to apply to large
+//! databases — is only real if the serving path preserves the batch
+//! economics. A naive HTTP server scores one row per request and pays
+//! the fixed costs (model snapshot, dataset assembly, predicate-table
+//! setup) per row; this daemon's [`BatchFormer`] coalesces concurrent
+//! single-row requests into one compiled column sweep, so under load the
+//! request stream is served at batch cost (the load harness in [`load`]
+//! asserts ≥2× request-at-a-time throughput).
+//!
+//! Layers, each its own module and separately testable:
+//!
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 wire layer over
+//!   `std::net` (the pre-approved crate set has no HTTP stack);
+//! * [`router`] — verb + path → [`Route`], a pure function;
+//! * handlers (private) — route → JSON answer, no socket in sight;
+//! * [`batcher`] — the per-model scoring lane: capacity-or-deadline
+//!   batch forming, one model snapshot per batch;
+//! * [`server`] — the process shell: accept loop, keep-alive connection
+//!   threads, panic-isolated handlers;
+//! * [`fixture`] / [`load`] — deterministic models + the load harness
+//!   that measures p50/p99/rows-per-sec and proves the coalescing and
+//!   hot-swap claims over real sockets.
+//!
+//! Hot swap rides `nr_serve`'s [`ModelHandle`](nr_serve::ModelHandle):
+//! `PUT /model` admits a bundle (finite parameters, unchanged schema and
+//! class list) and swaps it in atomically — in-flight batches finish on
+//! their snapshot, later batches see the new version, and no batch ever
+//! mixes two.
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod fixture;
+pub mod http;
+pub mod load;
+pub mod router;
+pub mod server;
+
+mod handlers;
+
+pub use batcher::{BatchConfig, BatchFormer, LaneStats, SubmitError};
+pub use handlers::StatsResponse;
+pub use http::{Client, Request};
+pub use load::{LoadConfig, LoadReport, ScenarioReport, SwapReport};
+pub use router::{route, Route, DEFAULT_MODEL};
+pub use server::{Daemon, DaemonConfig};

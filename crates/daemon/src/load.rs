@@ -1,0 +1,396 @@
+//! The load harness: drives a real daemon over real sockets with mixed
+//! single-row and bulk traffic, measures p50/p99 latency and rows/sec,
+//! and proves the two serving claims end to end:
+//!
+//! * **Coalescing pays** — the same client fleet against the same model
+//!   gets ≥2× the single-row throughput with the batch-former on
+//!   (`max_batch` 64) versus request-at-a-time (`max_batch` 1). The
+//!   assertion arms in full (non-quick) runs, like the other bench bars.
+//! * **Hot swap is atomic** — swapping between two models whose answers
+//!   are complements (`B(x) = 1 − A(x)`) while a fleet hammers predict,
+//!   every response must be (a) successful and (b) *internally
+//!   consistent*: the class must match the version the response claims.
+//!   A dropped request or a mixed-version batch is directly observable,
+//!   and the harness asserts zero of both in every mode.
+//!
+//! Results land in `BENCH_daemon.json` (cwd or `NR_BENCH_OUT_DIR`), the
+//! same contract as the criterion benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nr_serve::PredictResponse;
+use serde::{Deserialize, Serialize};
+
+use crate::batcher::BatchConfig;
+use crate::fixture::{serving_fixture, ServingFixture};
+use crate::handlers::StatsResponse;
+use crate::http::Client;
+use crate::server::{Daemon, DaemonConfig};
+
+/// Harness sizing. `quick` is the CI smoke (seconds); full is the
+/// real measurement the README quotes.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Quick mode: tiny fleet, assertions on correctness only (the ≥2×
+    /// throughput bar needs sustained load and only arms in full runs).
+    pub quick: bool,
+    /// Closed-loop single-row clients per throughput scenario.
+    pub clients: usize,
+    /// Requests each single-row client issues.
+    pub requests_per_client: usize,
+    /// Closed-loop bulk clients running alongside (mixed traffic).
+    pub bulk_clients: usize,
+    /// Bulk requests each bulk client issues.
+    pub bulk_requests: usize,
+    /// Rows per bulk request body.
+    pub bulk_rows: usize,
+    /// Model swaps performed during the hot-swap scenario.
+    pub swaps: usize,
+}
+
+impl LoadConfig {
+    /// Sizing for `quick` (CI smoke) or full (measurement) runs.
+    pub fn sized(quick: bool) -> LoadConfig {
+        if quick {
+            LoadConfig {
+                quick,
+                clients: 4,
+                requests_per_client: 60,
+                bulk_clients: 1,
+                bulk_requests: 4,
+                bulk_rows: 128,
+                swaps: 8,
+            }
+        } else {
+            LoadConfig {
+                quick,
+                clients: 32,
+                requests_per_client: 250,
+                bulk_clients: 2,
+                bulk_requests: 20,
+                bulk_rows: 256,
+                swaps: 40,
+            }
+        }
+    }
+}
+
+/// Measurements from one throughput scenario (one daemon, one fleet).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// `"coalesced"` or `"uncoalesced"`.
+    pub label: String,
+    /// Single-row clients in the fleet.
+    pub clients: usize,
+    /// Single-row requests completed.
+    pub requests: u64,
+    /// Rows scored through the bulk endpoint alongside.
+    pub bulk_rows: u64,
+    /// Median single-row latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile single-row latency, microseconds.
+    pub p99_us: f64,
+    /// Single-row requests per second (the coalescing comparison metric).
+    pub rows_per_sec: f64,
+    /// Batches the scoring lane dispatched.
+    pub batches: u64,
+    /// Largest batch the lane formed.
+    pub largest_batch: u64,
+}
+
+/// Outcome of the hot-swap-under-load scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwapReport {
+    /// Predict requests issued while swapping.
+    pub requests: u64,
+    /// Swaps performed (each bumps the version).
+    pub swaps: u64,
+    /// Non-200 predict responses (must be 0: zero dropped requests).
+    pub failed: u64,
+    /// Responses whose class contradicts the version they claim (must be
+    /// 0: zero mixed-version batches).
+    pub mixed_version: u64,
+    /// Version serving when the scenario ended.
+    pub final_version: u64,
+}
+
+/// Everything one harness run produced — the `BENCH_daemon.json` schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// True for CI smoke runs (assertion bar not armed).
+    pub quick: bool,
+    /// Throughput with the batch-former on (`max_batch` 64).
+    pub coalesced: ScenarioReport,
+    /// Baseline: same fleet, `max_batch` 1 (request-at-a-time).
+    pub uncoalesced: ScenarioReport,
+    /// `coalesced.rows_per_sec / uncoalesced.rows_per_sec` — the headline
+    /// number; full runs assert ≥ 2.
+    pub speedup: f64,
+    /// Hot-swap-under-load outcome (asserted zero-failure in every mode).
+    pub swap: SwapReport,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Runs one throughput scenario: a daemon with `batch` policy, a fleet
+/// of closed-loop single-row clients plus bulk clients, all traffic from
+/// `fixture`.
+fn run_scenario(
+    label: &str,
+    batch: BatchConfig,
+    cfg: &LoadConfig,
+    fx: &ServingFixture,
+) -> ScenarioReport {
+    let daemon = Daemon::start(
+        DaemonConfig { batch, port: 0 },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .expect("daemon binds on loopback");
+    let addr = daemon.addr();
+    let rows = Arc::new(fx.rows.clone());
+    let bulk_body = Arc::new(
+        fx.rows
+            .iter()
+            .cycle()
+            .take(cfg.bulk_rows)
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+
+    let start = Instant::now();
+    let single_workers: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let rows = Arc::clone(&rows);
+            let n = cfg.requests_per_client;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut latencies_ns = Vec::with_capacity(n);
+                for r in 0..n {
+                    let row = &rows[(c + r * 17) % rows.len()];
+                    let sent = Instant::now();
+                    let (status, body) = client
+                        .request("POST", "/predict", row)
+                        .expect("predict request completes");
+                    latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "predict failed: {body}");
+                }
+                latencies_ns
+            })
+        })
+        .collect();
+    let bulk_rows_done = Arc::new(AtomicU64::new(0));
+    let bulk_workers: Vec<_> = (0..cfg.bulk_clients)
+        .map(|_| {
+            let body = Arc::clone(&bulk_body);
+            let done = Arc::clone(&bulk_rows_done);
+            let n = cfg.bulk_requests;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("bulk client connects");
+                for _ in 0..n {
+                    let (status, answer) = client
+                        .request("POST", "/predict/bulk", &body)
+                        .expect("bulk request completes");
+                    assert_eq!(status, 200, "bulk predict failed: {answer}");
+                    let parsed: nr_serve::BulkResponse =
+                        serde_json::from_str(&answer).expect("bulk response parses");
+                    done.fetch_add(parsed.rows as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::new();
+    for w in single_workers {
+        latencies_us.extend(
+            w.join()
+                .expect("client thread")
+                .iter()
+                .map(|&ns| ns as f64 / 1_000.0),
+        );
+    }
+    // Throughput clock stops when the last single-row client finishes —
+    // that's the population the rows/sec claim is about.
+    let elapsed = start.elapsed();
+    for w in bulk_workers {
+        w.join().expect("bulk client thread");
+    }
+
+    let mut stats_client = Client::connect(addr).expect("stats client connects");
+    let (status, stats_body) = stats_client.request("GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_str(&stats_body).expect("stats parse");
+    let lane = &stats.models[0];
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies_us.len() as u64;
+    daemon.shutdown();
+    ScenarioReport {
+        label: label.to_string(),
+        clients: cfg.clients,
+        requests,
+        bulk_rows: bulk_rows_done.load(Ordering::Relaxed),
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        rows_per_sec: requests as f64 / elapsed.as_secs_f64(),
+        batches: lane.batches,
+        largest_batch: lane.largest_batch,
+    }
+}
+
+/// Runs the hot-swap scenario: a fleet hammers predict while the main
+/// thread swaps between the complement models; every response is checked
+/// for success and version/answer consistency.
+fn run_swap_scenario(cfg: &LoadConfig, fx: &ServingFixture) -> SwapReport {
+    let daemon = Daemon::start(
+        DaemonConfig {
+            batch: BatchConfig::default(),
+            port: 0,
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .expect("daemon binds on loopback");
+    let addr = daemon.addr();
+    let rows = Arc::new(fx.rows.clone());
+    let expected_a = Arc::new(fx.expected_a.clone());
+    let failed = Arc::new(AtomicU64::new(0));
+    let mixed = Arc::new(AtomicU64::new(0));
+    let requests = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let rows = Arc::clone(&rows);
+            let expected_a = Arc::clone(&expected_a);
+            let failed = Arc::clone(&failed);
+            let mixed = Arc::clone(&mixed);
+            let requests = Arc::clone(&requests);
+            let n = cfg.requests_per_client;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                for r in 0..n {
+                    let i = (c + r * 17) % rows.len();
+                    let (status, body) = client
+                        .request("POST", "/predict", &rows[i])
+                        .expect("predict request completes");
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    if status != 200 {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let resp: PredictResponse =
+                        serde_json::from_str(&body).expect("predict response parses");
+                    // Version 1, 3, 5… serve model A; 2, 4, 6… the
+                    // complement B. A response whose class disagrees with
+                    // the version it claims can only come from a
+                    // mixed-version batch.
+                    let want = if resp.version % 2 == 1 {
+                        expected_a[i]
+                    } else {
+                        1 - expected_a[i]
+                    };
+                    if resp.class != want {
+                        mixed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let json_a = fx.model_a.to_json().expect("model A serializes");
+    let json_b = fx.model_b.to_json().expect("model B serializes");
+    let mut admin = Client::connect(addr).expect("admin connects");
+    let mut final_version = 1;
+    for k in 0..cfg.swaps {
+        let body = if k % 2 == 0 { &json_b } else { &json_a };
+        let (status, answer) = admin.request("PUT", "/model", body).expect("swap request");
+        assert_eq!(status, 200, "swap {k} failed: {answer}");
+        let resp: nr_serve::SwapResponse = serde_json::from_str(&answer).expect("swap parse");
+        final_version = resp.version;
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    for w in workers {
+        w.join().expect("swap-scenario client");
+    }
+    daemon.shutdown();
+    SwapReport {
+        requests: requests.load(Ordering::Relaxed),
+        swaps: cfg.swaps as u64,
+        failed: failed.load(Ordering::Relaxed),
+        mixed_version: mixed.load(Ordering::Relaxed),
+        final_version,
+    }
+}
+
+/// Runs the whole harness: coalesced vs uncoalesced throughput, then hot
+/// swap under load. Panics if any always-on bar fails; the ≥2× speedup
+/// bar additionally arms in full (non-quick) runs.
+pub fn run(cfg: &LoadConfig) -> LoadReport {
+    let fx = serving_fixture(if cfg.quick { 256 } else { 512 });
+    let coalesced = run_scenario("coalesced", BatchConfig::default(), cfg, &fx);
+    let uncoalesced = run_scenario(
+        "uncoalesced",
+        BatchConfig {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        },
+        cfg,
+        &fx,
+    );
+    let speedup = coalesced.rows_per_sec / uncoalesced.rows_per_sec;
+    let swap = run_swap_scenario(cfg, &fx);
+
+    // Always-on bars: the uncoalesced lane must genuinely be
+    // request-at-a-time, and hot swap must be loss- and mix-free.
+    assert_eq!(
+        uncoalesced.largest_batch, 1,
+        "baseline coalesced — the comparison is void"
+    );
+    assert_eq!(swap.failed, 0, "hot swap dropped {} requests", swap.failed);
+    assert_eq!(
+        swap.mixed_version, 0,
+        "{} responses were answered by a mixed-version batch",
+        swap.mixed_version
+    );
+    assert_eq!(swap.final_version, cfg.swaps as u64 + 1);
+    if !cfg.quick {
+        assert!(
+            coalesced.largest_batch > 1,
+            "full-mode load never formed a multi-row batch"
+        );
+        assert!(
+            speedup >= 2.0,
+            "coalescing bar missed: {:.0} rows/s coalesced vs {:.0} uncoalesced \
+             ({speedup:.2}x < 2x; {} batches, largest {})",
+            coalesced.rows_per_sec,
+            uncoalesced.rows_per_sec,
+            coalesced.batches,
+            coalesced.largest_batch,
+        );
+    }
+    LoadReport {
+        quick: cfg.quick,
+        coalesced,
+        uncoalesced,
+        speedup,
+        swap,
+    }
+}
+
+/// Runs the harness and writes `BENCH_daemon.json` to `NR_BENCH_OUT_DIR`
+/// (or the cwd), mirroring the criterion benches' output contract.
+pub fn run_and_write(quick: bool) -> LoadReport {
+    let report = run(&LoadConfig::sized(quick));
+    let out_dir = std::env::var("NR_BENCH_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&out_dir).join("BENCH_daemon.json");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&path, json).expect("write BENCH_daemon.json");
+    report
+}

@@ -1,0 +1,107 @@
+//! CLI for the serving daemon.
+//!
+//! ```text
+//! nr-daemon serve [--port N] [--model FILE.json]   # run a daemon
+//! nr-daemon load [--quick]                         # run the load harness
+//! ```
+//!
+//! `serve` hosts one model under the default name: either a
+//! `ServeModel` JSON bundle from `--model`, or (for demos) the built-in
+//! deterministic fixture. `load` runs the harness against a freshly
+//! spawned in-process daemon and writes `BENCH_daemon.json`.
+
+use nr_daemon::{fixture, load, Daemon, DaemonConfig};
+use nr_serve::ServeModel;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: nr-daemon serve [--port N] [--model FILE.json]\n       nr-daemon load [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("load") => run_load(&args[1..]),
+        _ => fail("expected a subcommand: serve | load"),
+    }
+}
+
+fn serve(args: &[String]) {
+    let mut port = 0u16;
+    let mut model_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => match it.next().map(|p| p.parse()) {
+                Some(Ok(p)) => port = p,
+                _ => fail("--port needs a number"),
+            },
+            "--model" => match it.next() {
+                Some(p) => model_path = Some(p.clone()),
+                None => fail("--model needs a file path"),
+            },
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let model = match model_path {
+        Some(path) => match ServeModel::load(&path) {
+            Ok(model) => model,
+            Err(e) => fail(&format!("loading {path}: {e}")),
+        },
+        None => {
+            eprintln!("no --model given; serving the built-in demo fixture");
+            fixture::serving_fixture(1).model_a
+        }
+    };
+    let daemon = match Daemon::start(
+        DaemonConfig {
+            port,
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), model)],
+    ) {
+        Ok(daemon) => daemon,
+        Err(e) => fail(&format!("binding: {e}")),
+    };
+    println!("nr-daemon serving on http://{}", daemon.addr());
+    println!("endpoints: GET /healthz /stats /model; POST /predict /predict/bulk; PUT /model");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_load(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("NR_BENCH_QUICK").is_ok_and(|v| v == "1");
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quick") {
+        fail(&format!("unknown flag {bad:?}"));
+    }
+    let report = load::run_and_write(quick);
+    println!(
+        "daemon load ({}): coalesced {:.0} rows/s (p50 {:.0}us, p99 {:.0}us, largest batch {}) \
+         vs uncoalesced {:.0} rows/s (p50 {:.0}us, p99 {:.0}us) -> {:.2}x",
+        if report.quick { "quick" } else { "full" },
+        report.coalesced.rows_per_sec,
+        report.coalesced.p50_us,
+        report.coalesced.p99_us,
+        report.coalesced.largest_batch,
+        report.uncoalesced.rows_per_sec,
+        report.uncoalesced.p50_us,
+        report.uncoalesced.p99_us,
+        report.speedup,
+    );
+    println!(
+        "hot swap under load: {} requests across {} swaps, {} failed, {} mixed-version (final v{})",
+        report.swap.requests,
+        report.swap.swaps,
+        report.swap.failed,
+        report.swap.mixed_version,
+        report.swap.final_version,
+    );
+    println!("wrote BENCH_daemon.json");
+}

@@ -1,0 +1,145 @@
+//! The routing table: verb + path → [`Route`]. Pure function of the
+//! request line, separated from the handlers so the table is testable
+//! without sockets and the handlers without parsing.
+
+/// Name a bare `/predict`-style path addresses when the daemon hosts a
+/// single model.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// One serving endpoint, with the model name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz` — liveness probe.
+    Health,
+    /// `GET /stats` — batch-former counters for every hosted model.
+    Stats,
+    /// `POST /predict` or `POST /models/<name>/predict` — one CSV row in
+    /// the body, answered through the coalescing batch-former.
+    Predict {
+        /// Hosted model the request addresses.
+        model: String,
+    },
+    /// `POST /predict/bulk` or `POST /models/<name>/predict/bulk` — many
+    /// CSV rows in the body, scored as one batch without queueing.
+    PredictBulk {
+        /// Hosted model the request addresses.
+        model: String,
+    },
+    /// `GET /model` or `GET /models/<name>` — version, engine shape,
+    /// schema.
+    ModelInfo {
+        /// Hosted model the request addresses.
+        model: String,
+    },
+    /// `PUT /model` or `PUT /models/<name>` — hot swap: the body is a
+    /// serialized [`nr_serve::ServeModel`] that replaces the deployed one
+    /// atomically.
+    ModelSwap {
+        /// Hosted model the request addresses.
+        model: String,
+    },
+}
+
+/// Resolves a request line to a route, `None` for anything unmapped
+/// (the server answers 404).
+pub fn route(method: &str, path: &str) -> Option<Route> {
+    if let Some(tail) = path.strip_prefix("/models/") {
+        let (model, sub) = match tail.split_once('/') {
+            Some((m, s)) => (m, Some(s)),
+            None => (tail, None),
+        };
+        if model.is_empty() {
+            return None;
+        }
+        let model = model.to_string();
+        return match (method, sub) {
+            ("GET", None) => Some(Route::ModelInfo { model }),
+            ("PUT", None) => Some(Route::ModelSwap { model }),
+            ("POST", Some("predict")) => Some(Route::Predict { model }),
+            ("POST", Some("predict/bulk")) => Some(Route::PredictBulk { model }),
+            _ => None,
+        };
+    }
+    let default = || DEFAULT_MODEL.to_string();
+    match (method, path) {
+        ("GET", "/healthz") => Some(Route::Health),
+        ("GET", "/stats") => Some(Route::Stats),
+        ("POST", "/predict") => Some(Route::Predict { model: default() }),
+        ("POST", "/predict/bulk") => Some(Route::PredictBulk { model: default() }),
+        ("GET", "/model") => Some(Route::ModelInfo { model: default() }),
+        ("PUT", "/model") => Some(Route::ModelSwap { model: default() }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_shorthand_routes() {
+        assert_eq!(route("GET", "/healthz"), Some(Route::Health));
+        assert_eq!(route("GET", "/stats"), Some(Route::Stats));
+        assert_eq!(
+            route("POST", "/predict"),
+            Some(Route::Predict {
+                model: "default".into()
+            })
+        );
+        assert_eq!(
+            route("POST", "/predict/bulk"),
+            Some(Route::PredictBulk {
+                model: "default".into()
+            })
+        );
+        assert_eq!(
+            route("GET", "/model"),
+            Some(Route::ModelInfo {
+                model: "default".into()
+            })
+        );
+        assert_eq!(
+            route("PUT", "/model"),
+            Some(Route::ModelSwap {
+                model: "default".into()
+            })
+        );
+    }
+
+    #[test]
+    fn named_model_routes() {
+        assert_eq!(
+            route("POST", "/models/churn/predict"),
+            Some(Route::Predict {
+                model: "churn".into()
+            })
+        );
+        assert_eq!(
+            route("POST", "/models/churn/predict/bulk"),
+            Some(Route::PredictBulk {
+                model: "churn".into()
+            })
+        );
+        assert_eq!(
+            route("GET", "/models/churn"),
+            Some(Route::ModelInfo {
+                model: "churn".into()
+            })
+        );
+        assert_eq!(
+            route("PUT", "/models/churn"),
+            Some(Route::ModelSwap {
+                model: "churn".into()
+            })
+        );
+    }
+
+    #[test]
+    fn unmapped_requests_fall_through() {
+        assert_eq!(route("GET", "/predict"), None); // wrong verb
+        assert_eq!(route("POST", "/healthz"), None);
+        assert_eq!(route("GET", "/nope"), None);
+        assert_eq!(route("POST", "/models//predict"), None); // empty name
+        assert_eq!(route("DELETE", "/model"), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! The daemon process shell: listener, connection threads, shutdown.
+//!
+//! Thread shape: one accept thread, one handler thread per live
+//! connection (blocking reads on a keep-alive loop), one scoring-lane
+//! thread per hosted model (see [`crate::batcher`]). Handler threads do
+//! the protocol work — parse, route, reply — and block in
+//! [`BatchFormer::submit`] while the lane scores; the expensive part is
+//! never run per-connection.
+//!
+//! A panicking handler answers that request with a 500 and keeps the
+//! connection and the server alive.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nr_serve::{ErrorResponse, ModelHandle, ServeModel};
+
+use crate::batcher::{BatchConfig, BatchFormer};
+use crate::handlers;
+use crate::http;
+
+/// Daemon startup configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonConfig {
+    /// Coalescing policy shared by every hosted model's scoring lane.
+    pub batch: BatchConfig,
+    /// Bind port on 127.0.0.1; `0` (the default) picks a free one —
+    /// tests and the harness read the result from [`Daemon::addr`].
+    pub port: u16,
+}
+
+/// One hosted model: the swap handle plus its scoring lane.
+pub(crate) struct ModelEntry {
+    pub(crate) handle: Arc<ModelHandle>,
+    pub(crate) lane: BatchFormer,
+}
+
+/// Shared server state the handlers see: the fixed set of hosted models.
+/// (The *set* is fixed at startup; each model hot-swaps through its
+/// handle.)
+pub(crate) struct ServerState {
+    pub(crate) models: HashMap<String, ModelEntry>,
+}
+
+/// A running serving daemon. Dropping it (or calling
+/// [`shutdown`](Daemon::shutdown)) stops the accept loop and joins the
+/// scoring lanes; open connections die with their clients.
+pub struct Daemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    #[allow(dead_code)] // keeps the lanes alive; read only via handlers
+    state: Arc<ServerState>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon").field("addr", &self.addr).finish()
+    }
+}
+
+impl Daemon {
+    /// Binds, spawns the scoring lanes and the accept loop, and returns.
+    /// `models` maps each hosted name to its initial deployment
+    /// (version 1).
+    pub fn start(config: DaemonConfig, models: Vec<(String, ServeModel)>) -> io::Result<Daemon> {
+        assert!(!models.is_empty(), "a daemon needs at least one model");
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let mut map = HashMap::new();
+        for (name, model) in models {
+            let handle = Arc::new(ModelHandle::new(model));
+            let lane = BatchFormer::new(Arc::clone(&handle), config.batch.clone());
+            map.insert(name, ModelEntry { handle, lane });
+        }
+        let state = Arc::new(ServerState { models: map });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("nr-daemon-accept".into())
+                .spawn(move || accept_loop(&listener, &state, &stop))
+                .expect("spawn accept loop")
+        };
+        Ok(Daemon {
+            addr,
+            stop,
+            accept: Some(accept),
+            state,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Equivalent to
+    /// dropping the daemon; provided for explicit call sites.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the shutdown poke itself
+        }
+        let state = Arc::clone(state);
+        // Connection threads are detached: they exit when their client
+        // hangs up (read_request returns Ok(None)) and hold only an Arc
+        // on the state.
+        let _ = std::thread::Builder::new()
+            .name("nr-daemon-conn".into())
+            .spawn(move || serve_connection(&state, stream));
+    }
+}
+
+/// The per-connection keep-alive loop: read a request, handle it behind
+/// a panic barrier, write the response, repeat until the client closes.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close between requests
+            Err(_) => return,   // malformed/truncated: drop the connection
+        };
+        let (status, body) = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handlers::handle(state, &request)
+        })) {
+            Ok(answer) => answer,
+            Err(_) => (
+                500,
+                serde_json::to_string(&ErrorResponse {
+                    error: "internal error: handler panicked".into(),
+                })
+                .unwrap_or_default(),
+            ),
+        };
+        if http::write_response(reader.get_mut(), status, &body).is_err() {
+            return;
+        }
+    }
+}

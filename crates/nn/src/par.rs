@@ -93,6 +93,42 @@ pub(crate) fn with_scratch<R>(sizes: &[usize], f: impl FnOnce(&mut [Vec<f64>]) -
 /// A unit of work shipped to the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+thread_local! {
+    /// Location of the most recent panic on this thread, recorded by the
+    /// hook below. Read by the job wrapper in [`map_indexed`] right after
+    /// it catches an unwind, so the re-raised panic can name the original
+    /// file:line instead of the collection point.
+    static LAST_PANIC_LOCATION: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+static LOCATION_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Installs (once, process-wide) a panic hook that records the panic
+/// location in a thread-local before delegating to the previous hook.
+/// Captured pool-job panics read it back; panics elsewhere are unaffected.
+fn install_location_hook() {
+    LOCATION_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let loc = info.location().map(|l| l.to_string());
+            LAST_PANIC_LOCATION.with(|slot| *slot.borrow_mut() = loc);
+            prev(info);
+        }));
+    });
+}
+
+/// Renders a caught panic payload back into the original message: the two
+/// payload types `panic!` produces (`&str` and `String`), with a fallback
+/// for exotic `panic_any` payloads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 struct Pool {
     sender: Sender<Job>,
 }
@@ -118,9 +154,12 @@ fn pool() -> &'static Pool {
                     // Hold the lock only while receiving, not while working.
                     let job = receiver.lock().unwrap().recv();
                     match job {
-                        // A panicking job must not kill the worker: swallow
-                        // the unwind here; the submitting caller notices the
-                        // missing result and re-raises (see `map_chunks`).
+                        // A panicking job must not kill the worker. Jobs
+                        // submitted via `map_indexed` catch their own
+                        // unwinds and ship the payload back to the caller;
+                        // this outer catch is only the backstop for panics
+                        // outside that wrapper (e.g. a poisoned result
+                        // channel).
                         Ok(job) => {
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
@@ -172,15 +211,26 @@ where
         return (0..jobs).map(work).collect();
     }
 
+    install_location_hook();
     let work = Arc::new(work);
-    let (tx, rx) = channel::<(usize, T)>();
+    let (tx, rx) = channel::<(usize, Result<T, String>)>();
     for j in 0..jobs {
         let work = Arc::clone(&work);
         let tx = tx.clone();
         pool()
             .sender
             .send(Box::new(move || {
-                let result = work(j);
+                // Catch the job's own unwind so the panic payload (and the
+                // location the hook recorded) travel back to the caller
+                // instead of dying on the pool thread.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(j)))
+                    .map_err(|payload| {
+                        let msg = panic_message(payload.as_ref());
+                        match LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take()) {
+                            Some(loc) => format!("{msg}, at {loc}"),
+                            None => msg,
+                        }
+                    });
                 // The caller may have bailed (panic elsewhere); a closed
                 // channel is fine.
                 let _ = tx.send((j, result));
@@ -188,10 +238,20 @@ where
             .expect("worker pool alive for the process lifetime");
     }
     drop(tx);
-    let mut results: Vec<(usize, T)> = rx.iter().collect();
-    assert_eq!(results.len(), jobs, "a job panicked on the worker pool");
+    let mut results: Vec<(usize, Result<T, String>)> = rx.iter().collect();
+    assert_eq!(
+        results.len(),
+        jobs,
+        "worker pool dropped {} of {jobs} job results",
+        jobs - results.len()
+    );
     results.sort_unstable_by_key(|&(j, _)| j);
-    results.into_iter().map(|(_, t)| t).collect()
+    // Re-raise the first (lowest-index, so deterministic) job panic with
+    // its original message and location.
+    results
+        .into_iter()
+        .map(|(j, r)| r.unwrap_or_else(|msg| panic!("worker-pool job {j} panicked: {msg}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -258,6 +318,51 @@ mod tests {
         // Indirect check: submitting far more jobs than workers completes.
         let got = map_chunks(CHUNK_ROWS * (pool_threads * 4), 8, |c, _| c);
         assert_eq!(got.len(), pool_threads * 4);
+    }
+
+    #[test]
+    fn pooled_job_panic_reports_its_own_message() {
+        // A panicking job must surface its original message (and job
+        // index) at the collection point, not an opaque results-length
+        // assert.
+        let err = std::panic::catch_unwind(|| {
+            map_indexed(8, 4, |j| {
+                if j == 5 {
+                    panic!("job five exploded deliberately");
+                }
+                j
+            })
+        })
+        .expect_err("the pooled panic must propagate to the caller");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("job five exploded deliberately"),
+            "original message lost: {msg}"
+        );
+        assert!(msg.contains("worker-pool job 5"), "job index lost: {msg}");
+        assert!(msg.contains("par.rs"), "panic location lost: {msg}");
+        // The pool survives a panicking job: later calls still work.
+        assert_eq!(map_indexed(3, 4, |j| j), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn earliest_job_panic_wins_deterministically() {
+        for _ in 0..5 {
+            let err = std::panic::catch_unwind(|| {
+                map_indexed(8, 4, |j| {
+                    if j >= 4 {
+                        panic!("job {j} failed");
+                    }
+                    j
+                })
+            })
+            .expect_err("must propagate");
+            let msg = panic_message(err.as_ref());
+            assert!(
+                msg.contains("worker-pool job 4") && msg.contains("job 4 failed"),
+                "expected the lowest-index panic, got: {msg}"
+            );
+        }
     }
 
     #[test]

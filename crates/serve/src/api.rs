@@ -1,0 +1,141 @@
+//! Wire types of the serving API: the JSON bodies the daemon answers with
+//! and clients parse. Kept here (not in the daemon crate) so every client
+//! — the load harness, tests, tooling — shares one definition with the
+//! server.
+
+use nr_tabular::ClassId;
+use serde::{Deserialize, Serialize};
+
+use crate::{ServeModel, VersionedModel};
+
+/// Answer to a single-row predict request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Predicted class id.
+    pub class: ClassId,
+    /// Display name of the predicted class.
+    pub class_name: String,
+    /// Confidence: `1.0` for an explicit rule match, the winning sigmoid
+    /// activation for network answers, `0.0` for default-class
+    /// fallthrough.
+    pub score: f64,
+    /// Model version that produced this answer (every row of a coalesced
+    /// batch carries the same version).
+    pub version: u64,
+}
+
+/// Answer to a bulk (CSV body) predict request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BulkResponse {
+    /// Model version that scored the whole batch.
+    pub version: u64,
+    /// Number of scored rows.
+    pub rows: usize,
+    /// Predicted class id per input row, in input order.
+    pub classes: Vec<ClassId>,
+}
+
+/// Answer to a model-swap request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapResponse {
+    /// The version now serving.
+    pub version: u64,
+}
+
+/// The admin view of a deployed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Deployment version.
+    pub version: u64,
+    /// Answering engine (`"Rules"`, `"Network"`, `"Hybrid"`).
+    pub mode: String,
+    /// Number of compiled rules (excluding the default).
+    pub n_rules: usize,
+    /// Number of distinct predicates shared across the rules.
+    pub n_predicates: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Attribute names, in the column order single-row/CSV bodies must
+    /// use.
+    pub attributes: Vec<String>,
+    /// Class display names, indexed by class id.
+    pub class_names: Vec<String>,
+}
+
+impl ModelInfo {
+    /// Describes a deployed model snapshot.
+    pub fn describe(snapshot: &VersionedModel) -> ModelInfo {
+        ModelInfo::of(snapshot.version(), snapshot.model())
+    }
+
+    /// Describes `model` at `version`.
+    pub fn of(version: u64, model: &ServeModel) -> ModelInfo {
+        ModelInfo {
+            version,
+            mode: format!("{:?}", model.mode()),
+            n_rules: model.rules().n_rules(),
+            n_predicates: model.rules().n_predicates(),
+            n_classes: model.rules().class_names().len(),
+            attributes: model
+                .network()
+                .encoder()
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| a.name.clone())
+                .collect(),
+            class_names: model.rules().class_names().to_vec(),
+        }
+    }
+}
+
+/// Error body every non-2xx daemon response carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable description of what was wrong with the request.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeMode;
+    use nr_encode::Encoder;
+    use nr_nn::Mlp;
+    use nr_rules::{Condition, Rule, RuleSet};
+
+    #[test]
+    fn model_info_reports_schema_and_engine_shape() {
+        let encoder = Encoder::agrawal();
+        let net = Mlp::random(encoder.n_inputs(), 4, 2, 1);
+        let rs = RuleSet::new(
+            vec![Rule::new(vec![Condition::num_lt(0, 1.0)], 0)],
+            1,
+            vec!["Group A".into(), "Group B".into()],
+        );
+        let model = ServeModel::new(&rs, encoder, net, ServeMode::Hybrid);
+        let info = ModelInfo::of(3, &model);
+        assert_eq!(info.version, 3);
+        assert_eq!(info.mode, "Hybrid");
+        assert_eq!(info.n_rules, 1);
+        assert_eq!(info.n_classes, 2);
+        assert_eq!(
+            info.attributes.len(),
+            model.network().encoder().schema().arity()
+        );
+        assert_eq!(info.class_names, vec!["Group A", "Group B"]);
+
+        // The wire types round-trip through JSON.
+        let back: ModelInfo = serde_json::from_str(&serde_json::to_string(&info).unwrap()).unwrap();
+        assert_eq!(back, info);
+        let resp = PredictResponse {
+            class: 1,
+            class_name: "Group B".into(),
+            score: 0.75,
+            version: 3,
+        };
+        let back: PredictResponse =
+            serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+    }
+}

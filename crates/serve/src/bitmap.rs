@@ -44,9 +44,37 @@ impl Bitmap {
     }
 
     /// The backing words (row `i` lives in word `i / 64`, bit `i % 64`).
+    ///
+    /// This hands out raw words, so the caller can violate the tail
+    /// invariant (bits past `len` must stay zero); sweep loops that fill
+    /// the last word must only write bits for real rows, and should
+    /// re-assert with [`Bitmap::debug_assert_tail_clear`] afterwards.
     #[inline]
     pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
+    }
+
+    /// Debug-mode invariant check: no bit past `len` is set.
+    ///
+    /// A stray tail bit would silently corrupt [`Bitmap::not`] (the
+    /// complement masks the tail, so the corruption surfaces as *missing*
+    /// rows elsewhere), `count_ones`, and first-match arbitration on
+    /// non-multiple-of-64 batches. Release builds compile this to nothing.
+    #[inline]
+    pub fn debug_assert_tail_clear(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let tail = self.len % 64;
+            if tail != 0 {
+                let last = *self.words.last().expect("non-zero tail implies a word");
+                assert_eq!(
+                    last & !((1u64 << tail) - 1),
+                    0,
+                    "bitmap tail bits past len={} are set (last word {last:#018x})",
+                    self.len
+                );
+            }
+        }
     }
 
     /// True when no bit is set.
@@ -89,6 +117,7 @@ impl Bitmap {
 
     /// The complement within `len` rows.
     pub fn not(&self) -> Bitmap {
+        self.debug_assert_tail_clear();
         let mut out = Bitmap {
             words: self.words.iter().map(|w| !w).collect(),
             len: self.len,
@@ -144,6 +173,28 @@ mod tests {
         c.copy_from(&b);
         assert_eq!(c, b);
         assert!(!c.none_set());
+    }
+
+    #[test]
+    fn tail_invariant_check_accepts_clean_bitmaps() {
+        for len in [1usize, 63, 64, 65, 127, 128] {
+            Bitmap::ones(len).debug_assert_tail_clear();
+            Bitmap::zeros(len).debug_assert_tail_clear();
+            let mut b = Bitmap::zeros(len);
+            b.words_mut()[0] = 1; // a legal bit
+            b.debug_assert_tail_clear();
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "tail bits past len=65")]
+    fn tail_invariant_check_catches_stray_bits() {
+        // A sweep writing past `len` through `words_mut` must be caught in
+        // debug builds before it can poison `not()` arbitration.
+        let mut b = Bitmap::zeros(65);
+        b.words_mut()[1] = 0b10; // bit 65: one past the end
+        b.debug_assert_tail_clear();
     }
 
     #[test]

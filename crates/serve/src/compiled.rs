@@ -124,6 +124,26 @@ impl CompiledRules {
         RuleSet::new(rules, self.default_class, self.class_names.clone())
     }
 
+    /// First non-finite numeric threshold across the predicate table, as a
+    /// human-readable description — `None` when every bound is finite.
+    /// Backs [`crate::ServeModel::validate_finite`].
+    pub(crate) fn first_non_finite(&self) -> Option<String> {
+        for (id, pred) in self.predicates.iter().enumerate() {
+            let bad = match pred {
+                Condition::Num { lo, hi, .. } => [*lo, *hi]
+                    .into_iter()
+                    .flatten()
+                    .find(|bound| !bound.is_finite()),
+                Condition::NumEq { value, .. } => Some(*value).filter(|v| !v.is_finite()),
+                Condition::CatEq { .. } | Condition::CatNotIn { .. } => None,
+            };
+            if let Some(bound) = bad {
+                return Some(format!("rule predicate {id} bound is {bound}"));
+            }
+        }
+        None
+    }
+
     /// The batch first-match core: the class of every view row plus the
     /// bitmap of rows claimed by an **explicit** rule (unset = default
     /// fallthrough). Everything public routes through here.
@@ -143,6 +163,10 @@ impl CompiledRules {
                 let bits = cache[p as usize].get_or_insert_with(|| {
                     let mut b = Bitmap::zeros(n);
                     eval_predicate(&self.predicates[p as usize], view, &mut b);
+                    // The sweep wrote raw words; a stray bit past `len`
+                    // would corrupt the `not()` below and the first-match
+                    // arbitration on partial final words.
+                    b.debug_assert_tail_clear();
                     b
                 });
                 scratch.and_assign(bits);

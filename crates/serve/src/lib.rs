@@ -34,11 +34,15 @@
 
 #![deny(missing_docs)]
 
+mod api;
 mod bitmap;
 mod compiled;
 mod model;
 mod scorer;
+mod swap;
 
+pub use api::{BulkResponse, ErrorResponse, ModelInfo, PredictResponse, SwapResponse};
 pub use compiled::CompiledRules;
 pub use model::{ServeError, ServeMode, ServeModel};
 pub use scorer::NetworkScorer;
+pub use swap::{ModelHandle, VersionedModel};

@@ -20,13 +20,19 @@ pub enum ServeMode {
     Hybrid,
 }
 
-/// Errors from [`ServeModel::load`] / [`ServeModel::from_json`].
+/// Errors from [`ServeModel`] persistence
+/// ([`save`](ServeModel::save)/[`load`](ServeModel::load),
+/// [`to_json`](ServeModel::to_json)/[`from_json`](ServeModel::from_json)).
 #[derive(Debug)]
 pub enum ServeError {
     /// Reading or writing the model file failed.
     Io(std::io::Error),
     /// The model JSON did not parse.
     Json(String),
+    /// The bundle holds a non-finite parameter (a diverged trainer), which
+    /// JSON cannot represent losslessly — serialization is refused instead
+    /// of emitting an unloadable file.
+    NonFinite(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -34,6 +40,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "model file: {e}"),
             ServeError::Json(e) => write!(f, "model json: {e}"),
+            ServeError::NonFinite(what) => write!(f, "model not serializable: {what}"),
         }
     }
 }
@@ -109,10 +116,40 @@ impl ServeModel {
         self.rules.to_ruleset()
     }
 
+    /// Checks that every parameter of the bundle is a finite float.
+    ///
+    /// JSON has no encoding for NaN/±∞ — the vendored serde_json (like
+    /// upstream) prints them as `null`, so a diverged trainer's weights
+    /// would serialize into a bundle that cannot be parsed back. Serving
+    /// admission (the daemon's hot-swap endpoint) and serialization both
+    /// gate on this.
+    pub fn validate_finite(&self) -> Result<(), ServeError> {
+        if let Some(what) = self.rules.first_non_finite() {
+            return Err(ServeError::NonFinite(what));
+        }
+        let net = self.network.network();
+        for (name, m) in [
+            ("input-hidden weight", net.w()),
+            ("hidden-output weight", net.v()),
+        ] {
+            if let Some(pos) = m.as_slice().iter().position(|x| !x.is_finite()) {
+                return Err(ServeError::NonFinite(format!(
+                    "{name} {pos} is {}",
+                    m.as_slice()[pos]
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes the whole bundle (rules, encoder, network, mode) to
-    /// JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("serve model serializes")
+    /// JSON. Every finite float round-trips bit-exactly; non-finite
+    /// parameters are rejected (see [`ServeModel::validate_finite`])
+    /// instead of producing JSON that [`ServeModel::from_json`] cannot
+    /// load.
+    pub fn to_json(&self) -> Result<String, ServeError> {
+        self.validate_finite()?;
+        serde_json::to_string(self).map_err(|e| ServeError::Json(e.to_string()))
     }
 
     /// Deserializes a bundle produced by [`ServeModel::to_json`].
@@ -122,7 +159,7 @@ impl ServeModel {
 
     /// Writes the bundle to a file, JSON-encoded.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
-        std::fs::write(path, self.to_json())?;
+        std::fs::write(path, self.to_json()?)?;
         Ok(())
     }
 
@@ -266,9 +303,57 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_weights_are_rejected() {
+        use nr_nn::LinkId;
+        let (model, _) = bundle(ServeMode::Rules);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut net = model.network().network().clone();
+            net.set_weight(
+                LinkId::InputHidden {
+                    hidden: 0,
+                    input: 1,
+                },
+                bad,
+            );
+            let broken = ServeModel::new(
+                &partial_ruleset(),
+                model.network().encoder().clone(),
+                net,
+                ServeMode::Rules,
+            );
+            let err = broken.to_json().expect_err("must refuse {bad}");
+            assert!(
+                matches!(err, ServeError::NonFinite(_)),
+                "expected NonFinite, got {err:?}"
+            );
+            // `save` refuses too, without touching the filesystem.
+            assert!(broken
+                .save(std::env::temp_dir().join("nr_serve_should_not_exist.json"))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn non_finite_rule_bounds_are_rejected() {
+        let (model, _) = bundle(ServeMode::Rules);
+        let rs = RuleSet::new(
+            vec![Rule::new(vec![Condition::num_lt(0, f64::NAN)], 0)],
+            1,
+            vec!["Group A".into(), "Group B".into()],
+        );
+        let broken = ServeModel::new(
+            &rs,
+            model.network().encoder().clone(),
+            model.network().network().clone(),
+            ServeMode::Rules,
+        );
+        assert!(matches!(broken.to_json(), Err(ServeError::NonFinite(_))));
+    }
+
+    #[test]
     fn json_roundtrip_preserves_everything() {
         let (model, ds) = bundle(ServeMode::Hybrid);
-        let back = ServeModel::from_json(&model.to_json()).expect("parses");
+        let back = ServeModel::from_json(&model.to_json().expect("serializes")).expect("parses");
         assert_eq!(back, model);
         assert_eq!(
             back.predict_batch(&ds.view()),

@@ -15,7 +15,7 @@
 
 use std::io::{BufRead, Write};
 
-use crate::{AttrKind, ClassId, Column, Dataset, Schema, TabularError};
+use crate::{AttrKind, ClassId, Column, Dataset, Schema, TabularError, Value};
 
 /// Rows staged per bulk append during streaming reads. Bounds the staging
 /// memory while keeping per-append validation amortized.
@@ -111,6 +111,9 @@ pub fn read_csv_streaming<R: BufRead>(
         .next()
         .ok_or_else(|| csv_err(1, "missing header".into()))?
         .map_err(|e| csv_err(1, e.to_string()))?;
+    // `BufRead::lines()` splits on `\n` only, so CRLF files keep the `\r`
+    // on every line; strip it before splitting into cells.
+    let header = strip_cr(&header);
     let cols = header.split(',').count();
     if cols != schema.arity() + 1 {
         return Err(csv_err(
@@ -128,7 +131,10 @@ pub fn read_csv_streaming<R: BufRead>(
     let arity = ds.schema().arity();
     for (k, line) in lines.enumerate() {
         let lineno = k + 2; // 1-based, after the header
-        let line = line.map_err(|e| csv_err(lineno, e.to_string()))?;
+        let raw = line.map_err(|e| csv_err(lineno, e.to_string()))?;
+        // Strip the CRLF remnant first: a bare `\r` line (blank line in a
+        // CRLF file) must be skipped like any other empty line.
+        let line = strip_cr(&raw);
         if line.is_empty() {
             continue;
         }
@@ -137,29 +143,18 @@ pub fn read_csv_streaming<R: BufRead>(
             let cell = cells
                 .next()
                 .ok_or_else(|| csv_err(lineno, format!("{} cells, expected {}", a, arity + 1)))?;
-            match (&ds.schema().attribute(a).kind, &mut stage.columns[a]) {
-                (AttrKind::Numeric, Column::Num(xs)) => {
-                    let x: f64 = cell
-                        .parse()
-                        .map_err(|e| csv_err(lineno, format!("bad number {cell:?}: {e}")))?;
-                    if !x.is_finite() {
-                        return Err(csv_err(lineno, format!("non-finite number {cell:?}")));
-                    }
-                    xs.push(x);
-                }
-                (AttrKind::Nominal { categories }, Column::Nominal(cs)) => {
-                    let code = categories
-                        .iter()
-                        .position(|c| c == cell)
-                        .ok_or_else(|| csv_err(lineno, format!("unknown category {cell:?}")))?;
-                    cs.push(code as u32);
-                }
+            let value = parse_cell(&ds.schema().attribute(a).kind, cell)
+                .map_err(|msg| csv_err(lineno, msg))?;
+            match (value, &mut stage.columns[a]) {
+                (Value::Num(x), Column::Num(xs)) => xs.push(x),
+                (Value::Nominal(code), Column::Nominal(cs)) => cs.push(code),
                 _ => unreachable!("stage columns mirror the schema kinds"),
             }
         }
         let class_cell = cells
             .next()
-            .ok_or_else(|| csv_err(lineno, format!("{arity} cells, expected {}", arity + 1)))?;
+            .ok_or_else(|| csv_err(lineno, format!("{arity} cells, expected {}", arity + 1)))?
+            .trim();
         if cells.next().is_some() {
             return Err(csv_err(
                 lineno,
@@ -180,6 +175,57 @@ pub fn read_csv_streaming<R: BufRead>(
     }
     stage.flush_into(&mut ds, 0)?;
     Ok(ds)
+}
+
+/// Drops the trailing `\r` that [`BufRead::lines`] leaves on every line of
+/// a CRLF file (`lines()` splits on `\n` only).
+fn strip_cr(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
+/// Parses one CSV cell against an attribute kind. Surrounding whitespace
+/// is ignored (Windows tools routinely pad cells, and the trailing cell of
+/// a CRLF row would otherwise carry a stray `\r`).
+fn parse_cell(kind: &AttrKind, cell: &str) -> Result<Value, String> {
+    let cell = cell.trim();
+    match kind {
+        AttrKind::Numeric => {
+            let x: f64 = cell
+                .parse()
+                .map_err(|e| format!("bad number {cell:?}: {e}"))?;
+            if !x.is_finite() {
+                return Err(format!("non-finite number {cell:?}"));
+            }
+            Ok(Value::Num(x))
+        }
+        AttrKind::Nominal { categories } => {
+            let code = categories
+                .iter()
+                .position(|c| c == cell)
+                .ok_or_else(|| format!("unknown category {cell:?}"))?;
+            Ok(Value::Nominal(code as u32))
+        }
+    }
+}
+
+/// Parses one header-less CSV row of attribute values (no class column)
+/// against `schema` — the serving ingest path, where rows arrive without
+/// labels. Cell whitespace and a trailing `\r` are tolerated exactly like
+/// [`read_csv_streaming`] tolerates them.
+pub fn parse_row(schema: &Schema, line: &str) -> Result<Vec<Value>, String> {
+    let line = strip_cr(line);
+    let mut values = Vec::with_capacity(schema.arity());
+    let mut cells = line.split(',');
+    for a in 0..schema.arity() {
+        let cell = cells
+            .next()
+            .ok_or_else(|| format!("{} cells, expected {}", a, schema.arity()))?;
+        values.push(parse_cell(&schema.attribute(a).kind, cell)?);
+    }
+    if cells.next().is_some() {
+        return Err(format!("too many cells, expected {}", schema.arity()));
+    }
+    Ok(values)
 }
 
 /// Reads a dataset written by [`write_csv`], given its schema and class
@@ -328,6 +374,52 @@ mod tests {
         };
         let text = err.to_string();
         assert!(text.contains("line 17"), "{text}");
+    }
+
+    #[test]
+    fn reads_crlf_files() {
+        // CRLF line endings: `lines()` keeps the `\r`, which used to break
+        // the last cell of every row (numeric parse failure / unknown
+        // class) and leave a bare `\r` line uncaught by the empty-line
+        // skip.
+        let ds = toy();
+        let input = b"x,color,class\r\n1.5,red,A\r\n\r\n-2.0,green,B\r\n";
+        let back = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn trims_cell_whitespace() {
+        let ds = toy();
+        let input = b"x,color,class\n 1.5 ,\tred, A\n-2.0, green ,B \n";
+        let back = read_csv(ds.schema().clone(), ds.class_names().to_vec(), &input[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn crlf_crosses_chunk_boundaries() {
+        // The CRLF fix must hold on rows staged after the first bulk
+        // append, not just the head of the file.
+        let schema = Schema::new(vec![Attribute::numeric("x")]);
+        let mut text = String::from("x,class\r\n");
+        for i in 0..(CHUNK_ROWS + 7) {
+            text.push_str(&format!("{i}.0,A\r\n"));
+        }
+        let back = read_csv(schema, vec!["A".into()], text.as_bytes()).unwrap();
+        assert_eq!(back.len(), CHUNK_ROWS + 7);
+        assert_eq!(back.num_column(0)[CHUNK_ROWS + 6], (CHUNK_ROWS + 6) as f64);
+    }
+
+    #[test]
+    fn parse_row_matches_reader_semantics() {
+        let ds = toy();
+        let row = parse_row(ds.schema(), " 1.5 ,red\r").unwrap();
+        assert_eq!(row, vec![Value::Num(1.5), Value::Nominal(0)]);
+        assert!(parse_row(ds.schema(), "1.5").is_err(), "missing cell");
+        assert!(parse_row(ds.schema(), "1.5,red,extra").is_err());
+        assert!(parse_row(ds.schema(), "foo,red").is_err());
+        assert!(parse_row(ds.schema(), "1.5,mauve").is_err());
+        assert!(parse_row(ds.schema(), "inf,red").is_err(), "non-finite");
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod schema;
 mod value;
 mod view;
 
-pub use csv::{read_csv, read_csv_streaming, write_csv};
+pub use csv::{parse_row, read_csv, read_csv_streaming, write_csv};
 pub use cv::{stratified_kfold, stratified_split};
 pub use dataset::{ClassId, Column, Dataset, SplitMethod};
 pub use schema::{AttrKind, Attribute, Schema};

@@ -14,6 +14,8 @@
 //! * [`nr_rules`] — the shared rule representation and the batch
 //!   `Predictor` trait;
 //! * [`nr_serve`] — compiled, `Arc`-shareable serving engines;
+//! * [`nr_daemon`] — the coalescing HTTP serving daemon over those
+//!   engines;
 //! * [`nr_tree`] — the C4.5 / C4.5rules baseline.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -21,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub use neurorule;
+pub use nr_daemon;
 pub use nr_datagen;
 pub use nr_encode;
 pub use nr_nn;

@@ -1,0 +1,163 @@
+//! End-to-end contract of the serving daemon over a real socket: routing,
+//! single-row and bulk predict, admin info, hot swap (including the
+//! admission checks), and the error paths — all through the same
+//! keep-alive HTTP client the load harness uses.
+
+use nr_daemon::fixture::serving_fixture;
+use nr_daemon::{Client, Daemon, DaemonConfig};
+use nr_encode::Encoder;
+use nr_nn::Mlp;
+use nr_rules::RuleSet;
+use nr_serve::{
+    BulkResponse, ErrorResponse, ModelInfo, PredictResponse, ServeMode, ServeModel, SwapResponse,
+};
+
+#[test]
+fn daemon_serves_the_full_http_contract() {
+    let fx = serving_fixture(16);
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        vec![
+            ("default".into(), fx.model_a.clone()),
+            ("alt".into(), fx.model_b.clone()),
+        ],
+    )
+    .expect("daemon binds a free port");
+    let mut client = Client::connect(daemon.addr()).expect("client connects");
+
+    // Health and admin info.
+    let (status, body) = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!((status, body.as_str()), (200, r#"{"ok":true}"#));
+    let (status, body) = client.request("GET", "/model", "").unwrap();
+    assert_eq!(status, 200);
+    let info: ModelInfo = serde_json::from_str(&body).unwrap();
+    assert_eq!(info.version, 1);
+    assert_eq!(info.mode, "Rules");
+    assert_eq!(info.class_names, vec!["Group A", "Group B"]);
+    assert_eq!(info.attributes[0], "salary");
+
+    // Single-row predict, on the default and a named model. The fixture's
+    // model B answers 1 - A(x), so the two lanes must disagree on every row.
+    let (status, body) = client.request("POST", "/predict", &fx.rows[0]).unwrap();
+    assert_eq!(status, 200, "predict failed: {body}");
+    let a: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(a.class, fx.expected_a[0]);
+    assert_eq!(a.version, 1);
+    let (status, body) = client
+        .request("POST", "/models/alt/predict", &fx.rows[0])
+        .unwrap();
+    assert_eq!(status, 200);
+    let b: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(b.class, 1 - a.class);
+
+    // Bulk predict: whole fixture in one body, answers in input order.
+    let (status, body) = client
+        .request("POST", "/predict/bulk", &fx.rows.join("\n"))
+        .unwrap();
+    assert_eq!(status, 200);
+    let bulk: BulkResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(bulk.rows, fx.rows.len());
+    assert_eq!(bulk.classes, fx.expected_a);
+
+    // Error paths: unroutable, unknown model, malformed rows. Every
+    // non-2xx body is a parseable ErrorResponse.
+    let (status, body) = client.request("GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+    serde_json::from_str::<ErrorResponse>(&body).unwrap();
+    let (status, _) = client
+        .request("POST", "/models/ghost/predict", &fx.rows[0])
+        .unwrap();
+    assert_eq!(status, 404);
+    let (status, body) = client
+        .request("POST", "/predict", "not,enough,cells")
+        .unwrap();
+    assert_eq!(status, 400);
+    serde_json::from_str::<ErrorResponse>(&body).unwrap();
+    let bad_bulk = format!("{}\ngarbage row", fx.rows[0]);
+    let (status, body) = client.request("POST", "/predict/bulk", &bad_bulk).unwrap();
+    assert_eq!(status, 400);
+    let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        err.error.contains("line 2"),
+        "bulk error must cite the line: {}",
+        err.error
+    );
+
+    // Swap admission: garbage bundles and class-list mismatches are
+    // refused and leave the deployment untouched.
+    let (status, _) = client.request("PUT", "/model", "not a model").unwrap();
+    assert_eq!(status, 400);
+    let stranger = {
+        let encoder = Encoder::agrawal();
+        let net = Mlp::random(encoder.n_inputs(), 4, 1, 3);
+        let rules = RuleSet::new(Vec::new(), 0, vec!["Other".into()]);
+        ServeModel::new(&rules, encoder, net, ServeMode::Rules)
+    };
+    let (status, _) = client
+        .request("PUT", "/model", &stranger.to_json().unwrap())
+        .unwrap();
+    assert_eq!(status, 409, "class-list mismatch must be refused");
+    let (status, body) = client.request("GET", "/model", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(serde_json::from_str::<ModelInfo>(&body).unwrap().version, 1);
+
+    // A compatible swap lands atomically: version bumps, answers flip.
+    let (status, body) = client
+        .request("PUT", "/model", &fx.model_b.to_json().unwrap())
+        .unwrap();
+    assert_eq!(status, 200, "swap failed: {body}");
+    assert_eq!(
+        serde_json::from_str::<SwapResponse>(&body).unwrap().version,
+        2
+    );
+    for (i, row) in fx.rows.iter().enumerate().take(4) {
+        let (status, body) = client.request("POST", "/predict", row).unwrap();
+        assert_eq!(status, 200);
+        let resp: PredictResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.version, 2);
+        assert_eq!(
+            resp.class,
+            1 - fx.expected_a[i],
+            "row {i} must flip after swap"
+        );
+    }
+
+    // Stats reflect the traffic this test sent through the lanes.
+    let (status, body) = client.request("GET", "/stats", "").unwrap();
+    assert_eq!(status, 200);
+    let stats: nr_daemon::StatsResponse = serde_json::from_str(&body).unwrap();
+    let default = stats.models.iter().find(|m| m.model == "default").unwrap();
+    assert_eq!(default.version, 2);
+    assert_eq!(
+        default.requests, 5,
+        "one pre-swap + four post-swap predicts"
+    );
+    assert_eq!(default.rows, 5);
+    let alt = stats.models.iter().find(|m| m.model == "alt").unwrap();
+    assert_eq!(alt.requests, 1);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_survives_connection_churn() {
+    // Each client is its own keep-alive connection; opening, using, and
+    // dropping several in sequence must leave the daemon serving.
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    for i in 0..4 {
+        let mut client = Client::connect(daemon.addr()).unwrap();
+        let (status, body) = client
+            .request("POST", "/predict", &fx.rows[i % fx.rows.len()])
+            .unwrap();
+        assert_eq!(status, 200, "connection {i}: {body}");
+    }
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let (status, _) = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    daemon.shutdown();
+}

@@ -171,6 +171,77 @@ fn randomized_rulesets_compile_bit_identically() {
     }
 }
 
+/// Word-boundary batch sizes: the bitmap engine packs 64 rows per word,
+/// so sizes one below/at/above a word boundary (and a multi-word partial
+/// tail) are where a stray tail bit would corrupt `not()` complements and
+/// first-match arbitration. Pins compiled == interpreted exactly there.
+#[test]
+fn word_boundary_batch_sizes_stay_equivalent() {
+    let schema = Schema::new(vec![
+        Attribute::numeric("x"),
+        Attribute::nominal_anon("c", 3),
+    ]);
+    let class_names: Vec<String> = vec!["A".into(), "B".into()];
+    // Rules chosen so every size leaves some rows matched, some claimed by
+    // a later rule, and some falling through to the default — all three
+    // arbitration outcomes live in the partial final word.
+    let rs = RuleSet::new(
+        vec![
+            Rule::new(
+                vec![
+                    Condition::num_range(0, 10.0, 90.0),
+                    Condition::CatEq {
+                        attribute: 1,
+                        code: 0,
+                    },
+                ],
+                1,
+            ),
+            Rule::new(vec![Condition::num_lt(0, 60.0)], 0),
+            Rule::new(
+                vec![Condition::CatNotIn {
+                    attribute: 1,
+                    codes: [1].into_iter().collect(),
+                }],
+                1,
+            ),
+        ],
+        0,
+        class_names.clone(),
+    );
+
+    for n in [1usize, 63, 64, 65, 127, 128] {
+        let mut ds = Dataset::new(schema.clone(), class_names.clone());
+        for i in 0..n {
+            ds.push(
+                vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        assert_equivalent(&rs, &ds);
+
+        // The same sizes as *sub-batches* of a larger dataset (gathered
+        // views exercise the index-sweep arm of the bitmap fill).
+        let mut big = Dataset::new(schema.clone(), class_names.clone());
+        for i in 0..256usize {
+            big.push(
+                vec![Value::Num((i % 100) as f64), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        let sel: Vec<usize> = (0..n).map(|i| (i * 7) % 256).collect();
+        let compiled = CompiledRules::compile(&rs);
+        let want: Vec<_> = sel.iter().map(|&r| rs.predict_row(&big, r)).collect();
+        assert_eq!(
+            compiled.predict_batch(&big.view_of(sel)),
+            want,
+            "gathered sub-batch of {n} rows"
+        );
+    }
+}
+
 #[test]
 fn hybrid_equals_its_per_row_composition() {
     let gen = Generator::new(42).with_perturbation(0.05);

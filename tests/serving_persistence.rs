@@ -90,3 +90,127 @@ fn serve_model_save_load_is_lossless() {
     // Loading garbage fails loudly.
     assert!(ServeModel::load(dir.join("missing.json")).is_err());
 }
+
+/// Extreme-but-finite floats must survive the JSON round-trip bit-exactly:
+/// subnormals, `f64::MAX`, negative zero, and the smallest normal. The
+/// shortest-round-trip printer plus a correct parser make this hold; this
+/// test pins it on whole bundles, weights and rule bounds alike.
+#[test]
+fn extreme_finite_values_roundtrip_bit_exactly() {
+    use nr_nn::{LinkId, Mlp};
+    use nr_rules::{Condition, Rule, RuleSet};
+
+    let extremes = [
+        5e-324,             // smallest positive subnormal
+        -5e-324,            // largest negative subnormal
+        f64::MIN_POSITIVE,  // smallest positive normal
+        f64::MAX,           // largest finite
+        -f64::MAX,          // most negative finite
+        -0.0,               // negative zero (== 0.0 but a distinct bit pattern)
+        1.0 + f64::EPSILON, // adjacent representables must not collapse
+        6.626_070_15e-34,   // many-digit decimal
+    ];
+
+    let encoder = Encoder::agrawal();
+    let mut net = Mlp::random(encoder.n_inputs(), 4, 2, 7);
+    for (k, &x) in extremes.iter().enumerate() {
+        net.set_weight(
+            LinkId::InputHidden {
+                hidden: k % 4,
+                input: k,
+            },
+            x,
+        );
+        net.set_weight(
+            LinkId::HiddenOutput {
+                output: k % 2,
+                hidden: k % 4,
+            },
+            x,
+        );
+    }
+    // Rule bounds carry extremes too (salary thresholds from a pathological
+    // extraction): lower bound -0.0 and an upper bound at f64::MAX.
+    let rs = RuleSet::new(
+        vec![
+            Rule::new(vec![Condition::num_range(0, -0.0, f64::MAX)], 0),
+            Rule::new(
+                vec![Condition::NumEq {
+                    attribute: 2,
+                    value: 5e-324,
+                }],
+                1,
+            ),
+        ],
+        1,
+        vec!["Group A".into(), "Group B".into()],
+    );
+    let model = ServeModel::new(&rs, encoder, net, ServeMode::Hybrid);
+
+    let json = model.to_json().expect("finite extremes serialize");
+    let back = ServeModel::from_json(&json).expect("and parse back");
+
+    // Bit-exact weights (PartialEq would let -0.0 == 0.0 slip through).
+    let bits = |m: &ServeModel| -> Vec<u64> {
+        let net = m.network().network();
+        net.w()
+            .as_slice()
+            .iter()
+            .chain(net.v().as_slice())
+            .map(|x| x.to_bits())
+            .collect()
+    };
+    assert_eq!(bits(&back), bits(&model), "weight bits must round-trip");
+    assert_eq!(back.ruleset(), model.ruleset());
+
+    // Bit-exact predictions and scores on real rows.
+    let ds = Generator::new(3).dataset(Function::F1, 256);
+    assert_eq!(
+        back.predict_batch(&ds.view()),
+        model.predict_batch(&ds.view())
+    );
+    let (a, b) = (
+        model.predict_scored_batch(&ds.view()),
+        back.predict_scored_batch(&ds.view()),
+    );
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.class, y.class);
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "scores must round-trip bit-exactly"
+        );
+    }
+}
+
+/// A diverged trainer (NaN/∞ weights) must be refused at serialization
+/// time — the old `expect` would happily emit `null`s that `load` chokes
+/// on.
+#[test]
+fn non_finite_bundles_refuse_to_serialize() {
+    use nr_nn::{LinkId, Mlp};
+    use nr_rules::{Rule, RuleSet};
+
+    let encoder = Encoder::agrawal();
+    let mut net = Mlp::random(encoder.n_inputs(), 4, 2, 7);
+    net.set_weight(
+        LinkId::HiddenOutput {
+            output: 1,
+            hidden: 3,
+        },
+        f64::NAN,
+    );
+    let rs = RuleSet::new(
+        Vec::<Rule>::new(),
+        0,
+        vec!["Group A".into(), "Group B".into()],
+    );
+    let model = ServeModel::new(&rs, encoder, net, ServeMode::Network);
+    let err = model.to_json().expect_err("NaN weight must be rejected");
+    assert!(err.to_string().contains("not serializable"), "{err}");
+    assert!(model.validate_finite().is_err());
+    let path = std::env::temp_dir().join("nr_serve_nonfinite_refused.json");
+    std::fs::remove_file(&path).ok();
+    assert!(model.save(&path).is_err());
+    assert!(!path.exists(), "refused save must not leave a file behind");
+}
