@@ -9,7 +9,10 @@
 //! shim: cwd or `NR_BENCH_OUT_DIR`). `NR_BENCH_QUICK=1` shrinks the
 //! fleets to a smoke run; the ≥2× coalescing bar arms only in full
 //! runs, while the hot-swap zero-failure/zero-mixed-version bars are
-//! always on.
+//! always on. The run ends with the chaos scenario, whose SLO bars
+//! (zero deadline misses, fast sheds, clean drain, zero hung threads)
+//! are asserted in every mode — a hung thread or a dirty drain fails
+//! this bench, and therefore the CI job that runs it.
 
 fn main() {
     let quick = std::env::var("NR_BENCH_QUICK").is_ok_and(|v| v == "1");
@@ -38,5 +41,20 @@ fn main() {
     println!(
         "daemon/swap: {} requests over {} swaps, {} failed, {} mixed-version",
         report.swap.requests, report.swap.swaps, report.swap.failed, report.swap.mixed_version,
+    );
+    let chaos = &report.chaos;
+    println!(
+        "daemon/chaos: {:.1}x saturation, {:.0}% shed rate, accepted p50 {:.1}ms p99 {:.1}ms \
+         ({} deadline misses), shed p99 {:.2}ms, {} panics answered, drain clean={} \
+         ({} hung threads)",
+        chaos.saturation,
+        chaos.shed_rate * 100.0,
+        chaos.accepted_p50_us / 1_000.0,
+        chaos.accepted_p99_us / 1_000.0,
+        chaos.deadline_misses,
+        chaos.shed_p99_us / 1_000.0,
+        chaos.panic_500,
+        chaos.drain.clean,
+        chaos.drain.hung_threads,
     );
 }

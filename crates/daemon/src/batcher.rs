@@ -17,12 +17,27 @@
 //! concurrent load the lane forms large batches and per-request cost
 //! collapses (the load harness asserts ≥2× over request-at-a-time).
 //!
+//! **Overload contract.** The lane never queues work it cannot answer in
+//! time, and never blocks a handler past its budget:
+//!
+//! * the queue is **bounded** (`max_queue`): at depth, submits are shed
+//!   immediately ([`SubmitError::QueueFull`] → 429 upstairs);
+//! * each submit carries a **deadline**; if the lane's predicted wait
+//!   (queue depth × EWMA batch service time) would blow it, the submit
+//!   is shed immediately ([`SubmitError::WouldMissDeadline`] → 503)
+//!   instead of queueing doomed work;
+//! * the reply wait is **bounded by the deadline**: if the answer has
+//!   not arrived by then, the handler gets
+//!   [`SubmitError::DeadlineExceeded`] (→ 408) rather than blocking
+//!   forever, and the lane drops the expired row from its batch when it
+//!   gets there.
+//!
 //! Version atomicity: the lane loads **exactly one** model snapshot per
 //! batch, so every row coalesced together is answered by one model
 //! version — a hot swap lands between batches, never inside one.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, TryRecvError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,7 +47,7 @@ use nr_serve::{ModelHandle, PredictResponse};
 use nr_tabular::{Dataset, Value};
 use serde::{Deserialize, Serialize};
 
-/// Coalescing policy of a scoring lane.
+/// Coalescing and admission policy of a scoring lane.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
     /// Capacity threshold: a forming batch is dispatched as soon as it
@@ -44,6 +59,16 @@ pub struct BatchConfig {
     /// sees concurrent traffic (the window self-arms after a multi-row
     /// batch); a lone client's requests dispatch immediately.
     pub max_delay: Duration,
+    /// Queue bound: submits beyond this many pending rows are shed with
+    /// [`SubmitError::QueueFull`] instead of queueing — the lane
+    /// degrades to bounded-latency partial service, never an unbounded
+    /// backlog.
+    pub max_queue: usize,
+    /// Fault-injection knob (see [`crate::faults`]): stretch every
+    /// batch's service time by this much, turning the lane into a
+    /// calibrated-capacity server for the chaos harness.
+    /// `Duration::ZERO` (the default) injects nothing.
+    pub score_delay: Duration,
 }
 
 impl Default for BatchConfig {
@@ -51,9 +76,16 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: 64,
             max_delay: Duration::from_micros(250),
+            max_queue: 1024,
+            score_delay: Duration::ZERO,
         }
     }
 }
+
+/// Budget a deadline-less [`BatchFormer::submit`] runs under — large
+/// enough to never shed in tests and tooling, small enough that nothing
+/// can block a thread forever.
+const DEFAULT_SUBMIT_BUDGET: Duration = Duration::from_secs(60);
 
 /// Why a submitted row got no prediction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +94,22 @@ pub enum SubmitError {
     Rejected(String),
     /// The scoring lane has shut down (server is stopping).
     LaneClosed,
+    /// The lane's queue is at its bound; shed immediately. Carries the
+    /// predicted milliseconds until the backlog drains (a `Retry-After`
+    /// hint).
+    QueueFull {
+        /// Predicted milliseconds until the current backlog is scored.
+        retry_after_ms: u64,
+    },
+    /// Queueing would blow the request's deadline; shed immediately
+    /// rather than enqueue doomed work.
+    WouldMissDeadline {
+        /// Predicted wait in the queue, milliseconds.
+        predicted_wait_ms: u64,
+    },
+    /// The deadline passed before the answer arrived (the row is dropped
+    /// from the lane's batch when it gets there).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -69,14 +117,24 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Rejected(msg) => write!(f, "row rejected: {msg}"),
             SubmitError::LaneClosed => write!(f, "scoring lane is shut down"),
+            SubmitError::QueueFull { retry_after_ms } => write!(
+                f,
+                "scoring queue is full (predicted drain {retry_after_ms} ms)"
+            ),
+            SubmitError::WouldMissDeadline { predicted_wait_ms } => write!(
+                f,
+                "predicted queue wait of {predicted_wait_ms} ms would miss the deadline"
+            ),
+            SubmitError::DeadlineExceeded => write!(f, "deadline exceeded before scoring"),
         }
     }
 }
 
-/// One queued single-row request: the parsed row plus the channel the
-/// lane scatters the answer back through.
+/// One queued single-row request: the parsed row, its deadline, and the
+/// channel the lane scatters the answer back through.
 struct Pending {
     values: Vec<Value>,
+    deadline: Instant,
     reply: mpsc::Sender<Result<PredictResponse, SubmitError>>,
 }
 
@@ -87,6 +145,12 @@ struct LaneCounters {
     batches: AtomicU64,
     rows: AtomicU64,
     largest_batch: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    timed_out: AtomicU64,
+    expired_in_queue: AtomicU64,
+    /// EWMA of batch service time, nanoseconds (0 until the first batch).
+    service_ewma_ns: AtomicU64,
 }
 
 /// Snapshot of one lane's counters, as served by `GET /stats`.
@@ -104,12 +168,34 @@ pub struct LaneStats {
     pub rows: u64,
     /// Largest batch formed so far — the direct measure of coalescing.
     pub largest_batch: u64,
+    /// Submits shed because the queue was at its bound (429s).
+    #[serde(default)]
+    pub shed_queue_full: u64,
+    /// Submits shed because the predicted wait would miss the deadline
+    /// (503s).
+    #[serde(default)]
+    pub shed_deadline: u64,
+    /// Submits whose reply wait timed out at the deadline (408s).
+    #[serde(default)]
+    pub timed_out: u64,
+    /// Rows the lane dropped from batches because their deadline had
+    /// already passed when the batch was scored.
+    #[serde(default)]
+    pub expired_in_queue: u64,
+    /// EWMA batch service time, microseconds (what the predicted-wait
+    /// shed decision runs on).
+    #[serde(default)]
+    pub service_ewma_us: u64,
 }
 
 /// One model's coalescing scoring lane. See the module docs.
 pub struct BatchFormer {
     tx: Option<mpsc::Sender<Pending>>,
     counters: Arc<LaneCounters>,
+    /// Rows currently queued (incremented on submit, decremented when
+    /// the lane pops) — the admission-control signal.
+    depth: Arc<AtomicUsize>,
+    config: BatchConfig,
     lane: Option<JoinHandle<()>>,
 }
 
@@ -122,37 +208,101 @@ impl std::fmt::Debug for BatchFormer {
 }
 
 impl BatchFormer {
-    /// Spawns the scoring lane for `handle` with policy `config`.
-    pub fn new(handle: Arc<ModelHandle>, config: BatchConfig) -> BatchFormer {
+    /// Spawns the scoring lane for `handle` with policy `config`. Errors
+    /// if the lane thread cannot be spawned (thread exhaustion) — the
+    /// caller degrades instead of panicking.
+    pub fn new(handle: Arc<ModelHandle>, config: BatchConfig) -> std::io::Result<BatchFormer> {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.max_queue >= 1, "max_queue must be at least 1");
         let (tx, rx) = mpsc::channel::<Pending>();
         let counters = Arc::new(LaneCounters::default());
-        let lane_counters = Arc::clone(&counters);
-        let lane = std::thread::Builder::new()
-            .name("nr-daemon-lane".into())
-            .spawn(move || run_lane(&handle, &lane_counters, &config, &rx))
-            .expect("spawn scoring lane");
-        BatchFormer {
+        let depth = Arc::new(AtomicUsize::new(0));
+        let lane = {
+            let counters = Arc::clone(&counters);
+            let depth = Arc::clone(&depth);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("nr-daemon-lane".into())
+                .spawn(move || run_lane(&handle, &counters, &depth, &config, &rx))?
+        };
+        Ok(BatchFormer {
             tx: Some(tx),
             counters,
+            depth,
+            config,
             lane: Some(lane),
-        }
+        })
     }
 
     /// Queues one parsed row and blocks until the lane's batch containing
-    /// it is scored. Called from handler threads.
+    /// it is scored, under the default (effectively unbounded) budget.
+    /// Called from handler threads.
     pub fn submit(&self, values: Vec<Value>) -> Result<PredictResponse, SubmitError> {
+        self.submit_by(values, Instant::now() + DEFAULT_SUBMIT_BUDGET)
+    }
+
+    /// Queues one parsed row under an explicit deadline: sheds instead of
+    /// queueing when the queue is full or the predicted wait would miss
+    /// `deadline`, and returns [`SubmitError::DeadlineExceeded`] instead
+    /// of blocking past it.
+    pub fn submit_by(
+        &self,
+        values: Vec<Value>,
+        deadline: Instant,
+    ) -> Result<PredictResponse, SubmitError> {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        if now >= deadline {
+            self.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::WouldMissDeadline {
+                predicted_wait_ms: 0,
+            });
+        }
+        // Admission control: both checks read racy-but-monotone-enough
+        // signals (depth, EWMA service time); the worst case of a race is
+        // one extra admitted row, never an unbounded backlog.
+        let depth = self.depth.load(Ordering::Relaxed);
+        let ewma_ns = self.counters.service_ewma_ns.load(Ordering::Relaxed);
+        let batches_ahead = (depth / self.config.max_batch) as u64 + 1;
+        let predicted = Duration::from_nanos(batches_ahead.saturating_mul(ewma_ns));
+        if depth >= self.config.max_queue {
+            self.counters
+                .shed_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                retry_after_ms: predicted.as_millis() as u64,
+            });
+        }
+        if ewma_ns > 0 && now + predicted > deadline {
+            self.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::WouldMissDeadline {
+                predicted_wait_ms: predicted.as_millis() as u64,
+            });
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.tx
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        if self
+            .tx
             .as_ref()
             .expect("lane alive while BatchFormer exists")
             .send(Pending {
                 values,
+                deadline,
                 reply: reply_tx,
             })
-            .map_err(|_| SubmitError::LaneClosed)?;
-        reply_rx.recv().map_err(|_| SubmitError::LaneClosed)?
+            .is_err()
+        {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(SubmitError::LaneClosed);
+        }
+        match reply_rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => {
+                self.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::DeadlineExceeded)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(SubmitError::LaneClosed),
+        }
     }
 
     /// Current counter values, labeled with `model` and `version`.
@@ -164,6 +314,11 @@ impl BatchFormer {
             batches: self.counters.batches.load(Ordering::Relaxed),
             rows: self.counters.rows.load(Ordering::Relaxed),
             largest_batch: self.counters.largest_batch.load(Ordering::Relaxed),
+            shed_queue_full: self.counters.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.counters.shed_deadline.load(Ordering::Relaxed),
+            timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            expired_in_queue: self.counters.expired_in_queue.load(Ordering::Relaxed),
+            service_ewma_us: self.counters.service_ewma_ns.load(Ordering::Relaxed) / 1_000,
         }
     }
 }
@@ -210,6 +365,7 @@ impl Drop for BatchFormer {
 fn run_lane(
     handle: &ModelHandle,
     counters: &LaneCounters,
+    depth: &AtomicUsize,
     config: &BatchConfig,
     rx: &mpsc::Receiver<Pending>,
 ) {
@@ -220,11 +376,15 @@ fn run_lane(
             Ok(p) => p,
             Err(_) => return, // queue closed: daemon shutting down
         };
+        depth.fetch_sub(1, Ordering::Relaxed);
         let mut batch = vec![first];
         let deadline = Instant::now() + config.max_delay;
         while batch.len() < config.max_batch {
             match rx.try_recv() {
-                Ok(p) => batch.push(p),
+                Ok(p) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    batch.push(p);
+                }
                 Err(TryRecvError::Empty) => {
                     if fleet == 0 || batch.len() >= fleet {
                         break; // sparse traffic, or the fleet is all here
@@ -235,7 +395,10 @@ fn run_lane(
                     }
                     // Mid-ramp: collect until the fleet or the deadline.
                     match rx.recv_timeout(deadline - now) {
-                        Ok(p) => batch.push(p),
+                        Ok(p) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            batch.push(p);
+                        }
                         Err(_) => break,
                     }
                 }
@@ -243,22 +406,40 @@ fn run_lane(
             }
         }
         fleet = if batch.len() >= 2 { batch.len() } else { 0 };
-        score_batch(handle, counters, batch);
+        score_batch(handle, counters, config, batch);
     }
 }
 
 /// Scores one formed batch against exactly one model snapshot and
-/// scatters per-row answers. Rows the dataset rejects (schema drift can
-/// only happen through a bug — swap admission pins the schema) get their
+/// scatters per-row answers. Rows whose deadline already passed are
+/// dropped (their submitters have timed out — scoring them would only
+/// delay live rows); rows the dataset rejects (schema drift can only
+/// happen through a bug — swap admission pins the schema) get their
 /// error replies without failing the rest of the batch.
-fn score_batch(handle: &ModelHandle, counters: &LaneCounters, batch: Vec<Pending>) {
+fn score_batch(
+    handle: &ModelHandle,
+    counters: &LaneCounters,
+    config: &BatchConfig,
+    batch: Vec<Pending>,
+) {
+    let started = Instant::now();
+    if !config.score_delay.is_zero() {
+        // Injected fault: stretch the service time (see `crate::faults`).
+        std::thread::sleep(config.score_delay);
+    }
     let snapshot = handle.load(); // ONE load: the whole batch answers with one version
     let model = snapshot.model();
     let version = snapshot.version();
     let class_names = model.rules().class_names().to_vec();
     let mut ds = Dataset::new(model.network().encoder().schema().clone(), class_names);
     let mut accepted = Vec::with_capacity(batch.len());
+    let now = Instant::now();
     for pending in batch {
+        if pending.deadline <= now {
+            counters.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+            let _ = pending.reply.send(Err(SubmitError::DeadlineExceeded));
+            continue;
+        }
         match ds.push_unlabeled(pending.values) {
             Ok(()) => accepted.push(pending.reply),
             Err(e) => {
@@ -269,6 +450,7 @@ fn score_batch(handle: &ModelHandle, counters: &LaneCounters, batch: Vec<Pending
         }
     }
     if accepted.is_empty() {
+        update_service_ewma(counters, started.elapsed());
         return;
     }
     counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -288,6 +470,21 @@ fn score_batch(handle: &ModelHandle, counters: &LaneCounters, batch: Vec<Pending
             version,
         }));
     }
+    update_service_ewma(counters, started.elapsed());
+}
+
+/// Folds one batch's service time into the EWMA the predicted-wait shed
+/// decision reads: `ewma ← (3·ewma + sample) / 4`, integer nanoseconds.
+/// The first sample seeds the average directly.
+fn update_service_ewma(counters: &LaneCounters, service: Duration) {
+    let sample = service.as_nanos() as u64;
+    let prev = counters.service_ewma_ns.load(Ordering::Relaxed);
+    let next = if prev == 0 {
+        sample
+    } else {
+        (3 * prev + sample) / 4
+    };
+    counters.service_ewma_ns.store(next, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -300,6 +497,14 @@ mod tests {
         max_batch: usize,
         max_delay: Duration,
     ) -> (BatchFormer, Arc<ModelHandle>, Vec<Vec<Value>>) {
+        lane_with(BatchConfig {
+            max_batch,
+            max_delay,
+            ..BatchConfig::default()
+        })
+    }
+
+    fn lane_with(config: BatchConfig) -> (BatchFormer, Arc<ModelHandle>, Vec<Vec<Value>>) {
         let fx = serving_fixture(64);
         let handle = Arc::new(ModelHandle::new(fx.model_a.clone()));
         let schema = fx.model_a.network().encoder().schema().clone();
@@ -308,13 +513,7 @@ mod tests {
             .iter()
             .map(|line| parse_row(&schema, line).unwrap())
             .collect();
-        let former = BatchFormer::new(
-            Arc::clone(&handle),
-            BatchConfig {
-                max_batch,
-                max_delay,
-            },
-        );
+        let former = BatchFormer::new(Arc::clone(&handle), config).expect("lane spawns");
         (former, handle, rows)
     }
 
@@ -331,6 +530,7 @@ mod tests {
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.largest_batch, 1);
+        assert!(stats.service_ewma_us > 0, "EWMA must seed after a batch");
     }
 
     #[test]
@@ -397,5 +597,109 @@ mod tests {
             assert_eq!(resp.version, 2);
             assert_eq!(resp.class, 1 - fx.expected_a[i], "row {i} after swap");
         }
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_queueing() {
+        let (former, _, rows) = lane(64, Duration::from_micros(250));
+        let err = former
+            .submit_by(rows[0].clone(), Instant::now() - Duration::from_millis(1))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::WouldMissDeadline { .. }));
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.batches, 0, "shed rows must never reach the lane");
+    }
+
+    #[test]
+    fn slow_lane_times_out_the_reply_instead_of_blocking() {
+        // A 50 ms injected scoring delay with a 5 ms budget: the first
+        // submit must come back DeadlineExceeded at ~5 ms, not block for
+        // the full service time.
+        let (former, _, rows) = lane_with(BatchConfig {
+            max_batch: 4,
+            score_delay: Duration::from_millis(50),
+            ..BatchConfig::default()
+        });
+        let t0 = Instant::now();
+        let err = former
+            .submit_by(rows[0].clone(), Instant::now() + Duration::from_millis(5))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::DeadlineExceeded);
+        assert!(
+            t0.elapsed() < Duration::from_millis(45),
+            "reply wait must time out at the deadline, not the service time"
+        );
+        // The lane eventually scores the batch and finds the row expired.
+        std::thread::sleep(Duration::from_millis(80));
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.expired_in_queue, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately_with_queue_full() {
+        // Queue bound 2 and a slow lane: pile up submits from threads,
+        // and assert the overflow ones come back QueueFull quickly.
+        let (former, _, rows) = lane_with(BatchConfig {
+            max_batch: 2,
+            max_queue: 2,
+            score_delay: Duration::from_millis(40),
+            ..BatchConfig::default()
+        });
+        let former = Arc::new(former);
+        let workers: Vec<_> = (0..12)
+            .map(|i| {
+                let former = Arc::clone(&former);
+                let row = rows[i % rows.len()].clone();
+                std::thread::spawn(move || {
+                    former.submit_by(row, Instant::now() + Duration::from_secs(5))
+                })
+            })
+            .collect();
+        let mut full = 0;
+        let mut ok = 0;
+        for w in workers {
+            match w.join().unwrap() {
+                Ok(_) => ok += 1,
+                Err(SubmitError::QueueFull { .. }) => full += 1,
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(full > 0, "12 submits into a depth-2 queue never shed");
+        assert!(ok > 0, "admission control must still serve some requests");
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.shed_queue_full, full);
+    }
+
+    #[test]
+    fn predicted_wait_sheds_doomed_submits_upfront() {
+        // Seed the EWMA with one slow batch, then submit with a budget
+        // far below the service time: the submit must be shed instantly
+        // (WouldMissDeadline), not queued and timed out.
+        let (former, _, rows) = lane_with(BatchConfig {
+            max_batch: 4,
+            score_delay: Duration::from_millis(30),
+            ..BatchConfig::default()
+        });
+        former.submit(rows[0].clone()).unwrap(); // seeds the EWMA
+        let t0 = Instant::now();
+        let err = former
+            .submit_by(rows[1].clone(), Instant::now() + Duration::from_millis(2))
+            .unwrap_err();
+        assert!(
+            matches!(err, SubmitError::WouldMissDeadline { .. }),
+            "expected a predicted-wait shed, got {err}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(10),
+            "predicted-wait sheds must be immediate"
+        );
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.shed_deadline, 1);
+        assert!(
+            stats.service_ewma_us >= 25_000,
+            "EWMA must reflect the slow batch"
+        );
     }
 }

@@ -1,11 +1,20 @@
 //! Endpoint handlers: everything between a parsed [`Request`] and a
-//! `(status, JSON body)` answer. Pure functions of server state, so each
-//! endpoint is testable without a socket.
+//! [`Reply`]. Pure functions of server state, so each endpoint is
+//! testable without a socket.
+//!
+//! The overload gates live here, in order: route → (admin routes bypass
+//! everything) → draining 503 → fault injection → in-flight cap 429 →
+//! per-route work. Scoring requests carry a deadline (the
+//! `X-Deadline-Ms` header clamped to the server's bounds, or the server
+//! default) that the batch-former enforces end to end.
+
+use std::time::{Duration, Instant};
 
 use nr_rules::Predictor;
 use nr_serve::{BulkResponse, ErrorResponse, ModelInfo, ServeModel, SwapResponse};
 use nr_tabular::{parse_row, Dataset};
 use serde::Serialize;
+use std::sync::atomic::Ordering;
 
 use crate::batcher::SubmitError;
 use crate::http::Request;
@@ -13,42 +22,145 @@ use crate::router::{route, Route};
 use crate::server::{ModelEntry, ServerState};
 use crate::LaneStats;
 
-/// `GET /stats` body: one entry per hosted model, name-sorted.
-#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
-pub struct StatsResponse {
-    /// Per-lane counters.
-    pub models: Vec<LaneStats>,
+/// One handler answer: status, JSON body, and the connection/retry
+/// directives the wire layer turns into headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Reply {
+    /// HTTP status code.
+    pub(crate) status: u16,
+    /// JSON body.
+    pub(crate) body: String,
+    /// Close the connection after this response (shedding/draining).
+    pub(crate) close: bool,
+    /// `Retry-After` header value, seconds (shedding responses).
+    pub(crate) retry_after_secs: Option<u64>,
 }
 
-fn error(status: u16, message: impl Into<String>) -> (u16, String) {
-    (
+impl Reply {
+    fn ok(body: String) -> Reply {
+        Reply {
+            status: 200,
+            body,
+            close: false,
+            retry_after_secs: None,
+        }
+    }
+
+    /// The panic-barrier answer ([`crate::server`] uses it when a
+    /// handler panics).
+    pub(crate) fn error_500() -> Reply {
+        error(500, "internal error: handler panicked")
+    }
+}
+
+fn error(status: u16, message: impl Into<String>) -> Reply {
+    error_full(status, message, false, None)
+}
+
+fn error_full(
+    status: u16,
+    message: impl Into<String>,
+    close: bool,
+    retry_after_ms: Option<u64>,
+) -> Reply {
+    Reply {
         status,
-        serde_json::to_string(&ErrorResponse {
+        body: serde_json::to_string(&ErrorResponse {
             error: message.into(),
+            retry_after_ms: retry_after_ms.unwrap_or(0),
         })
         .unwrap_or_default(),
-    )
+        close,
+        retry_after_secs: retry_after_ms.map(|ms| ms.div_ceil(1_000).max(1)),
+    }
 }
 
-fn ok_json<T: Serialize>(payload: &T) -> (u16, String) {
+fn ok_json<T: Serialize>(payload: &T) -> Reply {
     match serde_json::to_string(payload) {
-        Ok(body) => (200, body),
+        Ok(body) => Reply::ok(body),
         Err(e) => error(500, format!("response serialization failed: {e}")),
     }
 }
 
-/// Routes and answers one request.
-pub(crate) fn handle(state: &ServerState, request: &Request) -> (u16, String) {
+/// Daemon-wide robustness counters, served next to the per-lane stats.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct DaemonStats {
+    /// True once a graceful drain has begun (new scoring work is being
+    /// rejected).
+    pub draining: bool,
+    /// Live connections right now.
+    pub connections: u64,
+    /// Connections rejected at the connection cap or on thread-spawn
+    /// failure.
+    pub connections_rejected: u64,
+    /// Requests being handled right now.
+    pub inflight: u64,
+    /// Scoring requests shed by the in-flight cap (429s).
+    pub shed_inflight: u64,
+    /// Scoring requests rejected while draining (503s).
+    pub drain_rejected: u64,
+    /// Handler panics survived (each answered with a 500).
+    pub handler_panics: u64,
+    /// Handler delays injected by the fault plan.
+    pub faults_delays: u64,
+    /// Handler panics injected by the fault plan.
+    pub faults_panics: u64,
+}
+
+/// `GET /stats` body: one entry per hosted model, name-sorted, plus the
+/// daemon-wide robustness counters.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct StatsResponse {
+    /// Per-lane counters.
+    pub models: Vec<LaneStats>,
+    /// Daemon-wide overload/robustness counters.
+    pub daemon: DaemonStats,
+}
+
+/// Routes and answers one request, applying the overload gates.
+pub(crate) fn handle(state: &ServerState, request: &Request) -> Reply {
     let Some(route) = route(&request.method, &request.path) else {
         return error(
             404,
             format!("no route for {} {}", request.method, request.path),
         );
     };
+    let ctl = &state.ctl;
+    if !route.is_admin() {
+        // Draining: reject new scoring/swap work outright; the 503
+        // closes the connection so drains converge.
+        if ctl.is_draining() {
+            ctl.drain_rejected.fetch_add(1, Ordering::Relaxed);
+            return error_full(503, "daemon is draining", true, Some(1_000));
+        }
+        // Fault injection (noop in production plans). Runs inside the
+        // panic barrier: an injected panic answers 500 like a real one.
+        ctl.faults.on_request();
+        // Admission: bound the number of concurrently handled scoring
+        // requests. Admin routes stay served so operators can watch a
+        // shedding daemon.
+        if ctl.inflight.load(Ordering::SeqCst) > ctl.overload.max_inflight {
+            ctl.shed_inflight.fetch_add(1, Ordering::Relaxed);
+            return error_full(429, "too many requests in flight", false, Some(1_000));
+        }
+    }
     match route {
-        Route::Health => (200, r#"{"ok":true}"#.to_string()),
+        Route::Health => {
+            if ctl.is_draining() {
+                Reply {
+                    status: 503,
+                    body: r#"{"ok":false,"draining":true}"#.to_string(),
+                    close: false,
+                    retry_after_secs: None,
+                }
+            } else {
+                Reply::ok(r#"{"ok":true}"#.to_string())
+            }
+        }
         Route::Stats => stats(state),
-        Route::Predict { model } => with_model(state, &model, |e| predict(e, &request.body)),
+        Route::Predict { model } => with_model(state, &model, |e| {
+            predict(e, &request.body, deadline_for(state, request))
+        }),
         Route::PredictBulk { model } => {
             with_model(state, &model, |e| predict_bulk(e, &request.body))
         }
@@ -59,31 +171,52 @@ pub(crate) fn handle(state: &ServerState, request: &Request) -> (u16, String) {
     }
 }
 
-fn with_model(
-    state: &ServerState,
-    name: &str,
-    f: impl FnOnce(&ModelEntry) -> (u16, String),
-) -> (u16, String) {
+/// Resolves the request's latency budget: the `X-Deadline-Ms` header
+/// clamped to the server's maximum, or the server default. A zero
+/// budget is honored literally — the request is already over budget and
+/// sheds immediately.
+fn deadline_for(state: &ServerState, request: &Request) -> Instant {
+    let overload = &state.ctl.overload;
+    let budget = match request.deadline_ms {
+        Some(ms) => Duration::from_millis(ms).min(overload.max_deadline),
+        None => overload.default_deadline,
+    };
+    Instant::now() + budget
+}
+
+fn with_model(state: &ServerState, name: &str, f: impl FnOnce(&ModelEntry) -> Reply) -> Reply {
     match state.models.get(name) {
         Some(entry) => f(entry),
         None => error(404, format!("unknown model {name:?}")),
     }
 }
 
-fn stats(state: &ServerState) -> (u16, String) {
+fn stats(state: &ServerState) -> Reply {
     let mut models: Vec<LaneStats> = state
         .models
         .iter()
         .map(|(name, entry)| entry.lane.stats(name, entry.handle.version()))
         .collect();
     models.sort_by(|a, b| a.model.cmp(&b.model));
-    ok_json(&StatsResponse { models })
+    let ctl = &state.ctl;
+    let daemon = DaemonStats {
+        draining: ctl.is_draining(),
+        connections: ctl.connections.load(Ordering::SeqCst) as u64,
+        connections_rejected: ctl.connections_rejected.load(Ordering::Relaxed),
+        inflight: ctl.inflight.load(Ordering::SeqCst) as u64,
+        shed_inflight: ctl.shed_inflight.load(Ordering::Relaxed),
+        drain_rejected: ctl.drain_rejected.load(Ordering::Relaxed),
+        handler_panics: ctl.handler_panics.load(Ordering::Relaxed),
+        faults_delays: ctl.faults.delays_injected(),
+        faults_panics: ctl.faults.panics_injected(),
+    };
+    ok_json(&StatsResponse { models, daemon })
 }
 
 /// Single-row predict: parse the CSV body against the deployed schema,
 /// then go through the batch-former (this is the request the daemon
-/// coalesces).
-fn predict(entry: &ModelEntry, body: &str) -> (u16, String) {
+/// coalesces — and the one the deadline/shedding contract protects).
+fn predict(entry: &ModelEntry, body: &str, deadline: Instant) -> Reply {
     let body = body.trim_end_matches(['\r', '\n']);
     // Parsing uses the current snapshot's schema. Swap admission pins the
     // schema (see `swap`), so the schema cannot change between this parse
@@ -94,17 +227,24 @@ fn predict(entry: &ModelEntry, body: &str) -> (u16, String) {
         Err(e) => return error(400, format!("bad row: {e}")),
     };
     drop(snapshot);
-    match entry.lane.submit(values) {
+    match entry.lane.submit_by(values, deadline) {
         Ok(response) => ok_json(&response),
         Err(SubmitError::Rejected(msg)) => error(400, msg),
+        Err(e @ SubmitError::QueueFull { retry_after_ms }) => {
+            error_full(429, e.to_string(), false, Some(retry_after_ms.max(1)))
+        }
+        Err(e @ SubmitError::WouldMissDeadline { .. }) => error(503, e.to_string()),
+        Err(SubmitError::DeadlineExceeded) => error(408, SubmitError::DeadlineExceeded.to_string()),
         Err(SubmitError::LaneClosed) => error(503, SubmitError::LaneClosed.to_string()),
     }
 }
 
 /// Bulk predict: the body is already a batch (one CSV row per line,
 /// blank lines ignored), so it skips the batch-former's queue and scores
-/// directly — against exactly one model snapshot.
-fn predict_bulk(entry: &ModelEntry, body: &str) -> (u16, String) {
+/// directly — against exactly one model snapshot. Bulk work is bounded
+/// by the in-flight cap and socket timeouts rather than the per-row
+/// deadline (one client's batch, one client's time).
+fn predict_bulk(entry: &ModelEntry, body: &str) -> Reply {
     let snapshot = entry.handle.load(); // ONE load for the whole request
     let model = snapshot.model();
     let schema = model.network().encoder().schema();
@@ -135,7 +275,7 @@ fn predict_bulk(entry: &ModelEntry, body: &str) -> (u16, String) {
 /// Hot swap: parse the incoming bundle, admit it (finite parameters,
 /// identical schema and class list — so queued rows parsed against the
 /// old deployment stay valid), then swap atomically.
-fn swap(entry: &ModelEntry, body: &str) -> (u16, String) {
+fn swap(entry: &ModelEntry, body: &str) -> Reply {
     let incoming = match ServeModel::from_json(body) {
         Ok(model) => model,
         Err(e) => return error(400, format!("bad model bundle: {e}")),

@@ -8,13 +8,30 @@
 //! matching blocking client the load harness and tests drive the server
 //! with. No chunked encoding, no TLS, no pipelining — requests on one
 //! connection are strictly request/response in order.
+//!
+//! The parser is written for a hostile peer: request/header lines are
+//! length-capped, the header count is capped, and bodies are read
+//! incrementally in fixed-size chunks so a lying `Content-Length` can
+//! never force a large up-front allocation — memory grows only with
+//! bytes actually received, and never past [`MAX_BODY`].
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// Upper bound on accepted request/response bodies (a bulk CSV scoring
 /// payload fits comfortably; a runaway client cannot OOM the server).
 pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Upper bound on one request or header line, bytes. Anything longer is
+/// a malformed request (nothing the daemon parses comes close).
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// Upper bound on the number of headers in one request.
+pub const MAX_HEADERS: usize = 64;
+
+/// Bodies are read (and grown) in chunks of this size, so allocation
+/// follows the bytes actually on the wire, not the advertised length.
+const BODY_CHUNK: usize = 64 * 1024;
 
 /// One parsed HTTP request: the routing inputs plus the body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,34 +43,94 @@ pub struct Request {
     /// The body, `Content-Length` bytes, required to be UTF-8 (every
     /// daemon payload is CSV or JSON text).
     pub body: String,
+    /// Per-request latency budget from the `X-Deadline-Ms` header, if
+    /// the client sent one (the server clamps and applies its default
+    /// otherwise — see the daemon's overload config).
+    pub deadline_ms: Option<u64>,
 }
 
 fn protocol_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Reads one `\n`-terminated line of at most `MAX_LINE` bytes. Returns
+/// `Ok(None)` on immediate EOF (clean close), a protocol error if the
+/// line is over-long or EOF hits mid-line.
+fn read_line_capped<R: BufRead>(reader: &mut R, what: &str) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(protocol_err(format!("connection closed inside {what}")));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    let text = String::from_utf8(line)
+                        .map_err(|_| protocol_err(format!("{what} is not UTF-8")))?;
+                    return Ok(Some(text.trim_end_matches('\r').to_string()));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(protocol_err(format!("{what} exceeds {MAX_LINE} bytes")));
+                }
+            }
+        }
+    }
+}
+
+/// Reads exactly `len` body bytes in capped chunks. The buffer grows
+/// with received data — a lying `Content-Length` costs at most one
+/// chunk of over-allocation, not `len` bytes up front.
+fn read_body_capped<R: BufRead>(reader: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = Vec::with_capacity(len.min(BODY_CHUNK));
+    let mut chunk = vec![0u8; BODY_CHUNK.min(len.max(1))];
+    let mut remaining = len;
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        let got = reader.read(&mut chunk[..want])?;
+        if got == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside the body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..got]);
+        remaining -= got;
+    }
+    Ok(body)
+}
+
 /// Reads one request off `reader`. `Ok(None)` means the peer closed the
 /// connection cleanly between requests (the keep-alive loop's exit);
-/// `Err` means a malformed or truncated request.
+/// `Err` means a malformed or truncated request —
+/// `ErrorKind::InvalidData` errors are protocol violations the server
+/// answers with a 400 before closing, anything else (timeouts,
+/// truncation, dead peers) just closes the connection.
 pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    let Some(line) = read_line_capped(reader, "the request line")? else {
         return Ok(None);
-    }
+    };
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) if !m.is_empty() && p.starts_with('/') => (m.to_string(), p.to_string()),
         _ => return Err(protocol_err(format!("malformed request line {line:?}"))),
     };
     let mut content_length = 0usize;
+    let mut deadline_ms = None;
+    let mut n_headers = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(protocol_err("connection closed inside headers"));
-        }
-        let header = header.trim_end_matches(['\r', '\n']);
+        let header = read_line_capped(reader, "headers")?
+            .ok_or_else(|| protocol_err("connection closed inside headers"))?;
         if header.is_empty() {
             break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(protocol_err(format!("more than {MAX_HEADERS} headers")));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -61,6 +138,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
                     .trim()
                     .parse()
                     .map_err(|_| protocol_err(format!("bad content-length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+                let ms = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| protocol_err(format!("bad x-deadline-ms {value:?}")))?;
+                deadline_ms = Some(ms);
             }
         }
     }
@@ -69,10 +152,14 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
             "body of {content_length} bytes exceeds {MAX_BODY}"
         )));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let body = read_body_capped(reader, content_length)?;
     let body = String::from_utf8(body).map_err(|_| protocol_err("body is not UTF-8"))?;
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        deadline_ms,
+    }))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -80,25 +167,54 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Frames and writes one keep-alive JSON response. The frame is built in
-/// memory and written with a single `write_all`: formatting straight into
-/// a `TcpStream` would issue one syscall per format fragment, which
-/// dominates small-request latency.
-pub fn write_response<W: Write>(out: &mut W, status: u16, body: &str) -> io::Result<()> {
+/// Response framing options beyond status and body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResponseOpts {
+    /// Send `Connection: close` and let the caller drop the connection
+    /// (used for protocol errors and while draining).
+    pub close: bool,
+    /// Send a `Retry-After: <secs>` header (shedding responses).
+    pub retry_after_secs: Option<u64>,
+}
+
+/// Frames and writes one JSON response with explicit connection and
+/// retry headers. The frame is built in memory and written with a
+/// single `write_all`: formatting straight into a `TcpStream` would
+/// issue one syscall per format fragment, which dominates small-request
+/// latency.
+pub fn write_response_opts<W: Write>(
+    out: &mut W,
+    status: u16,
+    body: &str,
+    opts: ResponseOpts,
+) -> io::Result<()> {
+    let retry = match opts.retry_after_secs {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let frame = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n{body}",
         reason(status),
         body.len(),
+        if opts.close { "close" } else { "keep-alive" },
     );
     out.write_all(frame.as_bytes())?;
     out.flush()
+}
+
+/// Frames and writes one keep-alive JSON response (the common case; see
+/// [`write_response_opts`] for shedding/draining responses).
+pub fn write_response<W: Write>(out: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write_response_opts(out, status, body, ResponseOpts::default())
 }
 
 /// A blocking keep-alive client for one daemon connection — what the load
@@ -107,6 +223,9 @@ pub fn write_response<W: Write>(out: &mut W, status: u16, body: &str) -> io::Res
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
+    /// Headers of the last response, lower-cased names (the harness
+    /// checks `retry-after` on shed responses).
+    last_headers: Vec<(String, String)>,
 }
 
 impl Client {
@@ -117,15 +236,33 @@ impl Client {
         stream.set_nodelay(true)?;
         Ok(Client {
             reader: BufReader::new(stream),
+            last_headers: Vec::new(),
         })
     }
 
     /// Sends one request and blocks for the `(status, body)` answer.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request_with_deadline(method, path, body, None)
+    }
+
+    /// [`request`](Client::request) with an `X-Deadline-Ms` header: the
+    /// server sheds or times the request out rather than let it exceed
+    /// the budget.
+    pub fn request_with_deadline(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<(u16, String)> {
         {
             // One write_all per request (see write_response on why).
+            let deadline = match deadline_ms {
+                Some(ms) => format!("X-Deadline-Ms: {ms}\r\n"),
+                None => String::new(),
+            };
             let frame = format!(
-                "{method} {path} HTTP/1.1\r\nHost: nr-daemon\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: nr-daemon\r\nContent-Length: {}\r\n{deadline}Connection: keep-alive\r\n\r\n{body}",
                 body.len(),
             );
             let stream = self.reader.get_mut();
@@ -142,6 +279,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| protocol_err(format!("malformed status line {status_line:?}")))?;
         let mut content_length = 0usize;
+        self.last_headers.clear();
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -152,18 +290,27 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
+                let name = name.to_ascii_lowercase();
+                if name == "content-length" {
                     content_length = value
                         .trim()
                         .parse()
                         .map_err(|_| protocol_err("bad response content-length"))?;
                 }
+                self.last_headers.push((name, value.trim().to_string()));
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let body = read_body_capped(&mut self.reader, content_length)?;
         let body = String::from_utf8(body).map_err(|_| protocol_err("response is not UTF-8"))?;
         Ok((status, body))
+    }
+
+    /// Header value from the last response (lower-case name), if present.
+    pub fn last_header(&self, name: &str) -> Option<&str> {
+        self.last_headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -178,6 +325,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/predict");
         assert_eq!(req.body, "hello");
+        assert_eq!(req.deadline_ms, None);
     }
 
     #[test]
@@ -191,13 +339,74 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_deadline_header_case_insensitively() {
+        let wire = "POST /predict HTTP/1.1\r\nx-DEADLINE-ms: 250\r\nCONTENT-length: 2\r\n\r\nok";
+        let req = read_request(&mut wire.as_bytes()).unwrap().unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         assert!(read_request(&mut "garbage\r\n\r\n".as_bytes()).is_err());
+        // Request line with a verb but no path.
+        assert!(read_request(&mut "GET\r\n\r\n".as_bytes()).is_err());
         // Truncated body: Content-Length promises more than arrives.
         let wire = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
         assert!(read_request(&mut wire.as_bytes()).is_err());
         let wire = "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
         assert!(read_request(&mut wire.as_bytes()).is_err());
+        let wire = "POST / HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n";
+        assert!(read_request(&mut wire.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_without_allocating() {
+        // A lying Content-Length must be refused from the header alone —
+        // if this test allocates 2^63 bytes, the chunked reader is gone.
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            u64::MAX / 2
+        );
+        let err = read_request(&mut wire.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Just over MAX_BODY is likewise refused before any body read.
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(read_request(&mut wire.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lying_content_length_allocates_received_bytes_not_advertised() {
+        // 1 MB advertised, 5 bytes sent: the error must be truncation,
+        // after only the received bytes were buffered.
+        let wire = "POST / HTTP/1.1\r\nContent-Length: 1048576\r\n\r\nshort";
+        let err = read_request(&mut wire.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn non_utf8_bodies_are_protocol_errors() {
+        let mut wire = b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n".to_vec();
+        wire.extend_from_slice(&[0xff, 0xfe, 0xfd]);
+        let err = read_request(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn overlong_lines_and_header_floods_are_rejected() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE + 1));
+        assert!(read_request(&mut long_line.as_bytes()).is_err());
+
+        let mut flood = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            flood.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        flood.push_str("\r\n");
+        assert!(read_request(&mut flood.as_bytes()).is_err());
     }
 
     #[test]
@@ -207,6 +416,26 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn shedding_frames_carry_retry_after_and_close() {
+        let mut out = Vec::new();
+        write_response_opts(
+            &mut out,
+            429,
+            "{}",
+            ResponseOpts {
+                close: true,
+                retry_after_secs: Some(2),
+            },
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
     }
 }

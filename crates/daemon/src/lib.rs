@@ -19,10 +19,21 @@
 //! * [`batcher`] — the per-model scoring lane: capacity-or-deadline
 //!   batch forming, one model snapshot per batch;
 //! * [`server`] — the process shell: accept loop, keep-alive connection
-//!   threads, panic-isolated handlers;
+//!   threads, panic-isolated handlers, socket timeouts, connection caps,
+//!   and graceful drain ([`Daemon::shutdown`] → [`DrainReport`]);
+//! * [`faults`] — deterministic fault injection (delays, panics) for the
+//!   chaos harness, a noop in production;
 //! * [`fixture`] / [`load`] — deterministic models + the load harness
-//!   that measures p50/p99/rows-per-sec and proves the coalescing and
-//!   hot-swap claims over real sockets.
+//!   that measures p50/p95/p99/rows-per-sec, proves the coalescing and
+//!   hot-swap claims over real sockets, and (in chaos mode) asserts the
+//!   overload contract at 4× saturation.
+//!
+//! Overload protection (the SLO contract): every scoring request carries
+//! a latency budget — the `X-Deadline-Ms` header, clamped, or the server
+//! default. Work predicted to miss its budget is shed *before* queueing
+//! (503 + `Retry-After`), bounded queues shed at depth (429), replies
+//! that still miss time out (408), and every shedding answer is fast.
+//! Admin routes (`/healthz`, `/stats`, model info) are never shed.
 //!
 //! Hot swap rides `nr_serve`'s [`ModelHandle`](nr_serve::ModelHandle):
 //! `PUT /model` admits a bundle (finite parameters, unchanged schema and
@@ -33,6 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod batcher;
+pub mod faults;
 pub mod fixture;
 pub mod http;
 pub mod load;
@@ -42,8 +54,9 @@ pub mod server;
 mod handlers;
 
 pub use batcher::{BatchConfig, BatchFormer, LaneStats, SubmitError};
-pub use handlers::StatsResponse;
-pub use http::{Client, Request};
-pub use load::{LoadConfig, LoadReport, ScenarioReport, SwapReport};
+pub use faults::{FaultInjector, FaultPlan};
+pub use handlers::{DaemonStats, StatsResponse};
+pub use http::{Client, Request, ResponseOpts};
+pub use load::{ChaosConfig, ChaosReport, LoadConfig, LoadReport, ScenarioReport, SwapReport};
 pub use router::{route, Route, DEFAULT_MODEL};
-pub use server::{Daemon, DaemonConfig};
+pub use server::{Daemon, DaemonConfig, DrainReport, OverloadConfig};

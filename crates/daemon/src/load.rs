@@ -1,6 +1,6 @@
 //! The load harness: drives a real daemon over real sockets with mixed
-//! single-row and bulk traffic, measures p50/p99 latency and rows/sec,
-//! and proves the two serving claims end to end:
+//! single-row and bulk traffic, measures p50/p95/p99 latency and
+//! rows/sec, and proves the serving claims end to end:
 //!
 //! * **Coalescing pays** — the same client fleet against the same model
 //!   gets ≥2× the single-row throughput with the batch-former on
@@ -12,10 +12,19 @@
 //!   consistent*: the class must match the version the response claims.
 //!   A dropped request or a mixed-version batch is directly observable,
 //!   and the harness asserts zero of both in every mode.
+//! * **Overload degrades, never hangs** (chaos mode, [`run_chaos`]) — a
+//!   deliberately slow daemon is driven past saturation while faults
+//!   fire: handler panics every Nth request, slowloris sockets stall
+//!   mid-request, and hot swaps land mid-burst. The harness asserts the
+//!   SLO contract: every accepted answer meets its deadline, every shed
+//!   answer (429/503) is fast, stalled sockets are evicted, and a
+//!   graceful drain answers all in-flight work with zero hung threads.
 //!
 //! Results land in `BENCH_daemon.json` (cwd or `NR_BENCH_OUT_DIR`), the
 //! same contract as the criterion benches.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,10 +33,11 @@ use nr_serve::PredictResponse;
 use serde::{Deserialize, Serialize};
 
 use crate::batcher::BatchConfig;
+use crate::faults::FaultPlan;
 use crate::fixture::{serving_fixture, ServingFixture};
 use crate::handlers::StatsResponse;
 use crate::http::Client;
-use crate::server::{Daemon, DaemonConfig};
+use crate::server::{Daemon, DaemonConfig, DrainReport, OverloadConfig};
 
 /// Harness sizing. `quick` is the CI smoke (seconds); full is the
 /// real measurement the README quotes.
@@ -90,6 +100,9 @@ pub struct ScenarioReport {
     pub bulk_rows: u64,
     /// Median single-row latency, microseconds.
     pub p50_us: f64,
+    /// 95th-percentile single-row latency, microseconds.
+    #[serde(default)]
+    pub p95_us: f64,
     /// 99th-percentile single-row latency, microseconds.
     pub p99_us: f64,
     /// Single-row requests per second (the coalescing comparison metric).
@@ -116,20 +129,146 @@ pub struct SwapReport {
     pub final_version: u64,
 }
 
-/// Everything one harness run produced — the `BENCH_daemon.json` schema.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LoadReport {
-    /// True for CI smoke runs (assertion bar not armed).
+/// Chaos-mode sizing and assertion bars. The defaults make the daemon
+/// deliberately slow (`score_delay` per batch) so a modest fleet drives
+/// it several times past saturation.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Quick mode: smaller fleet, looser latency bars (CI smoke).
     pub quick: bool,
-    /// Throughput with the batch-former on (`max_batch` 64).
-    pub coalesced: ScenarioReport,
-    /// Baseline: same fleet, `max_batch` 1 (request-at-a-time).
-    pub uncoalesced: ScenarioReport,
-    /// `coalesced.rows_per_sec / uncoalesced.rows_per_sec` — the headline
-    /// number; full runs assert ≥ 2.
-    pub speedup: f64,
-    /// Hot-swap-under-load outcome (asserted zero-failure in every mode).
-    pub swap: SwapReport,
+    /// Closed-loop scoring clients.
+    pub clients: usize,
+    /// How long the burst runs. Clients issue requests for the whole
+    /// window (with `shed_backoff` after each shed), so demand stays
+    /// above capacity for the whole run instead of draining away as
+    /// fixed per-client quotas are spent.
+    pub burst_ms: u64,
+    /// Pause a client takes after a shed answer before retrying. Keeps
+    /// demand sustained without degenerating into a syscall spin that
+    /// (on small machines) turns scheduler queueing into measured
+    /// shed latency.
+    pub shed_backoff: Duration,
+    /// Latency budget each request carries (`X-Deadline-Ms`).
+    pub deadline_ms: u64,
+    /// Injected per-batch service time (the "slow handler" fault) —
+    /// calibrates the daemon's capacity.
+    pub score_delay: Duration,
+    /// Lane batch capacity under chaos.
+    pub max_batch: usize,
+    /// Lane queue bound under chaos (small, so 429s are reachable).
+    pub max_queue: usize,
+    /// Stalled-socket (slowloris) clients to inject.
+    pub slowloris: usize,
+    /// Hot swaps landed mid-burst.
+    pub swaps: usize,
+    /// Handler panic injected every Nth request.
+    pub panic_every: u64,
+    /// Socket read timeout the chaos daemon runs with (slowloris
+    /// eviction bound).
+    pub read_timeout: Duration,
+    /// Grace added to the deadline for client-side latency checks
+    /// (scheduling jitter, loopback, parse).
+    pub grace_ms: f64,
+    /// p99 bar for shed (429/503) answer latency, milliseconds.
+    pub shed_p99_bar_ms: f64,
+    /// Minimum demand/capacity ratio the run must reach.
+    pub saturation_bar: f64,
+}
+
+impl ChaosConfig {
+    /// Sizing for `quick` (CI smoke) or full (measurement) chaos runs.
+    pub fn sized(quick: bool) -> ChaosConfig {
+        if quick {
+            // Meetable backlog ≈ (deadline / score_delay) × max_batch =
+            // 10 rows; 24 clients keep the daemon ~2.4× oversubscribed.
+            ChaosConfig {
+                quick,
+                clients: 24,
+                burst_ms: 600,
+                deadline_ms: 30,
+                score_delay: Duration::from_millis(6),
+                max_batch: 2,
+                max_queue: 16,
+                shed_backoff: Duration::from_millis(2),
+                slowloris: 3,
+                swaps: 6,
+                panic_every: 41,
+                read_timeout: Duration::from_millis(400),
+                grace_ms: 60.0,
+                shed_p99_bar_ms: 20.0,
+                saturation_bar: 2.0,
+            }
+        } else {
+            // Meetable backlog ≈ 10 rows against 32 clients: ~3×
+            // oversubscribed in admitted work alone, far past 4× in
+            // offered requests (shed clients retry all burst long).
+            ChaosConfig {
+                quick,
+                clients: 32,
+                burst_ms: 1_500,
+                deadline_ms: 40,
+                score_delay: Duration::from_millis(8),
+                max_batch: 2,
+                max_queue: 16,
+                shed_backoff: Duration::from_millis(3),
+                slowloris: 6,
+                swaps: 16,
+                panic_every: 97,
+                read_timeout: Duration::from_millis(300),
+                grace_ms: 30.0,
+                shed_p99_bar_ms: 5.0,
+                saturation_bar: 4.0,
+            }
+        }
+    }
+}
+
+/// What a chaos run observed — the numbers behind the overload contract.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// True for CI smoke runs (looser latency bars).
+    pub quick: bool,
+    /// Latency budget each request carried, milliseconds.
+    pub deadline_ms: u64,
+    /// Scoring requests issued during the burst.
+    pub total_requests: u64,
+    /// 200s: scored within budget.
+    pub accepted: u64,
+    /// 429s: shed at the queue bound or in-flight cap.
+    pub shed_429: u64,
+    /// 503s: shed by predicted-wait admission (would miss deadline).
+    pub shed_503: u64,
+    /// 408s: admitted but timed out at the deadline.
+    pub timed_out_408: u64,
+    /// 500s: injected handler panics, each answered and survived.
+    pub panic_500: u64,
+    /// Demand/capacity ratio: `total_requests / accepted`.
+    pub saturation: f64,
+    /// Fraction of the burst shed up front: `(429s + 503s) / total`.
+    pub shed_rate: f64,
+    /// Median accepted-answer latency, microseconds.
+    pub accepted_p50_us: f64,
+    /// 99th-percentile accepted-answer latency, microseconds.
+    pub accepted_p99_us: f64,
+    /// Accepted answers that blew `deadline + grace` (must be 0).
+    pub deadline_misses: u64,
+    /// 99th-percentile shed-answer (429/503) latency, microseconds.
+    pub shed_p99_us: f64,
+    /// Responses whose class contradicts their claimed version (must be
+    /// 0 — swaps stay atomic even under overload).
+    pub mixed_version: u64,
+    /// Hot swaps landed during the burst.
+    pub swaps: u64,
+    /// Stalled sockets injected.
+    pub slowloris_connections: u64,
+    /// Stalled sockets the daemon evicted (must equal injected).
+    pub slowloris_evicted: u64,
+    /// Handler panics the fault plan injected (server-side count).
+    pub faults_panics_injected: u64,
+    /// Draining 503s the tail fleet observed while the daemon shut down.
+    pub drain_rejected_observed: u64,
+    /// The graceful drain's own report (must be clean).
+    pub drain: DrainReport,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -138,6 +277,11 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     }
     let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
     sorted_us[idx]
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    v
 }
 
 /// Runs one throughput scenario: a daemon with `batch` policy, a fleet
@@ -150,7 +294,10 @@ fn run_scenario(
     fx: &ServingFixture,
 ) -> ScenarioReport {
     let daemon = Daemon::start(
-        DaemonConfig { batch, port: 0 },
+        DaemonConfig {
+            batch,
+            ..DaemonConfig::default()
+        },
         vec![("default".into(), fx.model_a.clone())],
     )
     .expect("daemon binds on loopback");
@@ -229,20 +376,28 @@ fn run_scenario(
     assert_eq!(status, 200);
     let stats: StatsResponse = serde_json::from_str(&stats_body).expect("stats parse");
     let lane = &stats.models[0];
+    let (batches, largest_batch) = (lane.batches, lane.largest_batch);
 
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let latencies_us = sorted(latencies_us);
     let requests = latencies_us.len() as u64;
-    daemon.shutdown();
+    drop(stats_client);
+    let drain = daemon.shutdown();
+    assert!(
+        drain.hung_threads == 0,
+        "{label} scenario left {} hung threads",
+        drain.hung_threads
+    );
     ScenarioReport {
         label: label.to_string(),
         clients: cfg.clients,
         requests,
         bulk_rows: bulk_rows_done.load(Ordering::Relaxed),
         p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
         p99_us: percentile(&latencies_us, 0.99),
         rows_per_sec: requests as f64 / elapsed.as_secs_f64(),
-        batches: lane.batches,
-        largest_batch: lane.largest_batch,
+        batches,
+        largest_batch,
     }
 }
 
@@ -251,10 +406,7 @@ fn run_scenario(
 /// for success and version/answer consistency.
 fn run_swap_scenario(cfg: &LoadConfig, fx: &ServingFixture) -> SwapReport {
     let daemon = Daemon::start(
-        DaemonConfig {
-            batch: BatchConfig::default(),
-            port: 0,
-        },
+        DaemonConfig::default(),
         vec![("default".into(), fx.model_a.clone())],
     )
     .expect("daemon binds on loopback");
@@ -319,6 +471,7 @@ fn run_swap_scenario(cfg: &LoadConfig, fx: &ServingFixture) -> SwapReport {
     for w in workers {
         w.join().expect("swap-scenario client");
     }
+    drop(admin);
     daemon.shutdown();
     SwapReport {
         requests: requests.load(Ordering::Relaxed),
@@ -329,9 +482,352 @@ fn run_swap_scenario(cfg: &LoadConfig, fx: &ServingFixture) -> SwapReport {
     }
 }
 
-/// Runs the whole harness: coalesced vs uncoalesced throughput, then hot
-/// swap under load. Panics if any always-on bar fails; the ≥2× speedup
-/// bar additionally arms in full (non-quick) runs.
+/// One chaos client's view of one request.
+struct ChaosSample {
+    status: u16,
+    us: f64,
+    mixed: bool,
+}
+
+/// Runs the chaos scenario and asserts the overload contract. See the
+/// module docs for the fault set; panics on any broken bar.
+///
+/// Noise warning: the injected handler panics unwind through the
+/// daemon's panic barrier, so the default panic hook prints a backtrace
+/// per injection — loud, but each one is answered with a 500 and
+/// counted.
+pub fn run_chaos(cfg: &ChaosConfig, fx: &ServingFixture) -> ChaosReport {
+    let batch = BatchConfig {
+        max_batch: cfg.max_batch,
+        max_delay: Duration::from_micros(500),
+        max_queue: cfg.max_queue,
+        score_delay: cfg.score_delay,
+    };
+    let overload = OverloadConfig {
+        default_deadline: Duration::from_millis(cfg.deadline_ms),
+        max_connections: cfg.clients + cfg.slowloris + 16,
+        read_timeout: cfg.read_timeout,
+        write_timeout: Duration::from_secs(2),
+        ..OverloadConfig::default()
+    };
+    let faults = FaultPlan {
+        handler_panic: Some(cfg.panic_every),
+        ..FaultPlan::default()
+    };
+    let daemon = Daemon::start(
+        DaemonConfig {
+            batch,
+            port: 0,
+            overload,
+            faults,
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .expect("chaos daemon binds on loopback");
+    let addr = daemon.addr();
+    let rows = Arc::new(fx.rows.clone());
+    let expected_a = Arc::new(fx.expected_a.clone());
+    let deadline_ms = cfg.deadline_ms;
+
+    // Slowloris fleet: connect, send a partial request line, then wait
+    // for the daemon to cut the socket. Returns time-to-eviction, or
+    // None if the daemon never did (a broken contract).
+    let eviction_bar = cfg.read_timeout * 4 + Duration::from_millis(250);
+    let slow_workers: Vec<_> = (0..cfg.slowloris)
+        .map(|_| {
+            std::thread::spawn(move || -> Option<Duration> {
+                let mut stream = TcpStream::connect(addr).ok()?;
+                stream.write_all(b"POST /predict HTT").ok()?;
+                stream.flush().ok();
+                stream.set_read_timeout(Some(eviction_bar * 4)).ok()?;
+                let started = Instant::now();
+                let mut buf = [0u8; 256];
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) => return Some(started.elapsed()), // server closed
+                        Ok(_) => continue, // a best-effort 4xx body; keep waiting for the close
+                        Err(_) => return None, // client-side timeout: never evicted
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The scoring burst: closed-loop clients past saturation for a fixed
+    // window, every request carrying the deadline header.
+    let burst = Duration::from_millis(cfg.burst_ms);
+    let backoff = cfg.shed_backoff;
+    let burst_workers: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let rows = Arc::clone(&rows);
+            let expected_a = Arc::clone(&expected_a);
+            std::thread::spawn(move || -> Vec<ChaosSample> {
+                let mut client = Client::connect(addr).expect("chaos client connects");
+                let mut samples = Vec::new();
+                let started = Instant::now();
+                let mut r = 0usize;
+                while started.elapsed() < burst {
+                    let i = (c + r * 17) % rows.len();
+                    r += 1;
+                    let sent = Instant::now();
+                    let (status, body) = client
+                        .request_with_deadline("POST", "/predict", &rows[i], Some(deadline_ms))
+                        .expect("chaos predict completes");
+                    let us = sent.elapsed().as_nanos() as f64 / 1_000.0;
+                    let mut mixed = false;
+                    if status == 200 {
+                        let resp: PredictResponse =
+                            serde_json::from_str(&body).expect("predict response parses");
+                        let want = if resp.version % 2 == 1 {
+                            expected_a[i]
+                        } else {
+                            1 - expected_a[i]
+                        };
+                        mixed = resp.class != want;
+                    }
+                    samples.push(ChaosSample { status, us, mixed });
+                    if status != 200 {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+
+    // Mid-burst swaps between the complement models. An injected panic
+    // can land on a swap request too (it is sheddable work); retry the
+    // same bundle so the version↔model parity the clients check stays
+    // intact.
+    let json_a = fx.model_a.to_json().expect("model A serializes");
+    let json_b = fx.model_b.to_json().expect("model B serializes");
+    let mut admin = Client::connect(addr).expect("chaos admin connects");
+    let mut admin_panic_500 = 0u64;
+    let mut swaps_done = 0u64;
+    while (swaps_done as usize) < cfg.swaps {
+        let body = if swaps_done % 2 == 0 {
+            &json_b
+        } else {
+            &json_a
+        };
+        let (status, answer) = admin.request("PUT", "/model", body).expect("chaos swap");
+        match status {
+            200 => swaps_done += 1,
+            500 => admin_panic_500 += 1,
+            other => panic!("chaos swap answered {other}: {answer}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(admin);
+
+    let mut samples: Vec<ChaosSample> = Vec::new();
+    for w in burst_workers {
+        samples.extend(w.join().expect("chaos client thread"));
+    }
+    let mut slowloris_evicted = 0u64;
+    for w in slow_workers {
+        if let Some(evicted_after) = w.join().expect("slowloris thread") {
+            assert!(
+                evicted_after <= eviction_bar,
+                "slowloris socket lingered {evicted_after:?} (bar {eviction_bar:?})"
+            );
+            slowloris_evicted += 1;
+        }
+    }
+    assert_eq!(
+        slowloris_evicted as usize, cfg.slowloris,
+        "daemon failed to evict every stalled socket"
+    );
+
+    // Server-side counters, snapshotted after every burst participant
+    // has joined (so the fault counters are final) and before the drain.
+    let mut stats_client = Client::connect(addr).expect("chaos stats connects");
+    let (status, stats_body) = stats_client.request("GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200, "stats must stay served under overload");
+    let stats: StatsResponse = serde_json::from_str(&stats_body).expect("stats parse");
+    drop(stats_client);
+
+    // Tally the burst.
+    let mut accepted_us: Vec<f64> = Vec::new();
+    let mut shed_us: Vec<f64> = Vec::new();
+    let (mut shed_429, mut shed_503, mut timed_out_408, mut panic_500) = (0u64, 0u64, 0u64, 0u64);
+    let mut mixed_version = 0u64;
+    let mut deadline_misses = 0u64;
+    let deadline_bar_us = deadline_ms as f64 * 1_000.0 + cfg.grace_ms * 1_000.0;
+    for s in &samples {
+        if s.mixed {
+            mixed_version += 1;
+        }
+        match s.status {
+            200 => {
+                if s.us > deadline_bar_us {
+                    deadline_misses += 1;
+                }
+                accepted_us.push(s.us);
+            }
+            429 => {
+                shed_429 += 1;
+                shed_us.push(s.us);
+            }
+            503 => {
+                shed_503 += 1;
+                shed_us.push(s.us);
+            }
+            408 => {
+                timed_out_408 += 1;
+                assert!(
+                    s.us <= deadline_bar_us,
+                    "a 408 took {:.1} ms — the timeout itself blew the budget",
+                    s.us / 1_000.0
+                );
+            }
+            500 => panic_500 += 1,
+            other => panic!("chaos burst saw an unexpected status {other}"),
+        }
+    }
+    let total_requests = samples.len() as u64;
+    let accepted = accepted_us.len() as u64;
+    let accepted_us = sorted(accepted_us);
+    let shed_us = sorted(shed_us);
+    let shed_p99_us = percentile(&shed_us, 0.99);
+    let saturation = total_requests as f64 / (accepted.max(1)) as f64;
+
+    // Drain under fire: a tail fleet keeps hammering while the daemon
+    // gracefully shuts down. Every in-flight request must be answered;
+    // later ones see a draining 503 or a cleanly cut connection.
+    let drain_rejected_observed = Arc::new(AtomicU64::new(0));
+    let tail_workers: Vec<_> = (0..4)
+        .map(|c| {
+            let rows = Arc::clone(&rows);
+            let observed = Arc::clone(&drain_rejected_observed);
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return;
+                };
+                for r in 0.. {
+                    let row = &rows[(c + r * 17) % rows.len()];
+                    match client.request_with_deadline("POST", "/predict", row, Some(deadline_ms)) {
+                        Ok((503, body)) if body.contains("draining") => {
+                            observed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {}
+                        Err(_) => return, // drain cut the connection
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    let drain = daemon.shutdown();
+    for w in tail_workers {
+        w.join().expect("tail client thread");
+    }
+
+    let report = ChaosReport {
+        quick: cfg.quick,
+        deadline_ms,
+        total_requests,
+        accepted,
+        shed_429,
+        shed_503,
+        timed_out_408,
+        panic_500,
+        saturation,
+        shed_rate: (shed_429 + shed_503) as f64 / total_requests.max(1) as f64,
+        accepted_p50_us: percentile(&accepted_us, 0.50),
+        accepted_p99_us: percentile(&accepted_us, 0.99),
+        deadline_misses,
+        shed_p99_us,
+        mixed_version,
+        swaps: swaps_done,
+        slowloris_connections: cfg.slowloris as u64,
+        slowloris_evicted,
+        faults_panics_injected: stats.daemon.faults_panics,
+        drain_rejected_observed: drain_rejected_observed.load(Ordering::Relaxed),
+        drain,
+    };
+
+    // The SLO contract. Every bar is always-on; only the latency numbers
+    // differ between quick and full.
+    assert!(report.accepted > 0, "chaos run accepted nothing");
+    assert_eq!(
+        report.deadline_misses,
+        0,
+        "{} accepted answers blew deadline+grace ({:.0} ms); accepted p99 {:.1} ms",
+        report.deadline_misses,
+        deadline_bar_us / 1_000.0,
+        report.accepted_p99_us / 1_000.0
+    );
+    assert!(
+        report.saturation >= cfg.saturation_bar,
+        "burst only reached {:.1}x saturation (bar {:.1}x) — the overload path was not exercised",
+        report.saturation,
+        cfg.saturation_bar
+    );
+    assert!(
+        report.shed_429 + report.shed_503 > 0,
+        "an oversaturated burst shed nothing"
+    );
+    assert!(
+        report.shed_p99_us <= cfg.shed_p99_bar_ms * 1_000.0,
+        "shed answers were slow: p99 {:.2} ms (bar {:.0} ms) — shedding must be cheap",
+        report.shed_p99_us / 1_000.0,
+        cfg.shed_p99_bar_ms
+    );
+    assert_eq!(report.mixed_version, 0, "mid-burst swaps mixed versions");
+    assert!(
+        report.faults_panics_injected > 0,
+        "the panic fault never fired — the chaos plan is miswired"
+    );
+    assert_eq!(
+        report.panic_500 + admin_panic_500,
+        stats.daemon.handler_panics,
+        "injected panics and 500s answered disagree — a panic escaped the barrier or killed a connection"
+    );
+    assert_eq!(
+        stats.daemon.handler_panics, stats.daemon.faults_panics,
+        "a handler panic fired that the fault plan did not inject"
+    );
+    assert_eq!(
+        report.drain.inflight_abandoned, 0,
+        "drain abandoned {} in-flight requests",
+        report.drain.inflight_abandoned
+    );
+    assert_eq!(
+        report.drain.hung_threads, 0,
+        "drain left {} hung threads",
+        report.drain.hung_threads
+    );
+    assert!(
+        report.drain.clean,
+        "drain was not clean: {:?}",
+        report.drain
+    );
+    report
+}
+
+/// Everything one harness run produced — the `BENCH_daemon.json` schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// True for CI smoke runs (assertion bar not armed).
+    pub quick: bool,
+    /// Throughput with the batch-former on (`max_batch` 64).
+    pub coalesced: ScenarioReport,
+    /// Baseline: same fleet, `max_batch` 1 (request-at-a-time).
+    pub uncoalesced: ScenarioReport,
+    /// `coalesced.rows_per_sec / uncoalesced.rows_per_sec` — the headline
+    /// number; full runs assert ≥ 2.
+    pub speedup: f64,
+    /// Hot-swap-under-load outcome (asserted zero-failure in every mode).
+    pub swap: SwapReport,
+    /// Chaos-mode outcome (overload contract, asserted in every mode).
+    pub chaos: ChaosReport,
+}
+
+/// Runs the whole harness: coalesced vs uncoalesced throughput, hot swap
+/// under load, then the chaos scenario. Panics if any always-on bar
+/// fails; the ≥2× speedup bar additionally arms in full (non-quick)
+/// runs.
 pub fn run(cfg: &LoadConfig) -> LoadReport {
     let fx = serving_fixture(if cfg.quick { 256 } else { 512 });
     let coalesced = run_scenario("coalesced", BatchConfig::default(), cfg, &fx);
@@ -340,12 +836,14 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         BatchConfig {
             max_batch: 1,
             max_delay: Duration::ZERO,
+            ..BatchConfig::default()
         },
         cfg,
         &fx,
     );
     let speedup = coalesced.rows_per_sec / uncoalesced.rows_per_sec;
     let swap = run_swap_scenario(cfg, &fx);
+    let chaos = run_chaos(&ChaosConfig::sized(cfg.quick), &fx);
 
     // Always-on bars: the uncoalesced lane must genuinely be
     // request-at-a-time, and hot swap must be loss- and mix-free.
@@ -381,6 +879,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
         uncoalesced,
         speedup,
         swap,
+        chaos,
     }
 }
 

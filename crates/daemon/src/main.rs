@@ -3,12 +3,18 @@
 //! ```text
 //! nr-daemon serve [--port N] [--model FILE.json]   # run a daemon
 //! nr-daemon load [--quick]                         # run the load harness
+//! nr-daemon chaos [--quick]                        # run the fault-injection harness
 //! ```
 //!
 //! `serve` hosts one model under the default name: either a
 //! `ServeModel` JSON bundle from `--model`, or (for demos) the built-in
-//! deterministic fixture. `load` runs the harness against a freshly
-//! spawned in-process daemon and writes `BENCH_daemon.json`.
+//! deterministic fixture; a line on stdin (or closing an interactive
+//! stdin) triggers a graceful drain and prints the [`DrainReport`].
+//! `load` runs the full harness against freshly spawned in-process
+//! daemons and writes `BENCH_daemon.json`; `chaos` runs just the
+//! overload/fault scenario and prints the SLO numbers.
+//!
+//! [`DrainReport`]: nr_daemon::DrainReport
 
 use nr_daemon::{fixture, load, Daemon, DaemonConfig};
 use nr_serve::ServeModel;
@@ -16,7 +22,8 @@ use nr_serve::ServeModel;
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: nr-daemon serve [--port N] [--model FILE.json]\n       nr-daemon load [--quick]"
+        "usage: nr-daemon serve [--port N] [--model FILE.json]\n       \
+         nr-daemon load [--quick]\n       nr-daemon chaos [--quick]"
     );
     std::process::exit(2);
 }
@@ -26,8 +33,16 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("load") => run_load(&args[1..]),
-        _ => fail("expected a subcommand: serve | load"),
+        Some("chaos") => run_chaos(&args[1..]),
+        _ => fail("expected a subcommand: serve | load | chaos"),
     }
+}
+
+fn quick_flag(args: &[String]) -> bool {
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quick") {
+        fail(&format!("unknown flag {bad:?}"));
+    }
+    args.iter().any(|a| a == "--quick") || std::env::var("NR_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
 fn serve(args: &[String]) {
@@ -69,25 +84,40 @@ fn serve(args: &[String]) {
     };
     println!("nr-daemon serving on http://{}", daemon.addr());
     println!("endpoints: GET /healthz /stats /model; POST /predict /predict/bulk; PUT /model");
-    // Serve until killed.
-    loop {
-        std::thread::park();
+    println!("press Enter (or send a line on stdin) to drain gracefully");
+    // Block on stdin: a line triggers a graceful drain. When stdin is
+    // closed from the start (`serve < /dev/null`, a service manager),
+    // EOF arrives immediately — park forever instead of draining a
+    // daemon nobody asked to stop.
+    let mut line = String::new();
+    match std::io::stdin().read_line(&mut line) {
+        Ok(n) if n > 0 => {
+            eprintln!("draining...");
+            let report = daemon.shutdown();
+            match serde_json::to_string(&report) {
+                Ok(json) => println!("{json}"),
+                Err(e) => eprintln!("drain report failed to serialize: {e}"),
+            }
+            if !report.clean {
+                std::process::exit(1);
+            }
+        }
+        _ => loop {
+            std::thread::park();
+        },
     }
 }
 
 fn run_load(args: &[String]) {
-    let quick = args.iter().any(|a| a == "--quick")
-        || std::env::var("NR_BENCH_QUICK").is_ok_and(|v| v == "1");
-    if let Some(bad) = args.iter().find(|a| a.as_str() != "--quick") {
-        fail(&format!("unknown flag {bad:?}"));
-    }
+    let quick = quick_flag(args);
     let report = load::run_and_write(quick);
     println!(
-        "daemon load ({}): coalesced {:.0} rows/s (p50 {:.0}us, p99 {:.0}us, largest batch {}) \
-         vs uncoalesced {:.0} rows/s (p50 {:.0}us, p99 {:.0}us) -> {:.2}x",
+        "daemon load ({}): coalesced {:.0} rows/s (p50 {:.0}us, p95 {:.0}us, p99 {:.0}us, \
+         largest batch {}) vs uncoalesced {:.0} rows/s (p50 {:.0}us, p99 {:.0}us) -> {:.2}x",
         if report.quick { "quick" } else { "full" },
         report.coalesced.rows_per_sec,
         report.coalesced.p50_us,
+        report.coalesced.p95_us,
         report.coalesced.p99_us,
         report.coalesced.largest_batch,
         report.uncoalesced.rows_per_sec,
@@ -103,5 +133,54 @@ fn run_load(args: &[String]) {
         report.swap.mixed_version,
         report.swap.final_version,
     );
+    print_chaos(&report.chaos);
     println!("wrote BENCH_daemon.json");
+}
+
+fn run_chaos(args: &[String]) {
+    let quick = quick_flag(args);
+    let fx = fixture::serving_fixture(if quick { 256 } else { 512 });
+    let report = load::run_chaos(&load::ChaosConfig::sized(quick), &fx);
+    print_chaos(&report);
+}
+
+fn print_chaos(c: &load::ChaosReport) {
+    println!(
+        "chaos ({}): {} requests at {:.1}x saturation, deadline {} ms -> {} accepted \
+         (p50 {:.1} ms, p99 {:.1} ms, 0 deadline misses), shed {} x429 + {} x503 \
+         ({:.0}% shed rate, shed p99 {:.2} ms), {} x408, {} panics answered",
+        if c.quick { "quick" } else { "full" },
+        c.total_requests,
+        c.saturation,
+        c.deadline_ms,
+        c.accepted,
+        c.accepted_p50_us / 1_000.0,
+        c.accepted_p99_us / 1_000.0,
+        c.shed_429,
+        c.shed_503,
+        c.shed_rate * 100.0,
+        c.shed_p99_us / 1_000.0,
+        c.timed_out_408,
+        c.panic_500,
+    );
+    println!(
+        "chaos faults: {} injected panics survived, {}/{} stalled sockets evicted, \
+         {} mid-burst swaps with {} mixed-version answers",
+        c.faults_panics_injected,
+        c.slowloris_evicted,
+        c.slowloris_connections,
+        c.swaps,
+        c.mixed_version,
+    );
+    println!(
+        "chaos drain: {} in flight at drain, {} abandoned, {} hung threads, \
+         {} forced closes, {:.1} ms, clean={} ({} draining 503s observed)",
+        c.drain.inflight_at_drain,
+        c.drain.inflight_abandoned,
+        c.drain.hung_threads,
+        c.drain.forced_closes,
+        c.drain.drain_ms,
+        c.drain.clean,
+        c.drain_rejected_observed,
+    );
 }

@@ -40,6 +40,16 @@ pub enum Route {
     },
 }
 
+impl Route {
+    /// True for observability/admin routes (`/healthz`, `/stats`, model
+    /// info) that stay served under overload and load shedding — an
+    /// operator must be able to see a daemon that is busy shedding.
+    /// Scoring and swap routes are sheddable work.
+    pub fn is_admin(&self) -> bool {
+        matches!(self, Route::Health | Route::Stats | Route::ModelInfo { .. })
+    }
+}
+
 /// Resolves a request line to a route, `None` for anything unmapped
 /// (the server answers 404).
 pub fn route(method: &str, path: &str) -> Option<Route> {
@@ -132,6 +142,16 @@ mod tests {
                 model: "churn".into()
             })
         );
+    }
+
+    #[test]
+    fn admin_routes_are_exempt_from_shedding() {
+        assert!(Route::Health.is_admin());
+        assert!(Route::Stats.is_admin());
+        assert!(Route::ModelInfo { model: "m".into() }.is_admin());
+        assert!(!Route::Predict { model: "m".into() }.is_admin());
+        assert!(!Route::PredictBulk { model: "m".into() }.is_admin());
+        assert!(!Route::ModelSwap { model: "m".into() }.is_admin());
     }
 
     #[test]

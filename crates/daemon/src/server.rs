@@ -1,27 +1,83 @@
-//! The daemon process shell: listener, connection threads, shutdown.
+//! The daemon process shell: listener, connection threads, overload
+//! control, graceful drain.
 //!
 //! Thread shape: one accept thread, one handler thread per live
 //! connection (blocking reads on a keep-alive loop), one scoring-lane
 //! thread per hosted model (see [`crate::batcher`]). Handler threads do
 //! the protocol work — parse, route, reply — and block in
-//! [`BatchFormer::submit`] while the lane scores; the expensive part is
-//! never run per-connection.
+//! [`BatchFormer::submit_by`] (bounded by the request's deadline) while
+//! the lane scores; the expensive part is never run per-connection.
 //!
-//! A panicking handler answers that request with a 500 and keeps the
-//! connection and the server alive.
+//! **Robustness contract:**
+//!
+//! * a panicking handler answers that request with a 500 and keeps the
+//!   connection and the server alive;
+//! * sockets carry read/write timeouts, so a slowloris client or a dead
+//!   peer can never pin a handler thread;
+//! * live connections are capped; over the cap, new connections get an
+//!   immediate 503 and are closed — thread exhaustion degrades to
+//!   rejected connections, it does not kill the daemon;
+//! * [`Daemon::shutdown`] is a **graceful drain**: new work is rejected
+//!   with 503s, every in-flight request is answered, lanes and handler
+//!   threads are joined, and a [`DrainReport`] records whether anything
+//!   hung (the chaos harness asserts it never does).
 
 use std::collections::HashMap;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use nr_serve::{ErrorResponse, ModelHandle, ServeModel};
+use serde::{Deserialize, Serialize};
 
 use crate::batcher::{BatchConfig, BatchFormer};
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::handlers;
-use crate::http;
+use crate::http::{self, ResponseOpts};
+
+/// Overload-protection policy: deadlines, admission limits, socket
+/// hygiene, drain behavior.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Latency budget applied to scoring requests that carry no
+    /// `X-Deadline-Ms` header.
+    pub default_deadline: Duration,
+    /// Upper clamp on client-supplied deadlines (a huge header value
+    /// must not pin a handler thread for hours).
+    pub max_deadline: Duration,
+    /// In-flight request cap across the daemon; scoring requests beyond
+    /// it are shed with 429 (admin routes stay served).
+    pub max_inflight: usize,
+    /// Live connection cap; connections beyond it get an immediate 503
+    /// and are closed without spawning a thread.
+    pub max_connections: usize,
+    /// Socket read timeout: bounds how long a slowloris peer can hold a
+    /// handler thread mid-request, and how long an idle keep-alive
+    /// connection lingers.
+    pub read_timeout: Duration,
+    /// Socket write timeout: bounds writes to a dead or stalled peer.
+    pub write_timeout: Duration,
+    /// How long [`Daemon::shutdown`] waits for in-flight requests and
+    /// connection threads before declaring them hung.
+    pub drain_timeout: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(60),
+            max_inflight: 1024,
+            max_connections: 512,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Daemon startup configuration.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +87,11 @@ pub struct DaemonConfig {
     /// Bind port on 127.0.0.1; `0` (the default) picks a free one —
     /// tests and the harness read the result from [`Daemon::addr`].
     pub port: u16,
+    /// Overload-protection policy (deadlines, caps, timeouts).
+    pub overload: OverloadConfig,
+    /// Deterministic fault injection (noop by default; see
+    /// [`crate::faults`]).
+    pub faults: FaultPlan,
 }
 
 /// One hosted model: the swap handle plus its scoring lane.
@@ -39,22 +100,127 @@ pub(crate) struct ModelEntry {
     pub(crate) lane: BatchFormer,
 }
 
-/// Shared server state the handlers see: the fixed set of hosted models.
-/// (The *set* is fixed at startup; each model hot-swaps through its
-/// handle.)
-pub(crate) struct ServerState {
-    pub(crate) models: HashMap<String, ModelEntry>,
+/// Daemon-wide counters and flags the handlers and the drain logic
+/// share.
+pub(crate) struct ServerCtl {
+    pub(crate) overload: OverloadConfig,
+    pub(crate) faults: FaultInjector,
+    pub(crate) draining: AtomicBool,
+    /// Requests currently being handled (read off the wire, response not
+    /// yet written).
+    pub(crate) inflight: AtomicUsize,
+    /// Live connection threads.
+    pub(crate) connections: AtomicUsize,
+    /// Connections rejected at the cap or on spawn failure.
+    pub(crate) connections_rejected: AtomicU64,
+    /// Scoring requests shed by the in-flight cap (429s).
+    pub(crate) shed_inflight: AtomicU64,
+    /// Scoring requests rejected because the daemon was draining (503s).
+    pub(crate) drain_rejected: AtomicU64,
+    /// Handler panics survived (each answered with a 500).
+    pub(crate) handler_panics: AtomicU64,
 }
 
-/// A running serving daemon. Dropping it (or calling
-/// [`shutdown`](Daemon::shutdown)) stops the accept loop and joins the
-/// scoring lanes; open connections die with their clients.
+impl ServerCtl {
+    fn new(overload: OverloadConfig, faults: FaultPlan) -> ServerCtl {
+        ServerCtl {
+            overload,
+            faults: FaultInjector::new(faults),
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            connections_rejected: AtomicU64::new(0),
+            shed_inflight: AtomicU64::new(0),
+            drain_rejected: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Shared server state the handlers see: the fixed set of hosted models
+/// plus the daemon-wide control block. (The *set* is fixed at startup;
+/// each model hot-swaps through its handle.)
+pub(crate) struct ServerState {
+    pub(crate) models: HashMap<String, ModelEntry>,
+    pub(crate) ctl: ServerCtl,
+}
+
+/// Registry of live connections: the socket clones the drain logic can
+/// force-shut, and the thread handles it joins.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    /// Registers a connection's socket clone, returning its id.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("conn registry lock")
+            .insert(id, stream);
+        id
+    }
+
+    /// Removes a connection's socket clone (the thread is exiting).
+    fn deregister(&self, id: u64) {
+        self.streams.lock().expect("conn registry lock").remove(&id);
+    }
+
+    /// Force-shuts every still-registered socket, unblocking any thread
+    /// parked in a read. Returns how many were cut.
+    fn shutdown_all(&self) -> u64 {
+        let streams = self.streams.lock().expect("conn registry lock");
+        let mut cut = 0;
+        for stream in streams.values() {
+            if stream.shutdown(Shutdown::Both).is_ok() {
+                cut += 1;
+            }
+        }
+        cut
+    }
+}
+
+/// What a graceful drain observed — the serving side of the "nothing
+/// hangs" contract, asserted by the chaos harness and CI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrainReport {
+    /// Requests in flight when the drain began (all were answered unless
+    /// `hung_threads` is nonzero).
+    pub inflight_at_drain: u64,
+    /// Requests still in flight when the in-flight wait expired — 0 in
+    /// any healthy drain.
+    pub inflight_abandoned: u64,
+    /// Idle/stalled connections force-closed after in-flight work
+    /// finished (normal: keep-alive peers don't hang up on their own).
+    pub forced_closes: u64,
+    /// Connection threads that failed to exit within the drain timeout —
+    /// 0 in any healthy drain; nonzero is the hung-thread detector
+    /// firing.
+    pub hung_threads: u64,
+    /// Wall-clock duration of the drain, milliseconds.
+    pub drain_ms: f64,
+    /// True when every in-flight request was answered and every thread
+    /// joined.
+    pub clean: bool,
+}
+
+/// A running serving daemon. [`shutdown`](Daemon::shutdown) (or drop)
+/// performs a graceful drain: reject new work, answer everything in
+/// flight, join every thread.
 pub struct Daemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    #[allow(dead_code)] // keeps the lanes alive; read only via handlers
     state: Arc<ServerState>,
+    registry: Arc<ConnRegistry>,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -66,7 +232,8 @@ impl std::fmt::Debug for Daemon {
 impl Daemon {
     /// Binds, spawns the scoring lanes and the accept loop, and returns.
     /// `models` maps each hosted name to its initial deployment
-    /// (version 1).
+    /// (version 1). Errors (instead of panicking) if the listener, a
+    /// lane, or the accept thread cannot be created.
     pub fn start(config: DaemonConfig, models: Vec<(String, ServeModel)>) -> io::Result<Daemon> {
         assert!(!models.is_empty(), "a daemon needs at least one model");
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
@@ -74,24 +241,29 @@ impl Daemon {
         let mut map = HashMap::new();
         for (name, model) in models {
             let handle = Arc::new(ModelHandle::new(model));
-            let lane = BatchFormer::new(Arc::clone(&handle), config.batch.clone());
+            let lane = BatchFormer::new(Arc::clone(&handle), config.batch.clone())?;
             map.insert(name, ModelEntry { handle, lane });
         }
-        let state = Arc::new(ServerState { models: map });
+        let state = Arc::new(ServerState {
+            models: map,
+            ctl: ServerCtl::new(config.overload.clone(), config.faults.clone()),
+        });
+        let registry = Arc::new(ConnRegistry::default());
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name("nr-daemon-accept".into())
-                .spawn(move || accept_loop(&listener, &state, &stop))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(&listener, &state, &registry, &stop))?
         };
         Ok(Daemon {
             addr,
             stop,
             accept: Some(accept),
             state,
+            registry,
         })
     }
 
@@ -100,29 +272,112 @@ impl Daemon {
         self.addr
     }
 
-    /// Stops accepting and joins the accept thread. Equivalent to
-    /// dropping the daemon; provided for explicit call sites.
-    pub fn shutdown(mut self) {
-        self.stop_accepting();
+    /// Gracefully drains and stops the daemon: flips into draining (new
+    /// scoring work is answered 503 and connections are closed after the
+    /// response), stops accepting, waits for every in-flight request to
+    /// be answered, force-closes idle connections, joins every
+    /// connection thread and scoring lane, and reports what happened.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.drain()
     }
 
-    fn stop_accepting(&mut self) {
+    /// The drain core; idempotent (returns an empty report if already
+    /// drained). See [`shutdown`](Daemon::shutdown).
+    fn drain(&mut self) -> DrainReport {
+        let started = Instant::now();
+        let Some(accept) = self.accept.take() else {
+            return DrainReport {
+                inflight_at_drain: 0,
+                inflight_abandoned: 0,
+                forced_closes: 0,
+                hung_threads: 0,
+                drain_ms: 0.0,
+                clean: true,
+            };
+        };
+        let ctl = &self.state.ctl;
+        // 1. Flip into draining: handlers answer new scoring work with
+        //    503 + Connection: close from here on.
+        ctl.draining.store(true, Ordering::SeqCst);
+        // 2. Stop accepting. The accept loop blocks in accept(); poke it
+        //    awake.
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop blocks in accept(); poke it awake.
         let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        let _ = accept.join();
+        // 3. Wait for in-flight requests to be answered. Each is bounded
+        //    by its deadline and the socket write timeout, so this
+        //    converges unless a handler genuinely hangs.
+        let inflight_at_drain = ctl.inflight.load(Ordering::SeqCst) as u64;
+        let deadline = started + ctl.overload.drain_timeout;
+        while ctl.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let inflight_abandoned = ctl.inflight.load(Ordering::SeqCst) as u64;
+        // 4. Cut the remaining connections: idle keep-alive peers and
+        //    stalled (slowloris) sockets sit in blocking reads and would
+        //    otherwise only exit at the read timeout.
+        let forced_closes = self.registry.shutdown_all();
+        // 5. Wait for the connection threads to exit, then join them.
+        while ctl.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let hung_threads = ctl.connections.load(Ordering::SeqCst) as u64;
+        let handles = std::mem::take(&mut *self.registry.handles.lock().expect("registry lock"));
+        if hung_threads == 0 {
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+        // Hung threads keep their handles dropped (detached): a drain
+        // must report the hang, not inherit it.
+        // 6. Scoring lanes are joined when the state drops (after the
+        //    connection threads released their clones): BatchFormer's
+        //    Drop closes the queue and joins the lane, finishing any
+        //    in-flight batch first.
+        DrainReport {
+            inflight_at_drain,
+            inflight_abandoned,
+            forced_closes,
+            hung_threads,
+            drain_ms: started.elapsed().as_secs_f64() * 1_000.0,
+            clean: inflight_abandoned == 0 && hung_threads == 0,
         }
     }
 }
 
 impl Drop for Daemon {
     fn drop(&mut self) {
-        self.stop_accepting();
+        let _ = self.drain();
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+/// Writes a one-shot 503 to a connection the daemon will not serve
+/// (connection cap, spawn failure) and closes it.
+fn reject_connection(mut stream: TcpStream, why: &str) {
+    let body = serde_json::to_string(&ErrorResponse {
+        error: why.to_string(),
+        retry_after_ms: 1_000,
+    })
+    .unwrap_or_default();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = http::write_response_opts(
+        &mut stream,
+        503,
+        &body,
+        ResponseOpts {
+            close: true,
+            retry_after_secs: Some(1),
+        },
+    );
+    let _ = stream.flush();
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    registry: &Arc<ConnRegistry>,
+    stop: &Arc<AtomicBool>,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _peer)) => stream,
@@ -136,20 +391,69 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
         if stop.load(Ordering::SeqCst) {
             return; // the shutdown poke itself
         }
-        let state = Arc::clone(state);
-        // Connection threads are detached: they exit when their client
-        // hangs up (read_request returns Ok(None)) and hold only an Arc
-        // on the state.
-        let _ = std::thread::Builder::new()
-            .name("nr-daemon-conn".into())
-            .spawn(move || serve_connection(&state, stream));
+        let ctl = &state.ctl;
+        // Connection cap: reject with a clean 503 instead of spawning.
+        if ctl.connections.load(Ordering::SeqCst) >= ctl.overload.max_connections {
+            ctl.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            reject_connection(stream, "connection limit reached");
+            continue;
+        }
+        // Register the socket clone up front so a drain can always cut
+        // this connection, even if it is mid-spawn.
+        let conn_id = match stream.try_clone() {
+            Ok(clone) => registry.register(clone),
+            Err(_) => {
+                ctl.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                continue; // a socket we cannot clone we cannot manage
+            }
+        };
+        ctl.connections.fetch_add(1, Ordering::SeqCst);
+        let spawn = {
+            let state = Arc::clone(state);
+            let registry = Arc::clone(registry);
+            std::thread::Builder::new()
+                .name("nr-daemon-conn".into())
+                .spawn(move || {
+                    serve_connection(&state, stream);
+                    registry.deregister(conn_id);
+                    state.ctl.connections.fetch_sub(1, Ordering::SeqCst);
+                })
+        };
+        match spawn {
+            Ok(handle) => registry.handles.lock().expect("registry lock").push(handle),
+            Err(_) => {
+                // Thread exhaustion: degrade by rejecting this one
+                // connection; the daemon itself keeps serving. The spawn
+                // failure dropped the original stream, but the registry
+                // still holds a clone to answer through.
+                ctl.connections.fetch_sub(1, Ordering::SeqCst);
+                ctl.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                let clone = registry
+                    .streams
+                    .lock()
+                    .expect("conn registry lock")
+                    .remove(&conn_id);
+                if let Some(clone) = clone {
+                    reject_connection(clone, "temporarily out of handler threads");
+                }
+            }
+        }
     }
 }
 
 /// The per-connection keep-alive loop: read a request, handle it behind
-/// a panic barrier, write the response, repeat until the client closes.
+/// a panic barrier, write the response, repeat until the client closes,
+/// a timeout fires, or the daemon drains.
 fn serve_connection(state: &ServerState, stream: TcpStream) {
-    if stream.set_nodelay(true).is_err() {
+    let ctl = &state.ctl;
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(ctl.overload.read_timeout))
+            .is_err()
+        || stream
+            .set_write_timeout(Some(ctl.overload.write_timeout))
+            .is_err()
+    {
         return;
     }
     let mut reader = BufReader::new(stream);
@@ -157,21 +461,58 @@ fn serve_connection(state: &ServerState, stream: TcpStream) {
         let request = match http::read_request(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => return, // clean close between requests
-            Err(_) => return,   // malformed/truncated: drop the connection
+            Err(e) => {
+                // Protocol violations get a best-effort 400 before the
+                // close; timeouts (slowloris, idle keep-alive) and
+                // truncation just close.
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let body = serde_json::to_string(&ErrorResponse {
+                        error: format!("malformed request: {e}"),
+                        retry_after_ms: 0,
+                    })
+                    .unwrap_or_default();
+                    let _ = http::write_response_opts(
+                        reader.get_mut(),
+                        400,
+                        &body,
+                        ResponseOpts {
+                            close: true,
+                            retry_after_secs: None,
+                        },
+                    );
+                }
+                return;
+            }
         };
-        let (status, body) = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // In-flight accounting brackets the handler, panic included:
+        // drain waits on this count to know every accepted request was
+        // answered.
+        ctl.inflight.fetch_add(1, Ordering::SeqCst);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handlers::handle(state, &request)
-        })) {
-            Ok(answer) => answer,
-            Err(_) => (
-                500,
-                serde_json::to_string(&ErrorResponse {
-                    error: "internal error: handler panicked".into(),
-                })
-                .unwrap_or_default(),
-            ),
+        }));
+        let reply = match outcome {
+            Ok(reply) => reply,
+            Err(_) => {
+                ctl.handler_panics.fetch_add(1, Ordering::Relaxed);
+                handlers::Reply::error_500()
+            }
         };
-        if http::write_response(reader.get_mut(), status, &body).is_err() {
+        // While draining, every response closes its connection so the
+        // drain's connection wait converges without waiting out
+        // keep-alive timeouts.
+        let close = reply.close || ctl.is_draining();
+        let write = http::write_response_opts(
+            reader.get_mut(),
+            reply.status,
+            &reply.body,
+            ResponseOpts {
+                close,
+                retry_after_secs: reply.retry_after_secs,
+            },
+        );
+        ctl.inflight.fetch_sub(1, Ordering::SeqCst);
+        if write.is_err() || close {
             return;
         }
     }

@@ -94,6 +94,11 @@ impl ModelInfo {
 pub struct ErrorResponse {
     /// Human-readable description of what was wrong with the request.
     pub error: String,
+    /// For shedding responses (429/503): how long the client should wait
+    /// before retrying, in milliseconds. `0` means "not a shedding
+    /// response" — the request itself was bad and retrying won't help.
+    #[serde(default)]
+    pub retry_after_ms: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,32 @@
+//! The fault-injection harness as a test: drive a deliberately slow
+//! daemon past saturation while panics fire, sockets stall, and swaps
+//! land mid-burst, and assert the SLO contract — [`run_chaos`] panics on
+//! any broken bar (deadline misses, slow sheds, mixed versions,
+//! unevicted sockets, dirty drains), so this test passing *is* the
+//! contract holding.
+//!
+//! Runs in quick sizing so the suite stays fast; `nr-daemon chaos` (and
+//! the bench job) run the full-sized version.
+//!
+//! [`run_chaos`]: nr_daemon::load::run_chaos
+
+use nr_daemon::fixture::serving_fixture;
+use nr_daemon::load::{run_chaos, ChaosConfig};
+
+#[test]
+fn chaos_quick_holds_the_slo_contract() {
+    let cfg = ChaosConfig::sized(true);
+    let fx = serving_fixture(256);
+    let report = run_chaos(&cfg, &fx);
+
+    // run_chaos already asserted the contract; spot-check the shape of
+    // the run so a silently degenerate config cannot pass.
+    assert!(report.total_requests > report.accepted);
+    assert!(report.saturation >= cfg.saturation_bar);
+    assert_eq!(report.deadline_misses, 0);
+    assert_eq!(report.mixed_version, 0);
+    assert_eq!(report.slowloris_evicted, report.slowloris_connections);
+    assert!(report.faults_panics_injected > 0);
+    assert_eq!(report.swaps, cfg.swaps as u64);
+    assert!(report.drain.clean);
+}

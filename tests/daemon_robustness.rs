@@ -1,0 +1,438 @@
+//! The daemon's overload and hostile-input contract, over real sockets:
+//! HTTP framing edge cases (a hostile peer gets a clean 4xx or a closed
+//! connection, never a hang or a panic), deadline enforcement (408s and
+//! predicted-wait 503s), bounded-queue shedding (429s with
+//! `Retry-After`), connection caps, slowloris eviction, panic survival,
+//! and graceful drain.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use nr_daemon::fixture::serving_fixture;
+use nr_daemon::{
+    BatchConfig, Client, Daemon, DaemonConfig, FaultPlan, OverloadConfig, StatsResponse,
+};
+use nr_serve::ErrorResponse;
+
+/// Sends raw bytes, half-closes the write side, and reads whatever the
+/// daemon answers until it closes the connection. A daemon that hangs on
+/// malformed input fails the read timeout instead of wedging the suite.
+fn raw_exchange(addr: SocketAddr, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(payload).expect("write payload");
+    let _ = stream.shutdown(Shutdown::Write);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("daemon neither answered nor closed: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    response
+        .strip_prefix("HTTP/1.1 ")?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[test]
+fn hostile_framing_gets_clean_4xx_or_close() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let addr = daemon.addr();
+
+    // Garbage Content-Length: 400, connection closed.
+    let resp = raw_exchange(
+        addr,
+        b"POST /predict HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), Some(400), "got: {resp}");
+
+    // Oversized Content-Length: refused before any body is read.
+    let resp = raw_exchange(
+        addr,
+        b"POST /predict HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), Some(400), "got: {resp}");
+
+    // Truncated body (Content-Length lies): no answer to fabricate — the
+    // daemon just closes.
+    let resp = raw_exchange(
+        addr,
+        b"POST /predict HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort",
+    );
+    assert!(resp.is_empty(), "truncated body must close, got: {resp}");
+
+    // Non-UTF-8 body: 400.
+    let mut payload = b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec();
+    payload.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc]);
+    let resp = raw_exchange(addr, &payload);
+    assert_eq!(status_of(&resp), Some(400), "got: {resp}");
+
+    // Missing path in the request line: 400.
+    let resp = raw_exchange(addr, b"GET\r\n\r\n");
+    assert_eq!(status_of(&resp), Some(400), "got: {resp}");
+
+    // Garbage X-Deadline-Ms: 400 (a budget the server cannot honor is a
+    // protocol error, not a silent default).
+    let resp = raw_exchange(
+        addr,
+        b"POST /predict HTTP/1.1\r\nX-Deadline-Ms: soon\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), Some(400), "got: {resp}");
+
+    // Mixed-case header names are honored (HTTP headers are
+    // case-insensitive).
+    let row = fx.rows[0].as_bytes();
+    let mut payload = format!(
+        "POST /predict HTTP/1.1\r\ncOnTeNt-LeNgTh: {}\r\nx-DEADLINE-ms: 5000\r\n\r\n",
+        row.len()
+    )
+    .into_bytes();
+    payload.extend_from_slice(row);
+    let resp = raw_exchange(addr, &payload);
+    assert_eq!(status_of(&resp), Some(200), "got: {resp}");
+
+    // After all of that abuse, the daemon still serves.
+    let mut client = Client::connect(addr).unwrap();
+    let (status, _) = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    let report = daemon.shutdown();
+    assert!(report.clean, "drain after framing abuse: {report:?}");
+}
+
+/// A slow lane with a one-slot queue: concurrent submits past the slot
+/// are shed with 429 + `Retry-After`, and the shed answers come back
+/// fast instead of queueing behind the slow batch.
+#[test]
+fn full_queue_sheds_429_with_retry_after() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig {
+            batch: BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                max_queue: 1,
+                score_delay: Duration::from_millis(200),
+            },
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let addr = daemon.addr();
+    let row = fx.rows[0].clone();
+
+    let workers: Vec<_> = (0..6)
+        .map(|_| {
+            let row = row.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let sent = Instant::now();
+                let (status, body) = client.request("POST", "/predict", &row).unwrap();
+                let retry_after = client.last_header("retry-after").map(str::to_string);
+                (status, body, retry_after, sent.elapsed())
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    let accepted = results.iter().filter(|(s, ..)| *s == 200).count();
+    let shed_429: Vec<_> = results.iter().filter(|(s, ..)| *s == 429).collect();
+    assert!(accepted >= 1, "someone must be scored: {results:?}");
+    assert!(
+        !shed_429.is_empty(),
+        "a one-slot queue under 6 concurrent submits must shed: {results:?}"
+    );
+    for (_, body, retry_after, elapsed) in &shed_429 {
+        let err: ErrorResponse = serde_json::from_str(body).unwrap();
+        assert!(err.retry_after_ms > 0, "shed body carries a retry hint");
+        assert!(retry_after.is_some(), "429 must carry a Retry-After header");
+        assert!(
+            *elapsed < Duration::from_millis(150),
+            "shed answer queued behind the slow batch: {elapsed:?}"
+        );
+    }
+
+    // The shed counters are visible in /stats.
+    let mut client = Client::connect(addr).unwrap();
+    let (status, body) = client.request("GET", "/stats", "").unwrap();
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+    assert!(stats.models[0].shed_queue_full >= shed_429.len() as u64);
+    drop(client);
+    daemon.shutdown();
+}
+
+/// A request admitted while the lane is busy times out at its own
+/// deadline (408) instead of waiting for the slow batch.
+#[test]
+fn blown_deadline_answers_408_at_the_budget() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig {
+            batch: BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                max_queue: 64,
+                score_delay: Duration::from_millis(300),
+            },
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let addr = daemon.addr();
+
+    // Occupy the lane with a default-budget request…
+    let row = fx.rows[0].clone();
+    let busy = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request("POST", "/predict", &row).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(40));
+
+    // …then ask for an answer in 50 ms. The lane is mid-batch (and the
+    // service EWMA is not seeded yet), so the row is admitted and must
+    // time out at its own budget.
+    let mut client = Client::connect(addr).unwrap();
+    let sent = Instant::now();
+    let (status, body) = client
+        .request_with_deadline("POST", "/predict", &fx.rows[1], Some(50))
+        .unwrap();
+    let elapsed = sent.elapsed();
+    assert_eq!(status, 408, "expected a timeout: {body}");
+    assert!(
+        elapsed >= Duration::from_millis(45) && elapsed < Duration::from_millis(220),
+        "the 408 must arrive at the budget, not after the slow batch: {elapsed:?}"
+    );
+
+    let (status, _) = busy.join().unwrap();
+    assert_eq!(status, 200, "the occupying request still gets its answer");
+
+    // Once the EWMA knows a batch costs ~300 ms, the same hopeless
+    // request is shed up front with 503 — no queueing, no waiting.
+    let sent = Instant::now();
+    let (status, body) = client
+        .request_with_deadline("POST", "/predict", &fx.rows[1], Some(50))
+        .unwrap();
+    let elapsed = sent.elapsed();
+    assert_eq!(status, 503, "expected a predicted-wait shed: {body}");
+    assert!(
+        elapsed < Duration::from_millis(60),
+        "an up-front shed must be immediate: {elapsed:?}"
+    );
+    let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        err.error.contains("deadline"),
+        "the shed explains itself: {}",
+        err.error
+    );
+    drop(client);
+    daemon.shutdown();
+}
+
+/// Over the connection cap, new connections get an immediate 503 and the
+/// daemon keeps serving the live ones.
+#[test]
+fn connection_cap_rejects_with_503() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig {
+            overload: OverloadConfig {
+                max_connections: 2,
+                ..OverloadConfig::default()
+            },
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let addr = daemon.addr();
+
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    assert_eq!(a.request("GET", "/healthz", "").unwrap().0, 200);
+    assert_eq!(b.request("GET", "/healthz", "").unwrap().0, 200);
+
+    // Third connection: rejected with a one-shot 503 + Retry-After.
+    let resp = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status_of(&resp), Some(503), "got: {resp}");
+    assert!(
+        resp.to_ascii_lowercase().contains("retry-after"),
+        "rejection carries Retry-After: {resp}"
+    );
+
+    // The live connections keep working, and releasing one frees a slot.
+    assert_eq!(a.request("GET", "/healthz", "").unwrap().0, 200);
+    drop(b);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            if let Ok((200, _)) = c.request("GET", "/healthz", "") {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after closing a connection"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(a);
+    daemon.shutdown();
+}
+
+/// An injected handler panic answers that one request with a 500 and
+/// leaves the connection and the daemon serving.
+#[test]
+fn handler_panic_answers_500_and_daemon_survives() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig {
+            faults: FaultPlan {
+                handler_panic: Some(3),
+                ..FaultPlan::default()
+            },
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    let mut statuses = Vec::new();
+    for i in 0..6 {
+        let (status, _) = client
+            .request("POST", "/predict", &fx.rows[i % fx.rows.len()])
+            .unwrap();
+        statuses.push(status);
+    }
+    assert_eq!(
+        statuses,
+        vec![200, 200, 500, 200, 200, 500],
+        "every 3rd request panics, is answered, and the connection lives"
+    );
+
+    let (status, body) = client.request("GET", "/stats", "").unwrap();
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(stats.daemon.handler_panics, 2);
+    assert_eq!(stats.daemon.faults_panics, 2);
+    drop(client);
+    let report = daemon.shutdown();
+    assert!(report.clean, "drain after panics: {report:?}");
+}
+
+/// A peer that connects and stalls mid-request is evicted at the read
+/// timeout; it cannot pin a handler thread.
+#[test]
+fn slowloris_peer_is_evicted_at_the_read_timeout() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig {
+            overload: OverloadConfig {
+                read_timeout: Duration::from_millis(100),
+                ..OverloadConfig::default()
+            },
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let addr = daemon.addr();
+
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"POST /predict HTT").unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 64];
+    loop {
+        match stalled.read(&mut buf) {
+            Ok(0) => break, // evicted
+            Ok(_) => continue,
+            Err(e) => panic!("daemon never cut the stalled socket: {e}"),
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(800),
+        "eviction took {:?}, read timeout is 100 ms",
+        started.elapsed()
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request("GET", "/healthz", "").unwrap().0, 200);
+    drop(client);
+    daemon.shutdown();
+}
+
+/// Graceful drain: the in-flight request is answered, new work sees a
+/// draining 503 or a cut connection, and the report is clean.
+#[test]
+fn graceful_drain_answers_inflight_work() {
+    let fx = serving_fixture(4);
+    let daemon = Daemon::start(
+        DaemonConfig {
+            batch: BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                max_queue: 64,
+                score_delay: Duration::from_millis(150),
+            },
+            ..DaemonConfig::default()
+        },
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let addr = daemon.addr();
+
+    let row = fx.rows[0].clone();
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request("POST", "/predict", &row).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(40)); // the request is mid-batch
+
+    let report = daemon.shutdown();
+    let (status, body) = inflight.join().unwrap();
+    assert_eq!(
+        status, 200,
+        "the drain must answer the in-flight request: {body}"
+    );
+    assert_eq!(report.inflight_abandoned, 0, "{report:?}");
+    assert_eq!(report.hung_threads, 0, "{report:?}");
+    assert!(report.clean, "{report:?}");
+
+    // The daemon is gone: new connections are refused or immediately cut.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+            let mut buf = [0u8; 64];
+            assert!(
+                matches!(stream.read(&mut buf), Ok(0) | Err(_)),
+                "a drained daemon must not serve"
+            );
+        }
+    }
+}
