@@ -53,6 +53,13 @@ pub struct BatchConfig {
     /// Capacity threshold: a forming batch is dispatched as soon as it
     /// holds this many rows. `1` disables coalescing (request-at-a-time)
     /// — the load harness's baseline.
+    ///
+    /// Keep this below [`nr_serve::parallel_row_threshold`]: a coalesced
+    /// batch then scores entirely on the lane's own thread, and the
+    /// serve crate's chunk-parallel path (which borrows the shared
+    /// worker pool) engages only for bulk bodies and offline scans —
+    /// never underneath every live lane at once. A unit test pins the
+    /// default against the threshold.
     pub max_batch: usize,
     /// Deadline threshold: a forming batch is dispatched this long after
     /// its first row arrived, full or not. Only applies while the lane
@@ -461,6 +468,12 @@ fn score_batch(
         .largest_batch
         .fetch_max(accepted.len() as u64, Ordering::Relaxed);
     let scored = model.predict_scored_batch(&ds.view());
+    // EWMA before replies: a reply wakes its submitter, and the next
+    // thing a woken handler thread may do is another submit whose
+    // admission check reads the EWMA — storing it first guarantees a
+    // just-seeded lane is visible to that read (the mpsc send/recv pair
+    // orders the store), instead of racing the wakeup.
+    update_service_ewma(counters, started.elapsed());
     let names = model.rules().class_names();
     for (reply, s) in accepted.into_iter().zip(scored) {
         let _ = reply.send(Ok(PredictResponse {
@@ -470,7 +483,6 @@ fn score_batch(
             version,
         }));
     }
-    update_service_ewma(counters, started.elapsed());
 }
 
 /// Folds one batch's service time into the EWMA the predicted-wait shed
@@ -492,6 +504,15 @@ mod tests {
     use super::*;
     use crate::fixture::serving_fixture;
     use nr_tabular::parse_row;
+
+    /// The lane/serve-crate thread contract (see [`BatchConfig::max_batch`]):
+    /// a default-size coalesced batch must stay below the serve crate's
+    /// parallel threshold so lane batches never fan out onto the shared
+    /// worker pool underneath every handler thread at once.
+    #[test]
+    fn default_lane_batches_stay_below_the_parallel_threshold() {
+        assert!(BatchConfig::default().max_batch < nr_serve::parallel_row_threshold());
+    }
 
     fn lane(
         max_batch: usize,

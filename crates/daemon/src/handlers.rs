@@ -161,9 +161,9 @@ pub(crate) fn handle(state: &ServerState, request: &Request) -> Reply {
         Route::Predict { model } => with_model(state, &model, |e| {
             predict(e, &request.body, deadline_for(state, request))
         }),
-        Route::PredictBulk { model } => {
-            with_model(state, &model, |e| predict_bulk(e, &request.body))
-        }
+        Route::PredictBulk { model } => with_model(state, &model, |e| {
+            predict_bulk(e, &request.body, deadline_for(state, request))
+        }),
         Route::ModelInfo { model } => with_model(state, &model, |e| {
             ok_json(&ModelInfo::describe(&e.handle.load()))
         }),
@@ -239,12 +239,20 @@ fn predict(entry: &ModelEntry, body: &str, deadline: Instant) -> Reply {
     }
 }
 
+/// Rows scored per deadline check in [`predict_bulk`]. Twice the serve
+/// crate's parallel threshold, so each slice still fans out across the
+/// worker pool; checks land every few milliseconds of scoring, which is
+/// plenty against deadlines measured in hundreds.
+const BULK_CHUNK_ROWS: usize = 32 * 1024;
+
 /// Bulk predict: the body is already a batch (one CSV row per line,
 /// blank lines ignored), so it skips the batch-former's queue and scores
-/// directly — against exactly one model snapshot. Bulk work is bounded
-/// by the in-flight cap and socket timeouts rather than the per-row
-/// deadline (one client's batch, one client's time).
-fn predict_bulk(entry: &ModelEntry, body: &str) -> Reply {
+/// directly — against exactly one model snapshot. The request's deadline
+/// is enforced *during* scoring: oversized bodies score in
+/// [`BULK_CHUNK_ROWS`]-row slices with the budget checked between
+/// slices, so a blown deadline answers 408 mid-flight instead of
+/// holding the handler thread until the socket times out.
+fn predict_bulk(entry: &ModelEntry, body: &str, deadline: Instant) -> Reply {
     let snapshot = entry.handle.load(); // ONE load for the whole request
     let model = snapshot.model();
     let schema = model.network().encoder().schema();
@@ -264,7 +272,29 @@ fn predict_bulk(entry: &ModelEntry, body: &str) -> Reply {
     if ds.is_empty() {
         return error(400, "empty bulk body: expected one CSV row per line");
     }
-    let classes = model.predict_batch(&ds.view());
+    let n = ds.len();
+    let view = ds.view();
+    let mut classes = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        // Checked before the first slice too: a zero budget is honored
+        // literally, same as single-row predict.
+        if Instant::now() >= deadline {
+            return error(
+                408,
+                format!("deadline exceeded after scoring {start} of {n} bulk rows"),
+            );
+        }
+        let end = (start + BULK_CHUNK_ROWS).min(n);
+        if (start, end) == (0, n) {
+            // Whole body fits one slice: keep the contiguous full-view
+            // fast path instead of a gathered sub-view.
+            model.predict_batch_into(&view, &mut classes);
+        } else {
+            model.predict_batch_into(&ds.view_of((start..end).collect()), &mut classes);
+        }
+        start = end;
+    }
     ok_json(&BulkResponse {
         version: snapshot.version(),
         rows: classes.len(),

@@ -370,6 +370,15 @@ fn reject_connection(mut stream: TcpStream, why: &str) {
         },
     );
     let _ = stream.flush();
+    // Lingering close. The peer's request bytes were never read; dropping
+    // the socket with unread data makes the kernel answer with RST, which
+    // can wipe the just-written 503 out of the peer's receive buffer
+    // before it reads it. Half-close our side, then drain (bounded) what
+    // the peer sent so the close ends in FIN and the 503 survives.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 1024];
+    while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
 }
 
 fn accept_loop(

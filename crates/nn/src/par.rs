@@ -22,7 +22,7 @@
 
 use std::ops::Range;
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Rows per chunk. Must stay constant across thread counts (it defines the
 /// reduction grouping, and therefore the floating-point result).
@@ -42,7 +42,11 @@ pub(crate) fn chunk_range(c: usize, rows: usize) -> Range<usize> {
 /// Resolves a requested thread count (`0` = auto) against the hardware and
 /// the number of chunks available. A result of `1` means "run inline on
 /// the caller's thread"; anything larger means "submit to the shared pool".
-pub(crate) fn resolve_threads(requested: usize, chunks: usize) -> usize {
+///
+/// Public so pool clients (the serving engine's chunk-parallel scorer)
+/// can pre-resolve and skip per-chunk buffer setup entirely when the
+/// answer is "inline anyway" — e.g. auto mode on a single-core host.
+pub fn resolve_threads(requested: usize, chunks: usize) -> usize {
     let t = if requested == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -204,37 +208,168 @@ where
     T: Send + 'static,
     F: Fn(usize) -> T + Send + Sync + 'static,
 {
+    map_indexed_scoped(jobs, threads, work)
+}
+
+/// Counts outstanding scoped jobs. [`WaitGroup::wait`] blocks until every
+/// job registered with [`WaitGroup::add`] has called [`WaitGroup::done`] —
+/// and jobs call `done` only *after* dropping their captured closure state,
+/// which is the whole point (see [`map_indexed_scoped`]).
+struct WaitGroup {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl WaitGroup {
+    fn new() -> Self {
+        WaitGroup {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn add(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn done(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending != 0 {
+            pending = self.all_done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Waits for the scoped jobs on drop, so the borrow-validity guarantee
+/// holds on the unwind path (a panic re-raised at the collection point)
+/// exactly as on the normal return path.
+struct WaitOnDrop<'a>(&'a WaitGroup);
+
+impl Drop for WaitOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// Everything a scoped job touches that may borrow from the caller's
+/// frame. [`run_scoped_payload`] consumes it by value, so by the time the
+/// job signals its [`WaitGroup`] these are guaranteed dropped.
+struct ScopedPayload<T, F> {
+    work: Arc<F>,
+    tx: Sender<(usize, Result<T, String>)>,
+    j: usize,
+}
+
+fn run_scoped_payload<T, F>(payload: ScopedPayload<T, F>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    let ScopedPayload { work, tx, j } = payload;
+    // Catch the job's own unwind so the panic payload (and the location
+    // the hook recorded) travel back to the caller instead of dying on
+    // the pool thread.
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(j))).map_err(|payload| {
+            let msg = panic_message(payload.as_ref());
+            match LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take()) {
+                Some(loc) => format!("{msg}, at {loc}"),
+                None => msg,
+            }
+        });
+    // The caller may have bailed (panic elsewhere); a closed channel is
+    // fine.
+    let _ = tx.send((j, result));
+    // `work` and `tx` drop here — strictly before the job's wait-group
+    // signal in `map_indexed_scoped`'s wrapper.
+}
+
+/// Pretends a scoped job outlives the caller's frame so it can ride the
+/// `'static` pool queue.
+///
+/// # Safety contract
+///
+/// The caller must not return or unwind past the borrowed data until the
+/// erased closure has run **and dropped its captures**.
+/// [`map_indexed_scoped`] upholds this with a [`WaitGroup`] that every
+/// submitted job signals only after consuming its [`ScopedPayload`], plus
+/// a [`WaitOnDrop`] guard covering the unwind path; pool workers always
+/// run every queued job (the queue outlives the process's last caller),
+/// so the signal cannot be skipped.
+// The workspace denies `unsafe_code`; this lifetime erasure is the one
+// exception in the crate, kept to a single expression behind the wait
+// contract above.
+#[allow(unsafe_code)]
+fn erase_job_lifetime<'env>(
+    job: Box<dyn FnOnce() + Send + 'env>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    // SAFETY: only the lifetime bound changes; Box<dyn FnOnce> has the
+    // same layout for any lifetime, and the wait contract above keeps the
+    // borrows alive until the job is done with them.
+    unsafe { std::mem::transmute(job) }
+}
+
+/// [`map_indexed`] for *borrowing* closures: maps `work` over the job
+/// indices `0..jobs` on the shared worker pool and returns the results in
+/// index order, without requiring `'static` captures — `work` may borrow
+/// the caller's locals (a [`nr_tabular::DatasetView`], a model reference)
+/// directly, like `std::thread::scope`, but on the process-wide pool
+/// instead of freshly spawned threads.
+///
+/// `threads` is a requested worker count (`0` = auto: available
+/// parallelism capped at the pool size). With one resolved worker (or one
+/// job) everything runs inline on the caller's thread. A panicking job
+/// re-raises deterministically (lowest index first) at the collection
+/// point, after every other submitted job has finished.
+pub fn map_indexed_scoped<'env, T, F>(jobs: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send + 'env,
+    F: Fn(usize) -> T + Send + Sync + 'env,
+{
     if jobs == 0 {
         return Vec::new();
     }
-    if threads <= 1 || jobs == 1 {
+    if resolve_threads(threads, jobs) <= 1 || jobs == 1 {
         return (0..jobs).map(work).collect();
     }
 
     install_location_hook();
     let work = Arc::new(work);
+    let wg = Arc::new(WaitGroup::new());
+    // Declared before `tx`/`rx` so it drops after them: by the time the
+    // guard waits, the results channel is closed and only capture drops
+    // remain outstanding.
+    let _jobs_finished = WaitOnDrop(&wg);
     let (tx, rx) = channel::<(usize, Result<T, String>)>();
     for j in 0..jobs {
-        let work = Arc::clone(&work);
-        let tx = tx.clone();
+        let payload = ScopedPayload {
+            work: Arc::clone(&work),
+            tx: tx.clone(),
+            j,
+        };
+        let done = Arc::clone(&wg);
+        // Registered before submission, one by one, so the guard waits for
+        // exactly the jobs that were actually queued even if this loop
+        // unwinds midway.
+        wg.add();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            run_scoped_payload(payload);
+            // Signals strictly after the payload (the only captures that
+            // may borrow the caller's frame) has been consumed and
+            // dropped; `done` itself is a 'static Arc.
+            done.done();
+        });
         pool()
             .sender
-            .send(Box::new(move || {
-                // Catch the job's own unwind so the panic payload (and the
-                // location the hook recorded) travel back to the caller
-                // instead of dying on the pool thread.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(j)))
-                    .map_err(|payload| {
-                        let msg = panic_message(payload.as_ref());
-                        match LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take()) {
-                            Some(loc) => format!("{msg}, at {loc}"),
-                            None => msg,
-                        }
-                    });
-                // The caller may have bailed (panic elsewhere); a closed
-                // channel is fine.
-                let _ = tx.send((j, result));
-            }))
+            .send(erase_job_lifetime(job))
             .expect("worker pool alive for the process lifetime");
     }
     drop(tx);
@@ -363,6 +498,44 @@ mod tests {
                 "expected the lowest-index panic, got: {msg}"
             );
         }
+    }
+
+    #[test]
+    fn scoped_jobs_borrow_the_callers_frame() {
+        // The whole point of `map_indexed_scoped`: non-'static captures.
+        let data: Vec<u64> = (0..10_000).collect();
+        let slice = &data[..];
+        for threads in [1, 2, 8] {
+            let sums = map_indexed_scoped(7, threads, |j| {
+                slice[j * 1000..(j + 1) * 1000].iter().sum::<u64>()
+            });
+            let want: Vec<u64> = (0..7)
+                .map(|j| slice[j * 1000..(j + 1) * 1000].iter().sum())
+                .collect();
+            assert_eq!(sums, want);
+        }
+    }
+
+    #[test]
+    fn scoped_panic_still_waits_for_the_other_jobs() {
+        // A panicking scoped job must re-raise only after every sibling
+        // finished touching the borrowed frame (the guard's unwind path).
+        let data = vec![1u32; 64];
+        let err = std::panic::catch_unwind(|| {
+            let slice = &data[..];
+            map_indexed_scoped(8, 4, |j| {
+                if j == 2 {
+                    panic!("scoped job two exploded");
+                }
+                slice.iter().sum::<u32>()
+            })
+        })
+        .expect_err("the scoped panic must propagate");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("scoped job two exploded"), "{msg}");
+        assert!(msg.contains("worker-pool job 2"), "{msg}");
+        // The pool and the scoped path both survive.
+        assert_eq!(map_indexed_scoped(3, 4, |j| j), vec![0, 1, 2]);
     }
 
     #[test]

@@ -43,6 +43,32 @@ impl Bitmap {
         }
     }
 
+    /// The backing words, read-only (row `i` lives in word `i / 64`, bit
+    /// `i % 64`). Word-level consumers — score derivation, shard
+    /// stitching — walk these instead of calling [`Bitmap::get`] per row.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of rows the bitmap covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Sets every bit in `0..len` (tail stays clear) — the in-place
+    /// [`Bitmap::ones`], for reused registers.
+    pub fn set_ones(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Clears every bit.
+    pub fn set_zeros(&mut self) {
+        self.words.fill(0);
+    }
+
     /// The backing words (row `i` lives in word `i / 64`, bit `i % 64`).
     ///
     /// This hands out raw words, so the caller can violate the tail
@@ -87,7 +113,9 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// True when row `i` is selected.
+    /// True when row `i` is selected. Production paths read whole words
+    /// ([`Bitmap::words`]); this stays for tests and spot checks.
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         (self.words[i / 64] >> (i % 64)) & 1 == 1
@@ -104,6 +132,15 @@ impl Bitmap {
         debug_assert_eq!(self.len, other.len);
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
+        }
+    }
+
+    /// `self = a & b` in one pass (lengths must all match).
+    pub fn set_and(&mut self, a: &Bitmap, b: &Bitmap) {
+        debug_assert_eq!(self.len, a.len);
+        debug_assert_eq!(self.len, b.len);
+        for ((d, x), y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *d = x & y;
         }
     }
 

@@ -1,41 +1,60 @@
-//! The compiled rule engine: a deduplicated predicate table evaluated as
-//! column sweeps over selection bitmaps.
+//! The compiled rule engine: a deduplicated predicate table lowered into
+//! a shared-prefix decision DAG, executed as a branch-free bitmap
+//! program.
 //!
 //! [`CompiledRules`] lowers a [`RuleSet`] into two flat tables:
 //!
 //! * a **predicate table** — every distinct atomic [`Condition`] across
-//!   the rule set, stored once;
+//!   the rule set, stored once (deduplicated by a hash-keyed interner,
+//!   O(1) amortized per condition — compile time sits on the daemon's
+//!   hot-swap path);
 //! * a **rule table** — per rule, the predicate ids of its conjunction
 //!   plus the class it implies.
 //!
-//! Scoring a batch then inverts the interpreted loop nest: instead of
-//! walking rules and conditions *per row* (branchy, re-evaluating shared
-//! conditions per rule), each needed predicate is evaluated **once per
-//! batch** as a tight sweep down one typed column into a row bitmap, and
-//! a rule's antecedent is the word-wise AND of its predicate bitmaps.
-//! First-match semantics are resolved per batch with an `undecided`
-//! bitmap: rules are visited in priority order, each claims its matching
-//! still-undecided rows, and the sweep stops as soon as every row is
-//! decided. Predicate bitmaps are evaluated lazily, so predicates only
-//! reachable after the batch is fully decided are never computed.
+//! These two tables are the wire format (what serializes), unchanged
+//! since the predicate-table engine — persisted pre-DAG `ServeModel`
+//! files load as-is. Scoring runs on a third, derived form: the tables
+//! are lowered (eagerly at [`CompiledRules::compile`], lazily on first
+//! use after deserialization) into a [`crate::program::DagProgram`] — a
+//! decision DAG merging common predicate prefixes across rules, emitted
+//! as a flat op list over bitmap registers with **fused column sweeps**
+//! (every predicate on a column evaluated in one pass down it) and
+//! first-match arbitration per op (see [`crate::dag`] and
+//! [`crate::program`] for the layout). Large batches shard across the
+//! shared `nr-nn` worker pool, chunk-ordered so results never depend on
+//! the thread count.
 //!
 //! The engine is pinned **bit-identical** to the interpreted
-//! [`RuleSet::predict_row`] path by the workspace equivalence suite, and
-//! holds no interior mutability — one `CompiledRules` behind an `Arc`
-//! can score from any number of threads.
+//! [`RuleSet::predict_row`] path by the workspace equivalence suite. The
+//! pre-DAG predicate-table engine survives as
+//! [`CompiledRules::predict_batch_table`] — the serving bench's baseline
+//! for the `dag-vs-table-vs-interpreted` scoreboard.
+
+use std::sync::OnceLock;
 
 use nr_rules::{Condition, Predictor, Rule, RuleSet, Scored};
 use nr_tabular::{ClassId, DatasetView};
 use serde::{Deserialize, Serialize};
 
 use crate::bitmap::Bitmap;
+use crate::dag::{self, PredicateInterner};
+use crate::program::{DagProgram, PAR_ROW_THRESHOLD, PAR_SHARD_ROWS};
+
+/// Batch size at and above which [`CompiledRules`] shards scoring across
+/// the shared worker pool. Below it everything runs on the caller's
+/// thread — sized so the daemon batch-former's coalesced lane batches
+/// (tens of rows) never fan out under a loaded daemon, while bulk bodies
+/// and offline scans do.
+pub fn parallel_row_threshold() -> usize {
+    PAR_ROW_THRESHOLD
+}
 
 /// One lowered rule: predicate ids (indices into the predicate table, in
 /// original condition order) and the implied class.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct CompiledRule {
-    predicates: Vec<u32>,
-    class: ClassId,
+pub(crate) struct CompiledRule {
+    pub(crate) predicates: Vec<u32>,
+    pub(crate) class: ClassId,
 }
 
 /// A [`RuleSet`] compiled for batch scoring (see the module docs).
@@ -43,47 +62,67 @@ struct CompiledRule {
 /// Compilation is lossless: [`CompiledRules::to_ruleset`] reconstructs
 /// the source rule set exactly (same conditions, order, classes, default,
 /// and class names), so display and audit never need the original around.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The lowered DAG program is a derived cache, not state: it is excluded
+/// from serialization and equality, and its one-time initialization
+/// (after deserialization) is the only interior mutability in the
+/// serving layer — a write-once `OnceLock` whose value is a pure
+/// function of the wire fields, so concurrent scorers race only to
+/// install identical programs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompiledRules {
     predicates: Vec<Condition>,
     rules: Vec<CompiledRule>,
     default_class: ClassId,
     class_names: Vec<String>,
+    #[serde(skip)]
+    program: OnceLock<DagProgram>,
+}
+
+/// Wire-field equality: the lowered program is derived (and deliberately
+/// absent right after deserialization), so it never participates.
+impl PartialEq for CompiledRules {
+    fn eq(&self, other: &Self) -> bool {
+        self.predicates == other.predicates
+            && self.rules == other.rules
+            && self.default_class == other.default_class
+            && self.class_names == other.class_names
+    }
 }
 
 impl CompiledRules {
-    /// Lowers a rule set into the predicate-table form.
+    /// Lowers a rule set into the predicate-table form and builds the
+    /// scoring DAG eagerly (a deserialized bundle defers it to first
+    /// use instead).
     pub fn compile(rs: &RuleSet) -> Self {
-        let mut predicates: Vec<Condition> = Vec::new();
-        let rules =
-            rs.rules
-                .iter()
-                .map(|rule| {
-                    let ids =
-                        rule.conditions
-                            .iter()
-                            .map(|cond| {
-                                let id = predicates.iter().position(|p| p == cond).unwrap_or_else(
-                                    || {
-                                        predicates.push(cond.clone());
-                                        predicates.len() - 1
-                                    },
-                                );
-                                u32::try_from(id).expect("predicate table fits in u32")
-                            })
-                            .collect();
-                    CompiledRule {
-                        predicates: ids,
-                        class: rule.class,
-                    }
-                })
-                .collect();
-        CompiledRules {
-            predicates,
+        let mut interner = PredicateInterner::default();
+        let rules = rs
+            .rules
+            .iter()
+            .map(|rule| CompiledRule {
+                predicates: rule
+                    .conditions
+                    .iter()
+                    .map(|cond| interner.intern(cond))
+                    .collect(),
+                class: rule.class,
+            })
+            .collect();
+        let compiled = CompiledRules {
+            predicates: interner.into_table(),
             rules,
             default_class: rs.default_class,
             class_names: rs.class_names.clone(),
-        }
+            program: OnceLock::new(),
+        };
+        compiled.program();
+        compiled
+    }
+
+    /// The lowered scoring program, built on first use.
+    pub(crate) fn program(&self) -> &DagProgram {
+        self.program
+            .get_or_init(|| dag::lower(&self.predicates, &self.rules, self.default_class))
     }
 
     /// Number of rules (excluding the default).
@@ -144,10 +183,53 @@ impl CompiledRules {
         None
     }
 
-    /// The batch first-match core: the class of every view row plus the
-    /// bitmap of rows claimed by an **explicit** rule (unset = default
-    /// fallthrough). Everything public routes through here.
-    pub(crate) fn match_batch(&self, view: &DatasetView<'_>) -> (Vec<ClassId>, Bitmap) {
+    /// The batch first-match core: appends the class of every view row to
+    /// `out` and returns the bitmap of rows claimed by an **explicit**
+    /// rule (unset = default fallthrough). Everything public routes
+    /// through here. Batches of [`parallel_row_threshold`] rows or more
+    /// shard across the worker pool; results are identical either way.
+    pub(crate) fn match_batch_into(
+        &self,
+        view: &DatasetView<'_>,
+        out: &mut Vec<ClassId>,
+    ) -> Bitmap {
+        let threads = if view.len() >= PAR_ROW_THRESHOLD {
+            0
+        } else {
+            1
+        };
+        self.program()
+            .match_batch_into(view, out, threads, PAR_SHARD_ROWS)
+    }
+
+    /// [`Predictor::predict_batch`] with an explicit worker-thread count
+    /// and shard size (`shard_rows` must be a positive multiple of 64;
+    /// `threads` `0` = auto). The determinism contract, callable: output
+    /// is **bit-identical for every** `(threads, shard_rows)` — the
+    /// equivalence suite exercises 1/2/4 workers through this.
+    pub fn predict_batch_with(
+        &self,
+        view: &DatasetView<'_>,
+        threads: usize,
+        shard_rows: usize,
+    ) -> Vec<ClassId> {
+        let mut out = Vec::with_capacity(view.len());
+        self.program()
+            .match_batch_into(view, &mut out, threads, shard_rows);
+        out
+    }
+
+    /// Scores via the retained **predicate-table engine** (the pre-DAG
+    /// per-rule bitmap loop): the measured baseline the DAG program is
+    /// asserted against in the serving bench, and an independent witness
+    /// in the equivalence tests. Not the production path.
+    pub fn predict_batch_table(&self, view: &DatasetView<'_>) -> Vec<ClassId> {
+        self.match_batch_table(view).0
+    }
+
+    /// The pre-DAG engine's first-match core: per-rule AND loop over
+    /// lazily evaluated per-predicate bitmaps.
+    fn match_batch_table(&self, view: &DatasetView<'_>) -> (Vec<ClassId>, Bitmap) {
         let n = view.len();
         let mut classes = vec![self.default_class; n];
         let mut undecided = Bitmap::ones(n);
@@ -191,28 +273,35 @@ impl Predictor for CompiledRules {
     }
 
     fn predict_batch_into(&self, view: &DatasetView<'_>, out: &mut Vec<ClassId>) {
-        let (classes, _) = self.match_batch(view);
-        out.extend(classes);
+        self.match_batch_into(view, out);
     }
 
     /// Score `1.0` when an explicit rule matched, `0.0` for default-class
     /// fallthrough — the same convention as the interpreted [`RuleSet`].
+    /// Scores come straight off the match bitmap's words (no per-row
+    /// `Bitmap::get` re-walk).
     fn predict_scored_batch(&self, view: &DatasetView<'_>) -> Vec<Scored> {
-        let (classes, matched) = self.match_batch(view);
-        classes
-            .into_iter()
-            .enumerate()
-            .map(|(i, class)| Scored {
-                class,
-                score: if matched.get(i) { 1.0 } else { 0.0 },
-            })
-            .collect()
+        let mut classes = Vec::with_capacity(view.len());
+        let matched = self.match_batch_into(view, &mut classes);
+        let words = matched.words();
+        let mut scored = Vec::with_capacity(classes.len());
+        for (w, chunk) in classes.chunks(64).enumerate() {
+            let word = words[w];
+            for (k, &class) in chunk.iter().enumerate() {
+                scored.push(Scored {
+                    class,
+                    score: ((word >> k) & 1) as f64,
+                });
+            }
+        }
+        scored
     }
 }
 
 /// Evaluates one predicate over every view row into a bitmap — a single
 /// pass down one typed column (contiguous for full views, an index gather
-/// for row selections).
+/// for row selections). The predicate-table engine's evaluator; the DAG
+/// program fuses these per column instead (see [`crate::program`]).
 fn eval_predicate(cond: &Condition, view: &DatasetView<'_>, bits: &mut Bitmap) {
     let ds = view.dataset();
     let ids = view.row_ids();
@@ -331,6 +420,29 @@ mod tests {
     }
 
     #[test]
+    fn dag_shares_the_common_prefix() {
+        // Rules 0 and 2 share the `10 <= x < 40` prefix: the trie must
+        // merge it into one node swept/computed once.
+        let compiled = CompiledRules::compile(&ruleset());
+        let program = compiled.program();
+        assert_eq!(program.n_shared_nodes, 1, "one shared prefix node");
+        // 2 columns -> 2 fused sweeps; 2 depth-2 nodes -> 2 Ands; 3 Claims.
+        assert_eq!(program.sweeps.len(), 2);
+        let ands = program
+            .ops
+            .iter()
+            .filter(|op| matches!(op, crate::program::Op::And { .. }))
+            .count();
+        assert_eq!(ands, 2);
+        let claims = program
+            .ops
+            .iter()
+            .filter(|op| matches!(op, crate::program::Op::Claim { .. }))
+            .count();
+        assert_eq!(claims, 3);
+    }
+
+    #[test]
     fn matches_interpreted_per_row() {
         let ds = dataset();
         let rs = ruleset();
@@ -345,6 +457,24 @@ mod tests {
         let batch = compiled.predict_batch(&view);
         for (pos, &r) in sel.iter().enumerate() {
             assert_eq!(batch[pos], rs.predict_row(&ds, r), "view row {pos}");
+        }
+    }
+
+    #[test]
+    fn dag_equals_the_table_engine() {
+        let ds = dataset();
+        let compiled = CompiledRules::compile(&ruleset());
+        assert_eq!(
+            compiled.predict_batch(&ds.view()),
+            compiled.predict_batch_table(&ds.view())
+        );
+        // And across shard grids/thread counts.
+        for threads in [0usize, 1, 2, 4] {
+            assert_eq!(
+                compiled.predict_batch_with(&ds.view(), threads, 64),
+                compiled.predict_batch_table(&ds.view()),
+                "threads={threads}"
+            );
         }
     }
 
@@ -369,11 +499,17 @@ mod tests {
         let rs = ruleset();
         let compiled = CompiledRules::compile(&rs);
         assert_eq!(compiled.to_ruleset(), rs);
-        // And through JSON.
+        // And through JSON — the derived program is not serialized, and a
+        // deserialized engine rebuilds it lazily with identical results.
         let json = serde_json::to_string(&compiled).unwrap();
         let back: CompiledRules = serde_json::from_str(&json).unwrap();
         assert_eq!(back, compiled);
         assert_eq!(back.to_ruleset(), rs);
+        let ds = dataset();
+        assert_eq!(
+            back.predict_batch(&ds.view()),
+            compiled.predict_batch(&ds.view())
+        );
     }
 
     #[test]
@@ -384,5 +520,33 @@ mod tests {
         let empty =
             CompiledRules::compile(&RuleSet::new(Vec::new(), 1, vec!["A".into(), "B".into()]));
         assert_eq!(empty.predict_batch(&ds.view_of(vec![0, 5])), vec![1, 1]);
+    }
+
+    #[test]
+    fn contradictions_and_empty_antecedents_lower_correctly() {
+        // Rule 0 is statically false (10 <= x < 10): elided. Rule 1 has an
+        // empty antecedent: claims everything, terminating the program —
+        // rule 2 is unreachable.
+        let rs = RuleSet::new(
+            vec![
+                Rule::new(vec![Condition::num_range(0, 10.0, 10.0)], 1),
+                Rule::new(vec![], 0),
+                Rule::new(vec![Condition::num_ge(0, 50.0)], 1),
+            ],
+            1,
+            vec!["A".into(), "B".into()],
+        );
+        let compiled = CompiledRules::compile(&rs);
+        let ds = dataset();
+        let batch = compiled.predict_batch(&ds.view());
+        for i in 0..ds.len() {
+            assert_eq!(batch[i], rs.predict_row(&ds, i), "row {i}");
+            assert_eq!(batch[i], 0);
+        }
+        // Everything matched explicitly: scores are all 1.0.
+        for s in compiled.predict_scored_batch(&ds.view()) {
+            assert_eq!(s.score, 1.0);
+        }
+        assert_eq!(compiled.program().ops.len(), 1, "one ClaimRest only");
     }
 }

@@ -5,9 +5,12 @@
 //! large databases*. This crate makes that operational:
 //!
 //! * [`CompiledRules`] lowers a [`nr_rules::RuleSet`] into a deduplicated
-//!   predicate table evaluated as column sweeps over selection bitmaps —
-//!   first-match semantics resolved per batch, bit-identical to the
-//!   interpreted `RuleSet::predict_row` path;
+//!   predicate table and a shared-prefix decision DAG, executed as a
+//!   branch-free bitmap program with fused per-column sweeps; batches of
+//!   [`parallel_row_threshold`] rows or more shard across the shared
+//!   worker pool — first-match semantics resolved per batch,
+//!   bit-identical to the interpreted `RuleSet::predict_row` path at any
+//!   thread count;
 //! * [`NetworkScorer`] packages encoder + pruned MLP behind the same
 //!   batch [`Predictor`](nr_rules::Predictor) trait, riding the matrix
 //!   kernels in `nr-nn`;
@@ -37,12 +40,14 @@
 mod api;
 mod bitmap;
 mod compiled;
+mod dag;
 mod model;
+mod program;
 mod scorer;
 mod swap;
 
 pub use api::{BulkResponse, ErrorResponse, ModelInfo, PredictResponse, SwapResponse};
-pub use compiled::CompiledRules;
+pub use compiled::{parallel_row_threshold, CompiledRules};
 pub use model::{ServeError, ServeMode, ServeModel};
 pub use scorer::NetworkScorer;
 pub use swap::{ModelHandle, VersionedModel};

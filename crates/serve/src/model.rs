@@ -199,16 +199,16 @@ impl Predictor for ServeModel {
             ServeMode::Rules => self.rules.predict_batch_into(view, out),
             ServeMode::Network => self.network.predict_batch_into(view, out),
             ServeMode::Hybrid => {
-                let (mut classes, matched) = self.rules.match_batch(view);
+                let start = out.len();
+                let matched = self.rules.match_batch_into(view, out);
                 if let Some((positions, sub)) = self.fallback_rows(&matched, view) {
                     // Network fallback for the rows no explicit rule
                     // claimed, scored as one sub-batch.
                     let fallback = self.network.predict_batch(&sub);
                     for (&pos, cls) in positions.iter().zip(fallback) {
-                        classes[pos] = cls;
+                        out[start + pos] = cls;
                     }
                 }
-                out.extend(classes);
             }
         }
     }
@@ -220,7 +220,8 @@ impl Predictor for ServeModel {
             ServeMode::Hybrid => {
                 // Rule-claimed rows score 1.0; fallback rows carry the
                 // network's winning activation.
-                let (classes, matched) = self.rules.match_batch(view);
+                let mut classes = Vec::with_capacity(view.len());
+                let matched = self.rules.match_batch_into(view, &mut classes);
                 let mut scored: Vec<Scored> = classes
                     .into_iter()
                     .map(|class| Scored { class, score: 1.0 })

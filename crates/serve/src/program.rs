@@ -1,0 +1,673 @@
+//! The lowered scoring program: a flat op list over bitmap registers,
+//! interpreted without per-rule control flow.
+//!
+//! [`crate::dag`] lowers a compiled rule set into a [`DagProgram`] — a
+//! `Vec` of [`Op`]s over numbered bitmap registers plus a table of
+//! [`ColumnSweep`]s. Executing a batch walks the ops in order:
+//!
+//! * [`Op::Sweep`] runs one **fused column sweep**: every predicate
+//!   touching that column is evaluated in a single pass down the typed
+//!   column, one 64-row chunk at a time, so one load of `x` feeds every
+//!   threshold compare and each predicate's register gets its word
+//!   written back-to-back while the chunk is hot. Columns with many
+//!   interval predicates take the **slot fast path**: the distinct finite
+//!   thresholds form a sorted list, each row's value is located once by
+//!   binary search, and every interval test collapses to two integer
+//!   compares against that slot (NaN takes a sentinel slot that fails
+//!   every interval, preserving `Condition::holds` semantics bit-exactly).
+//! * [`Op::And`] materializes a shared-prefix DAG node:
+//!   `reg[dst] = reg[a] & reg[b]`, word-wise.
+//! * [`Op::Fill`] sets a register to all-ones (a tautological predicate).
+//! * [`Op::Claim`] arbitrates first-match priority: rows in `reg[src]`
+//!   that are still undecided take the op's class and leave the
+//!   `undecided` set (`scratch = src & undecided; undecided &= !scratch`
+//!   — the And/AndNot pair of the arbitration, fused into one op so the
+//!   claimed-row count can short-circuit the whole program the moment
+//!   every row is decided).
+//! * [`Op::ClaimRest`] is the empty-antecedent rule: every still-
+//!   undecided row takes the class, terminally.
+//!
+//! Batches at or above [`PAR_ROW_THRESHOLD`] rows are split into fixed
+//! [`PAR_SHARD_ROWS`]-row shards scored on the shared `nr-nn` worker pool
+//! ([`nr_nn::map_indexed_scoped`]) and stitched back in shard order.
+//! Because rows are scored independently and the shard grid never depends
+//! on the thread count, the output is **bit-identical at any thread
+//! count** — the serving equivalence suite pins this at 1/2/4 workers.
+
+use std::ops::Range;
+
+use nr_tabular::{ClassId, DatasetView};
+
+use crate::bitmap::Bitmap;
+
+/// Batches below this many rows always score on the caller's thread.
+///
+/// Chosen above the daemon batch-former's lane batches (`max_batch`
+/// defaults to 64 rows) by two orders of magnitude: coalesced lanes keep
+/// their single-thread latency profile and never oversubscribe handler
+/// threads, while bulk bodies and offline scans fan out.
+pub(crate) const PAR_ROW_THRESHOLD: usize = 16 * 1024;
+
+/// Rows per parallel shard. A multiple of 64 so every shard boundary is
+/// word-aligned (shard bitmaps concatenate into the batch bitmap by plain
+/// word copy), and fixed regardless of thread count (the determinism
+/// grid).
+pub(crate) const PAR_SHARD_ROWS: usize = 8 * 1024;
+
+/// One instruction of the lowered program. Register ids index a dense
+/// per-shard register file; every register is written before it is read
+/// (the lowering emits defs before uses, in rule order).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// Run fused column sweep `sweeps[i]`, writing every register in its
+    /// group.
+    Sweep(u32),
+    /// `reg[dst] = all ones` — a tautological predicate (an unbounded
+    /// interval).
+    Fill(u32),
+    /// `reg[dst] = reg[a] & reg[b]` — a shared-prefix DAG node.
+    And {
+        /// Destination register (the node's row set).
+        dst: u32,
+        /// The parent prefix node's register.
+        a: u32,
+        /// The extending predicate's register.
+        b: u32,
+    },
+    /// First-match claim: still-undecided rows of `reg[src]` take
+    /// `class`.
+    Claim {
+        /// The rule's antecedent register (a DAG leaf).
+        src: u32,
+        /// The class the rule implies.
+        class: ClassId,
+    },
+    /// Empty-antecedent rule: every still-undecided row takes `class`.
+    ClaimRest {
+        /// The class the rule implies.
+        class: ClassId,
+    },
+}
+
+/// A direct (non-slot) numeric predicate compare. Bounds mirror
+/// `Condition::holds` exactly: lower inclusive, upper exclusive, NaN
+/// fails every bounded compare.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NumTest {
+    /// `x >= lo`.
+    Ge(f64),
+    /// `x < hi`.
+    Lt(f64),
+    /// `lo <= x < hi`.
+    Range(f64, f64),
+    /// `x == v` (never true for NaN).
+    Eq(f64),
+}
+
+/// A nominal predicate compare.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NomTest {
+    /// `c == code`.
+    Eq(u32),
+    /// `c` not in the (small, sorted) code list.
+    NotIn(Vec<u32>),
+}
+
+/// The NaN sentinel slot: larger than any real slot (real slots are at
+/// most `bounds.len()`), so every interval test `lo_slot <= s <= hi_slot`
+/// fails — exactly the `Condition::holds` NaN behavior.
+const NAN_SLOT: usize = usize::MAX;
+
+/// The binary-search fast path for a column with many interval
+/// predicates: the distinct finite thresholds, sorted, plus each
+/// predicate as an inclusive slot range.
+///
+/// `slot(x) = |{b in bounds : b <= x}|`; then `x >= lo` iff
+/// `slot(x) >= rank(lo) + 1` and `x < hi` iff `slot(x) <= rank(hi)`, so
+/// every interval predicate is two integer compares against the one slot
+/// computed per row.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SlotPlan {
+    /// Sorted distinct finite thresholds.
+    bounds: Vec<f64>,
+    /// `(register, lo_slot, hi_slot)` per predicate: bit =
+    /// `lo_slot <= slot <= hi_slot`.
+    tests: Vec<(u32, usize, usize)>,
+}
+
+impl SlotPlan {
+    /// Builds the plan from `(register, test)` interval predicates whose
+    /// bounds are all finite. Returns `None` when below the engagement
+    /// threshold (the direct compares win on short groups).
+    fn build(interval_tests: &[(u32, NumTest)]) -> Option<SlotPlan> {
+        const SLOT_MIN_TESTS: usize = 8;
+        if interval_tests.len() < SLOT_MIN_TESTS {
+            return None;
+        }
+        let mut bounds: Vec<f64> = Vec::with_capacity(interval_tests.len() * 2);
+        for (_, test) in interval_tests {
+            match *test {
+                NumTest::Ge(lo) => bounds.push(lo),
+                NumTest::Lt(hi) => bounds.push(hi),
+                NumTest::Range(lo, hi) => {
+                    bounds.push(lo);
+                    bounds.push(hi);
+                }
+                NumTest::Eq(_) => unreachable!("equality tests never enter a slot plan"),
+            }
+        }
+        bounds.sort_by(f64::total_cmp);
+        // `==` dedup also merges -0.0/0.0 (identical as thresholds).
+        bounds.dedup_by(|a, b| a == b);
+        // Index of the unique element equal to `b` (everything before is
+        // strictly smaller after the dedup).
+        let rank = |b: f64| bounds.partition_point(|x| *x < b);
+        let tests = interval_tests
+            .iter()
+            .map(|&(reg, ref test)| match *test {
+                NumTest::Ge(lo) => (reg, rank(lo) + 1, bounds.len()),
+                NumTest::Lt(hi) => (reg, 0, rank(hi)),
+                NumTest::Range(lo, hi) => (reg, rank(lo) + 1, rank(hi)),
+                NumTest::Eq(_) => unreachable!("equality tests never enter a slot plan"),
+            })
+            .collect();
+        Some(SlotPlan { bounds, tests })
+    }
+
+    #[inline]
+    fn slot(&self, x: f64) -> usize {
+        if x.is_nan() {
+            NAN_SLOT
+        } else {
+            self.bounds.partition_point(|b| *b <= x)
+        }
+    }
+}
+
+/// Every predicate touching one column, evaluated in a single pass down
+/// that column (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ColumnSweep {
+    /// A numeric column's predicate group.
+    Num {
+        /// Schema attribute index (a numeric column).
+        attribute: usize,
+        /// Direct compares (equalities, non-finite bounds, short interval
+        /// groups).
+        tests: Vec<(u32, NumTest)>,
+        /// The binary-search fast path for long interval groups.
+        slots: Option<SlotPlan>,
+    },
+    /// A nominal column's predicate group.
+    Nom {
+        /// Schema attribute index (a nominal column).
+        attribute: usize,
+        /// The column's compares.
+        tests: Vec<(u32, NomTest)>,
+    },
+}
+
+/// The widest x86-64 vector ISA the running CPU supports, probed once.
+///
+/// The sweep bodies are plain safe Rust; they are compiled **three
+/// times** — baseline, AVX2, AVX-512 — by the `#[target_feature]`
+/// wrappers below, and this tier picks the widest copy at run time. The
+/// byte-mask compare loops in [`pack`] vectorize ~2× wider per tier
+/// (measured ~2.2× and ~4.5× over baseline on the serving bench), which
+/// is most of the DAG engine's single-thread margin over the retained
+/// predicate-table engine.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimdTier {
+    /// The compilation baseline (SSE2 on x86-64).
+    Baseline,
+    /// 256-bit vectors.
+    Avx2,
+    /// 512-bit vectors with byte/word ops.
+    Avx512,
+}
+
+#[cfg(target_arch = "x86_64")]
+static SIMD_TIER: std::sync::LazyLock<SimdTier> = std::sync::LazyLock::new(|| {
+    if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+        SimdTier::Avx512
+    } else if is_x86_feature_detected!("avx2") {
+        SimdTier::Avx2
+    } else {
+        SimdTier::Baseline
+    }
+});
+
+impl ColumnSweep {
+    /// Builds a numeric sweep, routing long finite interval groups to the
+    /// slot plan and everything else to direct compares.
+    pub(crate) fn num(attribute: usize, tests: Vec<(u32, NumTest)>) -> ColumnSweep {
+        let (slot_candidates, direct): (Vec<_>, Vec<_>) =
+            tests.into_iter().partition(|(_, t)| match *t {
+                NumTest::Ge(lo) => lo.is_finite(),
+                NumTest::Lt(hi) => hi.is_finite(),
+                NumTest::Range(lo, hi) => lo.is_finite() && hi.is_finite(),
+                NumTest::Eq(_) => false,
+            });
+        match SlotPlan::build(&slot_candidates) {
+            Some(plan) => ColumnSweep::Num {
+                attribute,
+                tests: direct,
+                slots: Some(plan),
+            },
+            None => {
+                // Below the threshold: fold the candidates back into the
+                // direct list (order within a sweep is irrelevant — each
+                // test owns its register).
+                let mut tests = direct;
+                tests.extend(slot_candidates);
+                ColumnSweep::Num {
+                    attribute,
+                    tests,
+                    slots: None,
+                }
+            }
+        }
+    }
+
+    /// Runs the sweep over `range` of `view`'s rows, writing whole bitmap
+    /// words into every register of the group — through the widest
+    /// [`SimdTier`] copy of the body the CPU supports.
+    fn run(&self, view: &DatasetView<'_>, range: &Range<usize>, regs: &mut [Bitmap]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: each wrapper only enables features `SIMD_TIER`
+            // just confirmed via `is_x86_feature_detected!`; the bodies
+            // themselves are safe code. The workspace denies
+            // `unsafe_code`; these calls and the two wrapper
+            // declarations are the crate's only allowance.
+            #[allow(unsafe_code)]
+            match *SIMD_TIER {
+                SimdTier::Avx512 => return unsafe { self.run_avx512(view, range, regs) },
+                SimdTier::Avx2 => return unsafe { self.run_avx2(view, range, regs) },
+                SimdTier::Baseline => {}
+            }
+        }
+        self.run_portable(view, range, regs);
+    }
+
+    /// [`ColumnSweep::run_portable`] compiled with 512-bit vectors.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[allow(unsafe_code)]
+    unsafe fn run_avx512(&self, view: &DatasetView<'_>, range: &Range<usize>, regs: &mut [Bitmap]) {
+        self.run_portable(view, range, regs);
+    }
+
+    /// [`ColumnSweep::run_portable`] compiled with 256-bit vectors.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn run_avx2(&self, view: &DatasetView<'_>, range: &Range<usize>, regs: &mut [Bitmap]) {
+        self.run_portable(view, range, regs);
+    }
+
+    /// The sweep body. `#[inline(always)]` so each `#[target_feature]`
+    /// wrapper absorbs it (and everything it calls) into its own ISA
+    /// context — that, not intrinsics, is how the wider tiers vectorize.
+    #[inline(always)]
+    fn run_portable(&self, view: &DatasetView<'_>, range: &Range<usize>, regs: &mut [Bitmap]) {
+        let ds = view.dataset();
+        let ids = view.row_ids();
+        match self {
+            ColumnSweep::Num {
+                attribute,
+                tests,
+                slots,
+            } => {
+                let col = ds.num_column(*attribute);
+                match ids {
+                    None => {
+                        for (w, chunk) in col[range.clone()].chunks(64).enumerate() {
+                            sweep_num_chunk(chunk, w, tests, slots, regs);
+                        }
+                    }
+                    Some(ids) => {
+                        // Gather each 64-row chunk once into a stack
+                        // buffer; every test then reads the buffer.
+                        let mut buf = [0.0f64; 64];
+                        for (w, idc) in ids[range.clone()].chunks(64).enumerate() {
+                            for (i, &r) in idc.iter().enumerate() {
+                                buf[i] = col[r];
+                            }
+                            sweep_num_chunk(&buf[..idc.len()], w, tests, slots, regs);
+                        }
+                    }
+                }
+            }
+            ColumnSweep::Nom { attribute, tests } => {
+                let col = ds.nominal_column(*attribute);
+                match ids {
+                    None => {
+                        for (w, chunk) in col[range.clone()].chunks(64).enumerate() {
+                            sweep_nom_chunk(chunk, w, tests, regs);
+                        }
+                    }
+                    Some(ids) => {
+                        let mut buf = [0u32; 64];
+                        for (w, idc) in ids[range.clone()].chunks(64).enumerate() {
+                            for (i, &r) in idc.iter().enumerate() {
+                                buf[i] = col[r];
+                            }
+                            sweep_nom_chunk(&buf[..idc.len()], w, tests, regs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs one predicate over a ≤64-value chunk into a bitmap word, in two
+/// phases tuned for what LLVM will actually vectorize:
+///
+/// 1. the compare loop writes `0/1` **bytes** into a stack buffer — a
+///    plain mask-store pattern the auto-vectorizer handles, unlike the
+///    classic `word |= (p(x) as u64) << i` chain whose variable shift
+///    serializes the whole loop (the retained predicate-table engine
+///    still uses that chain; the gap between the two is most of the DAG
+///    engine's single-thread margin);
+/// 2. [`pack_bytes`] gathers the 64 mask bytes into the bitmap word,
+///    eight at a time, with the carry-free multiply trick.
+///
+/// The generic parameter matters too: each call site monomorphizes `p`
+/// into a branchless compare — dispatching on a test enum *inside* the
+/// loop instead costs ~2× on the whole engine.
+#[inline(always)]
+fn pack<T: Copy>(chunk: &[T], p: impl Fn(T) -> bool) -> u64 {
+    let mut mask = [0u8; 64];
+    for (m, &x) in mask.iter_mut().zip(chunk) {
+        *m = p(x) as u8;
+    }
+    pack_bytes(&mask)
+}
+
+/// Gathers 64 `0/1` bytes into a word (bit `i` = `mask[i]`), eight bytes
+/// per step: with lane `k` holding `b_k ∈ {0, 1}`, multiplying by
+/// `Σ_k 2^(56 - 7k)` lands `b_k` exactly on bit `56 + k`. Every partial
+/// product occupies a distinct bit (`8j - 7k` collides only at `j = k`
+/// within 0..8), so no carries — the top byte is the packed octet.
+#[inline(always)]
+fn pack_bytes(mask: &[u8; 64]) -> u64 {
+    const MAGIC: u64 = 0x0102_0408_1020_4080;
+    let mut word = 0u64;
+    for (k, bytes) in mask.chunks_exact(8).enumerate() {
+        let lanes = u64::from_le_bytes(bytes.try_into().expect("chunks_exact yields 8 bytes"));
+        word |= (lanes.wrapping_mul(MAGIC) >> 56) << (8 * k);
+    }
+    word
+}
+
+/// One 64-row chunk of a numeric fused sweep: every test's word for word
+/// index `w`, written while the chunk values are hot. The enum dispatch
+/// happens once per (test, chunk); the inner loops are monomorphized.
+/// `#[inline(always)]`: must fold into the `#[target_feature]` wrappers.
+#[inline(always)]
+fn sweep_num_chunk(
+    chunk: &[f64],
+    w: usize,
+    tests: &[(u32, NumTest)],
+    slots: &Option<SlotPlan>,
+    regs: &mut [Bitmap],
+) {
+    for &(reg, ref test) in tests {
+        let word = match *test {
+            NumTest::Ge(lo) => pack(chunk, |x| x >= lo),
+            NumTest::Lt(hi) => pack(chunk, |x| x < hi),
+            NumTest::Range(lo, hi) => pack(chunk, |x| x >= lo && x < hi),
+            NumTest::Eq(v) => pack(chunk, |x| x == v),
+        };
+        regs[reg as usize].words_mut()[w] = word;
+    }
+    if let Some(plan) = slots {
+        let mut slot_buf = [0usize; 64];
+        for (i, &x) in chunk.iter().enumerate() {
+            slot_buf[i] = plan.slot(x);
+        }
+        for &(reg, lo, hi) in &plan.tests {
+            let word = pack(&slot_buf[..chunk.len()], |s| s >= lo && s <= hi);
+            regs[reg as usize].words_mut()[w] = word;
+        }
+    }
+}
+
+/// One 64-row chunk of a nominal fused sweep. `#[inline(always)]`: must
+/// fold into the `#[target_feature]` wrappers.
+#[inline(always)]
+fn sweep_nom_chunk(chunk: &[u32], w: usize, tests: &[(u32, NomTest)], regs: &mut [Bitmap]) {
+    for &(reg, ref test) in tests {
+        let word = match test {
+            NomTest::Eq(code) => pack(chunk, |c| c == *code),
+            NomTest::NotIn(codes) => pack(chunk, |c| !codes.contains(&c)),
+        };
+        regs[reg as usize].words_mut()[w] = word;
+    }
+}
+
+/// The lowered program (see the module docs). Built once per compiled
+/// rule set by [`crate::dag::lower`]; immutable and `Sync` afterwards, so
+/// any number of shard jobs interpret it concurrently.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DagProgram {
+    /// Class of rows no rule claims.
+    pub(crate) default_class: ClassId,
+    /// Register file size (one bitmap per register, per shard).
+    pub(crate) n_regs: u32,
+    /// The fused column sweeps, indexed by [`Op::Sweep`].
+    pub(crate) sweeps: Vec<ColumnSweep>,
+    /// The instruction list, in rule order.
+    pub(crate) ops: Vec<Op>,
+    /// Trie statistics: total antecedent nodes, and how many are shared
+    /// prefixes reused by more than one rule (README/debug narrative).
+    pub(crate) n_nodes: usize,
+    /// Nodes reached by two or more rules (the sharing the DAG buys).
+    pub(crate) n_shared_nodes: usize,
+}
+
+/// The per-shard interpreter state: the register file plus the
+/// arbitration bitmaps, reused across shards of a serial run.
+struct RegSet {
+    regs: Vec<Bitmap>,
+    undecided: Bitmap,
+    scratch: Bitmap,
+}
+
+impl RegSet {
+    fn new(n_regs: u32, len: usize) -> RegSet {
+        RegSet {
+            regs: vec![Bitmap::zeros(len); n_regs as usize],
+            undecided: Bitmap::ones(len),
+            scratch: Bitmap::zeros(len),
+        }
+    }
+
+    /// Re-arms for a shard of `len` rows. Registers need no clearing —
+    /// the program writes every register before reading it — but their
+    /// length must match the shard.
+    fn reset(&mut self, len: usize) {
+        if self.undecided.len() != len {
+            *self = RegSet::new(self.regs.len() as u32, len);
+        } else {
+            self.undecided.set_ones();
+        }
+    }
+}
+
+impl DagProgram {
+    /// Interprets the program over `range` of `view`, writing classes
+    /// into the shard-local `classes` slice (prefilled with the default
+    /// class) and returning the shard's explicit-match bitmap.
+    fn run_shard(
+        &self,
+        view: &DatasetView<'_>,
+        range: Range<usize>,
+        classes: &mut [ClassId],
+        state: &mut RegSet,
+    ) -> Bitmap {
+        debug_assert_eq!(classes.len(), range.len());
+        state.reset(range.len());
+        let mut remaining = range.len();
+        for op in &self.ops {
+            match *op {
+                Op::Sweep(i) => {
+                    self.sweeps[i as usize].run(view, &range, &mut state.regs);
+                }
+                Op::Fill(dst) => state.regs[dst as usize].set_ones(),
+                Op::And { dst, a, b } => {
+                    // Three-register form without double borrows: lift the
+                    // destination out, combine in one pass, put it back.
+                    let mut d = std::mem::replace(&mut state.regs[dst as usize], Bitmap::zeros(0));
+                    d.set_and(&state.regs[a as usize], &state.regs[b as usize]);
+                    state.regs[dst as usize] = d;
+                }
+                Op::Claim { src, class } => {
+                    state
+                        .scratch
+                        .set_and(&state.regs[src as usize], &state.undecided);
+                    let claimed = state.scratch.count_ones();
+                    if claimed > 0 {
+                        state.scratch.for_each_set(|i| classes[i] = class);
+                        state.undecided.clear(&state.scratch);
+                        remaining -= claimed;
+                        if remaining == 0 {
+                            // Every row decided: the rest of the program
+                            // cannot claim anything.
+                            break;
+                        }
+                    }
+                }
+                Op::ClaimRest { class } => {
+                    state.undecided.for_each_set(|i| classes[i] = class);
+                    state.undecided.set_zeros();
+                    break;
+                }
+            }
+        }
+        for reg in &state.regs {
+            reg.debug_assert_tail_clear();
+        }
+        state.undecided.not()
+    }
+
+    /// Scores `view` into `out` (appending one class per row) and returns
+    /// the explicit-match bitmap. `threads` is the worker count for
+    /// shard-parallel execution (`0` = auto, `1` = serial); `shard_rows`
+    /// is the fixed shard size and must be a positive multiple of 64.
+    /// Output is bit-identical for any `(threads, shard_rows)`.
+    pub(crate) fn match_batch_into(
+        &self,
+        view: &DatasetView<'_>,
+        out: &mut Vec<ClassId>,
+        threads: usize,
+        shard_rows: usize,
+    ) -> Bitmap {
+        assert!(
+            shard_rows > 0 && shard_rows % 64 == 0,
+            "shard_rows must be a positive multiple of 64, got {shard_rows}"
+        );
+        let n = view.len();
+        let start = out.len();
+        out.resize(start + n, self.default_class);
+        let mut matched = Bitmap::zeros(n);
+        if n == 0 {
+            return matched;
+        }
+        let shards = n.div_ceil(shard_rows);
+        let shard_range = |s: usize| -> Range<usize> {
+            let lo = s * shard_rows;
+            lo..n.min(lo + shard_rows)
+        };
+        // Resolve "auto" against the hardware up front: when the pool
+        // would run inline anyway (single-core host, or more workers than
+        // shards collapsing to one), take the serial arm and skip the
+        // per-shard buffer allocation entirely. The shard grid — and so
+        // the output — is identical either way.
+        let workers = nr_nn::resolve_threads(threads, shards);
+        if shards == 1 || workers <= 1 {
+            let classes = &mut out[start..];
+            let mut state = RegSet::new(self.n_regs, shard_range(0).len());
+            for s in 0..shards {
+                let range = shard_range(s);
+                let words = range.start / 64..range.end.div_ceil(64);
+                let m = self.run_shard(view, range.clone(), &mut classes[range], &mut state);
+                matched.words_mut()[words].copy_from_slice(m.words());
+            }
+        } else {
+            // Fixed-size shards on the shared pool, stitched in shard
+            // order: bit-identical at any thread count.
+            let shard_results = nr_nn::map_indexed_scoped(shards, workers, |s| {
+                let range = shard_range(s);
+                let mut classes = vec![self.default_class; range.len()];
+                let mut state = RegSet::new(self.n_regs, range.len());
+                let m = self.run_shard(view, range, &mut classes, &mut state);
+                (classes, m)
+            });
+            let classes = &mut out[start..];
+            for (s, (shard_classes, m)) in shard_results.into_iter().enumerate() {
+                let range = shard_range(s);
+                let words = range.start / 64..range.end.div_ceil(64);
+                classes[range].copy_from_slice(&shard_classes);
+                matched.words_mut()[words].copy_from_slice(m.words());
+            }
+        }
+        matched.debug_assert_tail_clear();
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The multiply gather must agree with the naive shift/or pack on
+    /// every mask shape — including the all-ones mask, where a stray
+    /// carry between partial products would first show up.
+    #[test]
+    fn byte_pack_matches_the_naive_pack() {
+        let naive = |mask: &[u8; 64]| -> u64 {
+            mask.iter()
+                .enumerate()
+                .fold(0u64, |w, (i, &b)| w | ((b as u64) << i))
+        };
+        let mut checked = 0u32;
+        for pattern in [0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x8000_0000_0000_0001] {
+            let mut mask = [0u8; 64];
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m = ((pattern >> i) & 1) as u8;
+            }
+            assert_eq!(pack_bytes(&mask), pattern);
+            assert_eq!(naive(&mask), pattern);
+            checked += 1;
+        }
+        // A deterministic pseudo-random sweep (xorshift) over mask space.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let mut mask = [0u8; 64];
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m = ((x >> i) & 1) as u8;
+            }
+            assert_eq!(pack_bytes(&mask), naive(&mask), "mask {x:#018x}");
+            checked += 1;
+        }
+        assert_eq!(checked, 10_004);
+    }
+
+    /// `pack` only sets bits for rows inside the chunk: the tail of a
+    /// partial final chunk must stay zero (the bitmap tail invariant).
+    #[test]
+    fn pack_keeps_partial_chunk_tails_clear() {
+        let vals = [1.0f64, -2.0, 3.0];
+        let word = pack(&vals, |x| x > 0.0);
+        assert_eq!(word, 0b101);
+        let none: [f64; 0] = [];
+        assert_eq!(pack(&none, |_| true), 0);
+    }
+}

@@ -247,6 +247,40 @@ fn blown_deadline_answers_408_at_the_budget() {
     daemon.shutdown();
 }
 
+/// Bulk scoring enforces the request deadline *between scoring slices*:
+/// a zero budget answers 408 (with progress in the message) instead of
+/// scoring the whole body, and the same body succeeds under a real
+/// budget on the same connection.
+#[test]
+fn bulk_predict_honors_the_deadline_mid_flight() {
+    let fx = serving_fixture(8);
+    let daemon = Daemon::start(
+        DaemonConfig::default(),
+        vec![("default".into(), fx.model_a.clone())],
+    )
+    .unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let body = fx.rows.join("\n");
+
+    let (status, resp) = client
+        .request_with_deadline("POST", "/predict/bulk", &body, Some(0))
+        .unwrap();
+    assert_eq!(status, 408, "zero budget must 408 mid-flight: {resp}");
+    let err: ErrorResponse = serde_json::from_str(&resp).unwrap();
+    assert!(
+        err.error.contains("0 of"),
+        "the 408 reports scoring progress: {}",
+        err.error
+    );
+
+    let (status, resp) = client
+        .request_with_deadline("POST", "/predict/bulk", &body, Some(5_000))
+        .unwrap();
+    assert_eq!(status, 200, "adequate budget must score: {resp}");
+    drop(client);
+    daemon.shutdown();
+}
+
 /// Over the connection cap, new connections get an immediate 503 and the
 /// daemon keeps serving the live ones.
 #[test]

@@ -32,11 +32,28 @@ fn pipeline(seed: u64) -> NeuroRule {
 }
 
 /// Asserts compiled == interpreted on the full view, a reversed/strided
-/// selection, and an empty selection of `ds`.
+/// selection, and an empty selection of `ds` — and that the answer is
+/// invariant across 1/2/4 worker threads and shard grids (the DAG
+/// engine's determinism contract), and equal to the retained
+/// predicate-table engine (an independent witness).
 fn assert_equivalent(rs: &RuleSet, ds: &Dataset) {
     let compiled = CompiledRules::compile(rs);
     let per_row: Vec<_> = (0..ds.len()).map(|i| rs.predict_row(ds, i)).collect();
     assert_eq!(compiled.predict_batch(&ds.view()), per_row, "full view");
+    assert_eq!(
+        compiled.predict_batch_table(&ds.view()),
+        per_row,
+        "predicate-table engine"
+    );
+    // 128-row shards force multi-shard execution on every non-trivial
+    // fixture; the stitched answer must be bit-identical at any width.
+    for threads in [1usize, 2, 4] {
+        assert_eq!(
+            compiled.predict_batch_with(&ds.view(), threads, 128),
+            per_row,
+            "sharded, {threads} worker thread(s)"
+        );
+    }
 
     let sel: Vec<usize> = (0..ds.len()).rev().step_by(3).collect();
     let want: Vec<_> = sel.iter().map(|&r| rs.predict_row(ds, r)).collect();

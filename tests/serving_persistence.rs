@@ -214,3 +214,65 @@ fn non_finite_bundles_refuse_to_serialize() {
     assert!(model.save(&path).is_err());
     assert!(!path.exists(), "refused save must not leave a file behind");
 }
+
+/// Backward compatibility: a `ServeModel` file written by the pre-DAG
+/// engine (`tests/data/predag_serve_model.json`, captured before the
+/// decision-DAG rewrite — its `CompiledRules` object carries only the
+/// predicate/rule tables, no lowered program) must still load, carry the
+/// same rule set, and score identically to the interpreted reference.
+/// The lowered DAG is a derived cache built on first use, never part of
+/// the wire format.
+#[test]
+fn predag_model_files_still_load() {
+    use nr_datagen::Function;
+    use nr_rules::{Condition, Rule, RuleSet};
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/predag_serve_model.json"
+    );
+    let model = ServeModel::load(path).expect("pre-DAG bundle must deserialize");
+    assert_eq!(model.mode(), ServeMode::Hybrid);
+
+    // The exact rule set the fixture was captured with.
+    let expected = RuleSet::new(
+        vec![
+            Rule::new(
+                vec![
+                    Condition::num_range(0, 30_000.0, 75_000.0),
+                    Condition::num_lt(2, 40.0),
+                ],
+                0,
+            ),
+            Rule::new(vec![Condition::num_ge(0, 75_000.0)], 1),
+            Rule::new(
+                vec![
+                    Condition::num_range(0, 30_000.0, 75_000.0),
+                    Condition::CatEq {
+                        attribute: 5,
+                        code: 3,
+                    },
+                ],
+                1,
+            ),
+        ],
+        0,
+        vec!["Group A".into(), "Group B".into()],
+    );
+    assert_eq!(model.ruleset(), expected);
+
+    // The lazily built DAG scores the old bundle bit-identically to the
+    // interpreted reference, and a fresh round-trip changes nothing.
+    let ds = nr_datagen::Generator::new(99).dataset(Function::F2, 500);
+    let rules_mode = model.clone().with_mode(ServeMode::Rules);
+    let got = rules_mode.predict_batch(&ds.view());
+    for i in 0..ds.len() {
+        assert_eq!(got[i], expected.predict_row(&ds, i), "row {i}");
+    }
+    let back = ServeModel::from_json(&model.to_json().unwrap()).unwrap();
+    assert_eq!(back, model);
+    assert_eq!(
+        back.predict_batch(&ds.view()),
+        model.predict_batch(&ds.view())
+    );
+}
