@@ -29,8 +29,9 @@
 //! * the reply wait is **bounded by the deadline**: if the answer has
 //!   not arrived by then, the handler gets
 //!   [`SubmitError::DeadlineExceeded`] (→ 408) rather than blocking
-//!   forever, and the lane drops the expired row from its batch when it
-//!   gets there.
+//!   forever, and the lane sheds the expired row **at dispatch time** —
+//!   the moment it pops the row toward a batch — so an expired backlog
+//!   never costs a snapshot load or a score.
 //!
 //! Version atomicity: the lane loads **exactly one** model snapshot per
 //! batch, so every row coalesced together is answered by one model
@@ -185,8 +186,9 @@ pub struct LaneStats {
     /// Submits whose reply wait timed out at the deadline (408s).
     #[serde(default)]
     pub timed_out: u64,
-    /// Rows the lane dropped from batches because their deadline had
-    /// already passed when the batch was scored.
+    /// Rows the lane shed because their deadline had already passed —
+    /// normally at dispatch time (popping toward a batch), with a
+    /// score-time backstop for rows that expire inside a forming batch.
     #[serde(default)]
     pub expired_in_queue: u64,
     /// EWMA batch service time, microseconds (what the predicted-wait
@@ -379,18 +381,28 @@ fn run_lane(
     // Size of the last multi-row batch: 0 = sparse traffic, window off.
     let mut fleet = 0usize;
     loop {
-        let first = match rx.recv() {
-            Ok(p) => p,
-            Err(_) => return, // queue closed: daemon shutting down
+        // Pop until a live row starts the batch: rows that expired while
+        // queued are shed here, so an all-expired backlog (e.g. after an
+        // injected stall) costs zero batches instead of one doomed
+        // score_delay + snapshot load per expired row.
+        let first = loop {
+            match rx.recv() {
+                Ok(p) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(p) = admit_or_shed(counters, p) {
+                        break p;
+                    }
+                }
+                Err(_) => return, // queue closed: daemon shutting down
+            }
         };
-        depth.fetch_sub(1, Ordering::Relaxed);
         let mut batch = vec![first];
         let deadline = Instant::now() + config.max_delay;
         while batch.len() < config.max_batch {
             match rx.try_recv() {
                 Ok(p) => {
                     depth.fetch_sub(1, Ordering::Relaxed);
-                    batch.push(p);
+                    batch.extend(admit_or_shed(counters, p));
                 }
                 Err(TryRecvError::Empty) => {
                     if fleet == 0 || batch.len() >= fleet {
@@ -404,7 +416,7 @@ fn run_lane(
                     match rx.recv_timeout(deadline - now) {
                         Ok(p) => {
                             depth.fetch_sub(1, Ordering::Relaxed);
-                            batch.push(p);
+                            batch.extend(admit_or_shed(counters, p));
                         }
                         Err(_) => break,
                     }
@@ -414,6 +426,22 @@ fn run_lane(
         }
         fleet = if batch.len() >= 2 { batch.len() } else { 0 };
         score_batch(handle, counters, config, batch);
+    }
+}
+
+/// Dispatch-time expiry check: a popped row whose deadline has already
+/// passed is answered [`SubmitError::DeadlineExceeded`] on the spot
+/// (its submitter has usually timed out already — the send just fails
+/// silently) and never joins a batch. Returns the row if still live.
+/// [`score_batch`] keeps a second check as a backstop for rows that
+/// expire between admission here and the batch actually scoring.
+fn admit_or_shed(counters: &LaneCounters, p: Pending) -> Option<Pending> {
+    if p.deadline <= Instant::now() {
+        counters.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+        let _ = p.reply.send(Err(SubmitError::DeadlineExceeded));
+        None
+    } else {
+        Some(p)
     }
 }
 
@@ -656,6 +684,44 @@ mod tests {
         let stats = former.stats("m", 1);
         assert_eq!(stats.timed_out, 1);
         assert_eq!(stats.expired_in_queue, 1);
+    }
+
+    #[test]
+    fn expired_backlog_is_shed_at_dispatch_without_scoring() {
+        // Occupy the lane with a 40 ms batch, queue a row whose 10 ms
+        // deadline expires while it waits, then follow with a live row.
+        // The expired row must be shed the moment the lane pops it — no
+        // batch formed, no second 40 ms score_delay paid — so the live
+        // row's latency stays ~one service time, not two.
+        let delay = Duration::from_millis(40);
+        let (former, _, rows) = lane_with(BatchConfig {
+            max_batch: 1,
+            score_delay: delay,
+            ..BatchConfig::default()
+        });
+        let former = Arc::new(former);
+        let occupant = {
+            let former = Arc::clone(&former);
+            let row = rows[0].clone();
+            std::thread::spawn(move || former.submit(row).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(10)); // lane is now scoring
+        let err = former
+            .submit_by(rows[1].clone(), Instant::now() + Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::DeadlineExceeded);
+        occupant.join().unwrap();
+        let t0 = Instant::now();
+        former.submit(rows[2].clone()).unwrap();
+        assert!(
+            t0.elapsed() < delay + delay / 2,
+            "live row paid for the expired row's batch ({:?})",
+            t0.elapsed()
+        );
+        let stats = former.stats("m", 1);
+        assert_eq!(stats.expired_in_queue, 1);
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.batches, 2, "expired row must not form a batch");
     }
 
     #[test]

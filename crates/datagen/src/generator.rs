@@ -110,44 +110,49 @@ impl Generator {
         p.loan = jiggle(p.loan, ranges::LOAN);
     }
 
-    /// Generates `n` labeled tuples for `function`.
+    /// An endless stream of labeled tuples for `function` — the single
+    /// random stream behind [`Generator::tuples`],
+    /// [`Generator::dataset`], and the chunked
+    /// [`Generator::write_csv_streaming`]: however the consumer batches
+    /// its pulls, tuple `i` is always the same tuple.
     ///
     /// Tuple draws and perturbation use *separate* random streams, so the
     /// same seed yields the same underlying tuples (and labels) with any
     /// perturbation factor — only the observed attribute values change.
-    pub fn tuples(&self, function: Function, n: usize) -> Vec<(Person, Group)> {
+    pub fn tuple_stream(&self, function: Function) -> impl Iterator<Item = (Person, Group)> + '_ {
         // Mix the function number into the stream so different functions get
         // independent draws even with the same base seed.
         let base = self.seed ^ (function.number() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = StdRng::seed_from_u64(base);
         let mut perturb_rng = StdRng::seed_from_u64(base ^ 0x5051_5253_5455_5657);
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
+        std::iter::repeat_with(move || {
             let mut p = Self::draw(&mut rng);
             let label = function.classify(&p);
             self.perturb(&mut p, &mut perturb_rng);
-            out.push((p, label));
-        }
-        out
+            (p, label)
+        })
     }
 
-    /// Generates a labeled [`Dataset`] of `n` tuples for `function`.
-    ///
-    /// The tuples are written straight into typed column buffers and
-    /// bulk-appended once ([`Dataset::append_columns`]) — one validation
-    /// scan per column instead of per-row, per-value dispatch.
-    pub fn dataset(&self, function: Function, n: usize) -> Dataset {
-        let mut salary = Vec::with_capacity(n);
-        let mut commission = Vec::with_capacity(n);
-        let mut age = Vec::with_capacity(n);
-        let mut elevel = Vec::with_capacity(n);
-        let mut car = Vec::with_capacity(n);
-        let mut zipcode = Vec::with_capacity(n);
-        let mut hvalue = Vec::with_capacity(n);
-        let mut hyears = Vec::with_capacity(n);
-        let mut loan = Vec::with_capacity(n);
-        let mut labels = Vec::with_capacity(n);
-        for (p, g) in self.tuples(function, n) {
+    /// Generates `n` labeled tuples for `function` (see
+    /// [`Generator::tuple_stream`] for the randomness contract).
+    pub fn tuples(&self, function: Function, n: usize) -> Vec<(Person, Group)> {
+        self.tuple_stream(function).take(n).collect()
+    }
+
+    /// Builds a dataset from already-drawn tuples — the columnar scatter
+    /// shared by the one-shot and chunked producers.
+    fn collect_dataset(tuples: impl IntoIterator<Item = (Person, Group)>, cap: usize) -> Dataset {
+        let mut salary = Vec::with_capacity(cap);
+        let mut commission = Vec::with_capacity(cap);
+        let mut age = Vec::with_capacity(cap);
+        let mut elevel = Vec::with_capacity(cap);
+        let mut car = Vec::with_capacity(cap);
+        let mut zipcode = Vec::with_capacity(cap);
+        let mut hvalue = Vec::with_capacity(cap);
+        let mut hyears = Vec::with_capacity(cap);
+        let mut loan = Vec::with_capacity(cap);
+        let mut labels = Vec::with_capacity(cap);
+        for (p, g) in tuples {
             salary.push(p.salary);
             commission.push(p.commission);
             age.push(p.age);
@@ -162,20 +167,56 @@ impl Generator {
         let mut ds = Dataset::new(agrawal_schema(), class_names());
         ds.append_columns(
             vec![
-                Column::Num(salary),
-                Column::Num(commission),
-                Column::Num(age),
-                Column::Num(elevel),
-                Column::Nominal(car),
-                Column::Nominal(zipcode),
-                Column::Num(hvalue),
-                Column::Num(hyears),
-                Column::Num(loan),
+                Column::num(salary),
+                Column::num(commission),
+                Column::num(age),
+                Column::num(elevel),
+                Column::nominal(car),
+                Column::nominal(zipcode),
+                Column::num(hvalue),
+                Column::num(hyears),
+                Column::num(loan),
             ],
             labels,
         )
         .expect("generated columns match the schema");
         ds
+    }
+
+    /// Generates a labeled [`Dataset`] of `n` tuples for `function`.
+    ///
+    /// The tuples are written straight into typed column buffers and
+    /// bulk-appended once ([`Dataset::append_columns`]) — one validation
+    /// scan per column instead of per-row, per-value dispatch.
+    pub fn dataset(&self, function: Function, n: usize) -> Dataset {
+        Self::collect_dataset(self.tuples(function, n), n)
+    }
+
+    /// Writes `n` tuples for `function` as CSV with bounded memory:
+    /// tuples are drawn from one continuous stream, staged in fixed-size
+    /// chunks, and appended with [`nr_tabular::write_csv_rows`] — the
+    /// output is **byte-identical** to `write_csv(&g.dataset(f, n))` at
+    /// any `n`, while peak memory stays one chunk of columns. This is how
+    /// the out-of-core benches materialize multi-gigabyte CSV inputs
+    /// without first holding the dataset in RAM.
+    pub fn write_csv_streaming<W: std::io::Write>(
+        &self,
+        function: Function,
+        n: usize,
+        out: &mut W,
+    ) -> std::io::Result<()> {
+        /// Rows staged per chunk (bounds the writer's memory).
+        const WRITE_CHUNK_ROWS: usize = 8192;
+        nr_tabular::write_csv_header(&agrawal_schema(), out)?;
+        let mut stream = self.tuple_stream(function);
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(WRITE_CHUNK_ROWS);
+            let chunk = Self::collect_dataset(stream.by_ref().take(take), take);
+            nr_tabular::write_csv_rows(&chunk, out)?;
+            remaining -= take;
+        }
+        Ok(())
     }
 
     /// Generates independent train/test datasets (distinct substreams).
@@ -212,6 +253,22 @@ mod tests {
             pushed.push(p.to_row(), grp.class_id()).unwrap();
         }
         assert_eq!(bulk, pushed);
+    }
+
+    #[test]
+    fn streaming_csv_writer_is_byte_identical_to_one_shot() {
+        // Chunked writing must be invisible in the output: same bytes as
+        // materializing the whole dataset and writing it once, including
+        // at sizes that straddle the internal chunk boundary.
+        let g = Generator::new(11).with_perturbation(0.05);
+        for n in [0usize, 1, 8191, 8192, 8193, 20_000] {
+            let mut one_shot = Vec::new();
+            nr_tabular::write_csv(&g.dataset(Function::F5, n), &mut one_shot).unwrap();
+            let mut streamed = Vec::new();
+            g.write_csv_streaming(Function::F5, n, &mut streamed)
+                .unwrap();
+            assert_eq!(streamed, one_shot, "n = {n}");
+        }
     }
 
     #[test]

@@ -106,6 +106,62 @@ impl Encoder {
         Encoder::new(schema, codings)
     }
 
+    /// [`Encoder::fit`] over several views sharing one schema — the
+    /// segment-at-a-time fit for out-of-core stores (`nr-store`): numeric
+    /// ranges are combined across all views, so the result is identical
+    /// to fitting the concatenated dataset, without materializing it.
+    pub fn fit_views<'a, I>(views: I, bins: usize) -> Result<Encoder, crate::EncodeError>
+    where
+        I: IntoIterator<Item = DatasetView<'a>>,
+    {
+        assert!(bins >= 2, "need at least two bins");
+        let mut schema: Option<Schema> = None;
+        let mut ranges: Vec<Option<(f64, f64)>> = Vec::new();
+        for view in views {
+            let s = view.schema();
+            match &schema {
+                None => {
+                    schema = Some(s.clone());
+                    ranges = vec![None; s.arity()];
+                }
+                Some(first) => {
+                    if first != s {
+                        return Err(crate::EncodeError::SchemaMismatch(
+                            "views disagree on the schema".into(),
+                        ));
+                    }
+                }
+            }
+            for (i, slot) in ranges.iter_mut().enumerate() {
+                if let Some((lo, hi)) = view.numeric_range(i) {
+                    *slot = Some(match *slot {
+                        None => (lo, hi),
+                        Some((a, b)) => (a.min(lo), b.max(hi)),
+                    });
+                }
+            }
+        }
+        let schema = schema.ok_or_else(|| {
+            crate::EncodeError::SchemaMismatch("fit_views needs at least one view".into())
+        })?;
+        let mut codings = Vec::with_capacity(schema.arity());
+        for (i, attr) in schema.attributes().iter().enumerate() {
+            if let Some(card) = attr.cardinality() {
+                codings.push(AttrCoding::OneHot { cardinality: card });
+            } else {
+                let (lo, hi) = ranges[i].unwrap_or((0.0, 1.0));
+                let width = if hi > lo {
+                    (hi - lo) / bins as f64
+                } else {
+                    1.0
+                };
+                let cuts: Vec<f64> = (1..bins).map(|k| lo + width * k as f64).collect();
+                codings.push(AttrCoding::thermometer(cuts));
+            }
+        }
+        Encoder::new(schema, codings)
+    }
+
     /// The schema this encoder understands.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -670,6 +726,29 @@ mod tests {
         let x = e.encode_row(&[Value::Num(9.0), Value::Nominal(2)]);
         assert_eq!(&x[0..4], &[1.0, 1.0, 1.0, 1.0]);
         assert_eq!(&x[4..7], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn fit_views_matches_fit_on_concatenation() {
+        use nr_tabular::Attribute;
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("c", 3),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..20 {
+            ds.push(vec![Value::Num(i as f64 * 1.5), Value::Nominal(i % 3)], 0)
+                .unwrap();
+        }
+        // Two "segments": the numeric range spans both, so a correct
+        // multi-view fit must combine them.
+        let head = ds.subset(&(0..8).collect::<Vec<_>>());
+        let tail = ds.subset(&(8..20).collect::<Vec<_>>());
+        let whole = Encoder::fit(&ds, 4).unwrap();
+        let segmented = Encoder::fit_views([head.view(), tail.view()], 4).unwrap();
+        assert_eq!(whole, segmented);
+        // No views is an error, not a panic.
+        assert!(Encoder::fit_views(std::iter::empty(), 4).is_err());
     }
 
     #[test]

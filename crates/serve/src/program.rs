@@ -182,7 +182,43 @@ impl SlotPlan {
             self.bounds.partition_point(|b| *b <= x)
         }
     }
+
+    /// Computes every chunk value's slot into `out[..chunk.len()]`.
+    ///
+    /// Up to [`SLOT_LINEAR_MAX_BOUNDS`] thresholds the slot is a
+    /// branchless **sum of compares** — `|{b : b <= x}|` accumulated as
+    /// `(b <= x) as usize` with no data-dependent branches, then forced
+    /// to [`NAN_SLOT`] by OR-ing with the all-ones mask
+    /// `(x.is_nan() as usize).wrapping_neg()` — which the three
+    /// `#[target_feature]` copies of the sweep auto-vectorize. A per-row
+    /// binary search is O(log n) on paper but each probe is an
+    /// unpredictable branch and a dependent load; the O(n) linear kernel
+    /// wins on real threshold counts (rule sets compile to a few dozen
+    /// distinct bounds per column) and only the branchy search remains
+    /// for the degenerate wide case.
+    #[inline(always)]
+    fn fill_slots(&self, chunk: &[f64], out: &mut [usize; 64]) {
+        if self.bounds.len() <= SLOT_LINEAR_MAX_BOUNDS {
+            for (i, &x) in chunk.iter().enumerate() {
+                let mut s = 0usize;
+                for &b in &self.bounds {
+                    s += (b <= x) as usize;
+                }
+                out[i] = s | (x.is_nan() as usize).wrapping_neg();
+            }
+        } else {
+            for (i, &x) in chunk.iter().enumerate() {
+                out[i] = self.slot(x);
+            }
+        }
+    }
 }
+
+/// Threshold-count cap for the branchless sum-of-compares slot kernel;
+/// beyond it the per-row binary search takes over (64 rows × n bounds
+/// stops paying for its predictability once n is far past real rule
+/// sets' threshold counts).
+const SLOT_LINEAR_MAX_BOUNDS: usize = 128;
 
 /// Every predicate touching one column, evaluated in a single pass down
 /// that column (see the module docs).
@@ -426,9 +462,7 @@ fn sweep_num_chunk(
     }
     if let Some(plan) = slots {
         let mut slot_buf = [0usize; 64];
-        for (i, &x) in chunk.iter().enumerate() {
-            slot_buf[i] = plan.slot(x);
-        }
+        plan.fill_slots(chunk, &mut slot_buf);
         for &(reg, lo, hi) in &plan.tests {
             let word = pack(&slot_buf[..chunk.len()], |s| s >= lo && s <= hi);
             regs[reg as usize].words_mut()[w] = word;
@@ -658,6 +692,49 @@ mod tests {
             checked += 1;
         }
         assert_eq!(checked, 10_004);
+    }
+
+    /// The branchless sum-of-compares slot kernel must agree with the
+    /// per-row binary search on every value shape — slot boundaries
+    /// exactly on a threshold, between thresholds, past both ends,
+    /// infinities, and the NaN sentinel — and the wide-bounds fallback
+    /// must stay on the search path.
+    #[test]
+    fn linear_slot_kernel_matches_binary_search() {
+        let plan = SlotPlan {
+            bounds: vec![-3.5, 0.0, 1.0, 2.5, 10.0, 1e9],
+            tests: Vec::new(),
+        };
+        let mut probes: Vec<f64> = vec![
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NAN,
+            -1e300,
+            1e300,
+            -0.0,
+        ];
+        for &b in &plan.bounds {
+            probes.extend([b - 1e-9, b, b + 1e-9]);
+        }
+        let mut chunk = [0.0f64; 64];
+        for (i, &x) in probes.iter().enumerate() {
+            chunk[i] = x;
+        }
+        let mut out = [0usize; 64];
+        plan.fill_slots(&chunk[..probes.len()], &mut out);
+        for (i, &x) in probes.iter().enumerate() {
+            assert_eq!(out[i], plan.slot(x), "probe {x}");
+        }
+        // Past the linear cap the kernel must fall back to the search
+        // (same answers, different path — this pins the cap is honored
+        // without a panic or a wrong slot at the crossover).
+        let wide = SlotPlan {
+            bounds: (0..=SLOT_LINEAR_MAX_BOUNDS).map(|i| i as f64).collect(),
+            tests: Vec::new(),
+        };
+        let mut out = [0usize; 64];
+        wide.fill_slots(&[-1.0, 0.5, 64.0, 1e9, f64::NAN], &mut out);
+        assert_eq!(out[..5], [0, 1, 65, wide.bounds.len(), NAN_SLOT]);
     }
 
     /// `pack` only sets bits for rows inside the chunk: the tail of a

@@ -1,0 +1,360 @@
+//! Dictionary-encoded ingest: nominal categories discovered from the
+//! data, coded by descending frequency.
+//!
+//! The plain ingest requires the schema to declare every nominal
+//! category up front. Real relations rarely oblige, and wide declared
+//! domains are costly downstream: the one-hot coding (and therefore the
+//! network input layer) is as wide as the *declared* cardinality. This
+//! module ingests against a **proto-schema** whose nominal category
+//! lists may be empty or partial: a first parallel pass counts the
+//! distinct strings of every nominal column, the dictionary is sealed
+//! with codes sorted by (count desc, name asc) — deterministic, and
+//! placing frequent categories at small codes — and a second parallel
+//! pass parses rows against the sealed dictionaries (hash lookups, not
+//! the linear scans of the closed-schema parser). Encoded width then
+//! tracks *observed* cardinality.
+//!
+//! Two passes keep the out-of-core bound: holding every parsed chunk
+//! until the dictionary is known would buffer the whole dataset in RAM;
+//! re-reading the (mapped) input is cheap by comparison.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use nr_nn::map_indexed_scoped;
+use nr_tabular::{
+    parse_csv_cell, AttrKind, Attribute, ClassId, Column, Schema, TabularError, Value,
+};
+
+use crate::ingest::{check_header, chunk_ranges, ingest_parsed_body};
+use crate::mmap::MappedFile;
+use crate::{SegmentedDataset, StoreConfig, StoreError};
+
+/// The sealed dictionary of one nominal attribute: code `i` ↦
+/// `categories[i]`, most frequent first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary {
+    /// Attribute index in the schema.
+    pub attribute: usize,
+    /// Attribute name.
+    pub name: String,
+    /// Category names by code, sorted by (count desc, name asc).
+    pub categories: Vec<String>,
+    /// Occurrences of each category in the ingested data (same order).
+    pub counts: Vec<u64>,
+}
+
+/// Result of a dictionary ingest: the store plus the sealed schema and
+/// per-attribute dictionaries.
+#[derive(Debug)]
+pub struct DictIngest {
+    /// The segmented store, coded against the sealed dictionaries.
+    pub store: SegmentedDataset,
+    /// One dictionary per nominal attribute, in attribute order.
+    pub dictionaries: Vec<Dictionary>,
+}
+
+/// Strips the `\r` a CRLF line leaves behind.
+fn strip_cr(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
+
+/// Pass 1 over one chunk: count category strings per nominal attribute.
+/// Malformed rows are skipped here — pass 2 re-parses everything and
+/// reports them with exact line numbers.
+fn count_block(arity: usize, nominal_attrs: &[usize], block: &[u8]) -> Vec<HashMap<String, u64>> {
+    let mut counts: Vec<HashMap<String, u64>> =
+        nominal_attrs.iter().map(|_| HashMap::new()).collect();
+    for raw in block.split(|&b| b == b'\n') {
+        let Ok(raw) = std::str::from_utf8(raw) else {
+            continue;
+        };
+        let line = strip_cr(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != arity + 1 {
+            continue;
+        }
+        for (k, &a) in nominal_attrs.iter().enumerate() {
+            let cell = cells[a].trim();
+            *counts[k].entry(cell.to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Seals one attribute's dictionary: codes by (count desc, name asc).
+fn seal_dictionary(attribute: usize, name: &str, counts: HashMap<String, u64>) -> Dictionary {
+    let mut entries: Vec<(String, u64)> = counts.into_iter().collect();
+    entries.sort_by(|(an, ac), (bn, bc)| bc.cmp(ac).then_with(|| an.cmp(bn)));
+    let (categories, counts) = entries.into_iter().unzip();
+    Dictionary {
+        attribute,
+        name: name.to_string(),
+        categories,
+        counts,
+    }
+}
+
+/// Pass 2 block parser: identical line semantics to
+/// [`nr_tabular::parse_csv_block`] (trimmed cells, tolerated `\r`,
+/// skipped empty lines, chunk-relative error lines), but nominal and
+/// class cells resolve through hash maps instead of linear scans.
+fn parse_block_coded(
+    schema: &Schema,
+    dicts: &[Option<HashMap<String, u32>>],
+    class_codes: &HashMap<String, ClassId>,
+    block: &[u8],
+) -> Result<(Vec<Column>, Vec<ClassId>), TabularError> {
+    let csv_err = |line: usize, msg: String| TabularError::Csv { line, msg };
+    let arity = schema.arity();
+    let mut columns: Vec<Column> = schema
+        .attributes()
+        .iter()
+        .map(|a| Column::empty_for(&a.kind))
+        .collect();
+    let mut labels: Vec<ClassId> = Vec::new();
+    for (lineno, raw) in block.split(|&b| b == b'\n').enumerate() {
+        let raw = std::str::from_utf8(raw).map_err(|e| csv_err(lineno, e.to_string()))?;
+        let line = strip_cr(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        for a in 0..arity {
+            let cell = cells
+                .next()
+                .ok_or_else(|| csv_err(lineno, format!("{} cells, expected {}", a, arity + 1)))?;
+            match (&mut columns[a], &dicts[a]) {
+                (Column::Nominal(cs), Some(dict)) => {
+                    let code = dict.get(cell.trim()).ok_or_else(|| {
+                        csv_err(lineno, format!("unknown category {:?}", cell.trim()))
+                    })?;
+                    cs.push(*code);
+                }
+                (col, None) => {
+                    let value = parse_csv_cell(&schema.attribute(a).kind, cell)
+                        .map_err(|msg| csv_err(lineno, msg))?;
+                    match (value, col) {
+                        (Value::Num(x), Column::Num(xs)) => xs.push(x),
+                        (Value::Nominal(code), Column::Nominal(cs)) => cs.push(code),
+                        _ => unreachable!("columns mirror the schema kinds"),
+                    }
+                }
+                (Column::Num(_), Some(_)) => unreachable!("dicts exist only for nominal attrs"),
+            }
+        }
+        let class_cell = cells
+            .next()
+            .ok_or_else(|| csv_err(lineno, format!("{arity} cells, expected {}", arity + 1)))?
+            .trim();
+        if cells.next().is_some() {
+            return Err(csv_err(
+                lineno,
+                format!("too many cells, expected {}", arity + 1),
+            ));
+        }
+        let label = class_codes
+            .get(class_cell)
+            .ok_or_else(|| csv_err(lineno, format!("unknown class {class_cell:?}")))?;
+        labels.push(*label);
+    }
+    Ok((columns, labels))
+}
+
+/// Dictionary ingest over CSV bytes (see module docs). `proto` fixes the
+/// attribute names, kinds, and order; nominal category lists in it are
+/// ignored and replaced with discovered, frequency-sorted dictionaries.
+pub fn ingest_csv_bytes_with_dict(
+    proto: &Schema,
+    class_names: Vec<String>,
+    data: &[u8],
+    config: StoreConfig,
+) -> Result<DictIngest, StoreError> {
+    let body_start = check_header(proto, data)?;
+    let body = &data[body_start..];
+    let arity = proto.arity();
+    let nominal_attrs: Vec<usize> = (0..arity)
+        .filter(|&a| !proto.attribute(a).is_numeric())
+        .collect();
+
+    // Pass 1: parallel per-chunk counting, merged in any order (sums
+    // commute, and the sealed sort order depends only on the totals).
+    // Counted in bounded waves like the parse pass: on high-cardinality
+    // columns a chunk's local map can approach the chunk's data size, so
+    // holding every chunk's map at once would break the out-of-core
+    // bound. Totals are unaffected by the wave size.
+    let chunks = chunk_ranges(body);
+    let wave = nr_nn::resolve_threads(config.threads, chunks.len()) * 4;
+    let mut totals: Vec<HashMap<String, u64>> =
+        nominal_attrs.iter().map(|_| HashMap::new()).collect();
+    for wave_chunks in chunks.chunks(wave.max(1)) {
+        let per_chunk: Vec<Vec<HashMap<String, u64>>> =
+            map_indexed_scoped(wave_chunks.len(), config.threads, |k| {
+                count_block(arity, &nominal_attrs, &body[wave_chunks[k].clone()])
+            });
+        for chunk_counts in per_chunk {
+            for (total, local) in totals.iter_mut().zip(chunk_counts) {
+                for (name, n) in local {
+                    *total.entry(name).or_insert(0) += n;
+                }
+            }
+        }
+    }
+    let dictionaries: Vec<Dictionary> = nominal_attrs
+        .iter()
+        .zip(totals)
+        .map(|(&a, counts)| seal_dictionary(a, &proto.attribute(a).name, counts))
+        .collect();
+
+    // Seal the schema with the discovered categories.
+    let attributes: Vec<Attribute> = (0..arity)
+        .map(|a| {
+            let attr = proto.attribute(a);
+            match &attr.kind {
+                AttrKind::Numeric => attr.clone(),
+                AttrKind::Nominal { .. } => {
+                    let dict = dictionaries
+                        .iter()
+                        .find(|d| d.attribute == a)
+                        .expect("every nominal attr has a dictionary");
+                    Attribute::nominal(attr.name.clone(), dict.categories.iter().cloned())
+                }
+            }
+        })
+        .collect();
+    let schema = Schema::new(attributes);
+
+    // Pass 2: parallel coded parse against the sealed dictionaries.
+    let mut dicts: Vec<Option<HashMap<String, u32>>> = (0..arity).map(|_| None).collect();
+    for d in &dictionaries {
+        dicts[d.attribute] = Some(
+            d.categories
+                .iter()
+                .enumerate()
+                .map(|(code, name)| (name.clone(), code as u32))
+                .collect(),
+        );
+    }
+    let class_codes: HashMap<String, ClassId> = class_names
+        .iter()
+        .enumerate()
+        .map(|(id, name)| (name.clone(), id))
+        .collect();
+    let parse_schema = schema.clone();
+    let store = ingest_parsed_body(schema, class_names, body, config, move |block| {
+        parse_block_coded(&parse_schema, &dicts, &class_codes, block)
+    })?;
+    Ok(DictIngest {
+        store,
+        dictionaries,
+    })
+}
+
+/// Dictionary ingest over a mapped CSV file (see
+/// [`ingest_csv_bytes_with_dict`]).
+pub fn ingest_csv_file_with_dict(
+    proto: &Schema,
+    class_names: Vec<String>,
+    path: &Path,
+    config: StoreConfig,
+) -> Result<DictIngest, StoreError> {
+    let map = MappedFile::open(path)?;
+    ingest_csv_bytes_with_dict(proto, class_names, map.bytes(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Proto-schema with an *empty* nominal domain — the discovery case.
+    fn proto() -> Schema {
+        Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal("city", Vec::<String>::new()),
+        ])
+    }
+
+    fn classes() -> Vec<String> {
+        vec!["A".into(), "B".into()]
+    }
+
+    #[test]
+    fn discovers_frequency_sorted_dictionary() {
+        let csv = b"x,city,class\n\
+            1.0,oslo,A\n\
+            2.0,lima,B\n\
+            3.0,lima,A\n\
+            4.0,kyiv,B\n\
+            5.0,lima,A\n\
+            6.0,oslo,B\n";
+        let got =
+            ingest_csv_bytes_with_dict(&proto(), classes(), csv, StoreConfig::in_ram(4)).unwrap();
+        assert_eq!(got.dictionaries.len(), 1);
+        let d = &got.dictionaries[0];
+        assert_eq!(d.name, "city");
+        // lima ×3, oslo ×2, kyiv ×1 — count desc, name asc.
+        assert_eq!(d.categories, vec!["lima", "oslo", "kyiv"]);
+        assert_eq!(d.counts, vec![3, 2, 1]);
+        // The sealed schema carries the discovered categories and the
+        // codes follow the dictionary order.
+        let ds = got.store.to_dataset().unwrap();
+        assert_eq!(
+            ds.schema().attribute(1).cardinality(),
+            Some(3),
+            "observed cardinality"
+        );
+        assert_eq!(ds.nominal_column(1), &[1, 0, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_name_deterministically() {
+        let csv = b"x,city,class\n1.0,beta,A\n2.0,alfa,A\n";
+        let got =
+            ingest_csv_bytes_with_dict(&proto(), classes(), csv, StoreConfig::default()).unwrap();
+        assert_eq!(got.dictionaries[0].categories, vec!["alfa", "beta"]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let mut csv = String::from("x,city,class\n");
+        for i in 0..500 {
+            csv.push_str(&format!("{i}.5,c{},{}\n", i % 37, ["A", "B"][i % 2]));
+        }
+        let base = ingest_csv_bytes_with_dict(
+            &proto(),
+            classes(),
+            csv.as_bytes(),
+            StoreConfig::in_ram(64).with_threads(1),
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let got = ingest_csv_bytes_with_dict(
+                &proto(),
+                classes(),
+                csv.as_bytes(),
+                StoreConfig::in_ram(64).with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(got.dictionaries, base.dictionaries, "{threads} threads");
+            assert_eq!(
+                got.store.to_dataset().unwrap(),
+                base.store.to_dataset().unwrap(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn pass_two_reports_malformed_rows() {
+        let csv = b"x,city,class\n1.0,oslo,A\nnot-a-number,oslo,A\n";
+        let err = ingest_csv_bytes_with_dict(&proto(), classes(), csv, StoreConfig::default())
+            .unwrap_err();
+        match err {
+            StoreError::Tabular(TabularError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Parallel chunked CSV ingest into a segmented store.
+//!
+//! The input is split at **line boundaries near fixed byte targets** —
+//! the chunk grid depends only on the bytes, never on the thread count —
+//! then chunks parse concurrently on the shared `nr-nn` worker pool
+//! ([`nr_nn::map_indexed_scoped`]) and are appended to the
+//! [`SegmentWriter`] strictly in chunk order. Parsing semantics are
+//! [`nr_tabular::parse_csv_block`], the same cell semantics as
+//! [`nr_tabular::read_csv_streaming`] — so the result is **bit-identical
+//! to the serial streaming reader at any thread count**, degrading to the
+//! serial arm on single-core hosts (`resolve_threads` returns 1 and
+//! everything runs inline).
+//!
+//! Ingesting from a file maps it first ([`crate::MappedFile`]): chunk
+//! parsing then streams straight out of the page cache, so peak heap is
+//! parse staging plus the open segment — not the file.
+
+use std::path::Path;
+
+use nr_nn::{map_indexed_scoped, resolve_threads};
+use nr_tabular::{parse_csv_block, ClassId, Column, Schema, TabularError};
+
+use crate::mmap::MappedFile;
+use crate::{SegmentWriter, SegmentedDataset, StoreConfig, StoreError};
+
+/// Byte target per parse chunk. Fixed (never derived from the thread
+/// count) so the chunk grid — and therefore every append boundary — is a
+/// pure function of the input bytes.
+pub const INGEST_CHUNK_BYTES: usize = 1 << 20;
+
+/// Splits `body` into ranges of roughly [`INGEST_CHUNK_BYTES`] that end
+/// on line boundaries (each range ends just after a `\n`, except possibly
+/// the last).
+pub(crate) fn chunk_ranges(body: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < body.len() {
+        let mut end = (start + INGEST_CHUNK_BYTES).min(body.len());
+        if end < body.len() {
+            match body[end..].iter().position(|&b| b == b'\n') {
+                Some(p) => end += p + 1,
+                None => end = body.len(),
+            }
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Validates the header line and returns the byte offset where the body
+/// starts.
+pub(crate) fn check_header(schema: &Schema, data: &[u8]) -> Result<usize, StoreError> {
+    let csv_err = |msg: String| TabularError::Csv { line: 1, msg };
+    let (header, body_start) = match data.iter().position(|&b| b == b'\n') {
+        Some(p) => (&data[..p], p + 1),
+        None if data.is_empty() => return Err(csv_err("missing header".into()).into()),
+        None => (data, data.len()),
+    };
+    let header =
+        std::str::from_utf8(header).map_err(|e| csv_err(format!("header not UTF-8: {e}")))?;
+    let header = header.strip_suffix('\r').unwrap_or(header);
+    let cols = header.split(',').count();
+    if cols != schema.arity() + 1 {
+        return Err(csv_err(format!(
+            "header has {} columns, expected {}",
+            cols,
+            schema.arity() + 1
+        ))
+        .into());
+    }
+    Ok(body_start)
+}
+
+/// One parsed chunk: the columns + labels, or the error with a line
+/// number **relative to the chunk**, plus the chunk's newline count so
+/// absolute line numbers can be reconstructed in order.
+type ParsedChunk = (Result<(Vec<Column>, Vec<ClassId>), TabularError>, usize);
+
+/// Chunk-parallel core shared by the plain and dictionary ingests: split
+/// `body` on the fixed chunk grid, run `parse` over the chunks on the
+/// pool, and append results **strictly in chunk order** — which is what
+/// makes the output independent of which pool thread parsed which chunk.
+///
+/// `parse` reports errors with chunk-relative line numbers (the
+/// convention of [`parse_csv_block`] with `first_line = 0`); they are
+/// made absolute here, where the preceding chunks' newline counts are in
+/// hand.
+pub(crate) fn ingest_parsed_body<F>(
+    schema: Schema,
+    class_names: Vec<String>,
+    body: &[u8],
+    config: StoreConfig,
+    parse: F,
+) -> Result<SegmentedDataset, StoreError>
+where
+    F: Fn(&[u8]) -> Result<(Vec<Column>, Vec<ClassId>), TabularError> + Send + Sync,
+{
+    let chunks = chunk_ranges(body);
+    let mut writer = SegmentWriter::new(schema, class_names, config.clone())?;
+
+    // Bounded waves: parse a few chunks per worker concurrently, append
+    // them in chunk order, seal/spill, then move to the next wave. One
+    // wave of parsed columns is all that is ever live — mapping every
+    // chunk up front would materialize the whole dataset on the heap and
+    // defeat the out-of-core bound. The chunk grid, the per-chunk parse,
+    // and the global append order are all unchanged by the wave size, so
+    // the output stays bit-identical at any thread count.
+    let wave = resolve_threads(config.threads, chunks.len()) * 4;
+    let mut first_line = 2; // line 1 is the header
+    for wave_chunks in chunks.chunks(wave.max(1)) {
+        let parsed: Vec<ParsedChunk> = map_indexed_scoped(wave_chunks.len(), config.threads, |k| {
+            let block = &body[wave_chunks[k].clone()];
+            let newlines = block.iter().filter(|&&b| b == b'\n').count();
+            (parse(block), newlines)
+        });
+        for (result, newlines) in parsed {
+            match result {
+                Ok((columns, labels)) => writer.append_columns(columns, labels)?,
+                Err(TabularError::Csv { line, msg }) => {
+                    return Err(TabularError::Csv {
+                        line: first_line + line,
+                        msg,
+                    }
+                    .into())
+                }
+                Err(other) => return Err(other.into()),
+            }
+            first_line += newlines;
+        }
+    }
+    writer.finish()
+}
+
+/// Ingests CSV bytes (header + rows, the [`nr_tabular::write_csv`]
+/// format) into a segmented store, parsing chunks in parallel per
+/// `config.threads`.
+pub fn ingest_csv_bytes(
+    schema: Schema,
+    class_names: Vec<String>,
+    data: &[u8],
+    config: StoreConfig,
+) -> Result<SegmentedDataset, StoreError> {
+    let body_start = check_header(&schema, data)?;
+    let body = &data[body_start..];
+    let parse_schema = schema.clone();
+    let parse_classes = class_names.clone();
+    ingest_parsed_body(schema, class_names, body, config, move |block| {
+        parse_csv_block(&parse_schema, &parse_classes, block, 0)
+    })
+}
+
+/// Ingests a CSV file by mapping it and parsing the mapped bytes in
+/// parallel — the out-of-core ingest path (see module docs).
+pub fn ingest_csv_file(
+    schema: Schema,
+    class_names: Vec<String>,
+    path: &Path,
+    config: StoreConfig,
+) -> Result<SegmentedDataset, StoreError> {
+    let map = MappedFile::open(path)?;
+    ingest_csv_bytes(schema, class_names, map.bytes(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::{read_csv_streaming, Attribute, Dataset, Value};
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal("color", ["red", "green", "blue"]),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            ds.push(
+                vec![Value::Num(i as f64 * 0.5), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn csv_of(ds: &Dataset) -> Vec<u8> {
+        let mut buf = Vec::new();
+        nr_tabular::write_csv(ds, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn matches_streaming_reader_at_any_thread_count() {
+        let ds = toy(997);
+        let csv = csv_of(&ds);
+        let serial =
+            read_csv_streaming(ds.schema().clone(), ds.class_names().to_vec(), &csv[..]).unwrap();
+        assert_eq!(serial, ds);
+        for threads in [1, 2, 4] {
+            let store = ingest_csv_bytes(
+                ds.schema().clone(),
+                ds.class_names().to_vec(),
+                &csv,
+                StoreConfig::in_ram(100).with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(store.to_dataset().unwrap(), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunk_grid_is_line_aligned_and_covers_body() {
+        let mut body = Vec::new();
+        // Long lines force mid-line byte targets.
+        for i in 0..3000 {
+            body.extend_from_slice(format!("{i},{}\n", "x".repeat(700)).as_bytes());
+        }
+        let ranges = chunk_ranges(&body);
+        assert!(ranges.len() > 1, "input should split");
+        let mut covered = 0;
+        for r in &ranges {
+            assert_eq!(r.start, covered);
+            assert_eq!(body[r.end - 1], b'\n', "chunk must end at a line boundary");
+            covered = r.end;
+        }
+        assert_eq!(covered, body.len());
+    }
+
+    #[test]
+    fn errors_carry_absolute_line_numbers() {
+        let ds = toy(10);
+        let mut text = String::from_utf8(csv_of(&ds)).unwrap();
+        text.push_str("oops,red,A\n"); // line 12: header + 10 rows + this
+        let err = ingest_csv_bytes(
+            ds.schema().clone(),
+            ds.class_names().to_vec(),
+            text.as_bytes(),
+            StoreConfig::in_ram(100),
+        )
+        .unwrap_err();
+        match err {
+            StoreError::Tabular(TabularError::Csv { line, .. }) => assert_eq!(line, 12),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_empty_input() {
+        let ds = toy(1);
+        for bad in [&b""[..], &b"x,class\n1.0,A\n"[..]] {
+            assert!(ingest_csv_bytes(
+                ds.schema().clone(),
+                ds.class_names().to_vec(),
+                bad,
+                StoreConfig::default(),
+            )
+            .is_err());
+        }
+        // A header with no rows is a valid empty store.
+        let empty = ingest_csv_bytes(
+            ds.schema().clone(),
+            ds.class_names().to_vec(),
+            b"x,color,class\n",
+            StoreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(empty.rows(), 0);
+    }
+
+    #[test]
+    fn file_ingest_matches_bytes_ingest() {
+        let ds = toy(123);
+        let csv = csv_of(&ds);
+        let path = std::env::temp_dir().join(format!(
+            "nr-store-ingest-{}-{}.csv",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::write(&path, &csv).unwrap();
+        let store = ingest_csv_file(
+            ds.schema().clone(),
+            ds.class_names().to_vec(),
+            &path,
+            StoreConfig::in_ram(50),
+        )
+        .unwrap();
+        assert_eq!(store.to_dataset().unwrap(), ds);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,301 @@
+//! Read-only memory-mapped files and typed views over them.
+//!
+//! The spill path of the store writes sealed segments to disk and maps
+//! them back with `mmap(2)`, so a segment's columns are backed by the
+//! page cache instead of the heap — the kernel pages data in on demand
+//! and evicts it under pressure, which is what bounds peak heap well
+//! below the dataset size. There is no `libc` crate in the vendored
+//! dependency set, so the two syscalls used are declared directly.
+//!
+//! [`TypedRegion`] reinterprets an 8-byte-aligned byte range of a mapping
+//! as a typed slice and implements [`nr_tabular::SliceSource`], which is
+//! how a mapped column region becomes a [`nr_tabular::Buf`] inside an
+//! ordinary [`nr_tabular::Dataset`] without copying.
+
+use std::fs::File;
+use std::io;
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+use nr_tabular::SliceSource;
+
+// The workspace denies `unsafe_code`; memory mapping is inherently a
+// raw-pointer interface, so this module carries the store's only
+// exceptions, kept behind the safe `MappedFile` / `TypedRegion` API.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// A whole file mapped read-only into the address space.
+///
+/// On non-Unix targets (no `mmap`) the file is read into an owned buffer
+/// instead — same API, no out-of-core benefit.
+#[derive(Debug)]
+pub struct MappedFile {
+    state: MapState,
+}
+
+#[derive(Debug)]
+enum MapState {
+    /// A live `mmap` region (Unix). Never written through; unmapped on
+    /// drop.
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+    /// Owned fallback: empty files everywhere, whole files on non-Unix
+    /// targets.
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is created PROT_READ and never written through or
+// remapped; a `&[u8]` into an immutable region is as shareable as any
+// other shared slice. The raw pointer is what blocks the auto-impls.
+#[allow(unsafe_code)]
+#[cfg(unix)]
+unsafe impl Send for MappedFile {}
+#[allow(unsafe_code)]
+#[cfg(unix)]
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps `path` read-only. Empty files yield an empty (heap) mapping —
+    /// `mmap` rejects zero-length maps.
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(MappedFile {
+                state: MapState::Owned(Vec::new()),
+            });
+        }
+        Self::map(&file, len)
+    }
+
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    fn map(file: &File, len: usize) -> io::Result<MappedFile> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: standard read-only private mapping of an open fd for its
+        // full length; the fd may be closed after mmap returns (the
+        // mapping keeps its own reference to the file).
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedFile {
+            state: MapState::Mapped {
+                ptr: ptr.cast(),
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map(file: &File, len: usize) -> io::Result<MappedFile> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile {
+            state: MapState::Owned(buf),
+        })
+    }
+
+    /// The mapped bytes.
+    #[allow(unsafe_code)]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.state {
+            #[cfg(unix)]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `munmap` in Drop; `&self` borrows
+            // prevent the region outliving the mapping.
+            MapState::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            MapState::Owned(v) => v,
+        }
+    }
+
+    /// Number of mapped bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True when the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for MappedFile {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapState::Mapped { ptr, len } = self.state {
+            // SAFETY: unmapping the exact region mmap returned, once.
+            unsafe {
+                sys::munmap(ptr.cast(), len);
+            }
+        }
+    }
+}
+
+/// Marker for element types that may be reinterpreted from raw mapped
+/// bytes: fixed layout, no padding, no invalid bit patterns, alignment
+/// ≤ 8 (the segment file's region alignment).
+///
+/// Sealed to the exact set the segment format stores.
+pub trait Pod: Copy + Send + Sync + std::fmt::Debug + private::Sealed + 'static {}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for usize {}
+}
+
+impl Pod for f64 {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+/// `usize` is only mapped on 64-bit targets, where it is layout-identical
+/// to the `u64` the segment file stores (see `segfile`).
+impl Pod for usize {}
+
+/// A typed window into a [`MappedFile`]: `len` elements of `T` starting
+/// at byte `offset`. Holds the mapping alive via `Arc`, so a dataset
+/// built over regions owns its backing file transparently.
+#[derive(Debug)]
+pub struct TypedRegion<T: Pod> {
+    map: Arc<MappedFile>,
+    offset: usize,
+    len: usize,
+    _t: PhantomData<T>,
+}
+
+impl<T: Pod> TypedRegion<T> {
+    /// Creates a typed view of `len` elements at byte `offset`. Fails if
+    /// the range is out of bounds or `offset` is misaligned for `T`.
+    pub fn new(map: Arc<MappedFile>, offset: usize, len: usize) -> io::Result<TypedRegion<T>> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .and_then(|b| offset.checked_add(b))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "region overflow"))?;
+        if bytes > map.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("region [{offset}..{bytes}) beyond mapping of {}", map.len()),
+            ));
+        }
+        let base = map.bytes().as_ptr() as usize;
+        if (base + offset) % std::mem::align_of::<T>() != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "misaligned region offset",
+            ));
+        }
+        Ok(TypedRegion {
+            map,
+            offset,
+            len,
+            _t: PhantomData,
+        })
+    }
+}
+
+impl<T: Pod> SliceSource<T> for TypedRegion<T> {
+    #[allow(unsafe_code)]
+    fn slice(&self) -> &[T] {
+        // SAFETY: bounds and alignment were checked in `new` against the
+        // live mapping (whose base address and length never change); `T`
+        // is `Pod`, so any byte pattern is a valid value.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.bytes().as_ptr().add(self.offset).cast::<T>(),
+                self.len,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("nr-store-mmap-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"hello mapping")
+            .unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"hello mapping");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn typed_region_reads_f64() {
+        let path = temp_path("typed");
+        let values = [1.5f64, -2.25, 1e300];
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&bytes)
+            .unwrap();
+        let map = Arc::new(MappedFile::open(&path).unwrap());
+        let region = TypedRegion::<f64>::new(Arc::clone(&map), 0, 3).unwrap();
+        assert_eq!(region.slice(), &values);
+        // Out of bounds and misaligned offsets are rejected.
+        assert!(TypedRegion::<f64>::new(Arc::clone(&map), 0, 4).is_err());
+        assert!(TypedRegion::<f64>::new(Arc::clone(&map), 4, 1).is_err());
+        drop((region, map));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,300 @@
+//! The on-disk spill segment format and its writer/loader.
+//!
+//! A spill segment is one sealed, immutable slab of rows written as raw
+//! little-endian column regions so it can be memory-mapped straight back
+//! into typed [`nr_tabular::Buf`] windows — loading a segment touches the
+//! header only; column data is paged in lazily by the kernel as scans
+//! reach it.
+//!
+//! Layout (all integers `u64` little-endian, all regions 8-byte aligned):
+//!
+//! ```text
+//! magic "NRSEG01\n" · rows · n_cols
+//! per column: kind (0 = f64, 1 = u32 codes) · byte offset
+//! labels byte offset
+//! ...padded column regions, labels last as u64...
+//! ```
+//!
+//! Spill files are transient artifacts of one store (schema and class
+//! names live in the [`crate::SegmentedDataset`]), so the header records
+//! only what is needed to validate the file against the schema in hand.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use nr_tabular::{AttrKind, Buf, ClassId, Column, Dataset, Schema, SliceSource};
+
+use crate::mmap::{MappedFile, TypedRegion};
+
+/// Magic prefix of every spill segment file.
+const MAGIC: &[u8; 8] = b"NRSEG01\n";
+
+/// Column kind tags in the header.
+const KIND_NUM: u64 = 0;
+const KIND_NOMINAL: u64 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Rounds `n` up to the next multiple of 8 (the region alignment).
+fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Writes `ds` as one spill segment at `path`.
+///
+/// The dataset was validated when it was built (every construction path
+/// validates), so values are written as-is.
+pub fn write_segment(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let rows = ds.len();
+    let n_cols = ds.schema().arity();
+    // Header: magic + rows + n_cols + (kind, offset) per column + labels
+    // offset — all u64, so the first region lands 8-aligned for free.
+    let header_bytes = MAGIC.len() + 8 * (2 + 2 * n_cols + 1);
+    debug_assert_eq!(header_bytes % 8, 0);
+
+    let mut offsets = Vec::with_capacity(n_cols + 1);
+    let mut cursor = header_bytes;
+    for a in 0..n_cols {
+        offsets.push(cursor as u64);
+        let region = match ds.column(a) {
+            Column::Num(_) => rows * 8,
+            Column::Nominal(_) => rows * 4,
+        };
+        cursor = align8(cursor + region);
+    }
+    let labels_offset = cursor as u64;
+
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&(rows as u64).to_le_bytes())?;
+    out.write_all(&(n_cols as u64).to_le_bytes())?;
+    for a in 0..n_cols {
+        let kind = match ds.column(a) {
+            Column::Num(_) => KIND_NUM,
+            Column::Nominal(_) => KIND_NOMINAL,
+        };
+        out.write_all(&kind.to_le_bytes())?;
+        out.write_all(&offsets[a].to_le_bytes())?;
+    }
+    out.write_all(&labels_offset.to_le_bytes())?;
+
+    let mut written = header_bytes;
+    for a in 0..n_cols {
+        match ds.column(a) {
+            Column::Num(xs) => {
+                for &x in xs.iter() {
+                    out.write_all(&x.to_le_bytes())?;
+                }
+                written += rows * 8;
+            }
+            Column::Nominal(cs) => {
+                for &c in cs.iter() {
+                    out.write_all(&c.to_le_bytes())?;
+                }
+                written += rows * 4;
+            }
+        }
+        let pad = align8(written) - written;
+        out.write_all(&[0u8; 8][..pad])?;
+        written += pad;
+    }
+    for &l in ds.labels() {
+        out.write_all(&(l as u64).to_le_bytes())?;
+    }
+    out.flush()
+}
+
+/// Reads the `u64` at byte `offset`.
+fn read_u64(bytes: &[u8], offset: usize) -> io::Result<u64> {
+    let end = offset + 8;
+    if end > bytes.len() {
+        return Err(bad("truncated segment header"));
+    }
+    Ok(u64::from_le_bytes(bytes[offset..end].try_into().unwrap()))
+}
+
+/// A numeric column buffer over the mapping — zero-copy where the target's
+/// layout matches the file's (little-endian), decoded into an owned `Vec`
+/// otherwise.
+fn num_buf(map: &Arc<MappedFile>, offset: usize, rows: usize) -> io::Result<Buf<f64>> {
+    #[cfg(target_endian = "little")]
+    {
+        let region = TypedRegion::<f64>::new(Arc::clone(map), offset, rows)?;
+        let source: Arc<dyn SliceSource<f64>> = Arc::new(region);
+        Ok(Buf::shared(source, 0, rows))
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let bytes = map.bytes();
+        let end = offset + rows * 8;
+        if end > bytes.len() {
+            return Err(bad("numeric region out of bounds"));
+        }
+        Ok(bytes[offset..end]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<_>>()
+            .into())
+    }
+}
+
+/// A nominal-code column buffer over the mapping (see [`num_buf`]).
+fn nominal_buf(map: &Arc<MappedFile>, offset: usize, rows: usize) -> io::Result<Buf<u32>> {
+    #[cfg(target_endian = "little")]
+    {
+        let region = TypedRegion::<u32>::new(Arc::clone(map), offset, rows)?;
+        let source: Arc<dyn SliceSource<u32>> = Arc::new(region);
+        Ok(Buf::shared(source, 0, rows))
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let bytes = map.bytes();
+        let end = offset + rows * 4;
+        if end > bytes.len() {
+            return Err(bad("nominal region out of bounds"));
+        }
+        Ok(bytes[offset..end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<_>>()
+            .into())
+    }
+}
+
+/// The label buffer. Labels are stored as `u64`; on 64-bit little-endian
+/// targets `usize` is layout-identical, so the region maps zero-copy.
+fn label_buf(map: &Arc<MappedFile>, offset: usize, rows: usize) -> io::Result<Buf<ClassId>> {
+    #[cfg(all(target_pointer_width = "64", target_endian = "little"))]
+    {
+        let region = TypedRegion::<usize>::new(Arc::clone(map), offset, rows)?;
+        let source: Arc<dyn SliceSource<usize>> = Arc::new(region);
+        Ok(Buf::shared(source, 0, rows))
+    }
+    #[cfg(not(all(target_pointer_width = "64", target_endian = "little")))]
+    {
+        let bytes = map.bytes();
+        let end = offset + rows * 8;
+        if end > bytes.len() {
+            return Err(bad("label region out of bounds"));
+        }
+        let mut labels = Vec::with_capacity(rows);
+        for c in bytes[offset..end].chunks_exact(8) {
+            let l = u64::from_le_bytes(c.try_into().unwrap());
+            labels.push(usize::try_from(l).map_err(|_| bad("label exceeds usize"))?);
+        }
+        Ok(labels.into())
+    }
+}
+
+/// Maps a spill segment written by [`write_segment`] back as a dataset
+/// whose columns are zero-copy windows into the mapping. The mapping is
+/// kept alive by the column buffers themselves (`Arc`), so the returned
+/// dataset is self-contained.
+pub fn load_segment(schema: &Schema, class_names: &[String], path: &Path) -> io::Result<Dataset> {
+    let map = Arc::new(MappedFile::open(path)?);
+    let bytes = map.bytes();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(bad(format!("{} is not a spill segment", path.display())));
+    }
+    let rows = usize::try_from(read_u64(bytes, 8)?).map_err(|_| bad("row count overflow"))?;
+    let n_cols = usize::try_from(read_u64(bytes, 16)?).map_err(|_| bad("column count overflow"))?;
+    if n_cols != schema.arity() {
+        return Err(bad(format!(
+            "segment has {n_cols} columns, schema has {}",
+            schema.arity()
+        )));
+    }
+
+    let mut columns = Vec::with_capacity(n_cols);
+    for a in 0..n_cols {
+        let kind = read_u64(bytes, 24 + 16 * a)?;
+        let offset = usize::try_from(read_u64(bytes, 32 + 16 * a)?)
+            .map_err(|_| bad("column offset overflow"))?;
+        let col = match (kind, &schema.attribute(a).kind) {
+            (KIND_NUM, AttrKind::Numeric) => Column::Num(num_buf(&map, offset, rows)?),
+            (KIND_NOMINAL, AttrKind::Nominal { .. }) => {
+                Column::Nominal(nominal_buf(&map, offset, rows)?)
+            }
+            _ => {
+                return Err(bad(format!(
+                    "segment column {a} kind {kind} does not match the schema"
+                )))
+            }
+        };
+        columns.push(col);
+    }
+    let labels_offset = usize::try_from(read_u64(bytes, 24 + 16 * n_cols)?)
+        .map_err(|_| bad("labels offset overflow"))?;
+    let labels = label_buf(&map, labels_offset, rows)?;
+
+    Dataset::from_shared_parts(schema.clone(), class_names.to_vec(), columns, labels)
+        .map_err(|e| bad(format!("segment does not fit the schema: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::{Attribute, Value};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "nr-store-seg-{}-{tag}-{n}.nrseg",
+            std::process::id()
+        ))
+    }
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("c", 3),
+            Attribute::numeric("y"),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            ds.push(
+                vec![
+                    Value::Num(i as f64 * 1.25),
+                    Value::Nominal((i % 3) as u32),
+                    Value::Num(-(i as f64)),
+                ],
+                i % 2,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        // Odd row count exercises the u32-region padding.
+        for n in [0, 1, 7] {
+            let ds = toy(n);
+            let path = temp_path("roundtrip");
+            write_segment(&ds, &path).unwrap();
+            let back = load_segment(ds.schema(), ds.class_names(), &path).unwrap();
+            assert_eq!(ds, back, "{n} rows");
+            assert_eq!(back.column(0).is_shared(), cfg!(target_endian = "little"));
+            drop(back);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_files_and_schema_mismatch() {
+        let path = temp_path("reject");
+        std::fs::write(&path, b"definitely not a segment").unwrap();
+        let ds = toy(1);
+        assert!(load_segment(ds.schema(), ds.class_names(), &path).is_err());
+        // A real segment loaded under the wrong schema is rejected too.
+        write_segment(&ds, &path).unwrap();
+        let wrong = Schema::new(vec![Attribute::numeric("x")]);
+        assert!(load_segment(&wrong, ds.class_names(), &path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,380 @@
+//! Segmented datasets: fixed-size immutable column slabs, in RAM or
+//! spilled to mapped files.
+//!
+//! A [`SegmentedDataset`] is a sequence of sealed [`Dataset`] segments
+//! sharing one schema. Each segment is an ordinary dataset — in-RAM
+//! segments own their buffers, spilled segments borrow zero-copy windows
+//! into a memory-mapped file — so every existing consumer
+//! ([`nr_tabular::DatasetView`] split search, encode batch fill, rule
+//! sweeps, serving) works segment-at-a-time without new APIs: iterate
+//! [`SegmentedDataset::segments`] and call `.view()` on each.
+
+use std::path::PathBuf;
+
+use nr_tabular::{ClassId, Column, Dataset, DatasetView, Schema};
+
+use crate::{segfile, StoreError};
+
+/// Where sealed segments live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillMode {
+    /// Segments stay in anonymous RAM (owned buffers).
+    InRam,
+    /// Segments are written to spill files in this directory (created if
+    /// missing) and mapped back read-only. Peak heap is then bounded by
+    /// roughly one open segment regardless of total rows.
+    Disk(PathBuf),
+}
+
+/// Configuration of a segmented store build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Rows per sealed segment. Every segment except the last has exactly
+    /// this many rows.
+    pub seg_rows: usize,
+    /// RAM or spill-to-disk storage for sealed segments.
+    pub spill: SpillMode,
+    /// Worker threads for parallel ingest (`0` = auto). Parsing degrades
+    /// to the serial arm on single-core hosts; the result is bit-identical
+    /// at any setting.
+    pub threads: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            seg_rows: 64 * 1024,
+            spill: SpillMode::InRam,
+            threads: 0,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// An in-RAM config with the given segment size.
+    pub fn in_ram(seg_rows: usize) -> Self {
+        StoreConfig {
+            seg_rows,
+            ..StoreConfig::default()
+        }
+    }
+
+    /// A spill-to-disk config with the given segment size and directory.
+    pub fn spilling(seg_rows: usize, dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            seg_rows,
+            spill: SpillMode::Disk(dir.into()),
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Sets the ingest worker count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Builds a [`SegmentedDataset`] from column batches, sealing a segment
+/// every `seg_rows` rows. Batches are validated exactly like
+/// [`Dataset::append_columns`]; sealing either keeps the slab in RAM or
+/// writes and maps a spill file, per the config.
+pub struct SegmentWriter {
+    config: StoreConfig,
+    staging: Dataset,
+    segments: Vec<Dataset>,
+    spill_files: Vec<PathBuf>,
+}
+
+impl SegmentWriter {
+    /// Creates a writer over `schema`/`class_names`. The spill directory
+    /// (if any) is created here so a doomed path fails before any parsing.
+    pub fn new(
+        schema: Schema,
+        class_names: Vec<String>,
+        config: StoreConfig,
+    ) -> Result<SegmentWriter, StoreError> {
+        assert!(config.seg_rows > 0, "segments must hold at least one row");
+        if let SpillMode::Disk(dir) = &config.spill {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(SegmentWriter {
+            staging: Dataset::new(schema, class_names),
+            config,
+            segments: Vec::new(),
+            spill_files: Vec::new(),
+        })
+    }
+
+    /// Appends one batch of columns + labels (validated), sealing any
+    /// segments that fill up.
+    pub fn append_columns(
+        &mut self,
+        columns: Vec<Column>,
+        labels: Vec<ClassId>,
+    ) -> Result<(), StoreError> {
+        self.staging.append_columns(columns, labels)?;
+        while self.staging.len() >= self.config.seg_rows {
+            let rows = self.staging.len();
+            let head: Vec<usize> = (0..self.config.seg_rows).collect();
+            let tail: Vec<usize> = (self.config.seg_rows..rows).collect();
+            let full = self.staging.subset(&head);
+            self.staging = self.staging.subset(&tail);
+            self.seal(full)?;
+        }
+        Ok(())
+    }
+
+    /// Seals one full (or final partial) segment per the spill mode.
+    fn seal(&mut self, segment: Dataset) -> Result<(), StoreError> {
+        let sealed = match &self.config.spill {
+            SpillMode::InRam => segment,
+            SpillMode::Disk(dir) => {
+                let path = dir.join(format!(
+                    "nr-store-{}-seg-{:06}.nrseg",
+                    std::process::id(),
+                    self.segments.len()
+                ));
+                segfile::write_segment(&segment, &path)?;
+                // The in-RAM slab drops here; reads now go through the
+                // mapping (page cache), which is the point of spilling.
+                drop(segment);
+                let mapped = segfile::load_segment(
+                    self.staging.schema(),
+                    self.staging.class_names(),
+                    &path,
+                )?;
+                self.spill_files.push(path);
+                mapped
+            }
+        };
+        self.segments.push(sealed);
+        Ok(())
+    }
+
+    /// Seals the remaining partial segment and returns the finished
+    /// dataset.
+    pub fn finish(mut self) -> Result<SegmentedDataset, StoreError> {
+        let schema = self.staging.schema().clone();
+        let class_names = self.staging.class_names().to_vec();
+        if !self.staging.is_empty() {
+            let rest = std::mem::replace(
+                &mut self.staging,
+                Dataset::new(schema.clone(), class_names.clone()),
+            );
+            self.seal(rest)?;
+        }
+        Ok(SegmentedDataset {
+            schema,
+            class_names,
+            seg_rows: self.config.seg_rows,
+            segments: std::mem::take(&mut self.segments),
+            spill_files: std::mem::take(&mut self.spill_files),
+        })
+    }
+}
+
+/// An immutable dataset stored as fixed-size segments (see module docs).
+///
+/// Dropping the store deletes its spill files.
+#[derive(Debug)]
+pub struct SegmentedDataset {
+    schema: Schema,
+    class_names: Vec<String>,
+    seg_rows: usize,
+    segments: Vec<Dataset>,
+    spill_files: Vec<PathBuf>,
+}
+
+impl SegmentedDataset {
+    /// Segments an existing in-RAM dataset (the small-data / test path).
+    pub fn from_dataset(ds: &Dataset, config: StoreConfig) -> Result<SegmentedDataset, StoreError> {
+        let mut w = SegmentWriter::new(ds.schema().clone(), ds.class_names().to_vec(), config)?;
+        let columns: Vec<Column> = (0..ds.schema().arity())
+            .map(|a| ds.column(a).clone())
+            .collect();
+        w.append_columns(columns, ds.labels().to_vec())?;
+        w.finish()
+    }
+
+    /// Total rows across all segments.
+    pub fn rows(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The class label names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Rows per full segment.
+    pub fn seg_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Number of sealed segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Segment `i` as an ordinary dataset (zero-copy for spilled
+    /// segments).
+    pub fn segment(&self, i: usize) -> &Dataset {
+        &self.segments[i]
+    }
+
+    /// All segments in row order — the segment-at-a-time consumer loop.
+    pub fn segments(&self) -> impl Iterator<Item = &Dataset> {
+        self.segments.iter()
+    }
+
+    /// Full views of all segments in row order (what batch consumers
+    /// feed to split search / encoding / sweeps).
+    pub fn views(&self) -> impl Iterator<Item = DatasetView<'_>> {
+        self.segments.iter().map(|s| s.view())
+    }
+
+    /// The segment index and in-segment row of global row `row`.
+    pub fn locate(&self, row: usize) -> (usize, usize) {
+        assert!(row < self.rows(), "row {row} beyond {}", self.rows());
+        (row / self.seg_rows, row % self.seg_rows)
+    }
+
+    /// Label of global row `row`.
+    pub fn label(&self, row: usize) -> ClassId {
+        let (s, r) = self.locate(row);
+        self.segments[s].label(r)
+    }
+
+    /// Materializes the whole store as one owned in-RAM dataset.
+    ///
+    /// This obviously forfeits the out-of-core bound — it exists for
+    /// small stores and for equivalence tests against the non-segmented
+    /// pipeline.
+    pub fn to_dataset(&self) -> Result<Dataset, StoreError> {
+        let mut out = Dataset::new(self.schema.clone(), self.class_names.clone());
+        for seg in &self.segments {
+            let columns: Vec<Column> = (0..self.schema.arity())
+                .map(|a| seg.column(a).clone())
+                .collect();
+            out.append_columns(columns, seg.labels().to_vec())?;
+        }
+        Ok(out)
+    }
+
+    /// Number of spill files backing this store.
+    pub fn n_spill_files(&self) -> usize {
+        self.spill_files.len()
+    }
+}
+
+impl Drop for SegmentedDataset {
+    fn drop(&mut self) {
+        // Mapped segments hold their own file handles via the mapping, so
+        // unlinking here is safe even while column buffers are alive —
+        // but segments drop first anyway (field order is irrelevant: the
+        // mapping keeps the inode alive until unmapped).
+        for path in &self.spill_files {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_tabular::{Attribute, Value};
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal_anon("c", 3),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["A".into(), "B".into()]);
+        for i in 0..n {
+            ds.push(
+                vec![Value::Num(i as f64), Value::Nominal((i % 3) as u32)],
+                i % 2,
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("nr-store-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn segments_cover_rows_in_order() {
+        // Boundary sizes: 0, 1, seg_rows - 1, seg_rows, seg_rows + 1.
+        for n in [0usize, 1, 9, 10, 11, 25] {
+            let ds = toy(n);
+            let store = SegmentedDataset::from_dataset(&ds, StoreConfig::in_ram(10)).unwrap();
+            assert_eq!(store.rows(), n);
+            assert_eq!(store.n_segments(), n.div_ceil(10));
+            for (i, seg) in store.segments().enumerate() {
+                let expect = if (i + 1) * 10 <= n { 10 } else { n - i * 10 };
+                assert_eq!(seg.len(), expect, "segment {i} of {n} rows");
+            }
+            assert_eq!(store.to_dataset().unwrap(), ds);
+        }
+    }
+
+    #[test]
+    fn spilled_store_is_bit_identical_and_cleans_up() {
+        let ds = toy(23);
+        let dir = temp_dir("spill");
+        let store =
+            SegmentedDataset::from_dataset(&ds, StoreConfig::spilling(10, dir.clone())).unwrap();
+        assert_eq!(store.n_segments(), 3);
+        assert_eq!(store.n_spill_files(), 3);
+        // Columns of spilled segments are zero-copy windows (on LE hosts).
+        assert_eq!(
+            store.segment(0).column(0).is_shared(),
+            cfg!(target_endian = "little")
+        );
+        assert_eq!(store.to_dataset().unwrap(), ds);
+        assert_eq!(store.label(22), ds.label(22));
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 3);
+        drop(store);
+        // Spill files are deleted with the store.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_appends_seal_at_boundaries() {
+        let ds = toy(26);
+        let mut w = SegmentWriter::new(
+            ds.schema().clone(),
+            ds.class_names().to_vec(),
+            StoreConfig::in_ram(8),
+        )
+        .unwrap();
+        // Feed in ragged batches: 5 + 13 + 8 = 26 rows.
+        for (start, end) in [(0, 5), (5, 18), (18, 26)] {
+            let idx: Vec<usize> = (start..end).collect();
+            let batch = ds.subset(&idx);
+            let cols = (0..2).map(|a| batch.column(a).clone()).collect();
+            w.append_columns(cols, batch.labels().to_vec()).unwrap();
+        }
+        let store = w.finish().unwrap();
+        assert_eq!(store.n_segments(), 4); // 8 + 8 + 8 + 2
+        assert_eq!(store.segment(3).len(), 2);
+        assert_eq!(store.to_dataset().unwrap(), ds);
+    }
+}

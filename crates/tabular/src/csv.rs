@@ -23,14 +23,27 @@ const CHUNK_ROWS: usize = 4096;
 
 /// Writes `ds` as CSV to `out`.
 pub fn write_csv<W: Write>(ds: &Dataset, out: &mut W) -> std::io::Result<()> {
-    let names: Vec<&str> = ds
-        .schema()
+    write_csv_header(ds.schema(), out)?;
+    write_csv_rows(ds, out)
+}
+
+/// Writes the header line for `schema` (attribute names plus `class`).
+/// Split out from [`write_csv`] so chunked producers (the datagen
+/// streaming writer) can emit the identical format without materializing
+/// the whole dataset.
+pub fn write_csv_header<W: Write>(schema: &Schema, out: &mut W) -> std::io::Result<()> {
+    let names: Vec<&str> = schema
         .attributes()
         .iter()
         .map(|a| a.name.as_str())
         .chain(std::iter::once("class"))
         .collect();
-    writeln!(out, "{}", names.join(","))?;
+    writeln!(out, "{}", names.join(","))
+}
+
+/// Writes the data rows of `ds` (no header) in [`write_csv`]'s row
+/// format — the chunk-append counterpart of [`write_csv_header`].
+pub fn write_csv_rows<W: Write>(ds: &Dataset, out: &mut W) -> std::io::Result<()> {
     for i in 0..ds.len() {
         for (a, attr) in ds.schema().attributes().iter().enumerate() {
             match (&attr.kind, ds.column(a)) {
@@ -76,8 +89,8 @@ impl ChunkStage {
             .iter_mut()
             .map(|c| {
                 let empty = match c {
-                    Column::Num(_) => Column::Num(Vec::new()),
-                    Column::Nominal(_) => Column::Nominal(Vec::new()),
+                    Column::Num(_) => Column::num(Vec::new()),
+                    Column::Nominal(_) => Column::nominal(Vec::new()),
                 };
                 std::mem::replace(c, empty)
             })
@@ -181,6 +194,74 @@ pub fn read_csv_streaming<R: BufRead>(
 /// a CRLF file (`lines()` splits on `\n` only).
 fn strip_cr(line: &str) -> &str {
     line.strip_suffix('\r').unwrap_or(line)
+}
+
+/// Parses one CSV cell against an attribute kind — the single source of
+/// cell semantics shared by [`read_csv_streaming`], [`parse_csv_block`],
+/// and external ingest pipelines (`nr-store`). Surrounding whitespace is
+/// ignored (Windows tools routinely pad cells, and the trailing cell of a
+/// CRLF row would otherwise carry a stray `\r`).
+pub fn parse_csv_cell(kind: &AttrKind, cell: &str) -> Result<Value, String> {
+    parse_cell(kind, cell)
+}
+
+/// Parses a header-less block of CSV rows (each with a trailing class
+/// column) into per-attribute column buffers plus labels — the unit of
+/// work of a parallel chunked ingest. Semantics are identical to the body
+/// loop of [`read_csv_streaming`]: cells are trimmed, a trailing `\r` per
+/// line and empty lines are tolerated, and errors carry the absolute
+/// 1-based line number `first_line + offset_within_block`.
+pub fn parse_csv_block(
+    schema: &Schema,
+    class_names: &[String],
+    block: &[u8],
+    first_line: usize,
+) -> crate::Result<(Vec<Column>, Vec<ClassId>)> {
+    let csv_err = |line: usize, msg: String| TabularError::Csv { line, msg };
+    let arity = schema.arity();
+    let mut columns: Vec<Column> = schema
+        .attributes()
+        .iter()
+        .map(|a| Column::empty_for(&a.kind))
+        .collect();
+    let mut labels: Vec<ClassId> = Vec::new();
+    for (k, raw) in block.split(|&b| b == b'\n').enumerate() {
+        let lineno = first_line + k;
+        let raw = std::str::from_utf8(raw).map_err(|e| csv_err(lineno, e.to_string()))?;
+        let line = strip_cr(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        for (a, col) in columns.iter_mut().enumerate() {
+            let cell = cells
+                .next()
+                .ok_or_else(|| csv_err(lineno, format!("{} cells, expected {}", a, arity + 1)))?;
+            let value =
+                parse_cell(&schema.attribute(a).kind, cell).map_err(|msg| csv_err(lineno, msg))?;
+            match (value, col) {
+                (Value::Num(x), Column::Num(xs)) => xs.push(x),
+                (Value::Nominal(code), Column::Nominal(cs)) => cs.push(code),
+                _ => unreachable!("columns mirror the schema kinds"),
+            }
+        }
+        let class_cell = cells
+            .next()
+            .ok_or_else(|| csv_err(lineno, format!("{arity} cells, expected {}", arity + 1)))?
+            .trim();
+        if cells.next().is_some() {
+            return Err(csv_err(
+                lineno,
+                format!("too many cells, expected {}", arity + 1),
+            ));
+        }
+        let label = class_names
+            .iter()
+            .position(|c| c == class_cell)
+            .ok_or_else(|| csv_err(lineno, format!("unknown class {class_cell:?}")))?;
+        labels.push(label);
+    }
+    Ok((columns, labels))
 }
 
 /// Parses one CSV cell against an attribute kind. Surrounding whitespace

@@ -1,7 +1,7 @@
 //! Labeled datasets: typed columns of tuples plus class labels.
 //!
-//! The storage is **columnar**: one `Vec<f64>` per numeric attribute, one
-//! `Vec<u32>` per nominal attribute, and one label vector — the layout the
+//! The storage is **columnar**: one `f64` buffer per numeric attribute, one
+//! `u32` code buffer per nominal attribute, and one label buffer — the layout the
 //! paper's "mining large databases" framing calls for. Consumers scan
 //! columns ([`Dataset::num_column`] / [`Dataset::nominal_column`]) or work
 //! on zero-copy row selections ([`crate::DatasetView`]); the row-major
@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::{AttrKind, Schema, TabularError, Value};
+use crate::{AttrKind, Buf, Schema, TabularError, Value};
 
 /// Index into a dataset's class list.
 pub type ClassId = usize;
@@ -26,22 +26,34 @@ pub enum SplitMethod {
     Shuffled(u64),
 }
 
-/// One typed attribute column.
+/// One typed attribute column. The backing [`Buf`] is either an owned
+/// `Vec` (every ordinary construction path) or a zero-copy window into a
+/// shared source such as a memory-mapped segment file (`nr-store`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Column {
     /// Values of a numeric attribute, in row order.
-    Num(Vec<f64>),
+    Num(Buf<f64>),
     /// Category codes of a nominal attribute, in row order.
-    Nominal(Vec<u32>),
+    Nominal(Buf<u32>),
 }
 
 impl Column {
     /// An empty column matching an attribute kind.
     pub fn empty_for(kind: &AttrKind) -> Column {
         match kind {
-            AttrKind::Numeric => Column::Num(Vec::new()),
-            AttrKind::Nominal { .. } => Column::Nominal(Vec::new()),
+            AttrKind::Numeric => Column::Num(Buf::new()),
+            AttrKind::Nominal { .. } => Column::Nominal(Buf::new()),
         }
+    }
+
+    /// An owned numeric column (convenience constructor).
+    pub fn num(values: Vec<f64>) -> Column {
+        Column::Num(values.into())
+    }
+
+    /// An owned nominal column (convenience constructor).
+    pub fn nominal(codes: Vec<u32>) -> Column {
+        Column::Nominal(codes.into())
     }
 
     /// Number of values stored.
@@ -55,6 +67,15 @@ impl Column {
     /// True when the column holds no values.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// True when the backing buffer borrows a shared source (e.g. a
+    /// memory-mapped segment region) instead of owning a `Vec`.
+    pub fn is_shared(&self) -> bool {
+        match self {
+            Column::Num(v) => v.is_shared(),
+            Column::Nominal(v) => v.is_shared(),
+        }
     }
 
     /// The numeric data, or `None` for nominal columns.
@@ -116,7 +137,7 @@ pub struct Dataset {
     schema: Schema,
     class_names: Vec<String>,
     columns: Vec<Column>,
-    labels: Vec<ClassId>,
+    labels: Buf<ClassId>,
 }
 
 impl Dataset {
@@ -131,8 +152,73 @@ impl Dataset {
             schema,
             class_names,
             columns,
-            labels: Vec::new(),
+            labels: Buf::new(),
         }
+    }
+
+    /// Assembles a dataset directly from pre-built columns and labels —
+    /// the zero-copy segment-load path (`nr-store` maps a spill file and
+    /// wraps each region in a [`Buf::Shared`] window).
+    ///
+    /// Structural invariants (arity, per-column kind, equal lengths) are
+    /// checked here. **Value-level invariants** — finite numerics, nominal
+    /// codes within each attribute's category list, labels within the
+    /// class list — are the caller's contract (they are debug-asserted):
+    /// scanning every value would fault in every page of a mapped
+    /// multi-gigabyte segment, defeating lazy loading. `nr-store` upholds
+    /// the contract because spill files are written from datasets that
+    /// were validated on ingest.
+    pub fn from_shared_parts(
+        schema: Schema,
+        class_names: Vec<String>,
+        columns: Vec<Column>,
+        labels: Buf<ClassId>,
+    ) -> crate::Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(TabularError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let rows = labels.len();
+        for (a, (attr, col)) in schema.attributes().iter().zip(&columns).enumerate() {
+            if col.len() != rows {
+                return Err(TabularError::RowLabelCountMismatch {
+                    rows: col.len(),
+                    labels: rows,
+                });
+            }
+            match (&attr.kind, col) {
+                (AttrKind::Numeric, Column::Num(xs)) => {
+                    debug_assert!(
+                        xs.iter().all(|x| x.is_finite()),
+                        "non-finite numeric value in shared column {a}"
+                    );
+                }
+                (AttrKind::Nominal { categories }, Column::Nominal(cs)) => {
+                    debug_assert!(
+                        cs.iter().all(|&c| (c as usize) < categories.len()),
+                        "nominal code out of range in shared column {a}"
+                    );
+                }
+                _ => {
+                    return Err(TabularError::TypeMismatch {
+                        attribute: a,
+                        detail: "column kind does not match the attribute".into(),
+                    })
+                }
+            }
+        }
+        debug_assert!(
+            labels.iter().all(|&l| l < class_names.len()),
+            "label out of range in shared label buffer"
+        );
+        Ok(Dataset {
+            schema,
+            class_names,
+            columns,
+            labels,
+        })
     }
 
     /// Creates an empty dataset with row capacity reserved in every column.
@@ -343,7 +429,7 @@ impl Dataset {
     /// Count of rows per class.
     pub fn class_distribution(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.class_names.len()];
-        for &l in &self.labels {
+        for &l in self.labels.iter() {
             counts[l] += 1;
         }
         counts
@@ -502,7 +588,7 @@ mod tests {
     fn append_columns_bulk() {
         let mut ds = toy(2);
         ds.append_columns(
-            vec![Column::Num(vec![10.0, 11.0]), Column::Nominal(vec![2, 0])],
+            vec![Column::num(vec![10.0, 11.0]), Column::nominal(vec![2, 0])],
             vec![1, 0],
         )
         .unwrap();
@@ -516,40 +602,40 @@ mod tests {
         let mut ds = toy(0);
         // Wrong arity.
         assert!(ds
-            .append_columns(vec![Column::Num(vec![1.0])], vec![0])
+            .append_columns(vec![Column::num(vec![1.0])], vec![0])
             .is_err());
         // Kind mismatch.
         assert!(ds
             .append_columns(
-                vec![Column::Nominal(vec![0]), Column::Nominal(vec![0])],
+                vec![Column::nominal(vec![0]), Column::nominal(vec![0])],
                 vec![0]
             )
             .is_err());
         // Ragged columns.
         assert!(ds
             .append_columns(
-                vec![Column::Num(vec![1.0, 2.0]), Column::Nominal(vec![0])],
+                vec![Column::num(vec![1.0, 2.0]), Column::nominal(vec![0])],
                 vec![0]
             )
             .is_err());
         // Out-of-range nominal code.
         assert!(ds
             .append_columns(
-                vec![Column::Num(vec![1.0]), Column::Nominal(vec![9])],
+                vec![Column::num(vec![1.0]), Column::nominal(vec![9])],
                 vec![0]
             )
             .is_err());
         // Non-finite numeric.
         assert!(ds
             .append_columns(
-                vec![Column::Num(vec![f64::NAN]), Column::Nominal(vec![0])],
+                vec![Column::num(vec![f64::NAN]), Column::nominal(vec![0])],
                 vec![0]
             )
             .is_err());
         // Out-of-range label.
         assert!(ds
             .append_columns(
-                vec![Column::Num(vec![1.0]), Column::Nominal(vec![0])],
+                vec![Column::num(vec![1.0]), Column::nominal(vec![0])],
                 vec![5]
             )
             .is_err());
@@ -637,8 +723,8 @@ mod tests {
         by_cols
             .append_columns(
                 vec![
-                    Column::Num((0..9).map(|i| i as f64).collect()),
-                    Column::Nominal((0..9).map(|i| (i % 3) as u32).collect()),
+                    Column::num((0..9).map(|i| i as f64).collect()),
+                    Column::nominal((0..9).map(|i| (i % 3) as u32).collect()),
                 ],
                 (0..9).map(|i| i % 2).collect(),
             )

@@ -31,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+mod buf;
 mod csv;
 mod cv;
 mod dataset;
@@ -38,7 +39,11 @@ mod schema;
 mod value;
 mod view;
 
-pub use csv::{parse_row, read_csv, read_csv_streaming, write_csv};
+pub use buf::{Buf, SliceSource};
+pub use csv::{
+    parse_csv_block, parse_csv_cell, parse_row, read_csv, read_csv_streaming, write_csv,
+    write_csv_header, write_csv_rows,
+};
 pub use cv::{stratified_kfold, stratified_split};
 pub use dataset::{ClassId, Column, Dataset, SplitMethod};
 pub use schema::{AttrKind, Attribute, Schema};

@@ -16,6 +16,8 @@
 //! * [`nr_serve`] — compiled, `Arc`-shareable serving engines;
 //! * [`nr_daemon`] — the coalescing HTTP serving daemon over those
 //!   engines;
+//! * [`nr_store`] — out-of-core segmented columnar store (mmap spill
+//!   segments, parallel CSV ingest, dictionary encoding);
 //! * [`nr_tree`] — the C4.5 / C4.5rules baseline.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -32,5 +34,6 @@ pub use nr_prune;
 pub use nr_rules;
 pub use nr_rulex;
 pub use nr_serve;
+pub use nr_store;
 pub use nr_tabular;
 pub use nr_tree;

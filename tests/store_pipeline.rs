@@ -1,0 +1,263 @@
+//! Out-of-core store ↔ pipeline integration: segment seams, mmap-vs-RAM
+//! bit-identity through every consumer (tree, rules, encode, serve), and
+//! parallel-ingest determinism end to end.
+//!
+//! The store's contract is that spilling to disk and reading through the
+//! kernel's page cache is **invisible**: every number any consumer
+//! computes — a split's gain, a rule sweep's bitmap, an encoded batch, a
+//! served prediction — must be bit-identical whether the segments live
+//! in anonymous RAM or in memory-mapped spill files, and whether the CSV
+//! was parsed serially or on 4 threads. These tests pin that across the
+//! real pipeline, not per-crate mocks. All spill/CSV files live under
+//! unique per-test temp dirs and are removed on the way out.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nr_datagen::{agrawal_schema, class_names, Function, Generator};
+use nr_encode::Encoder;
+use nr_rules::Predictor;
+use nr_store::{
+    ingest_csv_bytes, ingest_csv_bytes_with_dict, ingest_csv_file, SegmentedDataset, StoreConfig,
+};
+use nr_tabular::{read_csv_streaming, Dataset};
+use nr_tree::{DecisionTree, TreeConfig};
+
+/// A unique, collision-free scratch directory under the system temp dir.
+/// Tests must never write anywhere else (CI runs them in parallel from a
+/// read-only-ish checkout).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "nr-store-pipeline-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Agrawal CSV bytes for `n` tuples, via the streaming writer.
+fn csv_bytes(function: Function, n: usize, seed: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    Generator::new(seed)
+        .with_perturbation(0.05)
+        .write_csv_streaming(function, n, &mut bytes)
+        .expect("write csv to memory");
+    bytes
+}
+
+fn reference_dataset(bytes: &[u8]) -> Dataset {
+    read_csv_streaming(agrawal_schema(), class_names(), bytes).expect("reference read")
+}
+
+#[test]
+fn segment_seams_hold_at_every_boundary_row_count() {
+    // 0, 1, seg-1, seg, seg+1, and a multi-segment count with a ragged
+    // tail: rows land in the right segments and reassemble exactly.
+    let seg = 16;
+    for n in [0usize, 1, 15, 16, 17, 53] {
+        let bytes = csv_bytes(Function::F2, n, 7);
+        let reference = reference_dataset(&bytes);
+        let store = ingest_csv_bytes(
+            agrawal_schema(),
+            class_names(),
+            &bytes,
+            StoreConfig::in_ram(seg),
+        )
+        .expect("ingest");
+        assert_eq!(store.rows(), n);
+        assert_eq!(store.n_segments(), n.div_ceil(seg), "n = {n}");
+        for (i, s) in store.segments().enumerate() {
+            let expect = if i + 1 < store.n_segments() || (n > 0 && n % seg == 0) {
+                seg
+            } else {
+                n % seg
+            };
+            assert_eq!(s.len(), expect, "segment {i} of n = {n}");
+        }
+        assert_eq!(
+            store.to_dataset().expect("reassemble"),
+            reference,
+            "n = {n}"
+        );
+        // Seam-straddling reads: every row is reachable through locate()
+        // and labels match the reference row-for-row.
+        for row in 0..n {
+            let (s, off) = store.locate(row);
+            assert_eq!(store.segment(s).labels()[off], reference.labels()[row]);
+            assert_eq!(store.label(row), reference.labels()[row]);
+        }
+    }
+}
+
+#[test]
+fn mmap_and_ram_segments_feed_identical_pipeline_outputs() {
+    // One CSV, two stores — anonymous RAM vs memory-mapped spill files —
+    // driven through all four consumers. Everything must be bit-equal.
+    let dir = scratch_dir("mmap-vs-ram");
+    let n = 600;
+    let bytes = csv_bytes(Function::F2, n, 21);
+    let csv_path = dir.join("train.csv");
+    std::fs::write(&csv_path, &bytes).expect("write csv");
+
+    let seg = 128; // several segments, ragged tail
+    let ram = ingest_csv_bytes(
+        agrawal_schema(),
+        class_names(),
+        &bytes,
+        StoreConfig::in_ram(seg),
+    )
+    .expect("ram ingest");
+    let spilled = ingest_csv_file(
+        agrawal_schema(),
+        class_names(),
+        &csv_path,
+        StoreConfig::spilling(seg, dir.join("spill")),
+    )
+    .expect("spilled ingest");
+    assert!(spilled.n_spill_files() > 0, "disk mode must actually spill");
+    assert_eq!(ram.n_spill_files(), 0);
+
+    let ram_ds = ram.to_dataset().expect("ram reassemble");
+    let spill_ds = spilled.to_dataset().expect("spill reassemble");
+    assert_eq!(ram_ds, spill_ds, "reassembled datasets must be bit-equal");
+
+    // Tree: fit segment-at-a-time-backed data; identical trees + accuracy.
+    let config = TreeConfig::default();
+    let t_ram = DecisionTree::fit(&ram_ds, &config);
+    let t_spill = DecisionTree::fit(&spill_ds, &config);
+    assert_eq!(t_ram, t_spill);
+    for (va, vb) in ram.views().zip(spilled.views()) {
+        assert_eq!(t_ram.accuracy_view(&va), t_spill.accuracy_view(&vb));
+    }
+
+    // Encode: fitting across segment views equals fitting the whole, on
+    // both paths, and per-segment batch fills are bit-equal.
+    let enc = Encoder::fit(&ram_ds, 5).expect("fit whole");
+    let enc_ram = Encoder::fit_views(ram.views(), 5).expect("fit ram views");
+    let enc_spill = Encoder::fit_views(spilled.views(), 5).expect("fit spill views");
+    assert_eq!(enc, enc_ram);
+    assert_eq!(enc, enc_spill);
+    for (va, vb) in ram.views().zip(spilled.views()) {
+        assert_eq!(enc.encode_view(&va), enc.encode_view(&vb));
+    }
+
+    // Rules + serve: train once, then score segment-at-a-time through
+    // both the retained rule set and the compiled DAG engine on both
+    // stores — predictions must match the whole-dataset pass exactly.
+    let model = neurorule::NeuroRule::default()
+        .with_encoder(Encoder::agrawal())
+        .with_seed(3)
+        .fit(&ram_ds)
+        .expect("pipeline fits");
+    let whole = model.ruleset.predict_batch(&ram_ds.view());
+    let compiled = model.compile();
+    let whole_compiled = compiled.predict_batch(&ram_ds.view());
+    for store in [&ram, &spilled] {
+        let mut by_segment = Vec::with_capacity(n);
+        let mut by_segment_compiled = Vec::with_capacity(n);
+        for view in store.views() {
+            by_segment.extend(model.ruleset.predict_batch(&view));
+            by_segment_compiled.extend(compiled.predict_batch(&view));
+        }
+        assert_eq!(by_segment, whole, "rule sweeps must not see the seams");
+        assert_eq!(
+            by_segment_compiled, whole_compiled,
+            "compiled engine must not see the seams"
+        );
+    }
+
+    drop(spilled);
+    assert!(
+        std::fs::read_dir(dir.join("spill"))
+            .map(|d| d.count() == 0)
+            .unwrap_or(true),
+        "spill files must be cleaned up on drop"
+    );
+    std::fs::remove_dir_all(&dir).expect("remove scratch dir");
+}
+
+#[test]
+fn parallel_ingest_matches_the_streaming_reader_at_any_thread_count() {
+    // > INGEST_CHUNK_BYTES of CSV so the parallel grid actually splits.
+    let n = 20_000;
+    let bytes = csv_bytes(Function::F5, n, 33);
+    assert!(bytes.len() > nr_store::INGEST_CHUNK_BYTES);
+    let reference = reference_dataset(&bytes);
+    for threads in [1usize, 2, 4] {
+        let store = ingest_csv_bytes(
+            agrawal_schema(),
+            class_names(),
+            &bytes,
+            StoreConfig::in_ram(4096).with_threads(threads),
+        )
+        .expect("parallel ingest");
+        assert_eq!(
+            store.to_dataset().expect("reassemble"),
+            reference,
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn dictionary_ingest_is_deterministic_across_threads() {
+    let n = 3000;
+    let bytes = csv_bytes(Function::F2, n, 55);
+    let one = ingest_csv_bytes_with_dict(
+        &agrawal_schema(),
+        class_names(),
+        &bytes,
+        StoreConfig::in_ram(512).with_threads(1),
+    )
+    .expect("serial dict ingest");
+    let one_ds = one.store.to_dataset().expect("reassemble");
+    for threads in [2usize, 4] {
+        let many = ingest_csv_bytes_with_dict(
+            &agrawal_schema(),
+            class_names(),
+            &bytes,
+            StoreConfig::in_ram(512).with_threads(threads),
+        )
+        .expect("parallel dict ingest");
+        assert_eq!(many.dictionaries, one.dictionaries, "{threads} threads");
+        assert_eq!(
+            many.store.to_dataset().expect("reassemble"),
+            one_ds,
+            "{threads} threads"
+        );
+    }
+    // Dictionary codes are frequency-ranked: counts must be non-increasing.
+    for dict in &one.dictionaries {
+        assert!(
+            dict.counts.windows(2).all(|w| w[0] >= w[1]),
+            "dictionary for {} is not frequency-sorted",
+            dict.name
+        );
+    }
+}
+
+/// A store built from an in-RAM dataset round-trips views over seams:
+/// a view assembled from two adjacent segments equals the contiguous
+/// slice of the original (the "seam-straddling" read path consumers use
+/// when a logical range crosses a segment boundary).
+#[test]
+fn seam_straddling_ranges_reassemble_exactly() {
+    let ds = Generator::new(77)
+        .with_perturbation(0.05)
+        .dataset(Function::F3, 100);
+    let store = SegmentedDataset::from_dataset(&ds, StoreConfig::in_ram(32)).expect("store");
+    // Logical range 20..70 crosses the 32 and 64 seams.
+    let (lo, hi) = (20usize, 70usize);
+    let mut stitched = Dataset::new(ds.schema().clone(), ds.class_names().to_vec());
+    for row in lo..hi {
+        let (s, off) = store.locate(row);
+        let seg = store.segment(s);
+        stitched
+            .push(seg.row_values(off), seg.labels()[off])
+            .expect("push stitched row");
+    }
+    let direct = ds.subset(&(lo..hi).collect::<Vec<_>>());
+    assert_eq!(stitched, direct);
+}
