@@ -244,5 +244,83 @@ fn out_of_core(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).expect("remove bench scratch dir");
 }
 
-criterion_group!(benches, ingest, out_of_core);
+/// Integrity-cost scoreboard: the same spill ingest with NRSEG02
+/// verification on (the default: every segment seal re-reads the file
+/// and checks header, region, and whole-file CRCs) versus explicitly
+/// unchecked (`allow_unchecked`). The durability acceptance bar is that
+/// verification costs **< 10% of ingest throughput**; the full run
+/// enforces it here (quick mode's file is too small for the ratio to be
+/// meaningful — fixed costs dominate), and both timings land in
+/// `BENCH_ingest.json`.
+fn checksum_cost(c: &mut Criterion) {
+    use nr_datagen::{agrawal_schema, class_names, Function, Generator};
+    use nr_store::{ingest_csv_file, StoreConfig};
+
+    let quick = criterion::quick_mode();
+    let rows: usize = if quick { 50_000 } else { 2_000_000 };
+    let seg_rows = if quick { 8_192 } else { 64 * 1024 };
+    let dir = std::env::temp_dir().join(format!("nr-bench-crc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let csv_path = dir.join("checksum-cost.csv");
+    {
+        let file = std::fs::File::create(&csv_path).expect("create csv");
+        let mut out = std::io::BufWriter::new(file);
+        Generator::new(42)
+            .with_perturbation(0.05)
+            .write_csv_streaming(Function::F2, rows, &mut out)
+            .expect("stream csv");
+    }
+    let run = |unchecked: bool| {
+        ingest_csv_file(
+            agrawal_schema(),
+            class_names(),
+            &csv_path,
+            StoreConfig::spilling(seg_rows, dir.join("spill"))
+                .with_threads(4)
+                .with_allow_unchecked(unchecked),
+        )
+        .expect("ingest")
+        .rows()
+    };
+
+    let mut group = c.benchmark_group(format!("ingest-checksum-cost-{rows}-rows"));
+    group.sample_size(if quick { 3 } else { 2 });
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function("spill-ingest-verified", |b| b.iter(|| run(false)));
+    group.bench_function("spill-ingest-unchecked", |b| b.iter(|| run(true)));
+    group.finish();
+
+    // The acceptance assertion, on its own best-of-3 timings (criterion's
+    // numbers go to the scoreboard; the bar is enforced here).
+    let best = |unchecked: bool| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                assert_eq!(run(unchecked), rows);
+                t0.elapsed()
+            })
+            .min()
+            .expect("three timed runs")
+    };
+    let verified = best(false);
+    let unchecked = best(true);
+    let overhead = verified.as_secs_f64() / unchecked.as_secs_f64() - 1.0;
+    eprintln!(
+        "  NRSEG02 verification cost over {rows} rows: verified {:.2}s vs unchecked {:.2}s \
+         ({:+.1}% throughput)",
+        verified.as_secs_f64(),
+        unchecked.as_secs_f64(),
+        overhead * 100.0,
+    );
+    if !quick {
+        assert!(
+            overhead < 0.10,
+            "checksummed ingest must cost < 10% throughput \
+             (verified {verified:?} vs unchecked {unchecked:?})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("remove bench scratch dir");
+}
+
+criterion_group!(benches, ingest, out_of_core, checksum_cost);
 criterion_main!(benches);

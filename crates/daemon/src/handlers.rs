@@ -11,10 +11,11 @@
 use std::time::{Duration, Instant};
 
 use nr_rules::Predictor;
-use nr_serve::{BulkResponse, ErrorResponse, ModelInfo, ServeModel, SwapResponse};
-use nr_tabular::{parse_row, Dataset};
+use nr_serve::{BulkResponse, ErrorResponse, ModelInfo, ModelRegistry, ServeModel, SwapResponse};
+use nr_tabular::{parse_row, AttrKind, Dataset, Value};
 use serde::Serialize;
 use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 
 use crate::batcher::SubmitError;
 use crate::http::Request;
@@ -107,6 +108,21 @@ pub struct DaemonStats {
     pub faults_panics: u64,
 }
 
+/// Durable-registry status for one hosted model, served in `/stats` and
+/// `/healthz` when the daemon runs with a registry.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct RegistryStats {
+    /// Hosted model name.
+    pub model: String,
+    /// The registry version currently marked good (what a restart would
+    /// boot).
+    pub current_version: u64,
+    /// Committed versions retained on disk.
+    pub history_depth: u64,
+    /// Files quarantined since this registry was opened.
+    pub quarantined: u64,
+}
+
 /// `GET /stats` body: one entry per hosted model, name-sorted, plus the
 /// daemon-wide robustness counters.
 #[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
@@ -115,6 +131,28 @@ pub struct StatsResponse {
     pub models: Vec<LaneStats>,
     /// Daemon-wide overload/robustness counters.
     pub daemon: DaemonStats,
+    /// Durable-registry status, one entry per registry-backed model
+    /// (empty when the daemon runs without a registry).
+    pub registries: Vec<RegistryStats>,
+}
+
+/// `GET /healthz` body when the daemon runs with a durable registry.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct HealthResponse {
+    /// Liveness (always true when this body is served).
+    pub ok: bool,
+    /// Registry status per registry-backed model.
+    pub registry: Vec<RegistryStats>,
+}
+
+/// `POST .../rollback` success body.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
+pub struct RollbackResponse {
+    /// The in-process deployment version now serving (same counter as
+    /// [`SwapResponse::version`]).
+    pub version: u64,
+    /// The durable registry version rolled back to.
+    pub registry_version: u64,
 }
 
 /// Routes and answers one request, applying the overload gates.
@@ -154,7 +192,15 @@ pub(crate) fn handle(state: &ServerState, request: &Request) -> Reply {
                     retry_after_secs: None,
                 }
             } else {
-                Reply::ok(r#"{"ok":true}"#.to_string())
+                // Registry-backed daemons surface durable status in the
+                // liveness probe; without a registry the body stays the
+                // bare `{"ok":true}` probes expect.
+                let registry = registry_stats(state);
+                if registry.is_empty() {
+                    Reply::ok(r#"{"ok":true}"#.to_string())
+                } else {
+                    ok_json(&HealthResponse { ok: true, registry })
+                }
             }
         }
         Route::Stats => stats(state),
@@ -168,6 +214,7 @@ pub(crate) fn handle(state: &ServerState, request: &Request) -> Reply {
             ok_json(&ModelInfo::describe(&e.handle.load()))
         }),
         Route::ModelSwap { model } => with_model(state, &model, |e| swap(e, &request.body)),
+        Route::ModelRollback { model } => with_model(state, &model, rollback),
     }
 }
 
@@ -210,7 +257,41 @@ fn stats(state: &ServerState) -> Reply {
         faults_delays: ctl.faults.delays_injected(),
         faults_panics: ctl.faults.panics_injected(),
     };
-    ok_json(&StatsResponse { models, daemon })
+    ok_json(&StatsResponse {
+        models,
+        daemon,
+        registries: registry_stats(state),
+    })
+}
+
+/// Snapshots every registry-backed model's durable status, name-sorted;
+/// empty when the daemon runs without a registry.
+fn registry_stats(state: &ServerState) -> Vec<RegistryStats> {
+    let mut stats: Vec<RegistryStats> = state
+        .models
+        .iter()
+        .filter_map(|(name, entry)| {
+            let registry = lock_registry(entry.registry.as_ref()?);
+            Some(RegistryStats {
+                model: name.clone(),
+                current_version: registry.current_version().unwrap_or(0),
+                history_depth: registry.history_depth() as u64,
+                quarantined: registry.quarantined(),
+            })
+        })
+        .collect();
+    stats.sort_by(|a, b| a.model.cmp(&b.model));
+    stats
+}
+
+/// Locks a model's registry, recovering from poisoning: a handler that
+/// panicked mid-commit already answered 500 and the registry's on-disk
+/// protocol is atomic, so later requests can keep using it.
+fn lock_registry(registry: &Mutex<ModelRegistry>) -> std::sync::MutexGuard<'_, ModelRegistry> {
+    match registry.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Single-row predict: parse the CSV body against the deployed schema,
@@ -302,9 +383,71 @@ fn predict_bulk(entry: &ModelEntry, body: &str, deadline: Instant) -> Reply {
     })
 }
 
+/// Rows scored by the canary check before a swap is admitted.
+const CANARY_ROWS: usize = 16;
+
+/// Builds the deterministic canary batch for `model`'s schema: synthetic
+/// rows spanning each column's shape (varied numerics, every nominal
+/// category cycled). Pure function of the schema, so a given deployment
+/// always faces the same canary.
+fn canary_batch(model: &ServeModel) -> Result<Dataset, String> {
+    let schema = model.network().encoder().schema();
+    let mut ds = Dataset::new(schema.clone(), model.rules().class_names().to_vec());
+    for i in 0..CANARY_ROWS {
+        let row: Vec<Value> = schema
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| match &attr.kind {
+                // A spread of magnitudes either side of zero, different
+                // per column, hitting rule thresholds' neighborhoods only
+                // incidentally — the canary tests the engine, not the
+                // model's accuracy.
+                AttrKind::Numeric => {
+                    let v = ((i * 31 + a * 17) % 97) as f64;
+                    Value::Num((v - 48.0) * (10f64).powi((a % 5) as i32 - 1))
+                }
+                AttrKind::Nominal { categories } => {
+                    Value::Nominal(((i + a) % categories.len().max(1)) as u32)
+                }
+            })
+            .collect();
+        ds.push_unlabeled(row)
+            .map_err(|e| format!("canary row rejected by schema: {e}"))?;
+    }
+    Ok(ds)
+}
+
+/// Scores the canary batch against `model` and checks the answers are
+/// sane: no panic, every class index in range, and bit-identical across
+/// two runs. `Err` explains what failed (the handler answers 409).
+fn canary_validate(model: &ServeModel) -> Result<(), String> {
+    let ds = canary_batch(model)?;
+    let view = ds.view();
+    let score = || {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict_batch(&view)))
+            .map_err(|_| "model panicked scoring the canary batch".to_string())
+    };
+    let first = score()?;
+    let n_classes = model.rules().class_names().len();
+    if let Some(&bad) = first.iter().find(|&&c| c >= n_classes) {
+        return Err(format!(
+            "model answered class index {bad} with only {n_classes} classes"
+        ));
+    }
+    if score()? != first {
+        return Err("model is nondeterministic on the canary batch".to_string());
+    }
+    Ok(())
+}
+
 /// Hot swap: parse the incoming bundle, admit it (finite parameters,
 /// identical schema and class list — so queued rows parsed against the
-/// old deployment stay valid), then swap atomically.
+/// old deployment stay valid), score it against the deterministic canary
+/// batch (409 on panic, out-of-range class, or nondeterminism), commit
+/// it durably to the model registry when one is configured, and only
+/// then swap atomically. The commit precedes the swap so a crash right
+/// after the 200 reboots into the version the client was told is live.
 fn swap(entry: &ModelEntry, body: &str) -> Reply {
     let incoming = match ServeModel::from_json(body) {
         Ok(model) => model,
@@ -327,6 +470,93 @@ fn swap(entry: &ModelEntry, body: &str) -> Reply {
         );
     }
     drop(current);
+    if let Err(why) = canary_validate(&incoming) {
+        return error(
+            409,
+            format!("refusing swap: canary validation failed: {why}"),
+        );
+    }
+    if let Some(registry) = &entry.registry {
+        if let Err(e) = lock_registry(registry).commit(&incoming) {
+            return error(500, format!("refusing swap: durable commit failed: {e}"));
+        }
+    }
     let version = entry.handle.swap(incoming);
     ok_json(&SwapResponse { version })
+}
+
+/// `POST .../rollback`: step the durable registry back to the previous
+/// good version (quarantining corrupt intermediates) and swap it in.
+fn rollback(entry: &ModelEntry) -> Reply {
+    let Some(registry) = &entry.registry else {
+        return error(
+            409,
+            "rollback unavailable: daemon is running without a model registry",
+        );
+    };
+    let (registry_version, model) = match lock_registry(registry).rollback() {
+        Ok(rolled) => rolled,
+        Err(nr_serve::ServeError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            return error(409, format!("rollback refused: {e}"));
+        }
+        Err(e) => return error(500, format!("rollback failed: {e}")),
+    };
+    // The registry only ever held admitted models, but re-check the swap
+    // invariants anyway — parsing contracts must hold for queued rows.
+    let current = entry.handle.load();
+    if model.network().encoder().schema() != current.model().network().encoder().schema()
+        || model.rules().class_names() != current.model().rules().class_names()
+    {
+        return error(
+            409,
+            "rollback refused: archived model no longer matches the deployed schema",
+        );
+    }
+    drop(current);
+    let version = entry.handle.swap(model);
+    ok_json(&RollbackResponse {
+        version,
+        registry_version,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nr_serve::ServeMode;
+
+    fn model_with_default_class(default: usize) -> ServeModel {
+        let encoder = nr_encode::Encoder::agrawal();
+        let net = nr_nn::Mlp::random(encoder.n_inputs(), 4, 2, 3);
+        let rules = nr_rules::RuleSet::new(Vec::new(), default, vec!["A".into(), "B".into()]);
+        ServeModel::new(&rules, encoder, net, ServeMode::Rules)
+    }
+
+    #[test]
+    fn canary_accepts_a_sane_model() {
+        canary_validate(&model_with_default_class(1)).expect("well-formed model passes");
+    }
+
+    #[test]
+    fn canary_rejects_out_of_range_class_answers() {
+        // An empty rule table answers its default class for every row; a
+        // default outside the class list is exactly the "plausible JSON,
+        // broken model" bundle the canary exists to keep out.
+        let why = canary_validate(&model_with_default_class(7))
+            .expect_err("out-of-range answers must fail the canary");
+        assert!(why.contains("class index"), "names the failure: {why}");
+    }
+
+    #[test]
+    fn canary_batch_is_deterministic() {
+        let model = model_with_default_class(0);
+        let a = canary_batch(&model).unwrap();
+        let b = canary_batch(&model).unwrap();
+        assert_eq!(a.len(), CANARY_ROWS);
+        for i in 0..a.len() {
+            for c in 0..a.schema().attributes().len() {
+                assert_eq!(a.value(i, c), b.value(i, c), "row {i} col {c}");
+            }
+        }
+    }
 }

@@ -55,7 +55,7 @@ mod handlers;
 
 pub use batcher::{BatchConfig, BatchFormer, LaneStats, SubmitError};
 pub use faults::{FaultInjector, FaultPlan};
-pub use handlers::{DaemonStats, StatsResponse};
+pub use handlers::{DaemonStats, HealthResponse, RegistryStats, RollbackResponse, StatsResponse};
 pub use http::{Client, Request, ResponseOpts};
 pub use load::{ChaosConfig, ChaosReport, LoadConfig, LoadReport, ScenarioReport, SwapReport};
 pub use router::{route, Route, DEFAULT_MODEL};

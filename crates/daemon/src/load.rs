@@ -520,6 +520,7 @@ pub fn run_chaos(cfg: &ChaosConfig, fx: &ServingFixture) -> ChaosReport {
             port: 0,
             overload,
             faults,
+            ..DaemonConfig::default()
         },
         vec![("default".into(), fx.model_a.clone())],
     )

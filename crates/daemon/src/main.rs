@@ -22,7 +22,7 @@ use nr_serve::ServeModel;
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: nr-daemon serve [--port N] [--model FILE.json]\n       \
+        "usage: nr-daemon serve [--port N] [--model FILE.json] [--registry DIR]\n       \
          nr-daemon load [--quick]\n       nr-daemon chaos [--quick]"
     );
     std::process::exit(2);
@@ -48,6 +48,7 @@ fn quick_flag(args: &[String]) -> bool {
 fn serve(args: &[String]) {
     let mut port = 0u16;
     let mut model_path: Option<String> = None;
+    let mut registry: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,6 +59,10 @@ fn serve(args: &[String]) {
             "--model" => match it.next() {
                 Some(p) => model_path = Some(p.clone()),
                 None => fail("--model needs a file path"),
+            },
+            "--registry" => match it.next() {
+                Some(d) => registry = Some(d.into()),
+                None => fail("--registry needs a directory path"),
             },
             other => fail(&format!("unknown flag {other:?}")),
         }
@@ -72,9 +77,13 @@ fn serve(args: &[String]) {
             fixture::serving_fixture(1).model_a
         }
     };
+    // With a registry, a committed history takes precedence over
+    // --model: startup is crash recovery (Daemon::start boots the last
+    // good committed version; --model only seeds an empty registry).
     let daemon = match Daemon::start(
         DaemonConfig {
             port,
+            registry,
             ..DaemonConfig::default()
         },
         vec![("default".into(), model)],
@@ -83,7 +92,10 @@ fn serve(args: &[String]) {
         Err(e) => fail(&format!("binding: {e}")),
     };
     println!("nr-daemon serving on http://{}", daemon.addr());
-    println!("endpoints: GET /healthz /stats /model; POST /predict /predict/bulk; PUT /model");
+    println!(
+        "endpoints: GET /healthz /stats /model; POST /predict /predict/bulk /model/rollback; \
+         PUT /model"
+    );
     println!("press Enter (or send a line on stdin) to drain gracefully");
     // Block on stdin: a line triggers a graceful drain. When stdin is
     // closed from the start (`serve < /dev/null`, a service manager),

@@ -38,6 +38,13 @@ pub enum Route {
         /// Hosted model the request addresses.
         model: String,
     },
+    /// `POST /model/rollback` or `POST /models/<name>/rollback` — step
+    /// the durable registry back to the previous good version and swap
+    /// it in (409 when the daemon runs without a registry).
+    ModelRollback {
+        /// Hosted model the request addresses.
+        model: String,
+    },
 }
 
 impl Route {
@@ -67,6 +74,7 @@ pub fn route(method: &str, path: &str) -> Option<Route> {
             ("PUT", None) => Some(Route::ModelSwap { model }),
             ("POST", Some("predict")) => Some(Route::Predict { model }),
             ("POST", Some("predict/bulk")) => Some(Route::PredictBulk { model }),
+            ("POST", Some("rollback")) => Some(Route::ModelRollback { model }),
             _ => None,
         };
     }
@@ -78,6 +86,7 @@ pub fn route(method: &str, path: &str) -> Option<Route> {
         ("POST", "/predict/bulk") => Some(Route::PredictBulk { model: default() }),
         ("GET", "/model") => Some(Route::ModelInfo { model: default() }),
         ("PUT", "/model") => Some(Route::ModelSwap { model: default() }),
+        ("POST", "/model/rollback") => Some(Route::ModelRollback { model: default() }),
         _ => None,
     }
 }
@@ -114,6 +123,12 @@ mod tests {
                 model: "default".into()
             })
         );
+        assert_eq!(
+            route("POST", "/model/rollback"),
+            Some(Route::ModelRollback {
+                model: "default".into()
+            })
+        );
     }
 
     #[test]
@@ -142,6 +157,12 @@ mod tests {
                 model: "churn".into()
             })
         );
+        assert_eq!(
+            route("POST", "/models/churn/rollback"),
+            Some(Route::ModelRollback {
+                model: "churn".into()
+            })
+        );
     }
 
     #[test]
@@ -152,6 +173,7 @@ mod tests {
         assert!(!Route::Predict { model: "m".into() }.is_admin());
         assert!(!Route::PredictBulk { model: "m".into() }.is_admin());
         assert!(!Route::ModelSwap { model: "m".into() }.is_admin());
+        assert!(!Route::ModelRollback { model: "m".into() }.is_admin());
     }
 
     #[test]

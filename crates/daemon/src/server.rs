@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nr_serve::{ErrorResponse, ModelHandle, ServeModel};
+use nr_serve::{ErrorResponse, ModelHandle, ModelRegistry, ServeModel};
 use serde::{Deserialize, Serialize};
 
 use crate::batcher::{BatchConfig, BatchFormer};
@@ -80,7 +80,7 @@ impl Default for OverloadConfig {
 }
 
 /// Daemon startup configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Coalescing policy shared by every hosted model's scoring lane.
     pub batch: BatchConfig,
@@ -92,12 +92,39 @@ pub struct DaemonConfig {
     /// Deterministic fault injection (noop by default; see
     /// [`crate::faults`]).
     pub faults: FaultPlan,
+    /// Root directory for durable model registries, one subdirectory per
+    /// hosted model. `None` (the default) serves purely in-memory: swaps
+    /// do not survive a restart. With a registry, startup boots the last
+    /// good committed version (quarantining corrupt bundles), every
+    /// accepted `PUT` is committed durably before it serves traffic, and
+    /// `POST .../rollback` steps back to the previous good version.
+    pub registry: Option<std::path::PathBuf>,
+    /// Bounded retention for each model's registry: how many committed
+    /// versions stay on disk.
+    pub registry_retain: usize,
 }
 
-/// One hosted model: the swap handle plus its scoring lane.
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            batch: BatchConfig::default(),
+            port: 0,
+            overload: OverloadConfig::default(),
+            faults: FaultPlan::default(),
+            registry: None,
+            registry_retain: nr_serve::DEFAULT_RETAIN,
+        }
+    }
+}
+
+/// One hosted model: the swap handle, its scoring lane, and (when the
+/// daemon runs with a registry root) its durable model registry.
 pub(crate) struct ModelEntry {
     pub(crate) handle: Arc<ModelHandle>,
     pub(crate) lane: BatchFormer,
+    /// Durable persistence behind the hot-swap handle. Locked briefly on
+    /// swap/rollback/stats; the scoring path never touches it.
+    pub(crate) registry: Option<Mutex<ModelRegistry>>,
 }
 
 /// Daemon-wide counters and flags the handlers and the drain logic
@@ -234,15 +261,37 @@ impl Daemon {
     /// `models` maps each hosted name to its initial deployment
     /// (version 1). Errors (instead of panicking) if the listener, a
     /// lane, or the accept thread cannot be created.
+    ///
+    /// With [`DaemonConfig::registry`] set, startup is **crash
+    /// recovery**: each model's registry is opened, the newest committed
+    /// version that verifies is booted (corrupt bundles are quarantined
+    /// with a logged warning, walking back until one loads), and only an
+    /// empty registry falls back to the model passed here — which is
+    /// then committed as version 1 so the *next* restart recovers it.
     pub fn start(config: DaemonConfig, models: Vec<(String, ServeModel)>) -> io::Result<Daemon> {
         assert!(!models.is_empty(), "a daemon needs at least one model");
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let addr = listener.local_addr()?;
         let mut map = HashMap::new();
         for (name, model) in models {
+            let (model, registry) = match &config.registry {
+                Some(root) => {
+                    let (model, registry) =
+                        recover_model(&root.join(&name), config.registry_retain, &name, model)?;
+                    (model, Some(Mutex::new(registry)))
+                }
+                None => (model, None),
+            };
             let handle = Arc::new(ModelHandle::new(model));
             let lane = BatchFormer::new(Arc::clone(&handle), config.batch.clone())?;
-            map.insert(name, ModelEntry { handle, lane });
+            map.insert(
+                name,
+                ModelEntry {
+                    handle,
+                    lane,
+                    registry,
+                },
+            );
         }
         let state = Arc::new(ServerState {
             models: map,
@@ -349,6 +398,47 @@ impl Drop for Daemon {
     fn drop(&mut self) {
         let _ = self.drain();
     }
+}
+
+/// Opens `dir`'s model registry and resolves what to actually boot: the
+/// last good committed version if the registry holds one (quarantining
+/// corrupt bundles on the way, each with a logged warning), otherwise
+/// `fallback` — committed as version 1 so the next restart recovers it.
+fn recover_model(
+    dir: &std::path::Path,
+    retain: usize,
+    name: &str,
+    fallback: ServeModel,
+) -> io::Result<(ServeModel, ModelRegistry)> {
+    let registry_err = |e: nr_serve::ServeError| {
+        io::Error::new(io::ErrorKind::InvalidData, {
+            format!("model registry {}: {e}", dir.display())
+        })
+    };
+    let mut registry = ModelRegistry::open(dir, retain).map_err(registry_err)?;
+    let booted = registry.latest_good().map_err(registry_err)?;
+    if registry.quarantined() > 0 {
+        eprintln!(
+            "nr-daemon: model {name:?}: quarantined {} corrupt registry file(s) under {}",
+            registry.quarantined(),
+            dir.join(nr_serve::registry::QUARANTINE_DIR).display(),
+        );
+    }
+    let model = match booted {
+        Some((version, model)) => {
+            eprintln!("nr-daemon: model {name:?}: booting registry version {version}");
+            model
+        }
+        None => {
+            let version = registry.commit(&fallback).map_err(registry_err)?;
+            eprintln!(
+                "nr-daemon: model {name:?}: registry empty; committed initial model as \
+                 version {version}"
+            );
+            fallback
+        }
+    };
+    Ok((model, registry))
 }
 
 /// Writes a one-shot 503 to a connection the daemon will not serve

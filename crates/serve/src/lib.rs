@@ -43,11 +43,13 @@ mod compiled;
 mod dag;
 mod model;
 mod program;
+pub mod registry;
 mod scorer;
 mod swap;
 
 pub use api::{BulkResponse, ErrorResponse, ModelInfo, PredictResponse, SwapResponse};
 pub use compiled::{parallel_row_threshold, CompiledRules};
 pub use model::{ServeError, ServeMode, ServeModel};
+pub use registry::{bundle_file_name, ModelRegistry, RegistryEntry, DEFAULT_RETAIN};
 pub use scorer::NetworkScorer;
 pub use swap::{ModelHandle, VersionedModel};

@@ -33,6 +33,15 @@ pub enum ServeError {
     /// JSON cannot represent losslessly — serialization is refused instead
     /// of emitting an unloadable file.
     NonFinite(String),
+    /// The bundle file failed integrity verification (checksum footer
+    /// mismatch, truncation, or a registry journal that disagrees with
+    /// the files on disk).
+    Corrupt {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// What exactly failed, human-readable.
+        section: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -41,6 +50,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "model file: {e}"),
             ServeError::Json(e) => write!(f, "model json: {e}"),
             ServeError::NonFinite(what) => write!(f, "model not serializable: {what}"),
+            ServeError::Corrupt { path, section } => {
+                write!(f, "corrupt model bundle {}: {section}", path.display())
+            }
         }
     }
 }
@@ -157,16 +169,49 @@ impl ServeModel {
         serde_json::from_str(json).map_err(|e| ServeError::Json(e.to_string()))
     }
 
-    /// Writes the bundle to a file, JSON-encoded.
+    /// Writes the bundle to a file: JSON with a CRC32 footer line, staged
+    /// through a temp file, fsynced, and published by an atomic rename —
+    /// a crash at any instant leaves either the old file or the new one,
+    /// never a torn mix, and [`ServeModel::load`] verifies the footer.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
-        std::fs::write(path, self.to_json()?)?;
+        let body = nr_store::manifest::write_checksummed_string(&self.to_json()?);
+        nr_store::manifest::atomic_replace(path.as_ref(), body.as_bytes(), true)?;
         Ok(())
     }
 
-    /// Loads a bundle written by [`ServeModel::save`] — no retraining, no
-    /// recompilation.
+    /// Loads a bundle written by [`ServeModel::save`], verifying the
+    /// checksum footer. Pre-checksum bundles (no footer line) still load:
+    /// they are parsed as-is, and a parse failure reports that the file
+    /// is neither a checksummed nor a valid pre-checksum bundle.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ServeError> {
-        Self::from_json(&std::fs::read_to_string(path)?)
+        let path = path.as_ref();
+        let raw = std::fs::read(path)?;
+        let text = String::from_utf8(raw).map_err(|_| ServeError::Corrupt {
+            path: path.to_path_buf(),
+            section: "bundle is not valid UTF-8".into(),
+        })?;
+        let has_footer = text
+            .lines()
+            .next_back()
+            .is_some_and(|l| l.starts_with(nr_store::manifest::CRC_FOOTER_PREFIX));
+        if has_footer {
+            let payload = nr_store::manifest::read_checksummed(&text).map_err(|section| {
+                ServeError::Corrupt {
+                    path: path.to_path_buf(),
+                    section,
+                }
+            })?;
+            return Self::from_json(payload);
+        }
+        // Pre-checksum bundle: no footer to verify — accept for backward
+        // compatibility, but make a parse failure say what this was.
+        Self::from_json(&text).map_err(|e| match e {
+            ServeError::Json(msg) => ServeError::Json(format!(
+                "not a checksummed bundle (no CRC footer) and not a valid \
+                 pre-checksum bundle either: {msg}"
+            )),
+            other => other,
+        })
     }
 
     /// The hybrid fallback set: view positions no explicit rule claimed

@@ -1,0 +1,159 @@
+//! Hand-rolled CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) —
+//! the integrity primitive behind the `NRSEG02` segment format, the
+//! store manifests, and the model-registry bundles.
+//!
+//! The vendored dependency set has no checksum crate, so this is a
+//! self-contained implementation: lookup tables generated at compile
+//! time by a `const fn`, processed slice-by-8 (eight table lanes fold
+//! eight input bytes per step) so verification streams at memory-ish
+//! bandwidth instead of a byte-at-a-time crawl — integrity checks must
+//! stay far below parse cost to hold the ingest-throughput bar.
+//!
+//! The polynomial and bit order match zlib's `crc32()`, so values are
+//! checkable with any standard tool (`crc32 <(printf 123456789)` →
+//! `cbf43926`).
+
+/// Number of table lanes (bytes folded per step).
+const LANES: usize = 8;
+
+/// `TABLES[0]` is the classic byte-at-a-time CRC32 table; `TABLES[k]`
+/// advances a byte `k` positions further through the shift register, so
+/// eight bytes fold in one round of table lookups.
+static TABLES: [[u32; 256]; LANES] = make_tables();
+
+const fn make_tables() -> [[u32; 256]; LANES] {
+    let mut tables = [[0u32; 256]; LANES];
+    let mut n = 0;
+    while n < 256 {
+        let mut crc = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        tables[0][n] = crc;
+        n += 1;
+    }
+    let mut lane = 1;
+    while lane < LANES {
+        let mut n = 0;
+        while n < 256 {
+            let prev = tables[lane - 1][n];
+            tables[lane][n] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            n += 1;
+        }
+        lane += 1;
+    }
+    tables
+}
+
+/// Streaming CRC32 state. Feed bytes with [`Crc32::update`], read the
+/// checksum with [`Crc32::finish`] (the state stays usable — `finish` is
+/// a pure read).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum (the standard `0xFFFFFFFF` preset).
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        let mut chunks = bytes.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            // Fold the CRC into the first four bytes, then look all eight
+            // up in their distance-matched lanes. Lane 7 handles the
+            // byte furthest from the register, lane 0 the nearest.
+            let lo = crc.to_le_bytes();
+            crc = TABLES[7][(chunk[0] ^ lo[0]) as usize]
+                ^ TABLES[6][(chunk[1] ^ lo[1]) as usize]
+                ^ TABLES[5][(chunk[2] ^ lo[2]) as usize]
+                ^ TABLES[4][(chunk[3] ^ lo[3]) as usize]
+                ^ TABLES[3][chunk[4] as usize]
+                ^ TABLES[2][chunk[5] as usize]
+                ^ TABLES[1][chunk[6] as usize]
+                ^ TABLES[0][chunk[7] as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ TABLES[0][((crc & 0xFF) as u8 ^ b) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_values() {
+        // The canonical CRC-32/ISO-HDLC check vectors.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sliced_path_equals_byte_at_a_time() {
+        // Any split of the input must give the same checksum, and the
+        // slice-by-8 fast path must agree with the scalar tail path.
+        let data: Vec<u8> = (0..1021u32).map(|i| (i * 31 + 7) as u8).collect();
+        let whole = crc32(&data);
+        let mut scalar = Crc32::new();
+        for b in &data {
+            scalar.update(std::slice::from_ref(b));
+        }
+        assert_eq!(scalar.finish(), whole);
+        for split in [1, 7, 8, 9, 64, 1000] {
+            let mut crc = Crc32::new();
+            let (a, b) = data.split_at(split);
+            crc.update(a);
+            crc.update(b);
+            assert_eq!(crc.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let clean = crc32(&data);
+        for byte in [0usize, 17, 128, 255] {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), clean, "flip {byte}:{bit} must change the crc");
+            }
+        }
+    }
+}

@@ -20,8 +20,10 @@ use std::path::Path;
 use nr_nn::{map_indexed_scoped, resolve_threads};
 use nr_tabular::{parse_csv_block, ClassId, Column, Schema, TabularError};
 
+use crate::manifest::{Manifest, SourceStamp};
 use crate::mmap::MappedFile;
-use crate::{SegmentWriter, SegmentedDataset, StoreConfig, StoreError};
+use crate::store::open_parts;
+use crate::{SegmentWriter, SegmentedDataset, SpillMode, StoreConfig, StoreError};
 
 /// Byte target per parse chunk. Fixed (never derived from the thread
 /// count) so the chunk grid — and therefore every append boundary — is a
@@ -96,8 +98,25 @@ pub(crate) fn ingest_parsed_body<F>(
 where
     F: Fn(&[u8]) -> Result<(Vec<Column>, Vec<ClassId>), TabularError> + Send + Sync,
 {
+    let writer = SegmentWriter::new(schema, class_names, config.clone())?;
+    drive_ingest(writer, body, &config, 2, parse) // line 1 is the header
+}
+
+/// The wave loop behind every ingest, parameterized over an
+/// already-seeded writer and the absolute line number of `body`'s first
+/// line (2 for a fresh ingest; higher after a resume skipped committed
+/// rows).
+fn drive_ingest<F>(
+    mut writer: SegmentWriter,
+    body: &[u8],
+    config: &StoreConfig,
+    mut first_line: usize,
+    parse: F,
+) -> Result<SegmentedDataset, StoreError>
+where
+    F: Fn(&[u8]) -> Result<(Vec<Column>, Vec<ClassId>), TabularError> + Send + Sync,
+{
     let chunks = chunk_ranges(body);
-    let mut writer = SegmentWriter::new(schema, class_names, config.clone())?;
 
     // Bounded waves: parse a few chunks per worker concurrently, append
     // them in chunk order, seal/spill, then move to the next wave. One
@@ -107,7 +126,6 @@ where
     // and the global append order are all unchanged by the wave size, so
     // the output stays bit-identical at any thread count.
     let wave = resolve_threads(config.threads, chunks.len()) * 4;
-    let mut first_line = 2; // line 1 is the header
     for wave_chunks in chunks.chunks(wave.max(1)) {
         let parsed: Vec<ParsedChunk> = map_indexed_scoped(wave_chunks.len(), config.threads, |k| {
             let block = &body[wave_chunks[k].clone()];
@@ -160,6 +178,165 @@ pub fn ingest_csv_file(
 ) -> Result<SegmentedDataset, StoreError> {
     let map = MappedFile::open(path)?;
     ingest_csv_bytes(schema, class_names, map.bytes(), config)
+}
+
+/// What a resumable ingest recovered before it started parsing.
+#[derive(Debug)]
+pub struct ResumedIngest {
+    /// The finished (durable) store.
+    pub store: SegmentedDataset,
+    /// Rows recovered from the journal instead of re-parsed.
+    pub resumed_rows: usize,
+    /// Stray crash-leftover files moved to quarantine during recovery.
+    pub quarantined: usize,
+}
+
+/// Advances past the first `n` CSV *rows* of `body`, returning the byte
+/// offset just past the n-th row and the number of newlines consumed.
+/// Row accounting mirrors [`parse_csv_block`] exactly: lines split on
+/// `\n`, a trailing `\r` is stripped, and a line that is then empty is
+/// *not* a row — so a resume skips precisely the rows the parser would
+/// have produced, keeping the output bit-identical.
+fn skip_rows(body: &[u8], n: usize, path: &Path) -> Result<(usize, usize), StoreError> {
+    let mut rows = 0usize;
+    let mut newlines = 0usize;
+    let mut offset = 0usize;
+    while rows < n {
+        if offset >= body.len() {
+            return Err(StoreError::Corrupt {
+                path: path.to_path_buf(),
+                section: format!(
+                    "journal claims {n} committed rows but the source holds only {rows}"
+                ),
+            });
+        }
+        let end = body[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| offset + p)
+            .unwrap_or(body.len());
+        let mut line = &body[offset..end];
+        if let [head @ .., b'\r'] = line {
+            line = head;
+        }
+        if !line.is_empty() {
+            rows += 1;
+        }
+        if end < body.len() {
+            newlines += 1;
+            offset = end + 1;
+        } else {
+            offset = body.len();
+        }
+    }
+    Ok((offset, newlines))
+}
+
+/// [`ingest_csv_file`], crash-safe and resumable: the spill directory is
+/// journaled (durable mode is forced on), and if it already holds a
+/// matching journal — same schema, classes, segment size, and source
+/// stamp — the committed segments are recovered, the corresponding source
+/// rows skipped, and parsing continues from there. Because segment
+/// boundaries are pure functions of the global row index and appends are
+/// strictly ordered, the finished store is **bit-identical** to an
+/// uninterrupted run, whatever the kill point. A journal for a
+/// *different* source (or a corrupt one) is a clean `Err`, never silent
+/// mixing.
+pub fn ingest_csv_file_resumable(
+    schema: Schema,
+    class_names: Vec<String>,
+    path: &Path,
+    config: StoreConfig,
+) -> Result<ResumedIngest, StoreError> {
+    let dir = match &config.spill {
+        SpillMode::Disk(dir) => dir.clone(),
+        SpillMode::InRam => {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "resumable ingest requires a spill directory",
+            )))
+        }
+    };
+    let config = config.with_durable(true);
+    let map = MappedFile::open(path)?;
+    let data = map.bytes();
+    let body_start = check_header(&schema, data)?;
+    let body = &data[body_start..];
+    let stamp = SourceStamp::of(data);
+
+    let parse_schema = schema.clone();
+    let parse_classes = class_names.clone();
+    let parse = move |block: &[u8]| parse_csv_block(&parse_schema, &parse_classes, block, 0);
+
+    let existing = Manifest::load(&dir)?;
+    let Some(m) = existing else {
+        // Fresh directory: journal from row zero.
+        let mut writer = SegmentWriter::new(schema, class_names, config.clone())?;
+        writer.set_source(stamp)?;
+        let store = drive_ingest(writer, body, &config, 2, parse)?;
+        return Ok(ResumedIngest {
+            store,
+            resumed_rows: 0,
+            quarantined: 0,
+        });
+    };
+
+    // The journal must describe *this* ingest, or resuming would splice
+    // two datasets together silently.
+    let mpath = Manifest::path_in(&dir);
+    let mismatch = |what: &str| StoreError::Corrupt {
+        path: mpath.clone(),
+        section: format!("journal does not match this ingest: {what}"),
+    };
+    if m.schema != schema || m.class_names != class_names {
+        return Err(mismatch("different schema or classes"));
+    }
+    if m.seg_rows != config.seg_rows as u64 {
+        return Err(mismatch("different segment size"));
+    }
+    match &m.source {
+        Some(s) if *s == stamp => {}
+        Some(_) => return Err(mismatch("different source file")),
+        None if m.rows_committed == 0 => {} // crashed before the stamp committed
+        None => return Err(mismatch("committed rows but no source stamp")),
+    }
+    if !m.complete {
+        if let Some(last) = m.segments.last() {
+            if last.rows != m.seg_rows {
+                // Guarded against in the writer (completion rides the
+                // tail's commit), so reaching this means a hand-edited
+                // or corrupted journal.
+                return Err(mismatch("incomplete journal lists a partial segment"));
+            }
+        }
+    }
+
+    let (manifest, segments, spill_files, quarantined) = open_parts(&dir, config.allow_unchecked)?;
+    let resumed_rows =
+        usize::try_from(manifest.rows_committed).map_err(|_| StoreError::Corrupt {
+            path: mpath.clone(),
+            section: "rows_committed exceeds usize".into(),
+        })?;
+    if manifest.complete {
+        // Nothing to do — the previous run finished. Reopen and return.
+        let store =
+            SegmentedDataset::from_parts(&dir, manifest, segments, spill_files, quarantined)?;
+        return Ok(ResumedIngest {
+            store,
+            resumed_rows,
+            quarantined,
+        });
+    }
+
+    let (offset, newlines) = skip_rows(body, resumed_rows, path)?;
+    let mut writer = SegmentWriter::resume(manifest, segments, spill_files, config.clone());
+    writer.set_source(stamp)?;
+    let store = drive_ingest(writer, &body[offset..], &config, 2 + newlines, parse)?;
+    Ok(ResumedIngest {
+        store,
+        resumed_rows,
+        quarantined,
+    })
 }
 
 #[cfg(test)]

@@ -26,17 +26,26 @@
 
 #![deny(missing_docs)]
 
+mod crc;
 mod dict;
+pub mod fault;
 mod ingest;
+pub mod manifest;
 mod mmap;
 mod segfile;
 mod store;
 
+pub use crc::{crc32, Crc32};
 pub use dict::{ingest_csv_bytes_with_dict, ingest_csv_file_with_dict, DictIngest, Dictionary};
-pub use ingest::{ingest_csv_bytes, ingest_csv_file, INGEST_CHUNK_BYTES};
+pub use ingest::{
+    ingest_csv_bytes, ingest_csv_file, ingest_csv_file_resumable, ResumedIngest, INGEST_CHUNK_BYTES,
+};
+pub use manifest::{Manifest, SegmentEntry, SourceStamp};
 pub use mmap::{MappedFile, Pod, TypedRegion};
-pub use segfile::{load_segment, write_segment};
-pub use store::{SegmentWriter, SegmentedDataset, SpillMode, StoreConfig};
+pub use segfile::{
+    load_segment, load_segment_with, segment_file_crc, write_segment, write_segment_v1, SegmentMeta,
+};
+pub use store::{RecoveryReport, SegmentWriter, SegmentedDataset, SpillMode, StoreConfig};
 
 /// Errors produced by the store.
 #[derive(Debug)]
@@ -45,6 +54,15 @@ pub enum StoreError {
     Tabular(nr_tabular::TabularError),
     /// Spill-file or mapping I/O failure.
     Io(std::io::Error),
+    /// A persisted file failed integrity verification: bad magic,
+    /// truncation, a checksum mismatch, or a journal that disagrees with
+    /// the files on disk. `section` names what exactly failed.
+    Corrupt {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// Which part of the file failed, human-readable.
+        section: String,
+    },
 }
 
 impl From<nr_tabular::TabularError> for StoreError {
@@ -64,6 +82,9 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Tabular(e) => write!(f, "store: {e}"),
             StoreError::Io(e) => write!(f, "store i/o: {e}"),
+            StoreError::Corrupt { path, section } => {
+                write!(f, "corrupt store file {}: {section}", path.display())
+            }
         }
     }
 }
@@ -73,6 +94,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Tabular(e) => Some(e),
             StoreError::Io(e) => Some(e),
+            StoreError::Corrupt { .. } => None,
         }
     }
 }
